@@ -1,0 +1,52 @@
+//! Criterion bench: BDM disassembly throughput — the per-contract cost of
+//! the paper's preprocessing stage.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use phishinghook_evm::disasm::{disassemble, to_csv};
+use phishinghook_synth::{generate_contract, Difficulty, Family, Month};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_disasm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let codes: Vec<Vec<u8>> = (0..32)
+        .map(|i| {
+            generate_contract(
+                Family::ALL[i % Family::ALL.len()],
+                Month(0),
+                &Difficulty::default(),
+                &mut rng,
+            )
+            .as_bytes()
+            .to_vec()
+        })
+        .collect();
+    let total_bytes: usize = codes.iter().map(Vec::len).sum();
+
+    let mut group = c.benchmark_group("bdm");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("disassemble_32_contracts", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for code in &codes {
+                n += disassemble(code).len();
+            }
+            n
+        })
+    });
+    group.bench_function("disassemble_to_csv", |b| {
+        b.iter_batched(
+            || disassemble(&codes[0]),
+            |instrs| to_csv(&instrs),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_disasm
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench: every feature encoder over a fixed contract batch —
+//! the preprocessing side of the pipeline costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phishinghook_evm::Bytecode;
+use phishinghook_features::{
+    BigramEncoder, EscortEmbedder, FreqImageEncoder, HistogramEncoder, OpcodeTokenizer,
+    R2d2Encoder, SequenceVariant,
+};
+use phishinghook_synth::{generate_contract, Difficulty, Family, Month};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn contracts(n: usize) -> Vec<Bytecode> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n)
+        .map(|i| {
+            generate_contract(
+                Family::ALL[i % Family::ALL.len()],
+                Month(3),
+                &Difficulty::default(),
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let codes = contracts(32);
+    let mut group = c.benchmark_group("features");
+
+    group.bench_function("histogram_fit_encode", |b| {
+        b.iter(|| {
+            let enc = HistogramEncoder::fit(&codes);
+            enc.encode_batch(&codes).len()
+        })
+    });
+
+    let r2d2 = R2d2Encoder::new(32);
+    group.bench_function("r2d2_images", |b| {
+        b.iter(|| codes.iter().map(|c| r2d2.encode(c).len()).sum::<usize>())
+    });
+
+    let freq = FreqImageEncoder::fit(&codes, 32);
+    group.bench_function("freq_images", |b| {
+        b.iter(|| codes.iter().map(|c| freq.encode(c).len()).sum::<usize>())
+    });
+
+    let bigram = BigramEncoder::fit(&codes, 2048, 48);
+    group.bench_function("scsguard_bigrams", |b| {
+        b.iter(|| codes.iter().map(|c| bigram.encode(c).len()).sum::<usize>())
+    });
+
+    let tok = OpcodeTokenizer::new(64);
+    group.bench_function("gpt2_tokens_sliding", |b| {
+        b.iter(|| {
+            codes
+                .iter()
+                .map(|c| tok.encode(c, SequenceVariant::SlidingWindow).len())
+                .sum::<usize>()
+        })
+    });
+
+    let escort = EscortEmbedder::new(128);
+    group.bench_function("escort_embedding", |b| {
+        b.iter(|| codes.iter().map(|c| escort.encode(c).len()).sum::<usize>())
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encoders
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: training and inference cost of one representative model
+//! per category — the measurable core of Fig. 7's time analysis.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use phishinghook::prelude::*;
+use phishinghook_bench::{main_dataset, RunScale};
+
+fn bench_models(c: &mut Criterion) {
+    let dataset = main_dataset(RunScale::Quick, 71);
+    let folds = dataset.stratified_folds(3, 1);
+    let (train, test) = dataset.fold_split(&folds, 0);
+    let profile = EvalProfile::quick();
+
+    let mut group = c.benchmark_group("model_times");
+    group.sample_size(10);
+
+    for kind in [
+        ModelKind::RandomForest,
+        ModelKind::Xgboost,
+        ModelKind::Knn,
+        ModelKind::Escort,
+    ] {
+        group.bench_function(format!("train_eval::{}", kind.name()), |b| {
+            b.iter_batched(
+                || (),
+                |_| train_and_evaluate(kind, &train, &test, &profile, 1),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_models
+}
+criterion_main!(benches);

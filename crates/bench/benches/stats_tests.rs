@@ -1,0 +1,45 @@
+//! Criterion bench: cost of the post hoc statistical machinery (the PAM is
+//! advertised as cheap enough to run after every evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phishinghook_stats::{dunn_test, friedman_test, kruskal_wallis, shapiro_wilk};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    // 13 models x 30 trials, as in the paper's post hoc.
+    let groups: Vec<Vec<f64>> = (0..13)
+        .map(|g| {
+            (0..30)
+                .map(|_| 0.85 + 0.01 * g as f64 + rng.gen_range(-0.02..0.02))
+                .collect()
+        })
+        .collect();
+    let sample: Vec<f64> = (0..30).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let blocks: Vec<Vec<f64>> = (0..12)
+        .map(|_| (0..3).map(|_| rng.gen_range(0.7..0.95)).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("pam");
+    group.bench_function("shapiro_wilk_n30", |b| {
+        b.iter(|| shapiro_wilk(&sample).unwrap().p_value)
+    });
+    group.bench_function("kruskal_wallis_13x30", |b| {
+        b.iter(|| kruskal_wallis(&groups).unwrap().p_value)
+    });
+    group.bench_function("dunn_13x30", |b| {
+        b.iter(|| dunn_test(&groups).unwrap().pairs.len())
+    });
+    group.bench_function("friedman_12x3", |b| {
+        b.iter(|| friedman_test(&blocks).unwrap().p_value)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_stats
+}
+criterion_main!(benches);

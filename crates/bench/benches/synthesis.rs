@@ -1,0 +1,47 @@
+//! Criterion bench: synthetic-corpus generation throughput (the data
+//! substrate's cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phishinghook_synth::{
+    generate_contract, generate_corpus, CorpusConfig, Difficulty, Family, Month,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+
+    group.bench_function("one_erc20", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            generate_contract(Family::Erc20Token, Month(2), &Difficulty::default(), &mut rng)
+                .len()
+        })
+    });
+
+    group.bench_function("one_drainer", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            generate_contract(
+                Family::ApprovalDrainer,
+                Month(2),
+                &Difficulty::default(),
+                &mut rng,
+            )
+            .len()
+        })
+    });
+
+    group.bench_function("small_corpus_with_clones", |b| {
+        b.iter(|| generate_corpus(&CorpusConfig::small(9)).len())
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_synthesis
+}
+criterion_main!(benches);

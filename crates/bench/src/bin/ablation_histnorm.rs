@@ -1,0 +1,53 @@
+//! Ablation: raw opcode counts vs L1-normalized histograms for the HSC
+//! winner. The paper feeds *raw* counts ("without normalized nor
+//! standardized steps"); this quantifies what that choice costs or buys.
+
+use phishinghook::prelude::*;
+use phishinghook_bench::{banner, main_dataset, RunScale};
+use phishinghook_features::HistogramEncoder;
+use phishinghook_linalg::Matrix;
+use phishinghook_ml::{Classifier, RandomForest};
+
+fn run(dataset: &Dataset, normalize: bool, trees: usize, seed: u64) -> Metrics {
+    let folds = dataset.stratified_folds(3, seed);
+    let (train, test) = dataset.fold_split(&folds, 0);
+    let train_codes = train.bytecodes();
+    let test_codes = test.bytecodes();
+    let encoder = HistogramEncoder::fit(&train_codes);
+    let prep = |codes: &[Bytecode]| -> Matrix {
+        let rows: Vec<Vec<f32>> = codes
+            .iter()
+            .map(|c| {
+                let mut h = encoder.encode(c);
+                if normalize {
+                    let total: f32 = h.iter().sum::<f32>().max(1.0);
+                    for v in &mut h {
+                        *v /= total;
+                    }
+                }
+                h
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    };
+    let mut rf = RandomForest::new(trees, seed);
+    rf.fit(&prep(&train_codes), &train.labels());
+    let pred = rf.predict(&prep(&test_codes));
+    Metrics::from_predictions(&pred, &test.labels())
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    banner("Ablation - raw vs normalized histograms (Random Forest)", scale);
+    let dataset = main_dataset(scale, 0xAB1);
+    let trees = scale.profile().n_trees;
+    let raw = run(&dataset, false, trees, 5);
+    let norm = run(&dataset, true, trees, 5);
+    println!("{:<22} {:>10} {:>10}", "variant", "accuracy", "F1");
+    println!("{:<22} {:>10.4} {:>10.4}", "raw counts (paper)", raw.accuracy, raw.f1);
+    println!("{:<22} {:>10.4} {:>10.4}", "L1-normalized", norm.accuracy, norm.f1);
+    println!(
+        "\ndelta accuracy = {:+.4} (raw - normalized)",
+        raw.accuracy - norm.accuracy
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Fig. 2**: number of phishing contracts per month
+//! (obtained vs unique) over 2023-10 .. 2024-10.
+
+use phishinghook_bench::{banner, RunScale};
+use phishinghook_synth::{generate_corpus, CorpusConfig};
+
+fn main() {
+    let scale = RunScale::from_args();
+    banner("Fig. 2 - phishing contracts per month", scale);
+    // The full corpus reproduces the paper's counts: 3,458 unique phishing
+    // bytecodes inflated to ~17.5k deployments by clone duplication.
+    let cfg = if scale == RunScale::Quick {
+        CorpusConfig { unique_phishing: 350, unique_benign: 0, ..CorpusConfig::default() }
+    } else {
+        CorpusConfig { unique_benign: 0, ..CorpusConfig::default() }
+    };
+    let corpus = generate_corpus(&cfg);
+
+    let monthly = corpus.monthly_phishing_counts();
+    let max = monthly.iter().map(|(_, o, _)| *o).max().unwrap_or(1);
+    println!("{:<10} {:>9} {:>8}", "month", "obtained", "unique");
+    for (month, obtained, unique) in &monthly {
+        let bar = "#".repeat(obtained * 40 / max.max(1));
+        println!("{:<10} {:>9} {:>8}  {bar}", month.to_string(), obtained, unique);
+    }
+    let total_obtained: usize = monthly.iter().map(|(_, o, _)| o).sum();
+    let total_unique: usize = monthly.iter().map(|(_, _, u)| u).sum();
+    println!(
+        "\ntotals: {total_obtained} obtained, {total_unique} unique (paper: 17,455 / 3,458; ratio {:.2} vs paper 5.05)",
+        total_obtained as f64 / total_unique.max(1) as f64
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Fig. 3**: distribution of contracts by per-opcode usage,
+//! benign vs phishing, for the 20 influential opcodes.
+
+use phishinghook::prelude::*;
+use phishinghook_bench::{banner, main_dataset, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    banner("Fig. 3 - per-opcode usage, benign vs phishing", scale);
+    let dataset = main_dataset(scale, 0xF3);
+    println!("dataset: {} contracts\n", dataset.len());
+
+    let usage = opcode_usage(&dataset, &FIG3_OPCODES);
+    println!(
+        "{:<16} {:>26}   {:>26}",
+        "opcode", "benign q1/med/q3", "phishing q1/med/q3"
+    );
+    for name in FIG3_OPCODES {
+        let (benign, phishing) = &usage.by_opcode[name];
+        let (b1, b2, b3) = benign.quartiles();
+        let (p1, p2, p3) = phishing.quartiles();
+        println!(
+            "{:<16} {:>8.0} {:>8.0} {:>8.0}   {:>8.0} {:>8.0} {:>8.0}",
+            name, b1, b2, b3, p1, p2, p3
+        );
+    }
+    println!(
+        "\nthe distributions overlap heavily: no single opcode separates the classes (the paper's point)"
+    );
+}

@@ -1,0 +1,34 @@
+//! Regenerates **Fig. 5**: performance of the best model per category
+//! (Random Forest, ECA+EfficientNet, SCSGuard) across 1/3, 2/3 and full
+//! data splits.
+
+use phishinghook::prelude::*;
+use phishinghook_bench::{banner, main_dataset, RunScale};
+use phishinghook::scalability::SCALABILITY_MODELS;
+
+fn main() {
+    let scale = RunScale::from_args();
+    banner("Fig. 5 - model scalability across data splits", scale);
+    let dataset = main_dataset(scale, 0xF5);
+    let folds = if scale == RunScale::Quick { 2 } else { 4 };
+    let study = run_scalability(&dataset, folds, &scale.profile(), 0xF5);
+
+    for metric in METRIC_NAMES {
+        println!("--- {metric} ---");
+        println!("{:<20} {:>8} {:>8} {:>8}", "model", "1/3", "2/3", "1.0");
+        for model in SCALABILITY_MODELS {
+            print!("{:<20}", model.name());
+            for ratio in SPLIT_RATIOS {
+                print!(" {:>8.4}", study.mean_metric(model, ratio, metric));
+            }
+            println!();
+        }
+        println!();
+    }
+
+    // Persist for fig6/fig7.
+    let table: Vec<Vec<f64>> = study.metric_table("accuracy");
+    let json = serde_json::to_string(&table).expect("serialize");
+    std::fs::write("fig5_accuracy_table.json", json).expect("write fig5 table");
+    println!("accuracy table written to fig5_accuracy_table.json");
+}

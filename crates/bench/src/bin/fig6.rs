@@ -1,0 +1,59 @@
+//! Regenerates **Fig. 6**: the critical difference diagram of the
+//! scalability study — Friedman test, pairwise Wilcoxon with Holm
+//! correction, mean ranks, non-significance cliques and Cliff's δ effect
+//! sizes.
+
+use phishinghook::prelude::*;
+use phishinghook::scalability::SCALABILITY_MODELS;
+use phishinghook_bench::{banner, fmt_p, main_dataset, RunScale};
+use phishinghook_stats::delta_magnitude;
+
+fn main() {
+    let scale = RunScale::from_args();
+    banner("Fig. 6 - critical difference diagram (scalability post hoc)", scale);
+    let dataset = main_dataset(scale, 0xF6);
+    let folds = if scale == RunScale::Quick { 2 } else { 4 };
+    let study = run_scalability(&dataset, folds, &scale.profile(), 0xF6);
+
+    for (metric, cd) in study.critical_differences() {
+        println!("--- {metric} ---");
+        println!("friedman p = {}", fmt_p(cd.friedman_p));
+        let ranking = cd.ranking();
+        print!("ranking (best first): ");
+        for (pos, &m) in ranking.iter().enumerate() {
+            if pos > 0 {
+                print!("  >  ");
+            }
+            print!(
+                "{} (rank {:.2})",
+                SCALABILITY_MODELS[m].name(),
+                cd.mean_ranks[m]
+            );
+        }
+        println!();
+        for pair in &cd.pairs {
+            println!(
+                "  {} vs {}: wilcoxon p_adj = {}",
+                SCALABILITY_MODELS[pair.model_a].name(),
+                SCALABILITY_MODELS[pair.model_b].name(),
+                fmt_p(pair.p_adjusted)
+            );
+        }
+        if cd.cliques.is_empty() {
+            println!("  no non-significance bars");
+        } else {
+            for clique in &cd.cliques {
+                let names: Vec<&str> =
+                    clique.iter().map(|&m| SCALABILITY_MODELS[m].name()).collect();
+                println!("  thick bar (indistinguishable): {}", names.join(" - "));
+            }
+        }
+        println!();
+    }
+
+    println!("Cliff's delta, SCSGuard vs ECA+EfficientNet (paper: -0.778 acc/F1, -0.333 prec, -1.0 recall):");
+    for metric in METRIC_NAMES {
+        let d = study.cliffs(ModelKind::ScsGuard, ModelKind::EcaEfficientNet, metric);
+        println!("  {metric:<10} delta = {d:+.3}  ({:?})", delta_magnitude(d));
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Fig. 7**: training and inference times of the three
+//! scalability models per data split.
+
+use phishinghook::prelude::*;
+use phishinghook::scalability::SCALABILITY_MODELS;
+use phishinghook_bench::{banner, main_dataset, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    banner("Fig. 7 - training/inference time per data split", scale);
+    let dataset = main_dataset(scale, 0xF7);
+    let folds = if scale == RunScale::Quick { 2 } else { 3 };
+    let study = run_scalability(&dataset, folds, &scale.profile(), 0xF7);
+
+    println!("training time (s):");
+    println!("{:<20} {:>9} {:>9} {:>9}", "model", "1/3", "2/3", "1.0");
+    for model in SCALABILITY_MODELS {
+        print!("{:<20}", model.name());
+        for ratio in SPLIT_RATIOS {
+            print!(" {:>9.3}", study.mean_times(model, ratio).0);
+        }
+        println!();
+    }
+    println!("\ninference time over the test fold (s):");
+    println!("{:<20} {:>9} {:>9} {:>9}", "model", "1/3", "2/3", "1.0");
+    for model in SCALABILITY_MODELS {
+        print!("{:<20}", model.name());
+        for ratio in SPLIT_RATIOS {
+            print!(" {:>9.4}", study.mean_times(model, ratio).1);
+        }
+        println!();
+    }
+
+    // The paper's headline ratios.
+    let rf = study.mean_times(ModelKind::RandomForest, 1.0);
+    let scs = study.mean_times(ModelKind::ScsGuard, 1.0);
+    let eca = study.mean_times(ModelKind::EcaEfficientNet, 1.0);
+    println!(
+        "\nSCSGuard train time vs RF: {:+.1}% (paper: +64733%)  vs ECA: {:+.1}% (paper: +1031%)",
+        100.0 * (scs.0 - rf.0) / rf.0.max(1e-9),
+        100.0 * (scs.0 - eca.0) / eca.0.max(1e-9),
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Fig. 8**: time-resistance — monthly precision/recall/F1
+//! over nine test periods with the Area Under Time (AUT) of the F1 score,
+//! for Random Forest, ECA+EfficientNet and SCSGuard.
+
+use phishinghook::prelude::*;
+use phishinghook_bench::{banner, temporal_dataset, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    banner("Fig. 8 - time-resistance analysis", scale);
+    let dataset = temporal_dataset(scale, 0xF8);
+    let (train, _) = dataset.temporal_split();
+    println!(
+        "temporal dataset: {} samples, training window holds {}\n",
+        dataset.len(),
+        train.len()
+    );
+
+    let models = [ModelKind::RandomForest, ModelKind::EcaEfficientNet, ModelKind::ScsGuard];
+    let paper_aut = [0.89, 0.79, 0.84];
+    for (model, paper) in models.into_iter().zip(paper_aut) {
+        let result = run_time_resistance(model, &dataset, &scale.profile(), 0xF8);
+        println!("--- {} ---", model.name());
+        println!("{:<10} {:>6} {:>8} {:>8} {:>8}", "month", "period", "prec", "recall", "F1");
+        for m in &result.monthly {
+            println!(
+                "{:<10} {:>6} {:>8.4} {:>8.4} {:>8.4}",
+                m.month.to_string(),
+                m.period,
+                m.metrics.precision,
+                m.metrics.recall,
+                m.metrics.f1
+            );
+        }
+        println!("AUT = {:.3}  (paper: {paper})\n", result.aut_f1);
+    }
+}

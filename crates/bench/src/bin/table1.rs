@@ -1,0 +1,20 @@
+//! Regenerates **Table I**: the EVM opcodes of the Shanghai fork.
+
+use phishinghook_bench::{banner, RunScale};
+use phishinghook_evm::SHANGHAI_OPCODES;
+
+fn main() {
+    banner("Table I - EVM opcodes (Shanghai fork)", RunScale::from_args());
+    println!("{:<8} {:<16} {:>8}  {}", "Opcode", "Name", "Gas", "Description");
+    for info in SHANGHAI_OPCODES {
+        let gas = match info.gas {
+            Some(g) => g.to_string(),
+            None => "NaN".to_string(),
+        };
+        println!(
+            "0x{:02X}     {:<16} {:>8}  {}",
+            info.byte, info.mnemonic, gas, info.description
+        );
+    }
+    println!("\ntotal opcodes: {}", SHANGHAI_OPCODES.len());
+}

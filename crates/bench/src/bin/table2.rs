@@ -1,0 +1,76 @@
+//! Regenerates **Table II**: averaged Accuracy/F1/Precision/Recall for all
+//! sixteen models under repeated stratified cross-validation.
+//!
+//! `--quick` runs 3-fold × 1 run on a small corpus; the default runs
+//! 10-fold × 3 runs (the paper's protocol) at laptop scale. Results are
+//! also written to `table2.json` for Table III / Fig. 4 to consume.
+
+use phishinghook::prelude::*;
+use phishinghook_bench::{banner, main_dataset, RunScale};
+
+fn main() {
+    let scale = RunScale::from_args();
+    banner("Table II - averaged performance of the 16 models", scale);
+    let dataset = main_dataset(scale, 0xD5);
+    println!(
+        "dataset: {} samples ({} phishing), {} folds x {} runs\n",
+        dataset.len(),
+        dataset.positives(),
+        scale.folds(),
+        scale.runs()
+    );
+
+    println!(
+        "{:<20} {:>12} {:>10} {:>10} {:>10}  {}",
+        "Model", "Accuracy(%)", "F1", "Precision", "Recall", "category"
+    );
+
+    let mut all_results: Vec<(ModelKind, Vec<TrialOutcome>)> = Vec::new();
+    for kind in ModelKind::ALL {
+        let trials = cross_validate(
+            kind,
+            &dataset,
+            scale.folds(),
+            scale.runs(),
+            &scale.profile(),
+            0xD5,
+        );
+        let mean = Metrics::mean(&trials.iter().map(|t| t.metrics).collect::<Vec<_>>());
+        println!(
+            "{:<20} {:>12.2} {:>10.4} {:>10.4} {:>10.4}  {:?}",
+            kind.name(),
+            100.0 * mean.accuracy,
+            mean.f1,
+            mean.precision,
+            mean.recall,
+            kind.category()
+        );
+        all_results.push((kind, trials));
+    }
+
+    // Category averages, as §IV-D reports.
+    println!();
+    for cat in [
+        ModelCategory::Histogram,
+        ModelCategory::Language,
+        ModelCategory::Vision,
+        ModelCategory::Vulnerability,
+    ] {
+        let metrics: Vec<Metrics> = all_results
+            .iter()
+            .filter(|(k, _)| k.category() == cat)
+            .flat_map(|(_, trials)| trials.iter().map(|t| t.metrics))
+            .collect();
+        let mean = Metrics::mean(&metrics);
+        println!(
+            "{:?} average: accuracy {:.2}%  F1 {:.4}",
+            cat,
+            100.0 * mean.accuracy,
+            mean.f1
+        );
+    }
+
+    let json = serde_json::to_string(&all_results).expect("serialize results");
+    std::fs::write("table2.json", json).expect("write table2.json");
+    println!("\ntrial-level results written to table2.json (consumed by table3/fig4)");
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Table III**: Kruskal–Wallis omnibus tests per metric over
+//! the 13 post-hoc models, with Holm-adjusted p-values.
+//!
+//! Reads `table2.json` if present (produced by the `table2` binary);
+//! otherwise re-runs a quick evaluation.
+
+use phishinghook::prelude::*;
+use phishinghook_bench::{banner, fmt_p, main_dataset, RunScale};
+
+fn load_or_run(scale: RunScale) -> Vec<(ModelKind, Vec<TrialOutcome>)> {
+    if let Ok(json) = std::fs::read_to_string("table2.json") {
+        if let Ok(results) = serde_json::from_str::<Vec<(ModelKind, Vec<TrialOutcome>)>>(&json) {
+            println!("(loaded trials from table2.json)\n");
+            return results;
+        }
+    }
+    println!("(table2.json not found - running a fresh evaluation)\n");
+    let dataset = main_dataset(scale, 0xD5);
+    ModelKind::ALL
+        .into_iter()
+        .map(|kind| {
+            (
+                kind,
+                cross_validate(kind, &dataset, scale.folds(), scale.runs(), &scale.profile(), 0xD5),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    banner("Table III - Kruskal-Wallis tests on the performance metrics", scale);
+    let all = load_or_run(scale);
+    // §IV-E: exclude ESCORT and the beta variants.
+    let keep = ModelKind::posthoc_set();
+    let results: Vec<(ModelKind, Vec<TrialOutcome>)> = all
+        .into_iter()
+        .filter(|(k, _)| keep.contains(k))
+        .collect();
+    let n_trials: usize = results.iter().map(|(_, t)| t.len()).sum();
+    println!(
+        "{} models x {} trials each = {} observations per metric\n",
+        results.len(),
+        results[0].1.len(),
+        n_trials
+    );
+
+    let report = posthoc_analysis(&results);
+    println!(
+        "normality: Shapiro-Wilk rejected for {} of {} model-metric pairs (paper: 20 of 52)\n",
+        report.normality_violations.len(),
+        results.len() * 4
+    );
+    println!("{:<12} {:>10} {:>12} {:>12}", "Metric", "H", "p", "p_adj");
+    for row in &report.omnibus {
+        println!(
+            "{:<12} {:>10.2} {:>12} {:>12}  {}",
+            row.metric,
+            row.test.h,
+            fmt_p(row.test.p_value),
+            fmt_p(row.p_adjusted),
+            if row.p_adjusted < 0.05 { "significant" } else { "ns" }
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! 20-byte Ethereum account addresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 20-byte Ethereum address.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_chain::Address;
+///
+/// let addr = Address::from_bytes([0xAB; 20]);
+/// assert!(addr.to_string().starts_with("0xabab"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Address([u8; 20]);
+
+impl Address {
+    /// Creates an address from raw bytes.
+    pub fn from_bytes(bytes: [u8; 20]) -> Self {
+        Address(bytes)
+    }
+
+    /// Deterministically derives the address of the `nonce`-th deployment in
+    /// the simulation (a stand-in for the real CREATE address derivation).
+    pub fn derived(nonce: u64) -> Self {
+        // Splitmix64-style mixing, expanded to 20 bytes.
+        let mut out = [0u8; 20];
+        let mut z = nonce.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        for chunk in out.chunks_mut(8) {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_be_bytes();
+            let n = chunk.len().min(8);
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Address(out)
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn derived_addresses_are_distinct() {
+        let set: HashSet<Address> = (0..10_000).map(Address::derived).collect();
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn derived_is_deterministic() {
+        assert_eq!(Address::derived(42), Address::derived(42));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let a = Address::from_bytes([0x01; 20]);
+        assert_eq!(a.to_string().len(), 42);
+        assert_eq!(&a.to_string()[..4], "0x01");
+    }
+}

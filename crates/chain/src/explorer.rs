@@ -1,0 +1,78 @@
+//! The Etherscan stand-in: per-address security labels.
+
+use crate::address::Address;
+use crate::state::SimulatedChain;
+
+/// The label string etherscan.io attaches to known phishing contracts.
+pub const PHISH_HACK_LABEL: &str = "Phish/Hack";
+
+/// Read-only label service, mirroring the etherscan.io flag scrape the paper
+/// performs for each of its 4 million candidate hashes (Fig. 1-➋).
+///
+/// The labels carry the corpus's injected label noise: like the real
+/// explorer, the service is an *imperfect* oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer<'a> {
+    chain: &'a SimulatedChain,
+}
+
+impl<'a> Explorer<'a> {
+    /// Creates an explorer over a chain.
+    pub fn new(chain: &'a SimulatedChain) -> Self {
+        Explorer { chain }
+    }
+
+    /// Returns `Some("Phish/Hack")` when the address is flagged, `None` when
+    /// it is unflagged or unknown — exactly the scrape result shape.
+    pub fn label(&self, address: &Address) -> Option<&'static str> {
+        match self.chain.record(address) {
+            Some(record) if record.flagged => Some(PHISH_HACK_LABEL),
+            _ => None,
+        }
+    }
+
+    /// Convenience predicate for dataset construction.
+    pub fn is_flagged(&self, address: &Address) -> bool {
+        self.label(address).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_synth::{generate_corpus, ContractClass, CorpusConfig};
+
+    #[test]
+    fn labels_follow_flags() {
+        let corpus = generate_corpus(&CorpusConfig::small(3));
+        let chain = SimulatedChain::from_corpus(&corpus);
+        let explorer = Explorer::new(&chain);
+        for r in chain.records() {
+            assert_eq!(explorer.is_flagged(&r.address), r.flagged);
+        }
+    }
+
+    #[test]
+    fn unknown_address_is_unlabeled() {
+        let chain = SimulatedChain::default();
+        let explorer = Explorer::new(&chain);
+        assert_eq!(explorer.label(&Address::from_bytes([7; 20])), None);
+    }
+
+    #[test]
+    fn most_phishing_is_flagged_most_benign_is_not() {
+        let corpus = generate_corpus(&CorpusConfig::small(5));
+        let chain = SimulatedChain::from_corpus(&corpus);
+        let explorer = Explorer::new(&chain);
+        let mut agree = 0usize;
+        for r in chain.records() {
+            let truth = r.family.class() == ContractClass::Phishing;
+            if truth == explorer.is_flagged(&r.address) {
+                agree += 1;
+            }
+        }
+        let rate = agree as f64 / chain.len() as f64;
+        assert!(rate > 0.9, "label agreement = {rate}");
+        assert!(rate < 1.0, "labels should carry some noise");
+    }
+}

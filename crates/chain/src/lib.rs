@@ -1,0 +1,47 @@
+//! Simulated Ethereum data sources.
+//!
+//! The paper's data-gathering stage talks to three external services:
+//! Google BigQuery's public Ethereum dataset (contract hashes per time
+//! window), etherscan.io's `Phish/Hack` flag (labels) and an Etherscan
+//! JSON-RPC endpoint (`eth_getCode`, bytecode). None is reachable offline,
+//! so this crate provides in-process stand-ins exposing the *same three-step
+//! pipeline* over a [`SimulatedChain`] populated from a synthetic corpus:
+//!
+//! 1. [`QueryService::contracts_deployed_between`] — the BigQuery scan
+//!    (Fig. 1-➊);
+//! 2. [`Explorer::label`] — the Etherscan flag scrape (Fig. 1-➋);
+//! 3. [`RpcProvider::eth_get_code`] — the JSON-RPC bytecode fetch
+//!    (Fig. 1-➌).
+//!
+//! # Examples
+//!
+//! ```
+//! use phishinghook_chain::{SimulatedChain, QueryService, Explorer, RpcProvider};
+//! use phishinghook_synth::{generate_corpus, CorpusConfig, Month};
+//!
+//! let corpus = generate_corpus(&CorpusConfig::small(1));
+//! let chain = SimulatedChain::from_corpus(&corpus);
+//! let query = QueryService::new(&chain);
+//! let explorer = Explorer::new(&chain);
+//! let rpc = RpcProvider::new(&chain);
+//!
+//! let addresses = query.contracts_deployed_between(Month(0), Month(12));
+//! let flagged = addresses.iter().filter(|a| explorer.label(a).is_some()).count();
+//! assert!(flagged > 0);
+//! let code = rpc.eth_get_code(&addresses[0]).unwrap();
+//! assert!(!code.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod explorer;
+pub mod query;
+pub mod rpc;
+pub mod state;
+
+pub use address::Address;
+pub use explorer::{Explorer, PHISH_HACK_LABEL};
+pub use query::QueryService;
+pub use rpc::{RpcError, RpcProvider};
+pub use state::{DeploymentRecord, SimulatedChain};

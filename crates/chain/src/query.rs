@@ -1,0 +1,89 @@
+//! The BigQuery stand-in: bulk queries over deployment metadata.
+
+use crate::address::Address;
+use crate::state::SimulatedChain;
+use phishinghook_synth::Month;
+
+/// Read-only bulk query service over the simulated chain, mirroring the
+/// Google BigQuery public Ethereum dataset the paper scans for contract
+/// hashes (Fig. 1-➊).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryService<'a> {
+    chain: &'a SimulatedChain,
+}
+
+impl<'a> QueryService<'a> {
+    /// Creates a query service over a chain.
+    pub fn new(chain: &'a SimulatedChain) -> Self {
+        QueryService { chain }
+    }
+
+    /// Addresses of every contract deployed in `[from, to]` (inclusive), in
+    /// deployment order — the paper's "contracts deployed between October
+    /// 2023 and October 2024" scan.
+    pub fn contracts_deployed_between(&self, from: Month, to: Month) -> Vec<Address> {
+        self.chain
+            .records()
+            .iter()
+            .filter(|r| r.month >= from && r.month <= to)
+            .map(|r| r.address)
+            .collect()
+    }
+
+    /// Total number of contracts known to the dataset (the paper quotes
+    /// 68,681,183 for the real chain as of October 2024).
+    pub fn total_contracts(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Monthly deployment counts over the window, for dataset reports.
+    pub fn monthly_deployments(&self) -> Vec<(Month, usize)> {
+        Month::all()
+            .map(|m| {
+                let count = self
+                    .chain
+                    .records()
+                    .iter()
+                    .filter(|r| r.month == m)
+                    .count();
+                (m, count)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_synth::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn window_query_covers_everything() {
+        let corpus = generate_corpus(&CorpusConfig::small(6));
+        let chain = SimulatedChain::from_corpus(&corpus);
+        let q = QueryService::new(&chain);
+        let all = q.contracts_deployed_between(Month(0), Month(12));
+        assert_eq!(all.len(), chain.len());
+        assert_eq!(q.total_contracts(), chain.len());
+    }
+
+    #[test]
+    fn narrow_window_filters() {
+        let corpus = generate_corpus(&CorpusConfig::small(8));
+        let chain = SimulatedChain::from_corpus(&corpus);
+        let q = QueryService::new(&chain);
+        let early = q.contracts_deployed_between(Month(0), Month(3));
+        let late = q.contracts_deployed_between(Month(4), Month(12));
+        assert_eq!(early.len() + late.len(), chain.len());
+        assert!(!early.is_empty() && !late.is_empty());
+    }
+
+    #[test]
+    fn monthly_counts_sum_to_total() {
+        let corpus = generate_corpus(&CorpusConfig::small(10));
+        let chain = SimulatedChain::from_corpus(&corpus);
+        let q = QueryService::new(&chain);
+        let sum: usize = q.monthly_deployments().iter().map(|(_, c)| c).sum();
+        assert_eq!(sum, chain.len());
+    }
+}

@@ -1,0 +1,82 @@
+//! The JSON-RPC stand-in: `eth_getCode`.
+
+use crate::address::Address;
+use crate::state::SimulatedChain;
+use phishinghook_evm::Bytecode;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the RPC provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// The address holds no code (an externally-owned account or a
+    /// never-deployed address).
+    NoCode {
+        /// The queried address.
+        address: Address,
+    },
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::NoCode { address } => write!(f, "no code at {address}"),
+        }
+    }
+}
+
+impl Error for RpcError {}
+
+/// Read-only RPC endpoint over the simulated chain, mirroring the public
+/// `eth_getCode` JSON-RPC call the paper's bytecode extraction module uses
+/// (Fig. 1-➌).
+#[derive(Debug, Clone, Copy)]
+pub struct RpcProvider<'a> {
+    chain: &'a SimulatedChain,
+}
+
+impl<'a> RpcProvider<'a> {
+    /// Creates a provider over a chain.
+    pub fn new(chain: &'a SimulatedChain) -> Self {
+        RpcProvider { chain }
+    }
+
+    /// Returns the deployed bytecode at `address`.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::NoCode`] when the account has no code, matching the
+    /// real endpoint's `0x` response.
+    pub fn eth_get_code(&self, address: &Address) -> Result<Bytecode, RpcError> {
+        match self.chain.record(address) {
+            Some(record) => Ok(record.bytecode.clone()),
+            None => Err(RpcError::NoCode { address: *address }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_synth::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn get_code_round_trips() {
+        let corpus = generate_corpus(&CorpusConfig::small(9));
+        let chain = SimulatedChain::from_corpus(&corpus);
+        let rpc = RpcProvider::new(&chain);
+        for r in chain.records().iter().take(50) {
+            assert_eq!(rpc.eth_get_code(&r.address).unwrap(), r.bytecode);
+        }
+    }
+
+    #[test]
+    fn missing_account_errors() {
+        let chain = SimulatedChain::default();
+        let rpc = RpcProvider::new(&chain);
+        let addr = Address::from_bytes([0xEE; 20]);
+        let err = rpc.eth_get_code(&addr).unwrap_err();
+        assert_eq!(err, RpcError::NoCode { address: addr });
+        assert!(err.to_string().contains("no code at 0xee"));
+    }
+}

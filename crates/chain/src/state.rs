@@ -1,0 +1,129 @@
+//! The simulated chain state: an append-only log of contract deployments.
+
+use crate::address::Address;
+use phishinghook_evm::Bytecode;
+use phishinghook_synth::{Corpus, Family, Month};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One contract-creation record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentRecord {
+    /// Account address the contract was deployed at.
+    pub address: Address,
+    /// Deployed (runtime) bytecode.
+    pub bytecode: Bytecode,
+    /// Deployment month.
+    pub month: Month,
+    /// Ground-truth family (never exposed through the public services; kept
+    /// for evaluation only).
+    pub family: Family,
+    /// Whether the simulated explorer shows a `Phish/Hack` flag for this
+    /// address.
+    pub flagged: bool,
+}
+
+/// The simulated Ethereum chain: all deployments, indexed by address.
+///
+/// Constructed from a synthetic [`Corpus`]; each corpus entry (clones
+/// included) becomes a distinct on-chain account, exactly like the
+/// bit-identical proxy deployments on the real chain.
+#[derive(Debug, Clone, Default)]
+pub struct SimulatedChain {
+    records: Vec<DeploymentRecord>,
+    by_address: HashMap<Address, usize>,
+}
+
+impl SimulatedChain {
+    /// Builds a chain from a synthetic corpus, assigning deterministic
+    /// addresses in deployment order.
+    pub fn from_corpus(corpus: &Corpus) -> Self {
+        let mut chain = SimulatedChain::default();
+        for (nonce, contract) in corpus.contracts.iter().enumerate() {
+            chain.deploy(DeploymentRecord {
+                address: Address::derived(nonce as u64),
+                bytecode: contract.bytecode.clone(),
+                month: contract.month,
+                family: contract.family,
+                flagged: contract.flagged,
+            });
+        }
+        chain
+    }
+
+    /// Appends one deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already taken (the simulation derives unique
+    /// addresses, so a collision is a bug).
+    pub fn deploy(&mut self, record: DeploymentRecord) {
+        let previous = self.by_address.insert(record.address, self.records.len());
+        assert!(previous.is_none(), "address collision at {}", record.address);
+        self.records.push(record);
+    }
+
+    /// Looks up a deployment by address.
+    pub fn record(&self, address: &Address) -> Option<&DeploymentRecord> {
+        self.by_address.get(address).map(|&i| &self.records[i])
+    }
+
+    /// All deployments in deployment order.
+    pub fn records(&self) -> &[DeploymentRecord] {
+        &self.records
+    }
+
+    /// Number of deployed contracts.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing has been deployed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_synth::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn from_corpus_preserves_every_deployment() {
+        let corpus = generate_corpus(&CorpusConfig::small(2));
+        let chain = SimulatedChain::from_corpus(&corpus);
+        assert_eq!(chain.len(), corpus.len());
+    }
+
+    #[test]
+    fn record_lookup_round_trips() {
+        let corpus = generate_corpus(&CorpusConfig::small(4));
+        let chain = SimulatedChain::from_corpus(&corpus);
+        for r in chain.records() {
+            let found = chain.record(&r.address).expect("present");
+            assert_eq!(found.bytecode, r.bytecode);
+        }
+    }
+
+    #[test]
+    fn unknown_address_is_none() {
+        let chain = SimulatedChain::default();
+        assert!(chain.record(&Address::from_bytes([9; 20])).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "address collision")]
+    fn double_deploy_panics() {
+        let mut chain = SimulatedChain::default();
+        let record = DeploymentRecord {
+            address: Address::from_bytes([1; 20]),
+            bytecode: Bytecode::new(vec![0x00]),
+            month: Month(0),
+            family: Family::Erc20Token,
+            flagged: false,
+        };
+        chain.deploy(record.clone());
+        chain.deploy(record);
+    }
+}

@@ -1,0 +1,254 @@
+//! Dataset construction: the paper's pipeline from raw chain data to the
+//! balanced, deduplicated 7,000-bytecode corpus, plus the split machinery
+//! (stratified k-fold, temporal splits) used by every experiment.
+
+use phishinghook_evm::Bytecode;
+use phishinghook_synth::{Month, STUDY_MONTHS};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One labeled contract sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Deployed bytecode.
+    pub bytecode: Bytecode,
+    /// Explorer-derived label: 1 = flagged `Phish/Hack`, 0 = benign.
+    pub label: u8,
+    /// Deployment month (first deployment for deduplicated bytecodes).
+    pub month: Month,
+}
+
+/// A labeled dataset of unique contract bytecodes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The samples, in construction order.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Builds a dataset from samples.
+    pub fn new(samples: Vec<Sample>) -> Self {
+        Dataset { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Labels as a vector.
+    pub fn labels(&self) -> Vec<u8> {
+        self.samples.iter().map(|s| s.label).collect()
+    }
+
+    /// Bytecodes as a vector of clones (cheap: `Bytecode` is refcounted).
+    pub fn bytecodes(&self) -> Vec<Bytecode> {
+        self.samples.iter().map(|s| s.bytecode.clone()).collect()
+    }
+
+    /// Number of positive (phishing-labeled) samples.
+    pub fn positives(&self) -> usize {
+        self.samples.iter().filter(|s| s.label == 1).count()
+    }
+
+    /// Selects a subset by indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset::new(indices.iter().map(|&i| self.samples[i].clone()).collect())
+    }
+
+    /// Random stratified subsample of `fraction` of the data (the
+    /// scalability study's 1/3 and 2/3 splits).
+    pub fn fraction(&self, fraction: f64, seed: u64) -> Dataset {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pos: Vec<usize> = Vec::new();
+        let mut neg: Vec<usize> = Vec::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            if s.label == 1 {
+                pos.push(i);
+            } else {
+                neg.push(i);
+            }
+        }
+        pos.shuffle(&mut rng);
+        neg.shuffle(&mut rng);
+        pos.truncate((pos.len() as f64 * fraction).round() as usize);
+        neg.truncate((neg.len() as f64 * fraction).round() as usize);
+        pos.extend(neg);
+        pos.sort_unstable();
+        self.subset(&pos)
+    }
+
+    /// Stratified k-fold assignment: returns `folds` index sets with
+    /// near-equal class balance. Deterministic given the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `folds < 2` or exceeds the class sizes.
+    pub fn stratified_folds(&self, folds: usize, seed: u64) -> Vec<Vec<usize>> {
+        assert!(folds >= 2, "need at least 2 folds");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pos: Vec<usize> = Vec::new();
+        let mut neg: Vec<usize> = Vec::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            if s.label == 1 {
+                pos.push(i);
+            } else {
+                neg.push(i);
+            }
+        }
+        assert!(
+            pos.len() >= folds && neg.len() >= folds,
+            "classes too small for {folds}-fold CV"
+        );
+        pos.shuffle(&mut rng);
+        neg.shuffle(&mut rng);
+        let mut out = vec![Vec::new(); folds];
+        for (k, &i) in pos.iter().enumerate() {
+            out[k % folds].push(i);
+        }
+        for (k, &i) in neg.iter().enumerate() {
+            out[k % folds].push(i);
+        }
+        for f in &mut out {
+            f.sort_unstable();
+        }
+        out
+    }
+
+    /// Train/test pair for fold `k` of a fold assignment.
+    pub fn fold_split(&self, folds: &[Vec<usize>], k: usize) -> (Dataset, Dataset) {
+        let test_idx = &folds[k];
+        let test_set: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
+        let train_idx: Vec<usize> =
+            (0..self.len()).filter(|i| !test_set.contains(i)).collect();
+        (self.subset(&train_idx), self.subset(test_idx))
+    }
+
+    /// The paper's time-resistance split: training set = contracts deployed
+    /// October 2023 – January 2024; nine monthly test sets, February –
+    /// October 2024 (Fig. 8).
+    pub fn temporal_split(&self) -> (Dataset, Vec<(Month, Dataset)>) {
+        let train_idx: Vec<usize> = (0..self.len())
+            .filter(|&i| self.samples[i].month.in_training_window())
+            .collect();
+        let mut tests = Vec::new();
+        for m in Month::all().filter(|m| !m.in_training_window()) {
+            let idx: Vec<usize> =
+                (0..self.len()).filter(|&i| self.samples[i].month == m).collect();
+            tests.push((m, self.subset(&idx)));
+        }
+        (self.subset(&train_idx), tests)
+    }
+
+    /// Per-month sample counts (phishing, benign) over the study window.
+    pub fn monthly_class_counts(&self) -> Vec<(Month, usize, usize)> {
+        let mut pos = vec![0usize; STUDY_MONTHS];
+        let mut neg = vec![0usize; STUDY_MONTHS];
+        for s in &self.samples {
+            if s.label == 1 {
+                pos[s.month.0 as usize] += 1;
+            } else {
+                neg[s.month.0 as usize] += 1;
+            }
+        }
+        Month::all()
+            .map(|m| (m, pos[m.0 as usize], neg[m.0 as usize]))
+            .collect()
+    }
+
+    /// Serializes to the `hash,label,month,bytecode` CSV shape the paper
+    /// releases.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("content_hash,label,month,bytecode\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:016x},{},{},{}\n",
+                s.bytecode.content_hash(),
+                s.label,
+                s.month,
+                s.bytecode.to_hex()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n: usize) -> Dataset {
+        let samples = (0..n)
+            .map(|i| Sample {
+                bytecode: Bytecode::new(vec![i as u8, (i / 256) as u8, 0x01]),
+                label: (i % 2) as u8,
+                month: Month::new((i % STUDY_MONTHS) as u8),
+            })
+            .collect();
+        Dataset::new(samples)
+    }
+
+    #[test]
+    fn stratified_folds_balance_classes() {
+        let d = toy_dataset(100);
+        let folds = d.stratified_folds(10, 1);
+        assert_eq!(folds.len(), 10);
+        for f in &folds {
+            assert_eq!(f.len(), 10);
+            let pos = f.iter().filter(|&&i| d.samples[i].label == 1).count();
+            assert_eq!(pos, 5, "fold imbalance");
+        }
+        // Folds partition the dataset.
+        let total: usize = folds.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn fold_split_is_a_partition() {
+        let d = toy_dataset(60);
+        let folds = d.stratified_folds(5, 3);
+        let (train, test) = d.fold_split(&folds, 2);
+        assert_eq!(train.len() + test.len(), 60);
+        assert_eq!(test.len(), 12);
+    }
+
+    #[test]
+    fn fraction_preserves_balance() {
+        let d = toy_dataset(300);
+        let third = d.fraction(1.0 / 3.0, 7);
+        assert_eq!(third.len(), 100);
+        assert_eq!(third.positives(), 50);
+    }
+
+    #[test]
+    fn temporal_split_shape() {
+        let d = toy_dataset(130);
+        let (train, tests) = d.temporal_split();
+        assert_eq!(tests.len(), 9);
+        assert!(train.len() > 0);
+        let total: usize = train.len() + tests.iter().map(|(_, t)| t.len()).sum::<usize>();
+        assert_eq!(total, 130);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let d = toy_dataset(3);
+        let csv = d.to_csv();
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.starts_with("content_hash,label,month,bytecode\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least 2 folds")]
+    fn one_fold_rejected() {
+        toy_dataset(10).stratified_folds(1, 0);
+    }
+}

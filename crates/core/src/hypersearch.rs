@@ -1,0 +1,269 @@
+//! Define-by-run hyper-parameter search — the Optuna substitute (§IV-C).
+//!
+//! "Optuna uses metaheuristics to find the best hyperparameters for models
+//! by implementing a define-by-run API, which allows users to dynamically
+//! construct search spaces. We conducted grid search over an arbitrary
+//! search space [...] using 10-fold cross-validation."
+//!
+//! [`Study::optimize`] calls an objective with a [`Trial`] handle whose
+//! `suggest_*` methods both *declare* the space and *sample* from it, so the
+//! space is discovered dynamically, exactly like Optuna's API. Two samplers
+//! are provided: grid (the paper's choice) and random.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A sampled parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Continuous parameter.
+    Float(f64),
+    /// Integer parameter.
+    Int(i64),
+    /// Categorical parameter.
+    Categorical(String),
+}
+
+/// Sampling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sampler {
+    /// Uniform random sampling.
+    Random,
+    /// Grid sampling with `points` levels per continuous dimension;
+    /// integer/categorical dimensions enumerate their values. Trials walk
+    /// the grid in mixed-radix order.
+    Grid {
+        /// Levels per continuous dimension.
+        points: usize,
+    },
+}
+
+/// One evaluation of the objective: a handle that samples parameters.
+#[derive(Debug)]
+pub struct Trial<'a> {
+    sampler: Sampler,
+    index: usize,
+    rng: StdRng,
+    /// Mixed-radix cursor state for the grid sampler.
+    cursor: usize,
+    values: BTreeMap<String, ParamValue>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Trial<'_> {
+    fn new(sampler: Sampler, index: usize, seed: u64) -> Self {
+        Trial {
+            sampler,
+            index,
+            rng: StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x2545_F491)),
+            cursor: index,
+            values: BTreeMap::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn grid_pick(&mut self, cardinality: usize) -> usize {
+        let pick = self.cursor % cardinality;
+        self.cursor /= cardinality;
+        pick
+    }
+
+    /// Suggests a float in `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn suggest_float(&mut self, name: &str, low: f64, high: f64) -> f64 {
+        assert!(low <= high, "invalid range for {name}");
+        let v = match self.sampler {
+            Sampler::Random => self.rng.gen_range(low..=high),
+            Sampler::Grid { points } => {
+                let p = points.max(1);
+                let k = self.grid_pick(p);
+                if p == 1 {
+                    (low + high) / 2.0
+                } else {
+                    low + (high - low) * k as f64 / (p - 1) as f64
+                }
+            }
+        };
+        self.values.insert(name.to_string(), ParamValue::Float(v));
+        v
+    }
+
+    /// Suggests an integer in `[low, high]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn suggest_int(&mut self, name: &str, low: i64, high: i64) -> i64 {
+        assert!(low <= high, "invalid range for {name}");
+        let v = match self.sampler {
+            Sampler::Random => self.rng.gen_range(low..=high),
+            Sampler::Grid { .. } => {
+                let cardinality = (high - low + 1) as usize;
+                low + self.grid_pick(cardinality) as i64
+            }
+        };
+        self.values.insert(name.to_string(), ParamValue::Int(v));
+        v
+    }
+
+    /// Suggests one of the given categorical choices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty.
+    pub fn suggest_categorical(&mut self, name: &str, choices: &[&str]) -> String {
+        assert!(!choices.is_empty(), "no choices for {name}");
+        let idx = match self.sampler {
+            Sampler::Random => self.rng.gen_range(0..choices.len()),
+            Sampler::Grid { .. } => self.grid_pick(choices.len()),
+        };
+        let v = choices[idx].to_string();
+        self.values
+            .insert(name.to_string(), ParamValue::Categorical(v.clone()));
+        v
+    }
+
+    /// Zero-based index of this trial within the study.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// All parameters sampled so far.
+    pub fn params(&self) -> &BTreeMap<String, ParamValue> {
+        &self.values
+    }
+}
+
+/// A completed trial record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedTrial {
+    /// The sampled parameters.
+    pub params: BTreeMap<String, ParamValue>,
+    /// Objective value (higher is better).
+    pub value: f64,
+}
+
+/// A hyper-parameter study.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook::hypersearch::{Sampler, Study};
+///
+/// let mut study = Study::new(Sampler::Grid { points: 5 }, 0);
+/// let best = study.optimize(25, |trial| {
+///     let x = trial.suggest_float("x", -2.0, 2.0);
+///     let y = trial.suggest_float("y", -2.0, 2.0);
+///     -(x * x + y * y) // maximize: optimum at the grid point (0, 0)
+/// });
+/// assert!(best.value > -1e-9);
+/// ```
+#[derive(Debug)]
+pub struct Study {
+    sampler: Sampler,
+    seed: u64,
+    trials: Vec<CompletedTrial>,
+}
+
+impl Study {
+    /// Creates a study with a sampler and seed.
+    pub fn new(sampler: Sampler, seed: u64) -> Self {
+        Study { sampler, seed, trials: Vec::new() }
+    }
+
+    /// Runs `n_trials` evaluations of the objective (maximization) and
+    /// returns the best completed trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trials == 0`.
+    pub fn optimize(
+        &mut self,
+        n_trials: usize,
+        mut objective: impl FnMut(&mut Trial) -> f64,
+    ) -> CompletedTrial {
+        assert!(n_trials > 0, "need at least one trial");
+        for i in 0..n_trials {
+            let mut trial = Trial::new(self.sampler, self.trials.len() + i, self.seed);
+            let value = objective(&mut trial);
+            self.trials.push(CompletedTrial { params: trial.values, value });
+        }
+        self.best().expect("at least one completed trial").clone()
+    }
+
+    /// All completed trials.
+    pub fn trials(&self) -> &[CompletedTrial] {
+        &self.trials
+    }
+
+    /// The best trial so far (highest objective value).
+    pub fn best(&self) -> Option<&CompletedTrial> {
+        self.trials.iter().max_by(|a, b| {
+            a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_combinations() {
+        let mut study = Study::new(Sampler::Grid { points: 3 }, 1);
+        let mut seen = std::collections::HashSet::new();
+        study.optimize(9, |t| {
+            let x = t.suggest_float("x", 0.0, 1.0);
+            let c = t.suggest_categorical("c", &["a", "b", "c"]);
+            seen.insert(format!("{x:.2}-{c}"));
+            0.0
+        });
+        assert_eq!(seen.len(), 9, "grid should enumerate 3x3 combinations");
+    }
+
+    #[test]
+    fn random_finds_good_region() {
+        let mut study = Study::new(Sampler::Random, 7);
+        let best = study.optimize(200, |t| {
+            let x = t.suggest_float("x", -1.0, 1.0);
+            -(x - 0.3).abs()
+        });
+        assert!(best.value > -0.05, "best = {}", best.value);
+    }
+
+    #[test]
+    fn int_and_categorical_grid() {
+        let mut study = Study::new(Sampler::Grid { points: 2 }, 3);
+        let best = study.optimize(6, |t| {
+            let n = t.suggest_int("n", 1, 3);
+            let kind = t.suggest_categorical("kind", &["rf", "knn"]);
+            if kind == "rf" {
+                n as f64
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(best.value, 3.0);
+        assert_eq!(
+            best.params.get("kind"),
+            Some(&ParamValue::Categorical("rf".into()))
+        );
+    }
+
+    #[test]
+    fn trials_are_recorded() {
+        let mut study = Study::new(Sampler::Random, 5);
+        study.optimize(4, |t| t.suggest_float("x", 0.0, 1.0));
+        assert_eq!(study.trials().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        Study::new(Sampler::Random, 0).optimize(0, |_| 0.0);
+    }
+}

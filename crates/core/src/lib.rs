@@ -1,0 +1,87 @@
+//! # PhishingHook
+//!
+//! A from-scratch Rust reproduction of *“PhishingHook: Catching Phishing
+//! Ethereum Smart Contracts leveraging EVM Opcodes”* (DSN 2025): a framework
+//! that detects phishing smart contracts from their deployed bytecode alone,
+//! comparing sixteen machine-learning models across four categories
+//! (histogram classifiers, vision models, language models and a
+//! vulnerability-detection model).
+//!
+//! The crate wires the paper's four core modules over the substrate crates:
+//!
+//! * **BEM** ([`bem`]) — bytecode extraction: scan → label scrape →
+//!   `eth_getCode` → dedup → balance;
+//! * **BDM** — bytecode disassembly (re-exported from
+//!   [`phishinghook_evm::disasm`]);
+//! * **MEM** ([`mem`]) — training/evaluation of all sixteen models with
+//!   10-fold × 3-run cross-validation and timing;
+//! * **PAM** ([`pam`]) — Shapiro–Wilk / Kruskal–Wallis / Dunn post hoc
+//!   statistics;
+//!
+//! plus the paper's dedicated experiments: [`scalability`] (Fig. 5–7),
+//! [`time_resistance`] (Fig. 8), [`shap_analysis`] (Fig. 9),
+//! [`opcode_stats`] (Fig. 3) and the Optuna-style [`hypersearch`] (§IV-C).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use phishinghook::prelude::*;
+//!
+//! // 1. Simulate a chain and extract a balanced dataset (BEM).
+//! let corpus = generate_corpus(&CorpusConfig::small(42));
+//! let chain = SimulatedChain::from_corpus(&corpus);
+//! let (dataset, report) = extract_dataset(&chain, &BemConfig::default());
+//! assert!(report.unique > 0);
+//!
+//! // 2. Train and evaluate the paper's best model (MEM).
+//! let folds = dataset.stratified_folds(3, 0);
+//! let (train, test) = dataset.fold_split(&folds, 0);
+//! let outcome = train_and_evaluate(
+//!     ModelKind::RandomForest, &train, &test, &EvalProfile::quick(), 0,
+//! );
+//! assert!(outcome.metrics.accuracy > 0.6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bem;
+pub mod dataset;
+pub mod hypersearch;
+pub mod mem;
+pub mod metrics;
+pub mod opcode_stats;
+pub mod pam;
+pub mod scalability;
+pub mod shap_analysis;
+pub mod time_resistance;
+
+pub use bem::{extract_dataset, BemConfig, BemReport};
+pub use dataset::{Dataset, Sample};
+pub use mem::{
+    cross_validate, train_and_evaluate, EvalProfile, ModelCategory, ModelKind, TrialOutcome,
+};
+pub use metrics::{Confusion, Metrics, METRIC_NAMES};
+pub use pam::{posthoc_analysis, PosthocReport};
+pub use scalability::{run_scalability, ScalabilityStudy, SCALABILITY_MODELS, SPLIT_RATIOS};
+pub use shap_analysis::{shap_analysis, ShapAnalysis};
+pub use time_resistance::{run_time_resistance, TimeResistance};
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use crate::bem::{extract_dataset, BemConfig, BemReport};
+    pub use crate::dataset::{Dataset, Sample};
+    pub use crate::hypersearch::{Sampler, Study};
+    pub use crate::mem::{
+        cross_validate, train_and_evaluate, EvalProfile, ModelCategory, ModelKind,
+        TrialOutcome,
+    };
+    pub use crate::metrics::{Metrics, METRIC_NAMES};
+    pub use crate::opcode_stats::{opcode_usage, FIG3_OPCODES};
+    pub use crate::pam::posthoc_analysis;
+    pub use crate::scalability::{run_scalability, SCALABILITY_MODELS, SPLIT_RATIOS};
+    pub use crate::shap_analysis::shap_analysis;
+    pub use crate::time_resistance::run_time_resistance;
+    pub use phishinghook_chain::{Explorer, QueryService, RpcProvider, SimulatedChain};
+    pub use phishinghook_evm::{disassemble_bytecode, Bytecode};
+    pub use phishinghook_synth::{generate_corpus, CorpusConfig, Month};
+}

@@ -1,0 +1,587 @@
+//! The Model Evaluation Module (MEM): trains and evaluates all sixteen
+//! models of Table II on a dataset, with the paper's 10-fold × 3-run
+//! cross-validation protocol and the training/inference timing used by the
+//! cost analysis (Fig. 7).
+
+use crate::dataset::Dataset;
+use crate::metrics::Metrics;
+use phishinghook_evm::{disassemble_bytecode, Bytecode};
+use phishinghook_features::{
+    BigramEncoder, EscortEmbedder, FreqImageEncoder, HistogramEncoder, OpcodeTokenizer,
+    R2d2Encoder, SequenceVariant,
+};
+use phishinghook_linalg::Matrix;
+use phishinghook_ml::{
+    CatBoostClassifier, Classifier, KnnClassifier, LgbmClassifier, LinearSvm,
+    LogisticRegression, RandomForest, XgbClassifier,
+};
+use phishinghook_ml::forest::ForestParams;
+use phishinghook_ml::gbdt::BoostParams;
+use phishinghook_ml::tree::TreeParams;
+use phishinghook_models::eca_net::EcaNetConfig;
+use phishinghook_models::escort::EscortConfig;
+use phishinghook_models::gpt2::Gpt2Config;
+use phishinghook_models::scsguard::ScsGuardConfig;
+use phishinghook_models::t5::T5Config;
+use phishinghook_models::vit::ViTConfig;
+use phishinghook_models::{
+    EcaEfficientNet, EscortNet, Gpt2Classifier, ScsGuard, T5Classifier, TrainConfig, ViT,
+};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The four model categories of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelCategory {
+    /// Histogram Similarity Classifiers (†).
+    Histogram,
+    /// Vision models (‡).
+    Vision,
+    /// Language models (*).
+    Language,
+    /// Vulnerability detection models (§).
+    Vulnerability,
+}
+
+/// The sixteen models of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ModelKind {
+    RandomForest,
+    Knn,
+    Svm,
+    LogisticRegression,
+    Xgboost,
+    Lightgbm,
+    Catboost,
+    EcaEfficientNet,
+    VitR2d2,
+    VitFreq,
+    ScsGuard,
+    Gpt2Alpha,
+    T5Alpha,
+    Gpt2Beta,
+    T5Beta,
+    Escort,
+}
+
+impl ModelKind {
+    /// All sixteen models in Table II's row order.
+    pub const ALL: [ModelKind; 16] = [
+        ModelKind::RandomForest,
+        ModelKind::Knn,
+        ModelKind::Svm,
+        ModelKind::LogisticRegression,
+        ModelKind::Xgboost,
+        ModelKind::Lightgbm,
+        ModelKind::Catboost,
+        ModelKind::EcaEfficientNet,
+        ModelKind::VitR2d2,
+        ModelKind::VitFreq,
+        ModelKind::ScsGuard,
+        ModelKind::Gpt2Alpha,
+        ModelKind::T5Alpha,
+        ModelKind::Gpt2Beta,
+        ModelKind::T5Beta,
+        ModelKind::Escort,
+    ];
+
+    /// The thirteen models retained by the post hoc analysis (ESCORT and
+    /// the β variants are excluded, as in §IV-E).
+    pub fn posthoc_set() -> Vec<ModelKind> {
+        ModelKind::ALL
+            .into_iter()
+            .filter(|k| {
+                !matches!(k, ModelKind::Escort | ModelKind::Gpt2Beta | ModelKind::T5Beta)
+            })
+            .collect()
+    }
+
+    /// Display name, matching Table II.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::RandomForest => "Random Forest",
+            ModelKind::Knn => "k-NN",
+            ModelKind::Svm => "SVM",
+            ModelKind::LogisticRegression => "Logistic Regression",
+            ModelKind::Xgboost => "XGBoost",
+            ModelKind::Lightgbm => "LightGBM",
+            ModelKind::Catboost => "CatBoost",
+            ModelKind::EcaEfficientNet => "ECA+EfficientNet",
+            ModelKind::VitR2d2 => "ViT+R2D2",
+            ModelKind::VitFreq => "ViT+Freq",
+            ModelKind::ScsGuard => "SCSGuard",
+            ModelKind::Gpt2Alpha => "GPT-2a",
+            ModelKind::T5Alpha => "T5a",
+            ModelKind::Gpt2Beta => "GPT-2b",
+            ModelKind::T5Beta => "T5b",
+            ModelKind::Escort => "ESCORT",
+        }
+    }
+
+    /// The model's category.
+    pub fn category(&self) -> ModelCategory {
+        match self {
+            ModelKind::RandomForest
+            | ModelKind::Knn
+            | ModelKind::Svm
+            | ModelKind::LogisticRegression
+            | ModelKind::Xgboost
+            | ModelKind::Lightgbm
+            | ModelKind::Catboost => ModelCategory::Histogram,
+            ModelKind::EcaEfficientNet | ModelKind::VitR2d2 | ModelKind::VitFreq => {
+                ModelCategory::Vision
+            }
+            ModelKind::ScsGuard
+            | ModelKind::Gpt2Alpha
+            | ModelKind::T5Alpha
+            | ModelKind::Gpt2Beta
+            | ModelKind::T5Beta => ModelCategory::Language,
+            ModelKind::Escort => ModelCategory::Vulnerability,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Capacity/scale profile for one evaluation run. `full()` approximates the
+/// paper's settings at CPU-feasible sizes; `quick()` is for smoke tests and
+/// CI.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalProfile {
+    /// Image side for the vision encoders.
+    pub image_side: usize,
+    /// Deep-model training epochs.
+    pub nn_epochs: usize,
+    /// Transformer width.
+    pub nn_dim: usize,
+    /// Language-model context length (tokens).
+    pub context: usize,
+    /// SCSGuard padded sequence length.
+    pub bigram_len: usize,
+    /// SCSGuard vocabulary cap.
+    pub bigram_vocab: usize,
+    /// Random-Forest tree count.
+    pub n_trees: usize,
+    /// Boosting rounds for the GBDT trio.
+    pub boost_rounds: usize,
+    /// k for k-NN.
+    pub knn_k: usize,
+    /// Epochs for the linear models.
+    pub linear_epochs: usize,
+    /// ESCORT embedding dimension.
+    pub escort_dim: usize,
+}
+
+impl EvalProfile {
+    /// CPU-scale approximation of the paper's full settings.
+    pub fn full() -> Self {
+        EvalProfile {
+            image_side: 32,
+            nn_epochs: 6,
+            nn_dim: 32,
+            context: 64,
+            bigram_len: 48,
+            bigram_vocab: 2048,
+            n_trees: 100,
+            boost_rounds: 80,
+            knn_k: 5,
+            linear_epochs: 800,
+            escort_dim: 128,
+        }
+    }
+
+    /// Small settings for tests and `--quick` bench runs.
+    pub fn quick() -> Self {
+        EvalProfile {
+            image_side: 16,
+            nn_epochs: 4,
+            nn_dim: 16,
+            context: 32,
+            bigram_len: 24,
+            bigram_vocab: 512,
+            n_trees: 40,
+            boost_rounds: 25,
+            knn_k: 5,
+            linear_epochs: 250,
+            escort_dim: 64,
+        }
+    }
+}
+
+/// The outcome of one train/evaluate trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Test-set metrics.
+    pub metrics: Metrics,
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+    /// Wall-clock inference time over the test set in seconds.
+    pub infer_seconds: f64,
+}
+
+fn to_matrix(rows: Vec<Vec<f32>>) -> Matrix {
+    Matrix::from_rows(&rows)
+}
+
+fn eval_classifier(
+    model: &mut dyn Classifier,
+    x_train: &Matrix,
+    y_train: &[u8],
+    x_test: &Matrix,
+    y_test: &[u8],
+) -> TrialOutcome {
+    let t0 = Instant::now();
+    model.fit(x_train, y_train);
+    let train_seconds = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let pred = model.predict(x_test);
+    let infer_seconds = t1.elapsed().as_secs_f64();
+    TrialOutcome {
+        metrics: Metrics::from_predictions(&pred, y_test),
+        train_seconds,
+        infer_seconds,
+    }
+}
+
+/// Structural "vulnerability" pseudo-labels for ESCORT's pre-training phase:
+/// code-flaw-style predicates (dangerous opcodes, block-state dependence,
+/// code size) that a VDM trunk would learn — mostly orthogonal to phishing.
+fn vulnerability_labels(code: &Bytecode) -> Vec<u8> {
+    let instrs = disassemble_bytecode(code);
+    let has = |m: &str| instrs.iter().any(|i| i.mnemonic.name() == m);
+    vec![
+        u8::from(has("SELFDESTRUCT")),
+        u8::from(has("DELEGATECALL")),
+        u8::from(has("TIMESTAMP")),
+        u8::from(code.len() > 900),
+    ]
+}
+
+/// Trains `kind` on `train` and evaluates on `test`, timing both phases.
+///
+/// # Panics
+///
+/// Panics on an empty or single-class training set (upstream splits are
+/// stratified, so this indicates a caller bug).
+pub fn train_and_evaluate(
+    kind: ModelKind,
+    train: &Dataset,
+    test: &Dataset,
+    profile: &EvalProfile,
+    seed: u64,
+) -> TrialOutcome {
+    assert!(!train.is_empty() && !test.is_empty(), "empty split");
+    let y_train = train.labels();
+    let y_test = test.labels();
+    let train_codes = train.bytecodes();
+    let test_codes = test.bytecodes();
+
+    match kind.category() {
+        ModelCategory::Histogram => {
+            let encoder = HistogramEncoder::fit(&train_codes);
+            let x_train = to_matrix(encoder.encode_batch(&train_codes));
+            let x_test = to_matrix(encoder.encode_batch(&test_codes));
+            let mut model: Box<dyn Classifier> = match kind {
+                ModelKind::RandomForest => Box::new(RandomForest::with_params(
+                    ForestParams {
+                        n_trees: profile.n_trees,
+                        tree: TreeParams { max_depth: 14, ..TreeParams::default() },
+                        subsample: 1.0,
+                    },
+                    seed,
+                )),
+                ModelKind::Knn => Box::new(KnnClassifier::new(profile.knn_k)),
+                ModelKind::Svm => Box::new(LinearSvm::with_epochs(profile.linear_epochs)),
+                ModelKind::LogisticRegression => {
+                    Box::new(LogisticRegression::with_epochs(profile.linear_epochs / 2))
+                }
+                ModelKind::Xgboost => Box::new(XgbClassifier::new(BoostParams {
+                    n_rounds: profile.boost_rounds,
+                    ..BoostParams::default()
+                })),
+                ModelKind::Lightgbm => Box::new(LgbmClassifier::new(
+                    BoostParams { n_rounds: profile.boost_rounds, ..BoostParams::default() },
+                    48,
+                )),
+                ModelKind::Catboost => Box::new(CatBoostClassifier::new(
+                    BoostParams {
+                        n_rounds: profile.boost_rounds,
+                        max_depth: 5,
+                        ..BoostParams::default()
+                    },
+                    48,
+                )),
+                _ => unreachable!("non-histogram kind in histogram arm"),
+            };
+            eval_classifier(model.as_mut(), &x_train, &y_train, &x_test, &y_test)
+        }
+        ModelCategory::Vision => {
+            let (x_train, x_test): (Vec<Vec<f32>>, Vec<Vec<f32>>) = match kind {
+                ModelKind::VitFreq => {
+                    let enc = FreqImageEncoder::fit(&train_codes, profile.image_side);
+                    (
+                        train_codes.iter().map(|c| enc.encode(c)).collect(),
+                        test_codes.iter().map(|c| enc.encode(c)).collect(),
+                    )
+                }
+                _ => {
+                    let enc = R2d2Encoder::new(profile.image_side);
+                    (
+                        train_codes.iter().map(|c| enc.encode(c)).collect(),
+                        test_codes.iter().map(|c| enc.encode(c)).collect(),
+                    )
+                }
+            };
+            let train_cfg = TrainConfig {
+                epochs: profile.nn_epochs,
+                learning_rate: 0.02,
+                batch_size: 16,
+                seed,
+            };
+            match kind {
+                ModelKind::EcaEfficientNet => {
+                    let mut model = EcaEfficientNet::new(EcaNetConfig {
+                        side: profile.image_side,
+                        train: train_cfg,
+                        ..EcaNetConfig::default()
+                    });
+                    let t0 = Instant::now();
+                    model.fit(&x_train, &y_train);
+                    let train_seconds = t0.elapsed().as_secs_f64();
+                    let t1 = Instant::now();
+                    let probs = model.predict_proba(&x_test);
+                    let infer_seconds = t1.elapsed().as_secs_f64();
+                    outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds)
+                }
+                _ => {
+                    let mut model = ViT::new(ViTConfig {
+                        side: profile.image_side,
+                        patch: 8.min(profile.image_side),
+                        dim: profile.nn_dim,
+                        heads: 4,
+                        depth: 2,
+                        train: train_cfg,
+                    });
+                    let t0 = Instant::now();
+                    model.fit(&x_train, &y_train);
+                    let train_seconds = t0.elapsed().as_secs_f64();
+                    let t1 = Instant::now();
+                    let probs = model.predict_proba(&x_test);
+                    let infer_seconds = t1.elapsed().as_secs_f64();
+                    outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds)
+                }
+            }
+        }
+        ModelCategory::Language => {
+            let train_cfg = TrainConfig {
+                epochs: profile.nn_epochs,
+                learning_rate: 0.01,
+                batch_size: 16,
+                seed,
+            };
+            if kind == ModelKind::ScsGuard {
+                let enc =
+                    BigramEncoder::fit(&train_codes, profile.bigram_vocab, profile.bigram_len);
+                let x_train: Vec<Vec<u32>> =
+                    train_codes.iter().map(|c| enc.encode(c)).collect();
+                let x_test: Vec<Vec<u32>> = test_codes.iter().map(|c| enc.encode(c)).collect();
+                let mut model = ScsGuard::new(ScsGuardConfig {
+                    vocab: enc.vocab_size(),
+                    train: train_cfg,
+                    ..ScsGuardConfig::default()
+                });
+                let t0 = Instant::now();
+                model.fit(&x_train, &y_train);
+                let train_seconds = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let probs = model.predict_proba(&x_test);
+                let infer_seconds = t1.elapsed().as_secs_f64();
+                return outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds);
+            }
+            let variant = match kind {
+                ModelKind::Gpt2Beta | ModelKind::T5Beta => SequenceVariant::SlidingWindow,
+                _ => SequenceVariant::Truncate,
+            };
+            let tok = OpcodeTokenizer::new(profile.context);
+            let x_train: Vec<Vec<Vec<u32>>> =
+                train_codes.iter().map(|c| tok.encode(c, variant)).collect();
+            let x_test: Vec<Vec<Vec<u32>>> =
+                test_codes.iter().map(|c| tok.encode(c, variant)).collect();
+            match kind {
+                ModelKind::Gpt2Alpha | ModelKind::Gpt2Beta => {
+                    let mut model = Gpt2Classifier::new(Gpt2Config {
+                        vocab: tok.vocab_size(),
+                        context: profile.context,
+                        dim: profile.nn_dim,
+                        heads: 4,
+                        depth: 2,
+                        max_train_windows: 3,
+                        train: train_cfg,
+                    });
+                    let t0 = Instant::now();
+                    model.fit(&x_train, &y_train);
+                    let train_seconds = t0.elapsed().as_secs_f64();
+                    let t1 = Instant::now();
+                    let probs = model.predict_proba(&x_test);
+                    let infer_seconds = t1.elapsed().as_secs_f64();
+                    outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds)
+                }
+                _ => {
+                    let mut model = T5Classifier::new(T5Config {
+                        vocab: tok.vocab_size(),
+                        context: profile.context,
+                        dim: profile.nn_dim,
+                        heads: 4,
+                        depth: 2,
+                        max_train_windows: 3,
+                        train: train_cfg,
+                    });
+                    let t0 = Instant::now();
+                    model.fit(&x_train, &y_train);
+                    let train_seconds = t0.elapsed().as_secs_f64();
+                    let t1 = Instant::now();
+                    let probs = model.predict_proba(&x_test);
+                    let infer_seconds = t1.elapsed().as_secs_f64();
+                    outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds)
+                }
+            }
+        }
+        ModelCategory::Vulnerability => {
+            let embedder = EscortEmbedder::new(profile.escort_dim);
+            let x_train: Vec<Vec<f32>> =
+                train_codes.iter().map(|c| embedder.encode(c)).collect();
+            let x_test: Vec<Vec<f32>> = test_codes.iter().map(|c| embedder.encode(c)).collect();
+            let vuln: Vec<Vec<u8>> = train_codes.iter().map(vulnerability_labels).collect();
+            let mut model = EscortNet::new(EscortConfig {
+                input_dim: profile.escort_dim,
+                train: TrainConfig {
+                    epochs: profile.nn_epochs.max(2),
+                    learning_rate: 0.01,
+                    batch_size: 16,
+                    seed,
+                },
+                ..EscortConfig::default()
+            });
+            let t0 = Instant::now();
+            model.pretrain(&x_train, &vuln);
+            model.fit_transfer(&x_train, &y_train);
+            let train_seconds = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let probs = model.predict_proba(&x_test);
+            let infer_seconds = t1.elapsed().as_secs_f64();
+            outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds)
+        }
+    }
+}
+
+fn outcome_from_probs(
+    probs: &[f32],
+    y_test: &[u8],
+    train_seconds: f64,
+    infer_seconds: f64,
+) -> TrialOutcome {
+    let pred: Vec<u8> = probs.iter().map(|&p| u8::from(p >= 0.5)).collect();
+    TrialOutcome {
+        metrics: Metrics::from_predictions(&pred, y_test),
+        train_seconds,
+        infer_seconds,
+    }
+}
+
+/// The paper's protocol: `runs` repetitions of stratified `folds`-fold
+/// cross-validation (§IV-D uses 10 folds × 3 runs = 30 trials per model).
+pub fn cross_validate(
+    kind: ModelKind,
+    data: &Dataset,
+    folds: usize,
+    runs: usize,
+    profile: &EvalProfile,
+    seed: u64,
+) -> Vec<TrialOutcome> {
+    let mut out = Vec::with_capacity(folds * runs);
+    for run in 0..runs {
+        let run_seed = seed ^ (run as u64).wrapping_mul(0x9E37_79B9);
+        let assignment = data.stratified_folds(folds, run_seed);
+        for k in 0..folds {
+            let (train, test) = data.fold_split(&assignment, k);
+            out.push(train_and_evaluate(kind, &train, &test, profile, run_seed ^ k as u64));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bem::{extract_dataset, BemConfig};
+    use phishinghook_chain::SimulatedChain;
+    use phishinghook_synth::{generate_corpus, CorpusConfig};
+
+    fn small_dataset() -> Dataset {
+        let corpus = generate_corpus(&CorpusConfig::small(77));
+        let chain = SimulatedChain::from_corpus(&corpus);
+        extract_dataset(&chain, &BemConfig::default()).0
+    }
+
+    #[test]
+    fn sixteen_models_with_table_ii_names() {
+        assert_eq!(ModelKind::ALL.len(), 16);
+        assert_eq!(ModelKind::RandomForest.name(), "Random Forest");
+        assert_eq!(ModelKind::posthoc_set().len(), 13);
+    }
+
+    #[test]
+    fn categories_partition_the_models() {
+        let count = |c: ModelCategory| {
+            ModelKind::ALL.iter().filter(|k| k.category() == c).count()
+        };
+        assert_eq!(count(ModelCategory::Histogram), 7);
+        assert_eq!(count(ModelCategory::Vision), 3);
+        assert_eq!(count(ModelCategory::Language), 5);
+        assert_eq!(count(ModelCategory::Vulnerability), 1);
+    }
+
+    #[test]
+    fn random_forest_beats_chance_on_synthetic_corpus() {
+        let data = small_dataset();
+        let folds = data.stratified_folds(3, 5);
+        let (train, test) = data.fold_split(&folds, 0);
+        let outcome = train_and_evaluate(
+            ModelKind::RandomForest,
+            &train,
+            &test,
+            &EvalProfile::quick(),
+            3,
+        );
+        assert!(
+            outcome.metrics.accuracy > 0.7,
+            "RF accuracy = {}",
+            outcome.metrics.accuracy
+        );
+        assert!(outcome.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn cross_validation_trial_count() {
+        let data = small_dataset();
+        let trials =
+            cross_validate(ModelKind::Knn, &data, 3, 2, &EvalProfile::quick(), 11);
+        assert_eq!(trials.len(), 6);
+        for t in &trials {
+            assert!((0.0..=1.0).contains(&t.metrics.accuracy));
+        }
+    }
+
+    #[test]
+    fn vulnerability_labels_are_structural() {
+        let code = Bytecode::new(vec![0xFF]); // SELFDESTRUCT
+        let labels = vulnerability_labels(&code);
+        assert_eq!(labels[0], 1);
+        assert_eq!(labels[1], 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Binary-classification metrics: the four columns of Table II.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion matrix of a binary classifier (positive = phishing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Phishing predicted phishing.
+    pub tp: usize,
+    /// Benign predicted benign.
+    pub tn: usize,
+    /// Benign predicted phishing.
+    pub fp: usize,
+    /// Phishing predicted benign.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn from_predictions(pred: &[u8], truth: &[u8]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "prediction/label mismatch");
+        let mut c = Confusion::default();
+        for (&p, &t) in pred.iter().zip(truth) {
+            match (p, t) {
+                (1, 1) => c.tp += 1,
+                (0, 0) => c.tn += 1,
+                (1, 0) => c.fp += 1,
+                _ => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+}
+
+/// The four performance metrics the paper reports, in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Fraction of correct predictions.
+    pub accuracy: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// `TP / (TP + FP)`.
+    pub precision: f64,
+    /// `TP / (TP + FN)`.
+    pub recall: f64,
+}
+
+impl Metrics {
+    /// Derives the metrics from a confusion matrix. Degenerate denominators
+    /// yield 0 (scikit-learn's `zero_division=0` convention).
+    pub fn from_confusion(c: &Confusion) -> Self {
+        let total = c.total().max(1) as f64;
+        let accuracy = (c.tp + c.tn) as f64 / total;
+        let precision = if c.tp + c.fp == 0 {
+            0.0
+        } else {
+            c.tp as f64 / (c.tp + c.fp) as f64
+        };
+        let recall = if c.tp + c.fn_ == 0 {
+            0.0
+        } else {
+            c.tp as f64 / (c.tp + c.fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Metrics { accuracy, f1, precision, recall }
+    }
+
+    /// Convenience: metrics straight from predictions.
+    pub fn from_predictions(pred: &[u8], truth: &[u8]) -> Self {
+        Metrics::from_confusion(&Confusion::from_predictions(pred, truth))
+    }
+
+    /// Element-wise mean of a set of metric records.
+    pub fn mean(items: &[Metrics]) -> Metrics {
+        if items.is_empty() {
+            return Metrics::default();
+        }
+        let n = items.len() as f64;
+        Metrics {
+            accuracy: items.iter().map(|m| m.accuracy).sum::<f64>() / n,
+            f1: items.iter().map(|m| m.f1).sum::<f64>() / n,
+            precision: items.iter().map(|m| m.precision).sum::<f64>() / n,
+            recall: items.iter().map(|m| m.recall).sum::<f64>() / n,
+        }
+    }
+
+    /// Metric value by name (`"accuracy"`, `"f1"`, `"precision"`,
+    /// `"recall"`), used by the post hoc analysis to iterate metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name.
+    pub fn by_name(&self, name: &str) -> f64 {
+        match name {
+            "accuracy" => self.accuracy,
+            "f1" => self.f1,
+            "precision" => self.precision,
+            "recall" => self.recall,
+            other => panic!("unknown metric {other:?}"),
+        }
+    }
+}
+
+/// The metric names in the paper's reporting order.
+pub const METRIC_NAMES: [&str; 4] = ["accuracy", "f1", "precision", "recall"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let m = Metrics::from_predictions(&[1, 0, 1, 0], &[1, 0, 1, 0]);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn known_confusion() {
+        // TP=2 TN=1 FP=1 FN=1: acc=0.6, p=2/3, r=2/3, f1=2/3.
+        let pred = [1, 1, 1, 0, 0];
+        let truth = [1, 1, 0, 1, 0];
+        let c = Confusion::from_predictions(&pred, &truth);
+        assert_eq!((c.tp, c.tn, c.fp, c.fn_), (2, 1, 1, 1));
+        let m = Metrics::from_confusion(&c);
+        assert!((m.accuracy - 0.6).abs() < 1e-12);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_all_negative_predictions() {
+        let m = Metrics::from_predictions(&[0, 0], &[1, 1]);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn mean_of_metrics() {
+        let a = Metrics { accuracy: 0.8, f1: 0.6, precision: 0.7, recall: 0.5 };
+        let b = Metrics { accuracy: 1.0, f1: 0.8, precision: 0.9, recall: 0.7 };
+        let m = Metrics::mean(&[a, b]);
+        assert!((m.accuracy - 0.9).abs() < 1e-12);
+        assert!((m.f1 - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn by_name_round_trip() {
+        let m = Metrics { accuracy: 0.1, f1: 0.2, precision: 0.3, recall: 0.4 };
+        for (name, want) in METRIC_NAMES.iter().zip([0.1, 0.2, 0.3, 0.4]) {
+            assert_eq!(m.by_name(name), want);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-opcode usage statistics by class — the data behind Fig. 3, which
+//! shows that phishing and benign contracts use individual opcodes at
+//! similar rates (so no single-opcode filter works).
+
+use crate::dataset::Dataset;
+use phishinghook_evm::disasm::Disassembler;
+use std::collections::BTreeMap;
+
+/// Usage distribution of one opcode in one class.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UsageDistribution {
+    /// Per-contract usage counts (one entry per contract that contains the
+    /// opcode at least zero times — zeros included).
+    pub counts: Vec<u32>,
+}
+
+impl UsageDistribution {
+    /// Mean usage per contract.
+    pub fn mean(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts.iter().map(|&c| c as f64).sum::<f64>() / self.counts.len() as f64
+    }
+
+    /// Quartiles `(q1, median, q3)` of the usage counts.
+    pub fn quartiles(&self) -> (f64, f64, f64) {
+        if self.counts.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mut v: Vec<u32> = self.counts.clone();
+        v.sort_unstable();
+        let q = |p: f64| -> f64 {
+            let idx = ((v.len() - 1) as f64 * p).round() as usize;
+            v[idx] as f64
+        };
+        (q(0.25), q(0.5), q(0.75))
+    }
+}
+
+/// Per-opcode, per-class usage table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OpcodeUsage {
+    /// `mnemonic -> (benign distribution, phishing distribution)`.
+    pub by_opcode: BTreeMap<String, (UsageDistribution, UsageDistribution)>,
+}
+
+/// Computes usage distributions for the given mnemonics over a dataset.
+/// Pass the 20 influential opcodes of Fig. 3/Fig. 9, or any other set.
+pub fn opcode_usage(data: &Dataset, mnemonics: &[&str]) -> OpcodeUsage {
+    let mut usage = OpcodeUsage::default();
+    for m in mnemonics {
+        usage
+            .by_opcode
+            .insert((*m).to_string(), Default::default());
+    }
+    for sample in &data.samples {
+        let mut counts: BTreeMap<&str, u32> = mnemonics.iter().map(|m| (*m, 0)).collect();
+        for instr in Disassembler::new(sample.bytecode.as_bytes()) {
+            if let Some(c) = counts.get_mut(instr.mnemonic.name().as_ref()) {
+                *c += 1;
+            }
+        }
+        for (m, c) in counts {
+            let entry = usage.by_opcode.get_mut(m).expect("preinserted");
+            if sample.label == 1 {
+                entry.1.counts.push(c);
+            } else {
+                entry.0.counts.push(c);
+            }
+        }
+    }
+    usage
+}
+
+/// The 20 influential opcodes highlighted in Fig. 3 and Fig. 9.
+pub const FIG3_OPCODES: [&str; 20] = [
+    "RETURNDATASIZE",
+    "RETURNDATACOPY",
+    "GAS",
+    "OR",
+    "ADDRESS",
+    "STATICCALL",
+    "LT",
+    "SHL",
+    "LOG3",
+    "RETURN",
+    "PUSH1",
+    "SWAP3",
+    "REVERT",
+    "MLOAD",
+    "CALLDATALOAD",
+    "POP",
+    "ISZERO",
+    "SELFBALANCE",
+    "MSTORE",
+    "AND",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bem::{extract_dataset, BemConfig};
+    use phishinghook_chain::SimulatedChain;
+    use phishinghook_synth::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn distributions_cover_both_classes() {
+        let corpus = generate_corpus(&CorpusConfig::small(61));
+        let chain = SimulatedChain::from_corpus(&corpus);
+        let (data, _) = extract_dataset(&chain, &BemConfig::default());
+        let usage = opcode_usage(&data, &FIG3_OPCODES);
+        assert_eq!(usage.by_opcode.len(), 20);
+        let (benign, phishing) = &usage.by_opcode["PUSH1"];
+        assert_eq!(benign.counts.len(), data.len() - data.positives());
+        assert_eq!(phishing.counts.len(), data.positives());
+        // PUSH1 is skeleton mass: both classes use it heavily.
+        assert!(benign.mean() > 1.0 && phishing.mean() > 1.0);
+    }
+
+    #[test]
+    fn quartiles_are_ordered() {
+        let d = UsageDistribution { counts: vec![1, 5, 2, 9, 7, 3] };
+        let (q1, q2, q3) = d.quartiles();
+        assert!(q1 <= q2 && q2 <= q3);
+    }
+
+    #[test]
+    fn empty_distribution_is_zeroed() {
+        let d = UsageDistribution::default();
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.quartiles(), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,117 @@
+//! The time-resistance analysis (§IV-G, Fig. 8): TESSERACT-style temporal
+//! evaluation. Models train on contracts deployed October 2023 – January
+//! 2024 and are tested on nine monthly test sets (February – October 2024);
+//! robustness is summarized by the Area Under Time of the phishing-class F1.
+
+use crate::dataset::Dataset;
+use crate::mem::{train_and_evaluate, EvalProfile, ModelKind};
+use crate::metrics::Metrics;
+use phishinghook_stats::aut::area_under_time;
+use phishinghook_synth::Month;
+
+/// Per-month result of one model in the temporal study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonthlyResult {
+    /// Test month.
+    pub month: Month,
+    /// 1-based test period (1 = February 2024).
+    pub period: usize,
+    /// Metrics on that month's test set.
+    pub metrics: Metrics,
+}
+
+/// Full time-resistance result for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeResistance {
+    /// Model evaluated.
+    pub model: ModelKind,
+    /// One entry per test period, in order.
+    pub monthly: Vec<MonthlyResult>,
+    /// Area Under Time of the phishing-class F1 across the periods.
+    pub aut_f1: f64,
+}
+
+/// Runs the temporal experiment for one model.
+///
+/// The dataset must carry per-month deployment information (build it with
+/// `benign_temporal_match = true`, as the paper's second 7,000-sample corpus
+/// does). Months whose test set is degenerate (no samples) are skipped.
+///
+/// # Panics
+///
+/// Panics if the training window is empty or single-class.
+pub fn run_time_resistance(
+    model: ModelKind,
+    data: &Dataset,
+    profile: &EvalProfile,
+    seed: u64,
+) -> TimeResistance {
+    let (train, tests) = data.temporal_split();
+    assert!(!train.is_empty(), "empty temporal training window");
+    assert!(
+        train.positives() > 0 && train.positives() < train.len(),
+        "single-class temporal training window"
+    );
+
+    let mut monthly = Vec::new();
+    for (month, test) in tests {
+        if test.is_empty() || test.positives() == 0 || test.positives() == test.len() {
+            // Degenerate month: the paper's corpus guarantees both classes
+            // per month; small synthetic corpora may not. Skip.
+            continue;
+        }
+        let outcome = train_and_evaluate(model, &train, &test, profile, seed);
+        monthly.push(MonthlyResult {
+            month,
+            period: month.test_period().expect("test month"),
+            metrics: outcome.metrics,
+        });
+    }
+    let f1_series: Vec<f64> = monthly.iter().map(|m| m.metrics.f1).collect();
+    let aut_f1 = if f1_series.is_empty() {
+        0.0
+    } else {
+        area_under_time(&f1_series)
+    };
+    TimeResistance { model, monthly, aut_f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bem::{extract_dataset, BemConfig};
+    use phishinghook_chain::SimulatedChain;
+    use phishinghook_synth::{generate_corpus, CorpusConfig};
+
+    fn temporal_dataset() -> Dataset {
+        let corpus = generate_corpus(&CorpusConfig {
+            unique_phishing: 260,
+            unique_benign: 260,
+            benign_temporal_match: true,
+            clone_factor: 1.5,
+            ..CorpusConfig::small(41)
+        });
+        let chain = SimulatedChain::from_corpus(&corpus);
+        extract_dataset(&chain, &BemConfig { balance: false, ..Default::default() }).0
+    }
+
+    #[test]
+    fn covers_test_periods_in_order() {
+        let data = temporal_dataset();
+        let result =
+            run_time_resistance(ModelKind::RandomForest, &data, &EvalProfile::quick(), 3);
+        assert!(!result.monthly.is_empty());
+        for w in result.monthly.windows(2) {
+            assert!(w[0].period < w[1].period);
+        }
+        assert!((0.0..=1.0).contains(&result.aut_f1));
+    }
+
+    #[test]
+    fn detector_stays_above_chance_over_time() {
+        let data = temporal_dataset();
+        let result =
+            run_time_resistance(ModelKind::RandomForest, &data, &EvalProfile::quick(), 7);
+        assert!(result.aut_f1 > 0.5, "AUT = {}", result.aut_f1);
+    }
+}

@@ -1,0 +1,128 @@
+//! SCSGuard's n-gram representation.
+//!
+//! "Each hexadecimal string within the bytecode is read as a bigram
+//! (sequences of 6 characters). These bigrams are numerically encoded to
+//! create a vocabulary (i.e., a list of integers), and the sequences are
+//! padded to uniform lengths." (§IV-B)
+//!
+//! Six hex characters = three bytes; consecutive non-overlapping 3-byte
+//! chunks are mapped to integer ids via a vocabulary built on the training
+//! split. Id 0 is reserved for padding and 1 for out-of-vocabulary chunks.
+
+use phishinghook_evm::Bytecode;
+use std::collections::HashMap;
+
+/// Reserved padding token id.
+pub const PAD: u32 = 0;
+/// Reserved out-of-vocabulary token id.
+pub const UNK: u32 = 1;
+
+/// Fitted bigram vocabulary plus sequence geometry.
+#[derive(Debug, Clone)]
+pub struct BigramEncoder {
+    vocab: HashMap<[u8; 3], u32>,
+    max_len: usize,
+}
+
+impl BigramEncoder {
+    /// Builds the vocabulary from the training bytecodes, keeping the
+    /// `max_vocab` most frequent chunks, and fixes the padded length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len == 0` or `max_vocab == 0`.
+    pub fn fit(training: &[Bytecode], max_vocab: usize, max_len: usize) -> Self {
+        assert!(max_len > 0, "max_len must be positive");
+        assert!(max_vocab > 0, "max_vocab must be positive");
+        let mut counts: HashMap<[u8; 3], u64> = HashMap::new();
+        for code in training {
+            for chunk in code.as_bytes().chunks_exact(3) {
+                *counts.entry([chunk[0], chunk[1], chunk[2]]).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<([u8; 3], u64)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let vocab: HashMap<[u8; 3], u32> = ranked
+            .into_iter()
+            .take(max_vocab)
+            .enumerate()
+            .map(|(i, (chunk, _))| (chunk, i as u32 + 2)) // 0 = PAD, 1 = UNK
+            .collect();
+        BigramEncoder { vocab, max_len }
+    }
+
+    /// Vocabulary size including the PAD and UNK slots (the embedding-table
+    /// size a downstream model needs).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len() + 2
+    }
+
+    /// Padded sequence length.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Encodes one bytecode as a fixed-length id sequence: truncated at
+    /// `max_len`, right-padded with [`PAD`].
+    pub fn encode(&self, code: &Bytecode) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.max_len);
+        for chunk in code.as_bytes().chunks_exact(3).take(self.max_len) {
+            let key = [chunk[0], chunk[1], chunk[2]];
+            out.push(self.vocab.get(&key).copied().unwrap_or(UNK));
+        }
+        out.resize(self.max_len, PAD);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(bytes: &[u8]) -> Bytecode {
+        Bytecode::new(bytes.to_vec())
+    }
+
+    #[test]
+    fn ids_start_after_reserved() {
+        let train = vec![code(&[1, 2, 3, 1, 2, 3, 9, 9, 9])];
+        let enc = BigramEncoder::fit(&train, 100, 8);
+        let ids = enc.encode(&train[0]);
+        // Most frequent chunk [1,2,3] gets id 2.
+        assert_eq!(ids[0], 2);
+        assert_eq!(ids[1], 2);
+        assert_eq!(ids[2], 3);
+        assert_eq!(ids[3], PAD);
+    }
+
+    #[test]
+    fn unknown_chunks_map_to_unk() {
+        let train = vec![code(&[1, 2, 3])];
+        let enc = BigramEncoder::fit(&train, 10, 4);
+        let ids = enc.encode(&code(&[7, 7, 7]));
+        assert_eq!(ids[0], UNK);
+    }
+
+    #[test]
+    fn sequences_are_uniform_length() {
+        let train = vec![code(&[1, 2, 3, 4, 5, 6])];
+        let enc = BigramEncoder::fit(&train, 10, 5);
+        assert_eq!(enc.encode(&code(&[])).len(), 5);
+        assert_eq!(enc.encode(&code(&[1u8; 300])).len(), 5);
+    }
+
+    #[test]
+    fn vocab_capped() {
+        let bytes: Vec<u8> = (0..=255u8).flat_map(|b| [b, b, b]).collect();
+        let enc = BigramEncoder::fit(&[code(&bytes)], 16, 8);
+        assert_eq!(enc.vocab_size(), 18);
+    }
+
+    #[test]
+    fn trailing_partial_chunk_is_dropped() {
+        let train = vec![code(&[1, 2, 3, 4, 5])]; // 5 bytes: one chunk + tail
+        let enc = BigramEncoder::fit(&train, 10, 4);
+        let ids = enc.encode(&train[0]);
+        assert_eq!(ids, vec![2, PAD, PAD, PAD]);
+    }
+}

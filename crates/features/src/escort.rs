@@ -1,0 +1,110 @@
+//! ESCORT's bytecode embedding.
+//!
+//! "ESCORT embeds the smart contract bytecode into a vector space. The
+//! generated feature representations are then processed by a deep neural
+//! network." (§IV-B) The original system slices bytecode into fragments and
+//! embeds them; we reproduce the embedding stage as a hashed byte-trigram
+//! bag — a fixed-dimension vector space representation of code fragments —
+//! which the ESCORT DNN trunk then consumes.
+
+use phishinghook_evm::Bytecode;
+
+/// Hashed trigram embedder with a fixed output dimension.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_evm::Bytecode;
+/// use phishinghook_features::EscortEmbedder;
+///
+/// let embedder = EscortEmbedder::new(128);
+/// let v = embedder.encode(&Bytecode::new(vec![1, 2, 3, 4]));
+/// assert_eq!(v.len(), 128);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EscortEmbedder {
+    dim: usize,
+}
+
+impl EscortEmbedder {
+    /// Creates an embedder with output dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        EscortEmbedder { dim }
+    }
+
+    /// Output dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encodes bytecode as a log-scaled hashed trigram count vector.
+    pub fn encode(&self, code: &Bytecode) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for w in code.as_bytes().windows(3) {
+            let h = fnv3(w[0], w[1], w[2]) as usize % self.dim;
+            out[h] += 1.0;
+        }
+        for v in &mut out {
+            *v = (1.0 + *v).ln();
+        }
+        out
+    }
+}
+
+fn fnv3(a: u8, b: u8, c: u8) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in [a, b, c] {
+        h ^= x as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_dimension() {
+        let e = EscortEmbedder::new(64);
+        assert_eq!(e.encode(&Bytecode::new(vec![])).len(), 64);
+        assert_eq!(e.encode(&Bytecode::new(vec![1; 1000])).len(), 64);
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = EscortEmbedder::new(32);
+        let a = e.encode(&Bytecode::new(vec![5, 6, 7, 8]));
+        let b = e.encode(&Bytecode::new(vec![5, 6, 7, 8]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_code_different_embedding() {
+        let e = EscortEmbedder::new(256);
+        let a = e.encode(&Bytecode::new((0..100).collect::<Vec<u8>>()));
+        let b = e.encode(&Bytecode::new((100..200).collect::<Vec<u8>>()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_code_embeds_to_zero() {
+        let e = EscortEmbedder::new(16);
+        assert!(e.encode(&Bytecode::new(vec![])).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn log_scaling_is_monotone_in_counts() {
+        let e = EscortEmbedder::new(8);
+        let short = e.encode(&Bytecode::new(vec![1, 2, 3]));
+        let long = e.encode(&Bytecode::new([1, 2, 3].repeat(50)));
+        let s: f32 = short.iter().sum();
+        let l: f32 = long.iter().sum();
+        assert!(l > s);
+    }
+}

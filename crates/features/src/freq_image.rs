@@ -1,0 +1,153 @@
+//! Frequency-encoded RGB images of disassembled bytecode — the ViT+Freq
+//! representation.
+//!
+//! "A lookup table encodes each opcode and operand of the disassembled
+//! bytecode to a numerical value which corresponds to their frequency of
+//! appearance in the training set. [...] The concept relies on assigning
+//! higher pixel intensity values in the R, G, and B channels to the most
+//! frequently encountered mnemonics, operands and gas consumptions."
+//! (§IV-B)
+//!
+//! One disassembled instruction becomes one pixel: R from the mnemonic's
+//! training-set frequency, G from the operand's, B from the gas value's.
+//! The lookup table is built exactly once, on the training split.
+
+use phishinghook_evm::disasm::Disassembler;
+use phishinghook_evm::Bytecode;
+use std::collections::HashMap;
+
+/// Fitted frequency tables plus the output image geometry.
+#[derive(Debug, Clone)]
+pub struct FreqImageEncoder {
+    side: usize,
+    mnemonic_freq: HashMap<String, f32>,
+    operand_freq: HashMap<Vec<u8>, f32>,
+    gas_freq: HashMap<Option<u32>, f32>,
+}
+
+impl FreqImageEncoder {
+    /// Fits the three lookup tables (mnemonic, operand, gas) on the training
+    /// set and fixes the image side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 0`.
+    pub fn fit(training: &[Bytecode], side: usize) -> Self {
+        assert!(side > 0, "image side must be positive");
+        let mut mnemonic_counts: HashMap<String, u64> = HashMap::new();
+        let mut operand_counts: HashMap<Vec<u8>, u64> = HashMap::new();
+        let mut gas_counts: HashMap<Option<u32>, u64> = HashMap::new();
+        for code in training {
+            for instr in Disassembler::new(code.as_bytes()) {
+                *mnemonic_counts
+                    .entry(instr.mnemonic.name().into_owned())
+                    .or_insert(0) += 1;
+                *operand_counts.entry(instr.operand.clone()).or_insert(0) += 1;
+                *gas_counts.entry(instr.gas()).or_insert(0) += 1;
+            }
+        }
+        FreqImageEncoder {
+            side,
+            mnemonic_freq: normalize(mnemonic_counts),
+            operand_freq: normalize(operand_counts),
+            gas_freq: normalize(gas_counts),
+        }
+    }
+
+    /// Image side length.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Length of the produced feature vector (`3 · side²`).
+    pub fn len(&self) -> usize {
+        3 * self.side * self.side
+    }
+
+    /// Always `false`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Encodes one bytecode: instruction `k` becomes pixel `k` with channel
+    /// intensities given by the fitted frequency tables (unseen entries get
+    /// intensity 0, like any out-of-vocabulary element).
+    pub fn encode(&self, code: &Bytecode) -> Vec<f32> {
+        let pixels = self.side * self.side;
+        let mut out = vec![0.0f32; 3 * pixels];
+        for (k, instr) in Disassembler::new(code.as_bytes()).take(pixels).enumerate() {
+            out[k] = self
+                .mnemonic_freq
+                .get(instr.mnemonic.name().as_ref())
+                .copied()
+                .unwrap_or(0.0);
+            out[pixels + k] = self.operand_freq.get(&instr.operand).copied().unwrap_or(0.0);
+            out[2 * pixels + k] = self.gas_freq.get(&instr.gas()).copied().unwrap_or(0.0);
+        }
+        out
+    }
+}
+
+/// Log-scaled max-normalization: the most frequent entry gets intensity 1.
+fn normalize<K: std::hash::Hash + Eq>(counts: HashMap<K, u64>) -> HashMap<K, f32> {
+    let max = counts.values().copied().max().unwrap_or(1) as f32;
+    counts
+        .into_iter()
+        .map(|(k, c)| (k, (1.0 + c as f32).ln() / (1.0 + max).ln()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(hex: &str) -> Bytecode {
+        Bytecode::from_hex(hex).unwrap()
+    }
+
+    #[test]
+    fn most_frequent_mnemonic_gets_highest_red() {
+        // PUSH1 appears twice, MSTORE once.
+        let train = vec![code("0x6080604052")];
+        let enc = FreqImageEncoder::fit(&train, 4);
+        let img = enc.encode(&train[0]);
+        let pixels = 16;
+        let push1_red = img[0];
+        let mstore_red = img[2];
+        assert!(push1_red > mstore_red, "{push1_red} vs {mstore_red}");
+        assert!((push1_red - 1.0).abs() < 1e-6);
+        let _ = pixels;
+    }
+
+    #[test]
+    fn unseen_instruction_is_dark() {
+        let train = vec![code("0x6080")];
+        let enc = FreqImageEncoder::fit(&train, 4);
+        let img = enc.encode(&code("0x01")); // ADD never seen
+        // Gas 3 was seen (PUSH1 has gas 3, ADD also gas 3) so blue may fire,
+        // but the red (mnemonic) channel must be zero.
+        assert_eq!(img[0], 0.0);
+    }
+
+    #[test]
+    fn output_dimensions() {
+        let enc = FreqImageEncoder::fit(&[code("0x6080")], 8);
+        assert_eq!(enc.encode(&code("0x6080")).len(), 3 * 64);
+        assert_eq!(enc.len(), 192);
+    }
+
+    #[test]
+    fn intensities_in_unit_range() {
+        let train: Vec<Bytecode> = vec![code("0x6080604052"), code("0x010203")];
+        let enc = FreqImageEncoder::fit(&train, 8);
+        for c in &train {
+            assert!(enc.encode(c).iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn empty_code_is_black() {
+        let enc = FreqImageEncoder::fit(&[code("0x6080")], 4);
+        assert!(enc.encode(&code("0x")).iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Opcode-occurrence histograms — the HSC representation.
+//!
+//! "For each contract bytecode, a histogram of the occurrences of opcodes is
+//! created. It builds a vector of length equal to the number of unique
+//! opcodes inside the training set. The vector is directly served as input
+//! (i.e., without normalized nor standardized steps)." (§IV-B)
+
+use phishinghook_evm::disasm::Disassembler;
+use phishinghook_evm::Bytecode;
+use std::collections::HashMap;
+
+/// Histogram encoder over a vocabulary fitted on the training set.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_evm::Bytecode;
+/// use phishinghook_features::HistogramEncoder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let train = vec![Bytecode::from_hex("0x6080604052")?];
+/// let encoder = HistogramEncoder::fit(&train);
+/// // Vocabulary: PUSH1 and MSTORE.
+/// assert_eq!(encoder.vocabulary().len(), 2);
+/// let features = encoder.encode(&train[0]);
+/// assert_eq!(features.iter().sum::<f32>(), 3.0); // raw counts
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistogramEncoder {
+    vocabulary: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl HistogramEncoder {
+    /// Builds the vocabulary from the unique mnemonics observed in the
+    /// training bytecodes, in order of first appearance.
+    pub fn fit(training: &[Bytecode]) -> Self {
+        let mut vocabulary = Vec::new();
+        let mut index = HashMap::new();
+        for code in training {
+            for instr in Disassembler::new(code.as_bytes()) {
+                let name = instr.mnemonic.name().into_owned();
+                if !index.contains_key(&name) {
+                    index.insert(name.clone(), vocabulary.len());
+                    vocabulary.push(name);
+                }
+            }
+        }
+        HistogramEncoder { vocabulary, index }
+    }
+
+    /// The fitted vocabulary (unique mnemonics in the training set).
+    pub fn vocabulary(&self) -> &[String] {
+        &self.vocabulary
+    }
+
+    /// Encodes one bytecode as raw opcode counts over the vocabulary.
+    /// Mnemonics unseen at fit time are ignored, as with any fixed
+    /// vocabulary.
+    pub fn encode(&self, code: &Bytecode) -> Vec<f32> {
+        let mut hist = vec![0.0f32; self.vocabulary.len()];
+        for instr in Disassembler::new(code.as_bytes()) {
+            if let Some(&i) = self.index.get(instr.mnemonic.name().as_ref()) {
+                hist[i] += 1.0;
+            }
+        }
+        hist
+    }
+
+    /// Encodes a batch into row-major `(n, vocab)` features.
+    pub fn encode_batch(&self, codes: &[Bytecode]) -> Vec<Vec<f32>> {
+        codes.iter().map(|c| self.encode(c)).collect()
+    }
+
+    /// Index of a mnemonic in the feature vector, if in vocabulary.
+    pub fn feature_index(&self, mnemonic: &str) -> Option<usize> {
+        self.index.get(mnemonic).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(hex: &str) -> Bytecode {
+        Bytecode::from_hex(hex).unwrap()
+    }
+
+    #[test]
+    fn counts_are_raw_not_normalized() {
+        let train = vec![code("0x60806040526080")]; // PUSH1 x3, MSTORE
+        let enc = HistogramEncoder::fit(&train);
+        let h = enc.encode(&train[0]);
+        let push1 = enc.feature_index("PUSH1").unwrap();
+        let mstore = enc.feature_index("MSTORE").unwrap();
+        assert_eq!(h[push1], 3.0);
+        assert_eq!(h[mstore], 1.0);
+    }
+
+    #[test]
+    fn unseen_mnemonics_are_ignored() {
+        let train = vec![code("0x6080")]; // only PUSH1
+        let enc = HistogramEncoder::fit(&train);
+        let h = enc.encode(&code("0x01")); // ADD, not in vocab
+        assert_eq!(h, vec![0.0]);
+    }
+
+    #[test]
+    fn vocabulary_is_deduplicated_first_seen_order() {
+        let train = vec![code("0x6080604052"), code("0x52020202")];
+        let enc = HistogramEncoder::fit(&train);
+        assert_eq!(enc.vocabulary(), &["PUSH1".to_string(), "MSTORE".to_string(), "MUL".to_string()]);
+    }
+
+    #[test]
+    fn empty_bytecode_gives_zero_vector() {
+        let train = vec![code("0x6080")];
+        let enc = HistogramEncoder::fit(&train);
+        assert_eq!(enc.encode(&code("0x")), vec![0.0]);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let train = vec![code("0x6080604052"), code("0x0102")];
+        let enc = HistogramEncoder::fit(&train);
+        let batch = enc.encode_batch(&train);
+        assert_eq!(batch[0], enc.encode(&train[0]));
+        assert_eq!(batch[1], enc.encode(&train[1]));
+    }
+}

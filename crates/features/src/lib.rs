@@ -1,0 +1,32 @@
+//! Feature encoders: every representation the paper feeds its sixteen
+//! models.
+//!
+//! | Encoder | Models | Paper description |
+//! |---------|--------|-------------------|
+//! | [`histogram::HistogramEncoder`] | the seven HSCs | opcode-occurrence vector over the training vocabulary, *raw counts, no normalization* |
+//! | [`image::R2d2Encoder`] | ViT+R2D2, ECA+EfficientNet | bytecode bytes read as RGB pixel channels, zero-padded square image |
+//! | [`freq_image::FreqImageEncoder`] | ViT+Freq | per-instruction (mnemonic, operand, gas) frequencies from the training set mapped to channel intensities |
+//! | [`bigram::BigramEncoder`] | SCSGuard | 6-hex-character "bigrams" numerically encoded over a training vocabulary, padded to uniform length |
+//! | [`tokens::OpcodeTokenizer`] | GPT-2, T5 | opcode token sequences, truncated (α) or sliding-window chunked (β) |
+//! | [`escort::EscortEmbedder`] | ESCORT | hashed byte-trigram embedding of the raw bytecode |
+//!
+//! All stateful encoders follow a *fit on the training split, then encode*
+//! protocol so that no test-set information leaks into the representation
+//! (the paper constructs its lookup tables "exactly once on the entire
+//! contract training set").
+
+#![warn(missing_docs)]
+
+pub mod bigram;
+pub mod escort;
+pub mod freq_image;
+pub mod histogram;
+pub mod image;
+pub mod tokens;
+
+pub use bigram::BigramEncoder;
+pub use escort::EscortEmbedder;
+pub use freq_image::FreqImageEncoder;
+pub use histogram::HistogramEncoder;
+pub use image::R2d2Encoder;
+pub use tokens::{OpcodeTokenizer, SequenceVariant};

@@ -1,0 +1,85 @@
+//! The common binary-classifier interface.
+
+use phishinghook_linalg::Matrix;
+
+/// A binary classifier over dense feature matrices.
+///
+/// Labels are `0` (benign) and `1` (phishing). `predict_proba` returns the
+/// probability (or a monotone score in `[0, 1]`) of class `1` per row.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_linalg::Matrix;
+/// use phishinghook_ml::{Classifier, KnnClassifier};
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![1.0], vec![1.1]]);
+/// let y = [0, 0, 1, 1];
+/// let mut model = KnnClassifier::new(1);
+/// model.fit(&x, &y);
+/// assert_eq!(model.predict(&Matrix::from_rows(&[vec![1.05]])), vec![1]);
+/// ```
+pub trait Classifier: Send + Sync {
+    /// Fits the model.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x.rows() != y.len()`, `y` contains labels
+    /// other than 0/1, or the training set is empty.
+    fn fit(&mut self, x: &Matrix, y: &[u8]);
+
+    /// Probability of class 1 for each row of `x`.
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32>;
+
+    /// Hard 0/1 predictions (probability ≥ 0.5 ⇒ class 1).
+    fn predict(&self, x: &Matrix) -> Vec<u8> {
+        self.predict_proba(x)
+            .into_iter()
+            .map(|p| u8::from(p >= 0.5))
+            .collect()
+    }
+}
+
+/// Validates the `(x, y)` pair every `fit` implementation receives.
+///
+/// # Panics
+///
+/// Panics on empty data, shape mismatch or non-binary labels.
+pub(crate) fn validate_fit_inputs(x: &Matrix, y: &[u8]) {
+    assert!(x.rows() > 0, "cannot fit on an empty training set");
+    assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+    assert!(y.iter().all(|&l| l <= 1), "labels must be 0 or 1");
+}
+
+/// Fraction of positive labels (the prior a degenerate model falls back to).
+pub(crate) fn positive_rate(y: &[u8]) -> f32 {
+    if y.is_empty() {
+        return 0.5;
+    }
+    y.iter().map(|&v| v as u32).sum::<u32>() as f32 / y.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_rate_basics() {
+        assert_eq!(positive_rate(&[0, 1, 1, 1]), 0.75);
+        assert_eq!(positive_rate(&[]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature/label count mismatch")]
+    fn validate_catches_mismatch() {
+        let x = Matrix::zeros(2, 1);
+        validate_fit_inputs(&x, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be 0 or 1")]
+    fn validate_catches_bad_labels() {
+        let x = Matrix::zeros(1, 1);
+        validate_fit_inputs(&x, &[2]);
+    }
+}

@@ -1,0 +1,836 @@
+//! Gradient-boosted decision trees in the three industrial styles the paper
+//! benchmarks: XGBoost (exact greedy, depth-wise), LightGBM (histogram bins,
+//! leaf-wise) and CatBoost (oblivious/symmetric trees).
+//!
+//! All three share the same second-order logistic-loss machinery: with
+//! `p = σ(score)`, the gradient is `g = p − y` and the hessian
+//! `h = p (1 − p)`; split gain and leaf weights follow the standard
+//! Newton formulas `gain = ½ [G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ`
+//! and `w = −G/(H+λ)`.
+
+use crate::classifier::{positive_rate, validate_fit_inputs, Classifier};
+use phishinghook_linalg::Matrix;
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Shared boosting hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoostParams {
+    /// Number of boosting rounds (trees).
+    pub n_rounds: usize,
+    /// Shrinkage (learning rate) η.
+    pub learning_rate: f32,
+    /// Maximum tree depth (XGBoost/CatBoost) or a depth cap for LightGBM.
+    pub max_depth: usize,
+    /// Maximum leaves for leaf-wise growth (LightGBM only).
+    pub max_leaves: usize,
+    /// L2 regularization λ on leaf weights.
+    pub lambda: f32,
+    /// Minimum gain γ to accept a split.
+    pub gamma: f32,
+    /// Minimum hessian sum per child.
+    pub min_child_weight: f32,
+}
+
+impl Default for BoostParams {
+    fn default() -> Self {
+        BoostParams {
+            n_rounds: 120,
+            learning_rate: 0.15,
+            max_depth: 6,
+            max_leaves: 31,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantile binning (LightGBM / CatBoost)
+// ---------------------------------------------------------------------------
+
+/// Quantile-binned view of a dataset: per-feature bin ids plus the raw upper
+/// bound of each bin, so fitted splits transfer back to raw features.
+#[derive(Debug, Clone)]
+struct BinnedData {
+    /// `bins[f][r]` = bin id of sample `r` on feature `f`.
+    bins: Vec<Vec<u8>>,
+    /// `uppers[f][b]` = largest raw value in bin `b` of feature `f`.
+    uppers: Vec<Vec<f32>>,
+}
+
+impl BinnedData {
+    fn fit(x: &Matrix, max_bins: usize) -> Self {
+        let (n, d) = x.shape();
+        let mut bins = Vec::with_capacity(d);
+        let mut uppers = Vec::with_capacity(d);
+        for f in 0..d {
+            let mut values: Vec<f32> = (0..n).map(|r| x[(r, f)]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            values.dedup();
+            // Choose ≤ max_bins - 1 cut points at (approximate) quantiles of
+            // the distinct values.
+            let cuts: Vec<f32> = if values.len() <= max_bins {
+                values.clone()
+            } else {
+                (1..=max_bins)
+                    .map(|q| values[(q * values.len() / max_bins).min(values.len() - 1)])
+                    .collect()
+            };
+            let col_bins: Vec<u8> = (0..n)
+                .map(|r| {
+                    let v = x[(r, f)];
+                    cuts.partition_point(|&c| c < v).min(cuts.len() - 1) as u8
+                })
+                .collect();
+            bins.push(col_bins);
+            uppers.push(cuts);
+        }
+        BinnedData { bins, uppers }
+    }
+
+    fn n_bins(&self, f: usize) -> usize {
+        self.uppers[f].len()
+    }
+
+    /// Raw threshold equivalent of "bin id <= b".
+    fn threshold(&self, f: usize, b: usize) -> f32 {
+        self.uppers[f][b]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// XGBoost-style trees (exact greedy on raw values, depth-wise)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct XgbNode {
+    feature: u32,
+    threshold: f32,
+    left: u32,
+    right: u32,
+    weight: f32,
+    is_leaf: bool,
+}
+
+#[derive(Debug, Clone)]
+struct XgbTree {
+    nodes: Vec<XgbNode>,
+}
+
+impl XgbTree {
+    fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut i = 0usize;
+        loop {
+            let node = &self.nodes[i];
+            if node.is_leaf {
+                return node.weight;
+            }
+            i = if row[node.feature as usize] <= node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
+    fn fit(x: &Matrix, g: &[f32], h: &[f32], params: &BoostParams) -> XgbTree {
+        let mut tree = XgbTree {
+            nodes: vec![XgbNode {
+                feature: 0,
+                threshold: 0.0,
+                left: 0,
+                right: 0,
+                weight: 0.0,
+                is_leaf: true,
+            }],
+        };
+        let mut idx: Vec<usize> = (0..x.rows()).collect();
+        tree.build(x, g, h, &mut idx, 0, 0, params);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        x: &Matrix,
+        g: &[f32],
+        h: &[f32],
+        idx: &mut [usize],
+        node: usize,
+        depth: usize,
+        params: &BoostParams,
+    ) {
+        let gsum: f32 = idx.iter().map(|&i| g[i]).sum();
+        let hsum: f32 = idx.iter().map(|&i| h[i]).sum();
+        self.nodes[node].weight = -gsum / (hsum + params.lambda);
+
+        if depth >= params.max_depth || idx.len() < 2 {
+            return;
+        }
+
+        let parent_score = gsum * gsum / (hsum + params.lambda);
+        let mut best: Option<(f32, usize, f32)> = None;
+        let mut order: Vec<usize> = Vec::with_capacity(idx.len());
+        for f in 0..x.cols() {
+            order.clear();
+            order.extend_from_slice(idx);
+            order.sort_by(|&a, &b| {
+                x[(a, f)].partial_cmp(&x[(b, f)]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let (mut gl, mut hl) = (0.0f32, 0.0f32);
+            for k in 0..order.len() - 1 {
+                let i = order[k];
+                gl += g[i];
+                hl += h[i];
+                let v = x[(i, f)];
+                let v_next = x[(order[k + 1], f)];
+                if v == v_next {
+                    continue;
+                }
+                let (gr, hr) = (gsum - gl, hsum - hl);
+                if hl < params.min_child_weight || hr < params.min_child_weight {
+                    continue;
+                }
+                let gain = 0.5
+                    * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
+                        - parent_score)
+                    - params.gamma;
+                if gain > 1e-7 {
+                    match best {
+                        Some((bg, _, _)) if gain <= bg => {}
+                        _ => best = Some((gain, f, (v + v_next) / 2.0)),
+                    }
+                }
+            }
+        }
+
+        let Some((_, feature, threshold)) = best else {
+            return;
+        };
+        let mut split = 0usize;
+        for i in 0..idx.len() {
+            if x[(idx[i], feature)] <= threshold {
+                idx.swap(i, split);
+                split += 1;
+            }
+        }
+        let left = self.nodes.len();
+        let right = left + 1;
+        for _ in 0..2 {
+            self.nodes.push(XgbNode {
+                feature: 0,
+                threshold: 0.0,
+                left: 0,
+                right: 0,
+                weight: 0.0,
+                is_leaf: true,
+            });
+        }
+        self.nodes[node] = XgbNode {
+            feature: feature as u32,
+            threshold,
+            left: left as u32,
+            right: right as u32,
+            weight: self.nodes[node].weight,
+            is_leaf: false,
+        };
+        let (l, r) = idx.split_at_mut(split);
+        self.build(x, g, h, l, left, depth + 1, params);
+        self.build(x, g, h, r, right, depth + 1, params);
+    }
+}
+
+/// XGBoost-style classifier: exact greedy split finding, depth-wise growth,
+/// second-order logistic loss.
+#[derive(Debug, Clone)]
+pub struct XgbClassifier {
+    /// Boosting hyper-parameters.
+    pub params: BoostParams,
+    base_score: f32,
+    trees: Vec<XgbTree>,
+}
+
+impl XgbClassifier {
+    /// Creates an unfitted model.
+    pub fn new(params: BoostParams) -> Self {
+        XgbClassifier { params, base_score: 0.0, trees: Vec::new() }
+    }
+}
+
+impl Default for XgbClassifier {
+    fn default() -> Self {
+        XgbClassifier::new(BoostParams::default())
+    }
+}
+
+impl Classifier for XgbClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) {
+        validate_fit_inputs(x, y);
+        let n = x.rows();
+        let prior = positive_rate(y).clamp(1e-5, 1.0 - 1e-5);
+        self.base_score = (prior / (1.0 - prior)).ln();
+        self.trees.clear();
+        let mut scores = vec![self.base_score; n];
+        let mut g = vec![0.0f32; n];
+        let mut h = vec![0.0f32; n];
+        for _ in 0..self.params.n_rounds {
+            for i in 0..n {
+                let p = sigmoid(scores[i]);
+                g[i] = p - y[i] as f32;
+                h[i] = (p * (1.0 - p)).max(1e-8);
+            }
+            let tree = XgbTree::fit(x, &g, &h, &self.params);
+            for i in 0..n {
+                scores[i] += self.params.learning_rate * tree.predict_row(x.row(i));
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        (0..x.rows())
+            .map(|r| {
+                let row = x.row(r);
+                let score: f32 = self.base_score
+                    + self
+                        .trees
+                        .iter()
+                        .map(|t| self.params.learning_rate * t.predict_row(row))
+                        .sum::<f32>();
+                sigmoid(score)
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LightGBM-style trees (histogram bins, leaf-wise best-first growth)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct LgbmNode {
+    feature: u32,
+    threshold: f32,
+    left: u32,
+    right: u32,
+    weight: f32,
+    is_leaf: bool,
+}
+
+#[derive(Debug, Clone)]
+struct LgbmTree {
+    nodes: Vec<LgbmNode>,
+}
+
+struct LeafCandidate {
+    node: usize,
+    indices: Vec<usize>,
+    gain: f32,
+    feature: usize,
+    bin: usize,
+}
+
+impl LgbmTree {
+    fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut i = 0usize;
+        loop {
+            let node = &self.nodes[i];
+            if node.is_leaf {
+                return node.weight;
+            }
+            i = if row[node.feature as usize] <= node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
+    /// Best (gain, feature, bin) split of a leaf from per-bin histograms.
+    fn best_split(
+        binned: &BinnedData,
+        indices: &[usize],
+        g: &[f32],
+        h: &[f32],
+        params: &BoostParams,
+    ) -> Option<(f32, usize, usize)> {
+        let gsum: f32 = indices.iter().map(|&i| g[i]).sum();
+        let hsum: f32 = indices.iter().map(|&i| h[i]).sum();
+        let parent_score = gsum * gsum / (hsum + params.lambda);
+        let mut best: Option<(f32, usize, usize)> = None;
+        for f in 0..binned.bins.len() {
+            let nb = binned.n_bins(f);
+            if nb < 2 {
+                continue;
+            }
+            let mut hist_g = vec![0.0f32; nb];
+            let mut hist_h = vec![0.0f32; nb];
+            for &i in indices {
+                let b = binned.bins[f][i] as usize;
+                hist_g[b] += g[i];
+                hist_h[b] += h[i];
+            }
+            let (mut gl, mut hl) = (0.0f32, 0.0f32);
+            for b in 0..nb - 1 {
+                gl += hist_g[b];
+                hl += hist_h[b];
+                let (gr, hr) = (gsum - gl, hsum - hl);
+                if hl < params.min_child_weight || hr < params.min_child_weight {
+                    continue;
+                }
+                let gain = 0.5
+                    * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
+                        - parent_score)
+                    - params.gamma;
+                if gain > 1e-7 {
+                    match best {
+                        Some((bg, _, _)) if gain <= bg => {}
+                        _ => best = Some((gain, f, b)),
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn fit(
+        x: &Matrix,
+        binned: &BinnedData,
+        g: &[f32],
+        h: &[f32],
+        params: &BoostParams,
+    ) -> LgbmTree {
+        let mut tree = LgbmTree {
+            nodes: vec![LgbmNode {
+                feature: 0,
+                threshold: 0.0,
+                left: 0,
+                right: 0,
+                weight: 0.0,
+                is_leaf: true,
+            }],
+        };
+        let root_idx: Vec<usize> = (0..x.rows()).collect();
+        let newton = |indices: &[usize]| {
+            let gs: f32 = indices.iter().map(|&i| g[i]).sum();
+            let hs: f32 = indices.iter().map(|&i| h[i]).sum();
+            -gs / (hs + params.lambda)
+        };
+        tree.nodes[0].weight = newton(&root_idx);
+
+        let mut frontier: Vec<LeafCandidate> = Vec::new();
+        if let Some((gain, feature, bin)) = Self::best_split(binned, &root_idx, g, h, params) {
+            frontier.push(LeafCandidate { node: 0, indices: root_idx, gain, feature, bin });
+        }
+        let mut leaves = 1usize;
+
+        while leaves < params.max_leaves {
+            // Best-first: split the frontier leaf with maximal gain.
+            let Some(pos) = frontier
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.gain.partial_cmp(&b.1.gain).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let cand = frontier.swap_remove(pos);
+            let threshold = binned.threshold(cand.feature, cand.bin);
+            let (li, ri): (Vec<usize>, Vec<usize>) = cand
+                .indices
+                .iter()
+                .partition(|&&i| binned.bins[cand.feature][i] as usize <= cand.bin);
+            if li.is_empty() || ri.is_empty() {
+                continue;
+            }
+            let left = tree.nodes.len();
+            let right = left + 1;
+            tree.nodes.push(LgbmNode {
+                feature: 0,
+                threshold: 0.0,
+                left: 0,
+                right: 0,
+                weight: newton(&li),
+                is_leaf: true,
+            });
+            tree.nodes.push(LgbmNode {
+                feature: 0,
+                threshold: 0.0,
+                left: 0,
+                right: 0,
+                weight: newton(&ri),
+                is_leaf: true,
+            });
+            let n = &mut tree.nodes[cand.node];
+            n.feature = cand.feature as u32;
+            n.threshold = threshold;
+            n.left = left as u32;
+            n.right = right as u32;
+            n.is_leaf = false;
+            leaves += 1;
+
+            for (child, idxs) in [(left, li), (right, ri)] {
+                if let Some((gain, feature, bin)) = Self::best_split(binned, &idxs, g, h, params)
+                {
+                    frontier.push(LeafCandidate { node: child, indices: idxs, gain, feature, bin });
+                }
+            }
+        }
+        tree
+    }
+}
+
+/// LightGBM-style classifier: quantile-histogram split finding with
+/// leaf-wise (best-first) growth capped at `max_leaves`.
+#[derive(Debug, Clone)]
+pub struct LgbmClassifier {
+    /// Boosting hyper-parameters.
+    pub params: BoostParams,
+    /// Number of histogram bins.
+    pub max_bins: usize,
+    base_score: f32,
+    trees: Vec<LgbmTree>,
+}
+
+impl LgbmClassifier {
+    /// Creates an unfitted model.
+    pub fn new(params: BoostParams, max_bins: usize) -> Self {
+        LgbmClassifier { params, max_bins, base_score: 0.0, trees: Vec::new() }
+    }
+}
+
+impl Default for LgbmClassifier {
+    fn default() -> Self {
+        LgbmClassifier::new(BoostParams::default(), 48)
+    }
+}
+
+impl Classifier for LgbmClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) {
+        validate_fit_inputs(x, y);
+        let n = x.rows();
+        let binned = BinnedData::fit(x, self.max_bins);
+        let prior = positive_rate(y).clamp(1e-5, 1.0 - 1e-5);
+        self.base_score = (prior / (1.0 - prior)).ln();
+        self.trees.clear();
+        let mut scores = vec![self.base_score; n];
+        let mut g = vec![0.0f32; n];
+        let mut h = vec![0.0f32; n];
+        for _ in 0..self.params.n_rounds {
+            for i in 0..n {
+                let p = sigmoid(scores[i]);
+                g[i] = p - y[i] as f32;
+                h[i] = (p * (1.0 - p)).max(1e-8);
+            }
+            let tree = LgbmTree::fit(x, &binned, &g, &h, &self.params);
+            for i in 0..n {
+                scores[i] += self.params.learning_rate * tree.predict_row(x.row(i));
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        (0..x.rows())
+            .map(|r| {
+                let row = x.row(r);
+                let score: f32 = self.base_score
+                    + self
+                        .trees
+                        .iter()
+                        .map(|t| self.params.learning_rate * t.predict_row(row))
+                        .sum::<f32>();
+                sigmoid(score)
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CatBoost-style trees (oblivious/symmetric)
+// ---------------------------------------------------------------------------
+
+/// One oblivious tree: the same `(feature, threshold)` test at every node of
+/// a level, so a depth-`d` tree is `d` tests and `2^d` leaf weights.
+#[derive(Debug, Clone)]
+struct ObliviousTree {
+    features: Vec<u32>,
+    thresholds: Vec<f32>,
+    leaves: Vec<f32>,
+}
+
+impl ObliviousTree {
+    fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut leaf = 0usize;
+        for (l, (&f, &t)) in self.features.iter().zip(&self.thresholds).enumerate() {
+            if row[f as usize] > t {
+                leaf |= 1 << l;
+            }
+        }
+        self.leaves[leaf]
+    }
+
+    fn fit(
+        x: &Matrix,
+        binned: &BinnedData,
+        g: &[f32],
+        h: &[f32],
+        params: &BoostParams,
+    ) -> ObliviousTree {
+        let n = x.rows();
+        let mut leaf_of = vec![0usize; n];
+        let mut features = Vec::new();
+        let mut thresholds = Vec::new();
+
+        for level in 0..params.max_depth {
+            let n_groups = 1usize << level;
+            // For each candidate (feature, bin): score = Σ_groups split score.
+            let mut best: Option<(f32, usize, usize)> = None;
+            for f in 0..binned.bins.len() {
+                let nb = binned.n_bins(f);
+                if nb < 2 {
+                    continue;
+                }
+                // Histograms per (group, bin).
+                let mut hist_g = vec![0.0f32; n_groups * nb];
+                let mut hist_h = vec![0.0f32; n_groups * nb];
+                for i in 0..n {
+                    let slot = leaf_of[i] * nb + binned.bins[f][i] as usize;
+                    hist_g[slot] += g[i];
+                    hist_h[slot] += h[i];
+                }
+                for b in 0..nb - 1 {
+                    let mut score = 0.0f32;
+                    let mut valid = false;
+                    for grp in 0..n_groups {
+                        let (mut gl, mut hl, mut gt, mut ht) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                        for bb in 0..nb {
+                            let slot = grp * nb + bb;
+                            gt += hist_g[slot];
+                            ht += hist_h[slot];
+                            if bb <= b {
+                                gl += hist_g[slot];
+                                hl += hist_h[slot];
+                            }
+                        }
+                        let (gr, hr) = (gt - gl, ht - hl);
+                        score += gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda);
+                        if hl >= params.min_child_weight && hr >= params.min_child_weight {
+                            valid = true;
+                        }
+                    }
+                    if valid {
+                        match best {
+                            Some((bs, _, _)) if score <= bs => {}
+                            _ => best = Some((score, f, b)),
+                        }
+                    }
+                }
+            }
+            let Some((_, f, b)) = best else {
+                break;
+            };
+            let t = binned.threshold(f, b);
+            features.push(f as u32);
+            thresholds.push(t);
+            for i in 0..n {
+                if binned.bins[f][i] as usize > b {
+                    leaf_of[i] |= 1 << level;
+                }
+            }
+        }
+
+        let n_leaves = 1usize << features.len();
+        let mut gsum = vec![0.0f32; n_leaves];
+        let mut hsum = vec![0.0f32; n_leaves];
+        for i in 0..n {
+            gsum[leaf_of[i]] += g[i];
+            hsum[leaf_of[i]] += h[i];
+        }
+        let leaves: Vec<f32> = gsum
+            .iter()
+            .zip(&hsum)
+            .map(|(gs, hs)| -gs / (hs + params.lambda))
+            .collect();
+        ObliviousTree { features, thresholds, leaves }
+    }
+}
+
+/// CatBoost-style classifier: gradient boosting over oblivious (symmetric)
+/// trees on quantile-binned features.
+#[derive(Debug, Clone)]
+pub struct CatBoostClassifier {
+    /// Boosting hyper-parameters (`max_depth` = oblivious-tree depth).
+    pub params: BoostParams,
+    /// Number of histogram bins.
+    pub max_bins: usize,
+    base_score: f32,
+    trees: Vec<ObliviousTree>,
+}
+
+impl CatBoostClassifier {
+    /// Creates an unfitted model.
+    pub fn new(params: BoostParams, max_bins: usize) -> Self {
+        CatBoostClassifier { params, max_bins, base_score: 0.0, trees: Vec::new() }
+    }
+}
+
+impl Default for CatBoostClassifier {
+    fn default() -> Self {
+        CatBoostClassifier::new(
+            BoostParams { max_depth: 5, ..BoostParams::default() },
+            48,
+        )
+    }
+}
+
+impl Classifier for CatBoostClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) {
+        validate_fit_inputs(x, y);
+        let n = x.rows();
+        let binned = BinnedData::fit(x, self.max_bins);
+        let prior = positive_rate(y).clamp(1e-5, 1.0 - 1e-5);
+        self.base_score = (prior / (1.0 - prior)).ln();
+        self.trees.clear();
+        let mut scores = vec![self.base_score; n];
+        let mut g = vec![0.0f32; n];
+        let mut h = vec![0.0f32; n];
+        for _ in 0..self.params.n_rounds {
+            for i in 0..n {
+                let p = sigmoid(scores[i]);
+                g[i] = p - y[i] as f32;
+                h[i] = (p * (1.0 - p)).max(1e-8);
+            }
+            let tree = ObliviousTree::fit(x, &binned, &g, &h, &self.params);
+            for i in 0..n {
+                scores[i] += self.params.learning_rate * tree.predict_row(x.row(i));
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        (0..x.rows())
+            .map(|r| {
+                let row = x.row(r);
+                let score: f32 = self.base_score
+                    + self
+                        .trees
+                        .iter()
+                        .map(|t| self.params.learning_rate * t.predict_row(row))
+                        .sum::<f32>();
+                sigmoid(score)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn xor_data(n: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(0.0..1.0);
+            let b: f32 = rng.gen_range(0.0..1.0);
+            rows.push(vec![a, b]);
+            y.push(u8::from((a > 0.5) != (b > 0.5)));
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    fn accuracy(pred: &[u8], y: &[u8]) -> f32 {
+        pred.iter().zip(y).filter(|(a, b)| a == b).count() as f32 / y.len() as f32
+    }
+
+    fn small_params() -> BoostParams {
+        BoostParams { n_rounds: 40, ..BoostParams::default() }
+    }
+
+    #[test]
+    fn xgb_learns_xor() {
+        let (x, y) = xor_data(400, 1);
+        let mut m = XgbClassifier::new(small_params());
+        m.fit(&x, &y);
+        assert!(accuracy(&m.predict(&x), &y) > 0.97);
+    }
+
+    #[test]
+    fn lgbm_learns_xor() {
+        let (x, y) = xor_data(400, 2);
+        let mut m = LgbmClassifier::new(small_params(), 32);
+        m.fit(&x, &y);
+        assert!(accuracy(&m.predict(&x), &y) > 0.96);
+    }
+
+    #[test]
+    fn catboost_learns_xor() {
+        let (x, y) = xor_data(400, 3);
+        let mut m = CatBoostClassifier::new(small_params(), 32);
+        m.fit(&x, &y);
+        assert!(accuracy(&m.predict(&x), &y) > 0.95);
+    }
+
+    #[test]
+    fn binning_respects_order() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![5.0], vec![2.0], vec![9.0]]);
+        let b = BinnedData::fit(&x, 4);
+        // Bin ids must be monotone in the raw value.
+        let bins = &b.bins[0];
+        assert!(bins[0] <= bins[2] && bins[2] <= bins[1] && bins[1] <= bins[3]);
+    }
+
+    #[test]
+    fn base_score_matches_prior_on_constant_data() {
+        // With constant features, every model predicts (close to) the prior.
+        let x = Matrix::from_rows(&vec![vec![1.0]; 10]);
+        let y = [1, 1, 1, 1, 1, 1, 0, 0, 0, 0];
+        let mut m = XgbClassifier::new(BoostParams { n_rounds: 5, ..BoostParams::default() });
+        m.fit(&x, &y);
+        let p = m.predict_proba(&x)[0];
+        assert!((p - 0.6).abs() < 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn oblivious_tree_is_symmetric() {
+        let (x, y) = xor_data(200, 5);
+        let mut m = CatBoostClassifier::new(
+            BoostParams { n_rounds: 1, max_depth: 3, ..BoostParams::default() },
+            16,
+        );
+        m.fit(&x, &y);
+        let t = &m.trees[0];
+        assert!(t.features.len() <= 3);
+        assert_eq!(t.leaves.len(), 1 << t.features.len());
+    }
+
+    #[test]
+    fn probabilities_bounded_all_variants() {
+        let (x, y) = xor_data(150, 7);
+        let mut xgb = XgbClassifier::new(small_params());
+        let mut lgb = LgbmClassifier::new(small_params(), 16);
+        let mut cat = CatBoostClassifier::new(small_params(), 16);
+        xgb.fit(&x, &y);
+        lgb.fit(&x, &y);
+        cat.fit(&x, &y);
+        for p in xgb
+            .predict_proba(&x)
+            .into_iter()
+            .chain(lgb.predict_proba(&x))
+            .chain(cat.predict_proba(&x))
+        {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

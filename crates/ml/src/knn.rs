@@ -1,0 +1,117 @@
+//! Brute-force k-nearest-neighbours classifier.
+
+use crate::classifier::{validate_fit_inputs, Classifier};
+use phishinghook_linalg::Matrix;
+use rayon::prelude::*;
+
+/// k-NN with Euclidean distance and majority vote (ties break towards the
+/// positive class, mirroring `predict_proba >= 0.5`).
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_linalg::Matrix;
+/// use phishinghook_ml::{Classifier, KnnClassifier};
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![0.2], vec![0.8], vec![1.0]]);
+/// let mut knn = KnnClassifier::new(3);
+/// knn.fit(&x, &[0, 0, 1, 1]);
+/// assert_eq!(knn.predict(&Matrix::from_rows(&[vec![0.05]])), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    x: Matrix,
+    y: Vec<u8>,
+}
+
+impl KnnClassifier {
+    /// Creates a classifier voting over `k` neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnClassifier { k, x: Matrix::zeros(0, 0), y: Vec::new() }
+    }
+
+    /// The configured number of neighbours.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn vote(&self, row: &[f32]) -> f32 {
+        let k = self.k.min(self.y.len());
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f32, u8)> = (0..self.x.rows())
+            .map(|r| {
+                let d: f32 = self
+                    .x
+                    .row(r)
+                    .iter()
+                    .zip(row)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d, self.y[r])
+            })
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let pos: usize = dists[..k].iter().map(|(_, l)| *l as usize).sum();
+        pos as f32 / k as f32
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) {
+        validate_fit_inputs(x, y);
+        self.x = x.clone();
+        self.y = y.to_vec();
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert!(!self.y.is_empty(), "predict before fit");
+        (0..x.rows())
+            .into_par_iter()
+            .map(|r| self.vote(x.row(r)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_neighbour_memorizes() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let mut knn = KnnClassifier::new(1);
+        knn.fit(&x, &[0, 1]);
+        assert_eq!(knn.predict(&x), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_larger_than_train_set_is_clamped() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let mut knn = KnnClassifier::new(100);
+        knn.fit(&x, &[0, 1]);
+        assert_eq!(knn.predict_proba(&Matrix::from_rows(&[vec![0.5]])), vec![0.5]);
+    }
+
+    #[test]
+    fn proba_is_vote_fraction() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2], vec![5.0]]);
+        let mut knn = KnnClassifier::new(3);
+        knn.fit(&x, &[1, 1, 0, 0]);
+        let p = knn.predict_proba(&Matrix::from_rows(&[vec![0.05]]));
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        KnnClassifier::new(0);
+    }
+}

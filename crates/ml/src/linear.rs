@@ -1,0 +1,279 @@
+//! Linear models: logistic regression and a linear soft-margin SVM.
+//!
+//! Both are trained by full-batch Adam on the raw (unnormalized) histogram
+//! features, as the paper feeds them; Adam's per-coordinate step sizes make
+//! the optimization robust to the wildly different count scales without
+//! touching the input representation.
+
+use crate::classifier::{validate_fit_inputs, Classifier};
+use phishinghook_linalg::Matrix;
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Shared Adam-based trainer for linear decision functions.
+#[derive(Debug, Clone)]
+struct LinearModel {
+    weights: Vec<f32>,
+    bias: f32,
+}
+
+impl LinearModel {
+    fn score(&self, row: &[f32]) -> f32 {
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .map(|(w, x)| w * x)
+                .sum::<f32>()
+    }
+
+    /// Runs Adam on a gradient callback: `grad(score, label) -> dLoss/dScore`.
+    fn train(
+        x: &Matrix,
+        y: &[u8],
+        epochs: usize,
+        lr: f32,
+        l2: f32,
+        grad: impl Fn(f32, f32) -> f32,
+    ) -> LinearModel {
+        let (n, d) = x.shape();
+        let mut model = LinearModel { weights: vec![0.0; d], bias: 0.0 };
+        let (mut m, mut v) = (vec![0.0f32; d + 1], vec![0.0f32; d + 1]);
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+
+        for t in 1..=epochs {
+            let mut gw = vec![0.0f32; d];
+            let mut gb = 0.0f32;
+            for r in 0..n {
+                let row = x.row(r);
+                let g = grad(model.score(row), y[r] as f32);
+                if g != 0.0 {
+                    for (gi, xi) in gw.iter_mut().zip(row) {
+                        *gi += g * xi;
+                    }
+                    gb += g;
+                }
+            }
+            let scale = 1.0 / n as f32;
+            for (gi, wi) in gw.iter_mut().zip(&model.weights) {
+                *gi = *gi * scale + l2 * wi;
+            }
+            gb *= scale;
+
+            let bc1 = 1.0 - b1.powi(t as i32);
+            let bc2 = 1.0 - b2.powi(t as i32);
+            for i in 0..d {
+                m[i] = b1 * m[i] + (1.0 - b1) * gw[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * gw[i] * gw[i];
+                model.weights[i] -= lr * (m[i] / bc1) / ((v[i] / bc2).sqrt() + eps);
+            }
+            m[d] = b1 * m[d] + (1.0 - b1) * gb;
+            v[d] = b2 * v[d] + (1.0 - b2) * gb * gb;
+            model.bias -= lr * (m[d] / bc1) / ((v[d] / bc2).sqrt() + eps);
+        }
+        model
+    }
+}
+
+/// L2-regularized logistic regression.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_linalg::Matrix;
+/// use phishinghook_ml::{Classifier, LogisticRegression};
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![9.0], vec![10.0]]);
+/// let mut lr = LogisticRegression::default();
+/// lr.fit(&x, &[0, 0, 1, 1]);
+/// assert_eq!(lr.predict(&x), vec![0, 0, 1, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Training epochs (full-batch Adam steps).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// L2 regularization strength.
+    pub l2: f32,
+    model: Option<LinearModel>,
+}
+
+impl LogisticRegression {
+    /// Default hyper-parameters with a custom epoch budget.
+    pub fn with_epochs(epochs: usize) -> Self {
+        LogisticRegression { epochs, ..LogisticRegression::default() }
+    }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        LogisticRegression { epochs: 800, learning_rate: 0.3, l2: 1e-3, model: None }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) {
+        validate_fit_inputs(x, y);
+        self.model = Some(LinearModel::train(
+            x,
+            y,
+            self.epochs,
+            self.learning_rate,
+            self.l2,
+            |score, label| sigmoid(score) - label,
+        ));
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        let model = self.model.as_ref().expect("predict before fit");
+        (0..x.rows()).map(|r| sigmoid(model.score(x.row(r)))).collect()
+    }
+}
+
+/// Linear soft-margin SVM trained on the hinge loss. `predict_proba` maps
+/// the margin through a fixed sigmoid so the common interface holds (the
+/// ordering, hence `predict`, is exactly the SVM decision function).
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_linalg::Matrix;
+/// use phishinghook_ml::{Classifier, LinearSvm};
+///
+/// let x = Matrix::from_rows(&[vec![-2.0], vec![-1.0], vec![1.0], vec![2.0]]);
+/// let mut svm = LinearSvm::default();
+/// svm.fit(&x, &[0, 0, 1, 1]);
+/// assert_eq!(svm.predict(&x), vec![0, 0, 1, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Training epochs (full-batch Adam steps).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// L2 regularization strength (inverse margin softness).
+    pub l2: f32,
+    model: Option<LinearModel>,
+}
+
+impl LinearSvm {
+    /// Default hyper-parameters with a custom epoch budget.
+    pub fn with_epochs(epochs: usize) -> Self {
+        LinearSvm { epochs, ..LinearSvm::default() }
+    }
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        LinearSvm { epochs: 800, learning_rate: 0.3, l2: 5e-4, model: None }
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) {
+        validate_fit_inputs(x, y);
+        self.model = Some(LinearModel::train(
+            x,
+            y,
+            self.epochs,
+            self.learning_rate,
+            self.l2,
+            |score, label| {
+                let sign = 2.0 * label - 1.0; // {0,1} -> {-1,+1}
+                if sign * score < 1.0 {
+                    -sign
+                } else {
+                    0.0
+                }
+            },
+        ));
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        let model = self.model.as_ref().expect("predict before fit");
+        (0..x.rows()).map(|r| sigmoid(model.score(x.row(r)))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_blobs(n: usize, sep: f32, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let label = (i % 2) as u8;
+            let center = if label == 1 { sep } else { -sep };
+            rows.push(vec![
+                center + rng.gen_range(-1.0..1.0),
+                center + rng.gen_range(-1.0..1.0),
+            ]);
+            y.push(label);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    fn accuracy(pred: &[u8], y: &[u8]) -> f32 {
+        pred.iter().zip(y).filter(|(a, b)| a == b).count() as f32 / y.len() as f32
+    }
+
+    #[test]
+    fn logistic_separates_blobs() {
+        let (x, y) = gaussian_blobs(400, 2.0, 1);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y);
+        assert!(accuracy(&lr.predict(&x), &y) > 0.97);
+    }
+
+    #[test]
+    fn svm_separates_blobs() {
+        let (x, y) = gaussian_blobs(400, 2.0, 2);
+        let mut svm = LinearSvm::default();
+        svm.fit(&x, &y);
+        assert!(accuracy(&svm.predict(&x), &y) > 0.97);
+    }
+
+    #[test]
+    fn raw_count_scales_are_handled() {
+        // Feature scales differing by 1000x, as raw opcode counts do.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300 {
+            let label = (i % 2) as u8;
+            let big = if label == 1 { 900.0 } else { 600.0 };
+            rows.push(vec![
+                big + rng.gen_range(-100.0..100.0),
+                rng.gen_range(0.0..2.0),
+            ]);
+            y.push(label);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y);
+        assert!(accuracy(&lr.predict(&x), &y) > 0.9);
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (x, y) = gaussian_blobs(100, 1.0, 5);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y);
+        assert!(lr.predict_proba(&x).iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn unfitted_predict_panics() {
+        let x = Matrix::zeros(1, 1);
+        LogisticRegression::default().predict_proba(&x);
+    }
+}

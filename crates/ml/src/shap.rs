@@ -1,0 +1,299 @@
+//! Exact TreeSHAP (Lundberg & Lee's path-dependent algorithm) for the CART
+//! trees and Random Forests in this crate.
+//!
+//! The paper's Fig. 9 plots SHAP values of the Random-Forest HSC over a test
+//! fold to explain which opcodes push a prediction towards phishing. SHAP
+//! values satisfy *local accuracy*: `Σᵢ φᵢ = f(x) − E[f]`, which the property
+//! tests below verify against direct model evaluation.
+
+use crate::forest::RandomForest;
+use crate::tree::{DecisionTree, Node};
+
+/// One element of the unique feature path maintained by the algorithm.
+#[derive(Debug, Clone, Copy)]
+struct PathElement {
+    /// Feature index, or -1 for the root sentinel.
+    d: i32,
+    /// Fraction of "zero" (feature-absent) paths flowing through.
+    z: f64,
+    /// Fraction of "one" (feature-present) paths flowing through.
+    o: f64,
+    /// Permutation weight.
+    w: f64,
+}
+
+fn extend(m: &mut Vec<PathElement>, pz: f64, po: f64, pi: i32) {
+    let w0 = if m.is_empty() { 1.0 } else { 0.0 };
+    m.push(PathElement { d: pi, z: pz, o: po, w: w0 });
+    let l = m.len();
+    for i in (0..l - 1).rev() {
+        m[i + 1].w += po * m[i].w * (i as f64 + 1.0) / l as f64;
+        m[i].w = pz * m[i].w * (l - 1 - i) as f64 / l as f64;
+    }
+}
+
+fn unwind(m: &mut Vec<PathElement>, k: usize) {
+    let ud = m.len() - 1;
+    let one = m[k].o;
+    let zero = m[k].z;
+    let mut next_one = m[ud].w;
+    for i in (0..ud).rev() {
+        if one != 0.0 {
+            let tmp = m[i].w;
+            m[i].w = next_one * (ud + 1) as f64 / ((i + 1) as f64 * one);
+            next_one = tmp - m[i].w * zero * (ud - i) as f64 / (ud + 1) as f64;
+        } else {
+            m[i].w = m[i].w * (ud + 1) as f64 / (zero * (ud - i) as f64);
+        }
+    }
+    for i in k..ud {
+        m[i].d = m[i + 1].d;
+        m[i].z = m[i + 1].z;
+        m[i].o = m[i + 1].o;
+    }
+    m.pop();
+}
+
+fn unwound_sum(m: &[PathElement], k: usize) -> f64 {
+    let ud = m.len() - 1;
+    let one = m[k].o;
+    let zero = m[k].z;
+    let mut next_one = m[ud].w;
+    let mut total = 0.0;
+    for i in (0..ud).rev() {
+        if one != 0.0 {
+            let tmp = next_one * (ud + 1) as f64 / ((i + 1) as f64 * one);
+            total += tmp;
+            next_one = m[i].w - tmp * zero * (ud - i) as f64 / (ud + 1) as f64;
+        } else {
+            total += m[i].w / (zero * (ud - i) as f64 / (ud + 1) as f64);
+        }
+    }
+    total
+}
+
+fn recurse(
+    nodes: &[Node],
+    x: &[f32],
+    phi: &mut [f64],
+    node_idx: usize,
+    mut m: Vec<PathElement>,
+    pz: f64,
+    po: f64,
+    pi: i32,
+) {
+    extend(&mut m, pz, po, pi);
+    let node = &nodes[node_idx];
+    if node.is_leaf {
+        for i in 1..m.len() {
+            let w = unwound_sum(&m, i);
+            phi[m[i].d as usize] += w * (m[i].o - m[i].z) * node.value as f64;
+        }
+        return;
+    }
+    let feature = node.feature as usize;
+    let (hot, cold) = if x[feature] <= node.threshold {
+        (node.left as usize, node.right as usize)
+    } else {
+        (node.right as usize, node.left as usize)
+    };
+    let r_j = node.cover as f64;
+    let r_hot = nodes[hot].cover as f64;
+    let r_cold = nodes[cold].cover as f64;
+
+    let mut iz = 1.0;
+    let mut io = 1.0;
+    if let Some(k) = m.iter().position(|pe| pe.d == node.feature as i32) {
+        iz = m[k].z;
+        io = m[k].o;
+        unwind(&mut m, k);
+    }
+    recurse(nodes, x, phi, hot, m.clone(), iz * r_hot / r_j, io, node.feature as i32);
+    recurse(nodes, x, phi, cold, m, iz * r_cold / r_j, 0.0, node.feature as i32);
+}
+
+/// Cover-weighted expected prediction of a tree (the SHAP base value).
+pub fn tree_expected_value(tree: &DecisionTree) -> f64 {
+    let nodes = tree.nodes();
+    assert!(!nodes.is_empty(), "expected value of an unfitted tree");
+    let root_cover = nodes[0].cover as f64;
+    nodes
+        .iter()
+        .filter(|n| n.is_leaf)
+        .map(|n| n.value as f64 * n.cover as f64 / root_cover)
+        .sum()
+}
+
+/// SHAP values of one sample under a fitted [`DecisionTree`].
+///
+/// Returns one attribution per feature; `Σ φ = f(x) − E[f]`.
+///
+/// # Panics
+///
+/// Panics if the tree is unfitted.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_linalg::Matrix;
+/// use phishinghook_ml::{tree_shap, Classifier, DecisionTree};
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.9], vec![1.0]]);
+/// let mut tree = DecisionTree::default();
+/// tree.fit(&x, &[0, 0, 1, 1]);
+/// let phi = tree_shap(&tree, x.row(3), 1);
+/// assert!(phi[0] > 0.0); // the single feature pushes towards class 1
+/// ```
+pub fn tree_shap(tree: &DecisionTree, x: &[f32], n_features: usize) -> Vec<f64> {
+    let mut phi = vec![0.0f64; n_features];
+    recurse(tree.nodes(), x, &mut phi, 0, Vec::new(), 1.0, 1.0, -1);
+    phi
+}
+
+/// SHAP values of one sample under a fitted [`RandomForest`]: the average of
+/// the per-tree attributions (the forest prediction is the average of tree
+/// predictions, so local accuracy is preserved).
+///
+/// # Panics
+///
+/// Panics if the forest is unfitted.
+pub fn forest_shap(forest: &RandomForest, x: &[f32], n_features: usize) -> Vec<f64> {
+    let trees = forest.trees();
+    assert!(!trees.is_empty(), "SHAP of an unfitted forest");
+    let mut phi = vec![0.0f64; n_features];
+    for tree in trees {
+        let t = tree_shap(tree, x, n_features);
+        for (a, b) in phi.iter_mut().zip(t) {
+            *a += b;
+        }
+    }
+    for v in &mut phi {
+        *v /= trees.len() as f64;
+    }
+    phi
+}
+
+/// Base value of a fitted forest (mean of tree expectations).
+pub fn forest_expected_value(forest: &RandomForest) -> f64 {
+    let trees = forest.trees();
+    assert!(!trees.is_empty(), "expected value of an unfitted forest");
+    trees.iter().map(tree_expected_value).sum::<f64>() / trees.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Classifier;
+    use crate::tree::TreeParams;
+    use phishinghook_linalg::Matrix;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let row: Vec<f32> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
+            // Nonlinear ground truth over the first two features + noise.
+            let label = (row[0] > 0.5) != (row[1 % d] > 0.4) || rng.gen_bool(0.1);
+            rows.push(row);
+            y.push(u8::from(label));
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn local_accuracy_single_tree() {
+        let (x, y) = random_data(300, 4, 1);
+        let mut tree = DecisionTree::new(TreeParams { max_depth: 6, ..Default::default() }, 3);
+        tree.fit(&x, &y);
+        let base = tree_expected_value(&tree);
+        for r in 0..20 {
+            let phi = tree_shap(&tree, x.row(r), 4);
+            let sum: f64 = phi.iter().sum();
+            let f = tree.predict_row(x.row(r)) as f64;
+            assert!(
+                (sum - (f - base)).abs() < 1e-4,
+                "row {r}: Σφ = {sum}, f - E = {}",
+                f - base
+            );
+        }
+    }
+
+    #[test]
+    fn local_accuracy_forest() {
+        let (x, y) = random_data(200, 5, 2);
+        let mut forest = RandomForest::new(12, 7);
+        forest.fit(&x, &y);
+        let base = forest_expected_value(&forest);
+        let probs = forest.predict_proba(&x);
+        for r in 0..10 {
+            let phi = forest_shap(&forest, x.row(r), 5);
+            let sum: f64 = phi.iter().sum();
+            assert!(
+                (sum - (probs[r] as f64 - base)).abs() < 1e-4,
+                "row {r}: Σφ = {sum} vs {}",
+                probs[r] as f64 - base
+            );
+        }
+    }
+
+    #[test]
+    fn irrelevant_features_get_zero() {
+        // Only feature 0 matters; features 1-2 are constant.
+        let rows: Vec<Vec<f32>> = (0..100)
+            .map(|i| vec![i as f32 / 100.0, 1.0, 2.0])
+            .collect();
+        let y: Vec<u8> = (0..100).map(|i| u8::from(i >= 50)).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut tree = DecisionTree::default();
+        tree.fit(&x, &y);
+        let phi = tree_shap(&tree, x.row(75), 3);
+        assert!(phi[0].abs() > 0.1);
+        assert_eq!(phi[1], 0.0);
+        assert_eq!(phi[2], 0.0);
+    }
+
+    #[test]
+    fn symmetry_of_identical_features() {
+        // Two identical informative features should share credit when both
+        // are used; at minimum their total matches the single-feature case.
+        let rows: Vec<Vec<f32>> = (0..200)
+            .map(|i| {
+                let v = i as f32 / 200.0;
+                vec![v, v]
+            })
+            .collect();
+        let y: Vec<u8> = (0..200).map(|i| u8::from(i >= 100)).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut tree = DecisionTree::default();
+        tree.fit(&x, &y);
+        let phi = tree_shap(&tree, x.row(180), 2);
+        let total: f64 = phi.iter().sum();
+        let base = tree_expected_value(&tree);
+        let f = tree.predict_row(x.row(180)) as f64;
+        assert!((total - (f - base)).abs() < 1e-6);
+    }
+
+    proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(24))]
+
+        /// Local accuracy holds for arbitrary seeds and tree depths.
+        #[test]
+        fn local_accuracy_property(seed in 0u64..1000, depth in 2usize..8) {
+            let (x, y) = random_data(150, 3, seed);
+            let mut tree = DecisionTree::new(
+                TreeParams { max_depth: depth, ..Default::default() },
+                seed,
+            );
+            tree.fit(&x, &y);
+            let base = tree_expected_value(&tree);
+            let phi = tree_shap(&tree, x.row(0), 3);
+            let sum: f64 = phi.iter().sum();
+            let f = tree.predict_row(x.row(0)) as f64;
+            prop_assert!((sum - (f - base)).abs() < 1e-4);
+        }
+    }
+}

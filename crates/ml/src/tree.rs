@@ -1,0 +1,374 @@
+//! CART decision trees (Gini impurity) — the building block of the Random
+//! Forest and the subject of the TreeSHAP analysis.
+
+use crate::classifier::{positive_rate, validate_fit_inputs, Classifier};
+use phishinghook_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One node of a fitted tree, in a flat arena.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Splitting feature index (unused for leaves).
+    pub feature: u32,
+    /// Split threshold: samples with `x[feature] <= threshold` go left.
+    pub threshold: f32,
+    /// Arena index of the left child (0 for leaves).
+    pub left: u32,
+    /// Arena index of the right child (0 for leaves).
+    pub right: u32,
+    /// Fraction of positive (class 1) training samples in this node.
+    pub value: f32,
+    /// Number of training samples that reached this node ("cover"), needed
+    /// by TreeSHAP.
+    pub cover: f32,
+    /// `true` if this node is a leaf.
+    pub is_leaf: bool,
+}
+
+/// Hyper-parameters for tree construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child.
+    pub min_samples_leaf: usize,
+    /// Features considered per split: `None` = all, `Some(m)` = a random
+    /// subset of `m` (Random-Forest style).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
+    }
+}
+
+/// A fitted CART classification tree.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_linalg::Matrix;
+/// use phishinghook_ml::{Classifier, DecisionTree};
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![0.2], vec![0.9], vec![1.0]]);
+/// let y = [0, 0, 1, 1];
+/// let mut tree = DecisionTree::default();
+/// tree.fit(&x, &y);
+/// assert_eq!(tree.predict(&x), vec![0, 0, 1, 1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTree {
+    params: TreeParams,
+    seed: u64,
+    nodes: Vec<Node>,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree with the given parameters.
+    pub fn new(params: TreeParams, seed: u64) -> Self {
+        DecisionTree { params, seed, nodes: Vec::new() }
+    }
+
+    /// The fitted node arena (empty before `fit`). Index 0 is the root.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Probability of class 1 for a single sample.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut i = 0usize;
+        loop {
+            let node = &self.nodes[i];
+            if node.is_leaf {
+                return node.value;
+            }
+            i = if row[node.feature as usize] <= node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
+    /// Fits on a subset of rows (used by the forest for bootstrap samples).
+    pub(crate) fn fit_indices(&mut self, x: &Matrix, y: &[u8], indices: &[usize]) {
+        self.nodes.clear();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut idx = indices.to_vec();
+        self.nodes.push(Node {
+            feature: 0,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            value: 0.0,
+            cover: idx.len() as f32,
+            is_leaf: true,
+        });
+        self.build(x, y, &mut idx, 0, 0, &mut rng);
+    }
+
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[u8],
+        idx: &mut [usize],
+        node: usize,
+        depth: usize,
+        rng: &mut StdRng,
+    ) {
+        let n = idx.len();
+        let positives: usize = idx.iter().map(|&i| y[i] as usize).sum();
+        let p = positives as f32 / n as f32;
+        self.nodes[node].value = p;
+        self.nodes[node].cover = n as f32;
+
+        if depth >= self.params.max_depth
+            || n < self.params.min_samples_split
+            || positives == 0
+            || positives == n
+        {
+            return;
+        }
+
+        let Some((feature, threshold)) = self.best_split(x, y, idx, rng) else {
+            return;
+        };
+
+        // Partition idx in place.
+        let mut split = 0usize;
+        for i in 0..n {
+            if x[(idx[i], feature)] <= threshold {
+                idx.swap(i, split);
+                split += 1;
+            }
+        }
+        if split < self.params.min_samples_leaf || n - split < self.params.min_samples_leaf {
+            return;
+        }
+
+        let left = self.nodes.len();
+        let right = left + 1;
+        for _ in 0..2 {
+            self.nodes.push(Node {
+                feature: 0,
+                threshold: 0.0,
+                left: 0,
+                right: 0,
+                value: 0.0,
+                cover: 0.0,
+                is_leaf: true,
+            });
+        }
+        self.nodes[node].feature = feature as u32;
+        self.nodes[node].threshold = threshold;
+        self.nodes[node].left = left as u32;
+        self.nodes[node].right = right as u32;
+        self.nodes[node].is_leaf = false;
+
+        let (idx_left, idx_right) = idx.split_at_mut(split);
+        self.build(x, y, idx_left, left, depth + 1, rng);
+        self.build(x, y, idx_right, right, depth + 1, rng);
+    }
+
+    /// Finds the Gini-optimal `(feature, threshold)` over the (possibly
+    /// subsampled) feature set, or `None` when no impurity-reducing split
+    /// exists.
+    fn best_split(
+        &self,
+        x: &Matrix,
+        y: &[u8],
+        idx: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<(usize, f32)> {
+        let n = idx.len() as f32;
+        let total_pos: f32 = idx.iter().map(|&i| y[i] as u32 as f32).sum();
+
+        let mut features: Vec<usize> = (0..x.cols()).collect();
+        if let Some(m) = self.params.max_features {
+            features.shuffle(rng);
+            features.truncate(m.max(1).min(x.cols()));
+        }
+
+        let parent_gini = gini(total_pos, n);
+        let mut best: Option<(f32, usize, f32)> = None;
+
+        let mut order: Vec<usize> = Vec::with_capacity(idx.len());
+        for &feature in &features {
+            order.clear();
+            order.extend_from_slice(idx);
+            order.sort_by(|&a, &b| {
+                x[(a, feature)]
+                    .partial_cmp(&x[(b, feature)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+
+            let mut left_pos = 0.0f32;
+            for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
+                left_pos += y[i] as u32 as f32;
+                let v = x[(i, feature)];
+                let v_next = x[(order[k + 1], feature)];
+                if v == v_next {
+                    continue; // can't split between equal values
+                }
+                let nl = (k + 1) as f32;
+                let nr = n - nl;
+                let gain = parent_gini
+                    - (nl / n) * gini(left_pos, nl)
+                    - (nr / n) * gini(total_pos - left_pos, nr);
+                if gain > 1e-9 {
+                    match best {
+                        Some((g, _, _)) if gain <= g => {}
+                        _ => best = Some((gain, feature, (v + v_next) / 2.0)),
+                    }
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+}
+
+/// Gini impurity of a node with `pos` positives out of `n`.
+fn gini(pos: f32, n: f32) -> f32 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    2.0 * p * (1.0 - p)
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) {
+        validate_fit_inputs(x, y);
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        self.fit_indices(x, y, &indices);
+        if self.nodes.is_empty() {
+            // Degenerate fallback: predict the prior.
+            self.nodes.push(Node {
+                feature: 0,
+                threshold: 0.0,
+                left: 0,
+                right: 0,
+                value: positive_rate(y),
+                cover: y.len() as f32,
+                is_leaf: true,
+            });
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert!(!self.nodes.is_empty(), "predict before fit");
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn xor_data(n: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(0.0..1.0);
+            let b: f32 = rng.gen_range(0.0..1.0);
+            rows.push(vec![a, b]);
+            y.push(u8::from((a > 0.5) != (b > 0.5)));
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn perfectly_separable_data_is_fit_exactly() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.9], vec![1.0]]);
+        let y = [0, 0, 1, 1];
+        let mut tree = DecisionTree::default();
+        tree.fit(&x, &y);
+        assert_eq!(tree.predict(&x), y.to_vec());
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let (x, y) = xor_data(400, 3);
+        let mut tree = DecisionTree::new(
+            TreeParams { max_depth: 4, ..TreeParams::default() },
+            0,
+        );
+        tree.fit(&x, &y);
+        let pred = tree.predict(&x);
+        let acc = pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f32 / y.len() as f32;
+        assert!(acc > 0.95, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let (x, y) = xor_data(300, 5);
+        let mut tree = DecisionTree::new(
+            TreeParams { max_depth: 1, ..TreeParams::default() },
+            0,
+        );
+        tree.fit(&x, &y);
+        // Depth-1 tree has at most 3 nodes.
+        assert!(tree.nodes().len() <= 3);
+    }
+
+    #[test]
+    fn single_class_collapses_to_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = [1, 1, 1];
+        let mut tree = DecisionTree::default();
+        tree.fit(&x, &y);
+        assert_eq!(tree.nodes().len(), 1);
+        assert_eq!(tree.predict_proba(&x), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_features_yield_prior_leaf() {
+        let x = Matrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0], vec![5.0]]);
+        let y = [0, 1, 0, 1];
+        let mut tree = DecisionTree::default();
+        tree.fit(&x, &y);
+        assert_eq!(tree.nodes().len(), 1);
+        assert_eq!(tree.predict_proba(&x)[0], 0.5);
+    }
+
+    #[test]
+    fn covers_are_consistent() {
+        let (x, y) = xor_data(200, 9);
+        let mut tree = DecisionTree::default();
+        tree.fit(&x, &y);
+        for node in tree.nodes() {
+            if !node.is_leaf {
+                let l = &tree.nodes()[node.left as usize];
+                let r = &tree.nodes()[node.right as usize];
+                assert_eq!(node.cover, l.cover + r.cover);
+            }
+        }
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let (x, y) = xor_data(100, 13);
+        let mut tree = DecisionTree::new(
+            TreeParams { min_samples_leaf: 20, ..TreeParams::default() },
+            0,
+        );
+        tree.fit(&x, &y);
+        for node in tree.nodes() {
+            if node.is_leaf {
+                assert!(node.cover >= 20.0 || tree.nodes().len() == 1);
+            }
+        }
+    }
+}

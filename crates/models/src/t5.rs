@@ -1,0 +1,244 @@
+//! T5-style classifier: a bidirectional transformer encoder with a
+//! single-step cross-attention decoder head.
+//!
+//! T5 is an encoder–decoder model; for sequence classification the decoder
+//! generates one step from a learned start query attending over the encoder
+//! output — reproduced here exactly, at small width. The α (truncate) and β
+//! (sliding window) data policies follow the same contract as
+//! [`crate::Gpt2Classifier`].
+
+use crate::trainer::{train_binary, TrainConfig};
+use phishinghook_nn::{
+    LayerNorm, Linear, MultiHeadAttention, ParamId, ParamStore, Tape, Tensor, TransformerBlock,
+    Var,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// T5 classifier configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct T5Config {
+    /// Token vocabulary size.
+    pub vocab: usize,
+    /// Context length (tokens per window).
+    pub context: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Encoder blocks.
+    pub depth: usize,
+    /// Maximum training windows per contract.
+    pub max_train_windows: usize,
+    /// Training loop settings.
+    pub train: TrainConfig,
+}
+
+impl Default for T5Config {
+    fn default() -> Self {
+        T5Config {
+            vocab: 258,
+            context: 64,
+            dim: 32,
+            heads: 4,
+            depth: 2,
+            max_train_windows: 3,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// Encoder–decoder transformer classifier over tokenized opcode windows.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_models::t5::{T5Classifier, T5Config};
+/// use phishinghook_models::TrainConfig;
+///
+/// let cfg = T5Config {
+///     vocab: 16, context: 6, dim: 8, heads: 2, depth: 1,
+///     train: TrainConfig { epochs: 20, ..Default::default() },
+///     ..Default::default()
+/// };
+/// let mut model = T5Classifier::new(cfg);
+/// let xs: Vec<Vec<Vec<u32>>> = (0..16)
+///     .map(|i| vec![vec![2 + 7 * (i % 2) as u32, 3, 4, 5, 0, 0]])
+///     .collect();
+/// let ys: Vec<u8> = (0..16).map(|i| (i % 2) as u8).collect();
+/// model.fit(&xs, &ys);
+/// let p = model.predict_proba(&xs);
+/// assert!(p[1] > p[0]);
+/// ```
+#[derive(Debug)]
+pub struct T5Classifier {
+    config: T5Config,
+    store: ParamStore,
+    token_embed: ParamId,
+    pos_embed: ParamId,
+    encoder: Vec<TransformerBlock>,
+    dec_query: ParamId,
+    cross_attn: MultiHeadAttention,
+    dec_norm: LayerNorm,
+    head: Linear,
+}
+
+impl T5Classifier {
+    /// Builds the model with fresh parameters.
+    pub fn new(config: T5Config) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.train.seed);
+        let mut store = ParamStore::new();
+        let token_embed =
+            store.param(Tensor::random(&[config.vocab.max(2), config.dim], 0.1, &mut rng));
+        let pos_embed = store.param(Tensor::random(&[config.context, config.dim], 0.1, &mut rng));
+        let encoder = (0..config.depth)
+            .map(|_| TransformerBlock::new(&mut store, config.dim, config.heads, &mut rng))
+            .collect();
+        let dec_query = store.param(Tensor::random(&[1, config.dim], 0.1, &mut rng));
+        let cross_attn = MultiHeadAttention::new(&mut store, config.dim, config.heads, &mut rng);
+        let dec_norm = LayerNorm::new(&mut store, config.dim);
+        let head = Linear::new(&mut store, config.dim, 1, &mut rng);
+        T5Classifier {
+            config,
+            store,
+            token_embed,
+            pos_embed,
+            encoder,
+            dec_query,
+            cross_attn,
+            dec_norm,
+            head,
+        }
+    }
+
+    fn window_logit(&self, t: &mut Tape, s: &ParamStore, window: &[u32]) -> Var {
+        let ids: Vec<u32> = window.iter().copied().take(self.config.context).collect();
+        let table = t.param(s, self.token_embed);
+        let e = t.embedding(table, &ids);
+        let pos_full = t.param(s, self.pos_embed);
+        let pos = if ids.len() == self.config.context {
+            pos_full
+        } else {
+            let data = t.value(pos_full).data()[..ids.len() * self.config.dim].to_vec();
+            t.input(Tensor::from_vec(&[ids.len(), self.config.dim], data))
+        };
+        let mut x = t.add(e, pos);
+        for block in &self.encoder {
+            x = block.forward(t, s, x, false);
+        }
+        // Single decoding step: learned query cross-attends over the memory.
+        let q = t.param(s, self.dec_query);
+        let ctx = self.cross_attn.forward_cross(t, s, q, x);
+        let ctx = t.add(q, ctx);
+        let ctx = self.dec_norm.forward(t, s, ctx);
+        self.head.forward(t, s, ctx)
+    }
+
+    /// Trains on per-contract window lists with 0/1 labels (every window
+    /// inherits its contract's label, capped at `max_train_windows`).
+    pub fn fit(&mut self, xs: &[Vec<Vec<u32>>], y: &[u8]) {
+        let mut flat: Vec<Vec<u32>> = Vec::new();
+        let mut flat_y: Vec<u8> = Vec::new();
+        for (windows, &label) in xs.iter().zip(y) {
+            for w in windows.iter().take(self.config.max_train_windows) {
+                flat.push(w.clone());
+                flat_y.push(label);
+            }
+        }
+        let (token_embed, pos_embed, dec_query) =
+            (self.token_embed, self.pos_embed, self.dec_query);
+        let encoder = self.encoder.clone();
+        let cross = self.cross_attn.clone();
+        let (norm, head) = (self.dec_norm, self.head);
+        let (context, dim) = (self.config.context, self.config.dim);
+        let cfg = self.config.train;
+        let mut store = std::mem::take(&mut self.store);
+        train_binary(&mut store, &flat, &flat_y, &cfg, &[], |t, s, window| {
+            let ids: Vec<u32> = window.iter().copied().take(context).collect();
+            let table = t.param(s, token_embed);
+            let e = t.embedding(table, &ids);
+            let pos_full = t.param(s, pos_embed);
+            let pos = if ids.len() == context {
+                pos_full
+            } else {
+                let data = t.value(pos_full).data()[..ids.len() * dim].to_vec();
+                t.input(Tensor::from_vec(&[ids.len(), dim], data))
+            };
+            let mut x = t.add(e, pos);
+            for block in &encoder {
+                x = block.forward(t, s, x, false);
+            }
+            let q = t.param(s, dec_query);
+            let ctx = cross.forward_cross(t, s, q, x);
+            let ctx = t.add(q, ctx);
+            let ctx = norm.forward(t, s, ctx);
+            head.forward(t, s, ctx)
+        });
+        self.store = store;
+    }
+
+    /// Phishing probability per contract (mean over windows).
+    pub fn predict_proba(&self, xs: &[Vec<Vec<u32>>]) -> Vec<f32> {
+        xs.iter()
+            .map(|windows| {
+                if windows.is_empty() {
+                    return 0.5;
+                }
+                let mut sum = 0.0f32;
+                for w in windows {
+                    let mut tape = Tape::new();
+                    let z = self.window_logit(&mut tape, &self.store, w);
+                    let v = tape.value(z).data()[0];
+                    sum += 1.0 / (1.0 + (-v).exp());
+                }
+                sum / windows.len() as f32
+            })
+            .collect()
+    }
+
+    /// Total trainable scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.store.scalar_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> T5Config {
+        T5Config {
+            vocab: 32,
+            context: 8,
+            dim: 8,
+            heads: 2,
+            depth: 1,
+            max_train_windows: 2,
+            train: TrainConfig { epochs: 20, learning_rate: 0.02, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn learns_token_presence() {
+        let mut model = T5Classifier::new(toy());
+        let xs: Vec<Vec<Vec<u32>>> = (0..30)
+            .map(|i| vec![vec![4, 6 + 11 * (i % 2) as u32, 2, 2, 0, 0, 0, 0]])
+            .collect();
+        let ys: Vec<u8> = (0..30).map(|i| (i % 2) as u8).collect();
+        model.fit(&xs, &ys);
+        let probs = model.predict_proba(&xs);
+        let acc = probs
+            .iter()
+            .zip(&ys)
+            .filter(|(p, &l)| (**p >= 0.5) == (l == 1))
+            .count();
+        assert!(acc >= 28, "accuracy {acc}/30");
+    }
+
+    #[test]
+    fn handles_short_windows() {
+        let model = T5Classifier::new(toy());
+        let p = model.predict_proba(&[vec![vec![1, 2, 3]]]);
+        assert!(p[0].is_finite());
+    }
+}

@@ -1,0 +1,354 @@
+//! Reusable layers built on the tape: dense, layer-norm, multi-head
+//! attention, transformer blocks and a GRU.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Dense layer `y = x W + b` over `(l, in)` inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+}
+
+impl Linear {
+    /// Registers parameters for an `in → out` dense layer.
+    pub fn new<R: Rng>(store: &mut ParamStore, input: usize, output: usize, rng: &mut R) -> Self {
+        Linear {
+            w: store.he(&[input, output], input, rng),
+            b: store.zeros(&[output]),
+        }
+    }
+
+    /// Applies the layer.
+    pub fn forward(&self, t: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = t.param(store, self.w);
+        let b = t.param(store, self.b);
+        let h = t.matmul(x, w);
+        t.add_bias(h, b)
+    }
+
+    /// The layer's parameter handles `[weight, bias]` (for freezing).
+    pub fn params(&self) -> [ParamId; 2] {
+        [self.w, self.b]
+    }
+}
+
+/// Layer normalization with learned gain/offset.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+}
+
+impl LayerNorm {
+    /// Registers parameters for a width-`d` layer norm.
+    pub fn new(store: &mut ParamStore, d: usize) -> Self {
+        LayerNorm { gamma: store.full(&[d], 1.0), beta: store.zeros(&[d]) }
+    }
+
+    /// Applies the layer.
+    pub fn forward(&self, t: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let gamma = t.param(store, self.gamma);
+        let beta = t.param(store, self.beta);
+        t.layer_norm(x, gamma, beta)
+    }
+}
+
+/// Multi-head self-attention over `(l, d)` sequences.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    heads: usize,
+    head_dim: usize,
+    wq: Vec<ParamId>,
+    wk: Vec<ParamId>,
+    wv: Vec<ParamId>,
+    out: Linear,
+}
+
+impl MultiHeadAttention {
+    /// Registers an attention block with `heads` heads over width `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `d % heads == 0`.
+    pub fn new<R: Rng>(store: &mut ParamStore, d: usize, heads: usize, rng: &mut R) -> Self {
+        assert_eq!(d % heads, 0, "model width must divide head count");
+        let head_dim = d / heads;
+        let mk = |store: &mut ParamStore, rng: &mut R| -> Vec<ParamId> {
+            (0..heads).map(|_| store.he(&[d, head_dim], d, rng)).collect()
+        };
+        MultiHeadAttention {
+            heads,
+            head_dim,
+            wq: mk(store, rng),
+            wk: mk(store, rng),
+            wv: mk(store, rng),
+            out: Linear::new(store, d, d, rng),
+        }
+    }
+
+    /// Applies self-attention; `causal` adds a lower-triangular mask (GPT-2
+    /// style).
+    pub fn forward(&self, t: &mut Tape, store: &ParamStore, x: Var, causal: bool) -> Var {
+        let l = t.value(x).dims2().0;
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mask = if causal {
+            let mut m = vec![0.0f32; l * l];
+            for i in 0..l {
+                for j in i + 1..l {
+                    m[i * l + j] = -1e9;
+                }
+            }
+            Some(t.input(Tensor::from_vec(&[l, l], m)))
+        } else {
+            None
+        };
+
+        let mut merged: Option<Var> = None;
+        for h in 0..self.heads {
+            let wq = t.param(store, self.wq[h]);
+            let wk = t.param(store, self.wk[h]);
+            let wv = t.param(store, self.wv[h]);
+            let q = t.matmul(x, wq);
+            let k = t.matmul(x, wk);
+            let v = t.matmul(x, wv);
+            let kt = t.transpose(k);
+            let s = t.matmul(q, kt);
+            let mut s = t.scale(s, scale);
+            if let Some(m) = mask {
+                s = t.add(s, m);
+            }
+            let a = t.softmax_rows(s);
+            let o = t.matmul(a, v);
+            merged = Some(match merged {
+                None => o,
+                Some(acc) => t.concat_cols(acc, o),
+            });
+        }
+        let concat = merged.expect("at least one head");
+        self.out.forward(t, store, concat)
+    }
+
+    /// Cross-attention: queries from `q_input` `(lq, d)`, keys/values from
+    /// `kv_input` `(lk, d)` (T5 decoder style).
+    pub fn forward_cross(
+        &self,
+        t: &mut Tape,
+        store: &ParamStore,
+        q_input: Var,
+        kv_input: Var,
+    ) -> Var {
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut merged: Option<Var> = None;
+        for h in 0..self.heads {
+            let wq = t.param(store, self.wq[h]);
+            let wk = t.param(store, self.wk[h]);
+            let wv = t.param(store, self.wv[h]);
+            let q = t.matmul(q_input, wq);
+            let k = t.matmul(kv_input, wk);
+            let v = t.matmul(kv_input, wv);
+            let kt = t.transpose(k);
+            let s = t.matmul(q, kt);
+            let s = t.scale(s, scale);
+            let a = t.softmax_rows(s);
+            let o = t.matmul(a, v);
+            merged = Some(match merged {
+                None => o,
+                Some(acc) => t.concat_cols(acc, o),
+            });
+        }
+        let concat = merged.expect("at least one head");
+        self.out.forward(t, store, concat)
+    }
+}
+
+/// Pre-norm transformer encoder block: `x + MHA(LN(x))`, `x + MLP(LN(x))`.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl TransformerBlock {
+    /// Registers a block of width `d` with `heads` heads and a `4d` MLP.
+    pub fn new<R: Rng>(store: &mut ParamStore, d: usize, heads: usize, rng: &mut R) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(store, d),
+            attn: MultiHeadAttention::new(store, d, heads, rng),
+            ln2: LayerNorm::new(store, d),
+            fc1: Linear::new(store, d, 4 * d, rng),
+            fc2: Linear::new(store, 4 * d, d, rng),
+        }
+    }
+
+    /// Applies the block.
+    pub fn forward(&self, t: &mut Tape, store: &ParamStore, x: Var, causal: bool) -> Var {
+        let h = self.ln1.forward(t, store, x);
+        let a = self.attn.forward(t, store, h, causal);
+        let x = t.add(x, a);
+        let h = self.ln2.forward(t, store, x);
+        let h = self.fc1.forward(t, store, h);
+        let h = t.gelu(h);
+        let h = self.fc2.forward(t, store, h);
+        t.add(x, h)
+    }
+}
+
+/// A gated recurrent unit processing `(l, in)` sequences into a final
+/// `(1, hidden)` state (SCSGuard's sequence model).
+#[derive(Debug, Clone)]
+pub struct Gru {
+    hidden: usize,
+    wz: Linear,
+    uz: Linear,
+    wr: Linear,
+    ur: Linear,
+    wh: Linear,
+    uh: Linear,
+}
+
+impl Gru {
+    /// Registers a GRU with the given input and hidden widths.
+    pub fn new<R: Rng>(store: &mut ParamStore, input: usize, hidden: usize, rng: &mut R) -> Self {
+        Gru {
+            hidden,
+            wz: Linear::new(store, input, hidden, rng),
+            uz: Linear::new(store, hidden, hidden, rng),
+            wr: Linear::new(store, input, hidden, rng),
+            ur: Linear::new(store, hidden, hidden, rng),
+            wh: Linear::new(store, input, hidden, rng),
+            uh: Linear::new(store, hidden, hidden, rng),
+        }
+    }
+
+    /// Runs the GRU over the rows of `x` and returns the final hidden state.
+    pub fn forward(&self, t: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let l = t.value(x).dims2().0;
+        let mut h = t.input(Tensor::zeros(&[1, self.hidden]));
+        for step in 0..l {
+            let xt = t.row_at(x, step);
+            let z1 = self.wz.forward(t, store, xt);
+            let z2 = self.uz.forward(t, store, h);
+            let z3 = t.add(z1, z2);
+            let z = t.sigmoid(z3);
+            let r1 = self.wr.forward(t, store, xt);
+            let r2 = self.ur.forward(t, store, h);
+            let r3 = t.add(r1, r2);
+            let r = t.sigmoid(r3);
+            let rh = t.mul(r, h);
+            let c1 = self.wh.forward(t, store, xt);
+            let c2 = self.uh.forward(t, store, rh);
+            let c3 = t.add(c1, c2);
+            let candidate = t.tanh(c3);
+            // h' = (1 - z) ⊙ h + z ⊙ candidate
+            let neg_z = t.scale(z, -1.0);
+            let one_minus_z = t.add_scalar(neg_z, 1.0);
+            let keep = t.mul(one_minus_z, h);
+            let update = t.mul(z, candidate);
+            h = t.add(keep, update);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn store_and_rng() -> (ParamStore, StdRng) {
+        (ParamStore::new(), StdRng::seed_from_u64(17))
+    }
+
+    #[test]
+    fn linear_shapes() {
+        let (mut store, mut rng) = store_and_rng();
+        let lin = Linear::new(&mut store, 4, 3, &mut rng);
+        let mut t = Tape::new();
+        let x = t.input(Tensor::zeros(&[5, 4]));
+        let y = lin.forward(&mut t, &store, x);
+        assert_eq!(t.value(y).shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn attention_preserves_shape() {
+        let (mut store, mut rng) = store_and_rng();
+        let attn = MultiHeadAttention::new(&mut store, 8, 2, &mut rng);
+        let mut t = Tape::new();
+        let x = t.input(Tensor::random(&[6, 8], 0.5, &mut rng));
+        let y = attn.forward(&mut t, &store, x, false);
+        assert_eq!(t.value(y).shape(), &[6, 8]);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        // With a causal mask, changing the last token must not affect the
+        // first row of the attention output.
+        let (mut store, mut rng) = store_and_rng();
+        let attn = MultiHeadAttention::new(&mut store, 4, 1, &mut rng);
+        let base = Tensor::random(&[3, 4], 0.5, &mut rng);
+        let mut changed = base.clone();
+        for v in changed.data_mut()[8..].iter_mut() {
+            *v += 1.0;
+        }
+        let run = |input: Tensor| {
+            let mut t = Tape::new();
+            let x = t.input(input);
+            let y = attn.forward(&mut t, &store, x, true);
+            t.value(y).data()[..4].to_vec()
+        };
+        assert_eq!(run(base), run(changed));
+    }
+
+    #[test]
+    fn transformer_block_trains() {
+        // One block + head must overfit a single example quickly.
+        let (mut store, mut rng) = store_and_rng();
+        let block = TransformerBlock::new(&mut store, 8, 2, &mut rng);
+        let head = Linear::new(&mut store, 8, 1, &mut rng);
+        let x_data = Tensor::random(&[4, 8], 0.8, &mut rng);
+        let mut last = f32::INFINITY;
+        for _ in 0..30 {
+            let mut t = Tape::new();
+            let x = t.input(x_data.clone());
+            let h = block.forward(&mut t, &store, x, false);
+            let pooled = t.mean_rows(h);
+            let z = head.forward(&mut t, &store, pooled);
+            let loss = t.bce_with_logit(z, 1.0);
+            last = t.value(loss).item();
+            store.zero_grads();
+            t.backward(loss, &mut store);
+            store.adam_step(0.01, 1);
+        }
+        assert!(last < 0.1, "loss did not fall: {last}");
+    }
+
+    #[test]
+    fn gru_final_state_shape_and_training() {
+        let (mut store, mut rng) = store_and_rng();
+        let gru = Gru::new(&mut store, 6, 5, &mut rng);
+        let head = Linear::new(&mut store, 5, 1, &mut rng);
+        let x_data = Tensor::random(&[7, 6], 0.8, &mut rng);
+        let mut last = f32::INFINITY;
+        for _ in 0..40 {
+            let mut t = Tape::new();
+            let x = t.input(x_data.clone());
+            let h = gru.forward(&mut t, &store, x);
+            assert_eq!(t.value(h).shape(), &[1, 5]);
+            let z = head.forward(&mut t, &store, h);
+            let loss = t.bce_with_logit(z, 0.0);
+            last = t.value(loss).item();
+            store.zero_grads();
+            t.backward(loss, &mut store);
+            store.adam_step(0.02, 1);
+        }
+        assert!(last < 0.1, "GRU loss did not fall: {last}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Trainable-parameter storage with an Adam optimizer.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Handle to one parameter tensor inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// Owns every trainable tensor of a model plus its gradient and Adam state.
+///
+/// Training loop shape: build a fresh tape per sample, call
+/// [`Tape::backward`](crate::tape::Tape::backward) (which accumulates into
+/// the store's gradients), then [`ParamStore::adam_step`] once per
+/// mini-batch.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_nn::{ParamStore, Tensor};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut store = ParamStore::new();
+/// let w = store.param(Tensor::he(&[4, 2], 4, &mut rng));
+/// assert_eq!(store.value(w).shape(), &[4, 2]);
+/// ```
+#[derive(Debug, Default)]
+pub struct ParamStore {
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    adam_m: Vec<Tensor>,
+    adam_v: Vec<Tensor>,
+    step: usize,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers a parameter with an initial value.
+    pub fn param(&mut self, init: Tensor) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.grads.push(Tensor::zeros(init.shape()));
+        self.adam_m.push(Tensor::zeros(init.shape()));
+        self.adam_v.push(Tensor::zeros(init.shape()));
+        self.values.push(init);
+        id
+    }
+
+    /// Registers a zero-initialised parameter (biases, norm offsets).
+    pub fn zeros(&mut self, shape: &[usize]) -> ParamId {
+        self.param(Tensor::zeros(shape))
+    }
+
+    /// Registers a He-initialised parameter.
+    pub fn he<R: Rng>(&mut self, shape: &[usize], fan_in: usize, rng: &mut R) -> ParamId {
+        self.param(Tensor::he(shape, fan_in, rng))
+    }
+
+    /// Registers a parameter filled with a constant.
+    pub fn full(&mut self, shape: &[usize], value: f32) -> ParamId {
+        let mut t = Tensor::zeros(shape);
+        t.data_mut().fill(value);
+        self.param(t)
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Adds `g` into the stored gradient (called by the tape).
+    pub(crate) fn accumulate_grad(&mut self, id: ParamId, g: &Tensor) {
+        let acc = &mut self.grads[id.0];
+        debug_assert_eq!(acc.shape(), g.shape());
+        for (a, b) in acc.data_mut().iter_mut().zip(g.data()) {
+            *a += b;
+        }
+    }
+
+    /// Zeroes all gradients (start of a mini-batch).
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.data_mut().fill(0.0);
+        }
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn scalar_count(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// One Adam update over all parameters with the accumulated gradients,
+    /// scaled by `1/batch` (pass the mini-batch size).
+    pub fn adam_step(&mut self, lr: f32, batch: usize) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        self.step += 1;
+        let t = self.step as i32;
+        let bc1 = 1.0 - B1.powi(t);
+        let bc2 = 1.0 - B2.powi(t);
+        let scale = 1.0 / batch.max(1) as f32;
+        for p in 0..self.values.len() {
+            let g_tensor = &self.grads[p];
+            let m = self.adam_m[p].data_mut();
+            let v = self.adam_v[p].data_mut();
+            let w = self.values[p].data_mut();
+            for i in 0..w.len() {
+                let g = g_tensor.data()[i] * scale;
+                m[i] = B1 * m[i] + (1.0 - B1) * g;
+                v[i] = B2 * v[i] + (1.0 - B2) * g * g;
+                w[i] -= lr * (m[i] / bc1) / ((v[i] / bc2).sqrt() + EPS);
+            }
+        }
+    }
+
+    /// Freezes a parameter by zeroing its future updates: gradient is still
+    /// accumulated but `adam_step_masked` skips the listed ids (used by
+    /// ESCORT's transfer-learning phase).
+    pub fn adam_step_masked(&mut self, lr: f32, batch: usize, frozen: &[ParamId]) {
+        // Save frozen values, step, then restore.
+        let saved: Vec<(ParamId, Tensor)> =
+            frozen.iter().map(|&id| (id, self.values[id.0].clone())).collect();
+        self.adam_step(lr, batch);
+        for (id, v) in saved {
+            self.values[id.0] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_reduces_a_quadratic() {
+        // Minimize (w - 3)^2 by feeding grad = 2(w - 3).
+        let mut store = ParamStore::new();
+        let id = store.param(Tensor::scalar(0.0));
+        for _ in 0..500 {
+            store.zero_grads();
+            let w = store.value(id).item();
+            store.accumulate_grad(id, &Tensor::scalar(2.0 * (w - 3.0)));
+            store.adam_step(0.05, 1);
+        }
+        assert!((store.value(id).item() - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn masked_step_freezes_parameters() {
+        let mut store = ParamStore::new();
+        let a = store.param(Tensor::scalar(1.0));
+        let b = store.param(Tensor::scalar(1.0));
+        store.accumulate_grad(a, &Tensor::scalar(1.0));
+        store.accumulate_grad(b, &Tensor::scalar(1.0));
+        store.adam_step_masked(0.1, 1, &[a]);
+        assert_eq!(store.value(a).item(), 1.0);
+        assert!(store.value(b).item() < 1.0);
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut store = ParamStore::new();
+        let a = store.param(Tensor::scalar(0.0));
+        store.accumulate_grad(a, &Tensor::scalar(5.0));
+        store.zero_grads();
+        assert_eq!(store.grad(a).item(), 0.0);
+    }
+
+    #[test]
+    fn scalar_count_sums_all() {
+        let mut store = ParamStore::new();
+        store.zeros(&[2, 3]);
+        store.zeros(&[4]);
+        assert_eq!(store.scalar_count(), 10);
+        assert_eq!(store.len(), 2);
+    }
+}

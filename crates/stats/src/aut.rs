@@ -1,0 +1,79 @@
+//! Area Under Time (AUT): the temporal-robustness metric of
+//! TESSERACT (Pendlebury et al., USENIX Security '19), used by the paper's
+//! time-resistance analysis (Fig. 8).
+//!
+//! `AUT(f, N) = 1/(N−1) · Σₖ (f(k) + f(k+1)) / 2` — the trapezoidal mean of a
+//! performance metric (here the phishing-class F1 score) over `N` test
+//! periods, normalized to `[0, 1]` when the metric itself is.
+
+/// Computes AUT over a series of per-period metric values.
+///
+/// A single period degenerates to the metric itself.
+///
+/// # Panics
+///
+/// Panics if `series` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_stats::aut::area_under_time;
+///
+/// // Perfectly stable detector.
+/// assert_eq!(area_under_time(&[0.9, 0.9, 0.9]), 0.9);
+/// // Linearly decaying detector.
+/// let aut = area_under_time(&[1.0, 0.5, 0.0]);
+/// assert!((aut - 0.5).abs() < 1e-12);
+/// ```
+pub fn area_under_time(series: &[f64]) -> f64 {
+    assert!(!series.is_empty(), "AUT requires at least one period");
+    if series.len() == 1 {
+        return series[0];
+    }
+    let n = series.len();
+    let sum: f64 = series
+        .windows(2)
+        .map(|w| (w[0] + w[1]) / 2.0)
+        .sum();
+    sum / (n - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_period() {
+        assert_eq!(area_under_time(&[0.7]), 0.7);
+    }
+
+    #[test]
+    fn trapezoid_of_two() {
+        assert!((area_under_time(&[1.0, 0.0]) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "AUT requires")]
+    fn empty_panics() {
+        area_under_time(&[]);
+    }
+
+    proptest! {
+        /// AUT of a [0,1]-bounded series stays within the series' range.
+        #[test]
+        fn bounded_by_extremes(series in proptest::collection::vec(0.0f64..=1.0, 1..24)) {
+            let aut = area_under_time(&series);
+            let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(aut >= min - 1e-12 && aut <= max + 1e-12);
+        }
+
+        /// Constant series have AUT equal to the constant.
+        #[test]
+        fn constant_series(c in 0.0f64..=1.0, n in 1usize..20) {
+            let series = vec![c; n];
+            prop_assert!((area_under_time(&series) - c).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Critical difference diagram (Demšar 2006) data: the post hoc summary the
+//! paper draws in Fig. 6 for the scalability study.
+//!
+//! The procedure is: (1) Friedman test over a `blocks × models` table of a
+//! performance metric; (2) if rejected, pairwise Wilcoxon signed-rank tests
+//! with Holm correction; (3) models whose pairwise comparisons are *not*
+//! significant are joined by a thick bar. This module computes the diagram's
+//! data (mean ranks, pairwise p-values, non-significance cliques); rendering
+//! is left to the caller.
+
+use crate::friedman::{friedman_test, FriedmanError};
+use crate::holm::holm_adjust;
+use crate::wilcoxon::wilcoxon_signed_rank;
+
+/// Pairwise comparison record inside a [`CriticalDifference`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CddPair {
+    /// First model index.
+    pub model_a: usize,
+    /// Second model index.
+    pub model_b: usize,
+    /// Raw Wilcoxon signed-rank p-value (1.0 when the test is undefined
+    /// because all paired differences are zero — identical models).
+    pub p_raw: f64,
+    /// Holm-adjusted p-value.
+    pub p_adjusted: f64,
+}
+
+/// All data required to draw a critical difference diagram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalDifference {
+    /// Mean rank per model; **rank 1 is the best performer** (highest
+    /// metric), matching the rightmost position in the paper's diagram.
+    pub mean_ranks: Vec<f64>,
+    /// Friedman chi-square p-value over the whole table.
+    pub friedman_p: f64,
+    /// Pairwise Wilcoxon comparisons (i < j, lexicographic).
+    pub pairs: Vec<CddPair>,
+    /// Maximal runs of rank-adjacent models with no significant pairwise
+    /// difference at the chosen alpha — the thick horizontal bars.
+    pub cliques: Vec<Vec<usize>>,
+}
+
+impl CriticalDifference {
+    /// Models ordered from best (lowest mean rank) to worst.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.mean_ranks.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.mean_ranks[a]
+                .partial_cmp(&self.mean_ranks[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order
+    }
+}
+
+/// Builds the critical-difference data for a `blocks × models` metric table
+/// (higher metric = better).
+///
+/// # Errors
+///
+/// Propagates [`FriedmanError`] for degenerate tables.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_stats::cdd::critical_difference;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let table = vec![
+///     vec![0.93, 0.86, 0.90],
+///     vec![0.94, 0.85, 0.91],
+///     vec![0.92, 0.87, 0.89],
+///     vec![0.95, 0.84, 0.90],
+/// ];
+/// let cd = critical_difference(&table, 0.05)?;
+/// assert_eq!(cd.ranking()[0], 0); // model 0 is consistently best
+/// # Ok(())
+/// # }
+/// ```
+pub fn critical_difference(
+    blocks: &[Vec<f64>],
+    alpha: f64,
+) -> Result<CriticalDifference, FriedmanError> {
+    // Rank on negated values so that rank 1 = highest metric.
+    let negated: Vec<Vec<f64>> = blocks
+        .iter()
+        .map(|b| b.iter().map(|v| -v).collect())
+        .collect();
+    let friedman = friedman_test(&negated)?;
+    let k = blocks[0].len();
+
+    let mut raw = Vec::new();
+    let mut index_pairs = Vec::new();
+    for i in 0..k {
+        for j in i + 1..k {
+            let xi: Vec<f64> = blocks.iter().map(|b| b[i]).collect();
+            let xj: Vec<f64> = blocks.iter().map(|b| b[j]).collect();
+            let p = match wilcoxon_signed_rank(&xi, &xj) {
+                Ok(w) => w.p_value,
+                Err(_) => 1.0, // identical columns: indistinguishable
+            };
+            raw.push(p);
+            index_pairs.push((i, j));
+        }
+    }
+    let adjusted = holm_adjust(&raw);
+    let pairs: Vec<CddPair> = index_pairs
+        .iter()
+        .zip(raw.iter().zip(&adjusted))
+        .map(|(&(model_a, model_b), (&p_raw, &p_adjusted))| CddPair {
+            model_a,
+            model_b,
+            p_raw,
+            p_adjusted,
+        })
+        .collect();
+
+    // Cliques: over the rank-sorted order, take maximal contiguous runs in
+    // which every pair is non-significant (the standard CD-diagram bars).
+    let mean_ranks = friedman.mean_ranks.clone();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        mean_ranks[a]
+            .partial_cmp(&mean_ranks[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let significant = |a: usize, b: usize| {
+        pairs
+            .iter()
+            .find(|p| {
+                (p.model_a == a && p.model_b == b) || (p.model_a == b && p.model_b == a)
+            })
+            .map(|p| p.p_adjusted < alpha)
+            .unwrap_or(false)
+    };
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    for start in 0..k {
+        let mut end = start;
+        'grow: while end + 1 < k {
+            for m in start..=end {
+                if significant(order[m], order[end + 1]) {
+                    break 'grow;
+                }
+            }
+            end += 1;
+        }
+        if end > start {
+            let clique: Vec<usize> = order[start..=end].to_vec();
+            // Keep only maximal cliques.
+            if !cliques.iter().any(|c| clique.iter().all(|m| c.contains(m))) {
+                cliques.push(clique);
+            }
+        }
+    }
+
+    Ok(CriticalDifference {
+        mean_ranks,
+        friedman_p: friedman.p_value,
+        pairs,
+        cliques,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Vec<Vec<f64>> {
+        // 8 blocks, 3 models; model 0 clearly best, 1 and 2 interleaved.
+        (0..8)
+            .map(|b| {
+                let jitter = (b % 3) as f64 * 0.001;
+                vec![0.95 + jitter, 0.85 + jitter * 2.0, 0.851 - jitter]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ranking_orders_by_mean_rank() {
+        let cd = critical_difference(&table(), 0.05).unwrap();
+        assert_eq!(cd.ranking()[0], 0);
+        assert_eq!(cd.pairs.len(), 3);
+        assert!(cd.friedman_p < 0.05);
+    }
+
+    #[test]
+    fn indistinguishable_models_form_clique() {
+        // Two identical columns plus one dominant one; small n means the
+        // pairwise Wilcoxon cannot separate anything (the paper observed the
+        // same with its 36-measurement scalability sample).
+        let blocks: Vec<Vec<f64>> = (0..4)
+            .map(|b| {
+                let x = 0.8 + b as f64 * 0.01;
+                vec![x, x, x + 0.1]
+            })
+            .collect();
+        let cd = critical_difference(&blocks, 0.05).unwrap();
+        assert!(!cd.cliques.is_empty());
+        // The two identical models must share a clique.
+        assert!(cd
+            .cliques
+            .iter()
+            .any(|c| c.contains(&0) && c.contains(&1)));
+    }
+
+    #[test]
+    fn propagates_friedman_errors() {
+        assert!(critical_difference(&[], 0.05).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Cliff's delta: a non-parametric effect size for two samples.
+//!
+//! The paper reports Cliff's δ in the scalability analysis (e.g. −0.778 for
+//! SCSGuard vs ECA+EfficientNet accuracy) to show that effect sizes can be
+//! large even when small-sample Wilcoxon tests fail to reach significance.
+
+/// Magnitude bands for |δ| following Romano et al. (2006).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaMagnitude {
+    /// |δ| < 0.147.
+    Negligible,
+    /// 0.147 ≤ |δ| < 0.33.
+    Small,
+    /// 0.33 ≤ |δ| < 0.474.
+    Medium,
+    /// |δ| ≥ 0.474.
+    Large,
+}
+
+/// Computes Cliff's delta `δ = (#(x > y) − #(x < y)) / (n·m)` in `[-1, 1]`.
+///
+/// Positive values mean `x` tends to dominate `y`.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_stats::cliffs::cliffs_delta;
+///
+/// assert_eq!(cliffs_delta(&[2.0, 2.0], &[1.0, 1.0]), 1.0);
+/// assert_eq!(cliffs_delta(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+/// assert_eq!(cliffs_delta(&[1.0, 1.0], &[2.0, 2.0]), -1.0);
+/// ```
+pub fn cliffs_delta(x: &[f64], y: &[f64]) -> f64 {
+    assert!(!x.is_empty() && !y.is_empty(), "cliffs_delta requires non-empty samples");
+    let mut gt = 0i64;
+    let mut lt = 0i64;
+    for &a in x {
+        for &b in y {
+            if a > b {
+                gt += 1;
+            } else if a < b {
+                lt += 1;
+            }
+        }
+    }
+    (gt - lt) as f64 / (x.len() * y.len()) as f64
+}
+
+/// Classifies |δ| into the conventional magnitude bands.
+pub fn delta_magnitude(delta: f64) -> DeltaMagnitude {
+    let d = delta.abs();
+    if d < 0.147 {
+        DeltaMagnitude::Negligible
+    } else if d < 0.33 {
+        DeltaMagnitude::Small
+    } else if d < 0.474 {
+        DeltaMagnitude::Medium
+    } else {
+        DeltaMagnitude::Large
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(cliffs_delta(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+        // x = {3, 4}, y = {1, 2, 3}: pairs greater = 5, less = 0, ties = 1.
+        assert!((cliffs_delta(&[3.0, 4.0], &[1.0, 2.0, 3.0]) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_bands() {
+        assert_eq!(delta_magnitude(0.1), DeltaMagnitude::Negligible);
+        assert_eq!(delta_magnitude(-0.2), DeltaMagnitude::Small);
+        assert_eq!(delta_magnitude(0.4), DeltaMagnitude::Medium);
+        assert_eq!(delta_magnitude(-1.0), DeltaMagnitude::Large);
+    }
+
+    proptest! {
+        #[test]
+        fn antisymmetry(
+            x in proptest::collection::vec(-100.0f64..100.0, 1..30),
+            y in proptest::collection::vec(-100.0f64..100.0, 1..30),
+        ) {
+            let d1 = cliffs_delta(&x, &y);
+            let d2 = cliffs_delta(&y, &x);
+            prop_assert!((d1 + d2).abs() < 1e-12);
+            prop_assert!((-1.0..=1.0).contains(&d1));
+        }
+    }
+}

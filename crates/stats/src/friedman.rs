@@ -1,0 +1,181 @@
+//! Friedman rank test for repeated measures (used to produce the critical
+//! difference diagram of Fig. 6).
+
+use crate::ranks::average_ranks;
+use crate::special::chi2_sf;
+use std::error::Error;
+use std::fmt;
+
+/// Result of a Friedman test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Friedman {
+    /// Chi-square statistic.
+    pub chi2: f64,
+    /// Degrees of freedom (`k − 1`).
+    pub df: usize,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+    /// Mean rank of each treatment across blocks (rank 1 = smallest value).
+    pub mean_ranks: Vec<f64>,
+}
+
+/// Error produced by [`friedman_test`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FriedmanError {
+    /// Fewer than two treatments (columns).
+    TooFewTreatments {
+        /// Number of treatments provided.
+        treatments: usize,
+    },
+    /// No blocks (rows).
+    NoBlocks,
+    /// A block had the wrong number of observations.
+    RaggedBlock {
+        /// Index of the offending block.
+        index: usize,
+    },
+}
+
+impl fmt::Display for FriedmanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FriedmanError::TooFewTreatments { treatments } => {
+                write!(f, "friedman requires at least 2 treatments, got {treatments}")
+            }
+            FriedmanError::NoBlocks => write!(f, "friedman requires at least 1 block"),
+            FriedmanError::RaggedBlock { index } => {
+                write!(f, "block {index} has inconsistent length")
+            }
+        }
+    }
+}
+
+impl Error for FriedmanError {}
+
+/// Runs the Friedman test on a `blocks × treatments` table.
+///
+/// Each block (row) is ranked independently with midranks; the statistic is
+/// `χ² = 12N/(k(k+1)) Σ (R̄ⱼ − (k+1)/2)²`, tie-corrected by dividing by
+/// `1 − ΣΣ(t³−t) / (N k (k²−1))`.
+///
+/// # Errors
+///
+/// See [`FriedmanError`].
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_stats::friedman::friedman_test;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Three models evaluated on four data splits.
+/// let table = vec![
+///     vec![0.90, 0.85, 0.80],
+///     vec![0.91, 0.86, 0.81],
+///     vec![0.92, 0.84, 0.79],
+///     vec![0.93, 0.87, 0.82],
+/// ];
+/// let result = friedman_test(&table)?;
+/// assert!(result.p_value < 0.05); // consistent ordering across blocks
+/// # Ok(())
+/// # }
+/// ```
+pub fn friedman_test(blocks: &[Vec<f64>]) -> Result<Friedman, FriedmanError> {
+    let n = blocks.len();
+    if n == 0 {
+        return Err(FriedmanError::NoBlocks);
+    }
+    let k = blocks[0].len();
+    if k < 2 {
+        return Err(FriedmanError::TooFewTreatments { treatments: k });
+    }
+    for (index, b) in blocks.iter().enumerate() {
+        if b.len() != k {
+            return Err(FriedmanError::RaggedBlock { index });
+        }
+    }
+
+    let nf = n as f64;
+    let kf = k as f64;
+    let mut rank_sums = vec![0.0; k];
+    let mut tie_sum = 0.0;
+    for b in blocks {
+        let ranks = average_ranks(b);
+        for (s, r) in rank_sums.iter_mut().zip(&ranks) {
+            *s += r;
+        }
+        tie_sum += crate::ranks::tie_correction_sum(b);
+    }
+    let mean_ranks: Vec<f64> = rank_sums.iter().map(|s| s / nf).collect();
+
+    let mut chi2 = 0.0;
+    for &r in &rank_sums {
+        chi2 += r * r;
+    }
+    chi2 = 12.0 / (nf * kf * (kf + 1.0)) * chi2 - 3.0 * nf * (kf + 1.0);
+
+    // Tie correction (Conover).
+    let correction = 1.0 - tie_sum / (nf * kf * (kf * kf - 1.0));
+    if correction > 0.0 {
+        chi2 /= correction;
+    }
+
+    let df = k - 1;
+    Ok(Friedman {
+        chi2,
+        df,
+        p_value: chi2_sf(chi2.max(0.0), df),
+        mean_ranks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scipy_style_example() {
+        // scipy.stats.friedmanchisquare of three perfectly ordered columns
+        // over 6 blocks: chi2 = 12, p = chi2_sf(12, 2) ≈ 0.00247875.
+        let blocks: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![1.0 + i as f64, 2.0 + i as f64, 3.0 + i as f64])
+            .collect();
+        let r = friedman_test(&blocks).unwrap();
+        assert!((r.chi2 - 12.0).abs() < 1e-9, "chi2 = {}", r.chi2);
+        assert!((r.p_value - 0.002478752176666357).abs() < 1e-9);
+        assert_eq!(r.mean_ranks, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn unordered_columns_not_significant() {
+        let blocks = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 1.0, 2.0],
+            vec![2.0, 3.0, 1.0],
+        ];
+        let r = friedman_test(&blocks).unwrap();
+        assert!(r.chi2.abs() < 1e-9);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_ties_within_blocks() {
+        let blocks = vec![vec![1.0, 1.0, 2.0], vec![1.0, 1.0, 2.0], vec![3.0, 3.0, 5.0]];
+        let r = friedman_test(&blocks).unwrap();
+        assert!(r.chi2.is_finite());
+        assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(friedman_test(&[]), Err(FriedmanError::NoBlocks));
+        assert_eq!(
+            friedman_test(&[vec![1.0]]),
+            Err(FriedmanError::TooFewTreatments { treatments: 1 })
+        );
+        assert_eq!(
+            friedman_test(&[vec![1.0, 2.0], vec![1.0]]),
+            Err(FriedmanError::RaggedBlock { index: 1 })
+        );
+    }
+}

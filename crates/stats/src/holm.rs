@@ -1,0 +1,92 @@
+//! Holm–Bonferroni step-down correction for multiple comparisons.
+//!
+//! Applied by the paper to the Kruskal–Wallis p-values (Table III) and to
+//! every pairwise p-value of Dunn's test (Fig. 4).
+
+/// Adjusts a family of p-values with the Holm–Bonferroni step-down method.
+///
+/// Sorted ascending, each pᵢ is multiplied by `(m − i)` (1-based: `m − i + 1`),
+/// running maxima are enforced so the adjusted sequence is monotone, and
+/// values are clamped to 1. The output is returned in the *original* order.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_stats::holm::holm_adjust;
+///
+/// let adjusted = holm_adjust(&[0.01, 0.04, 0.03, 0.005]);
+/// // R: p.adjust(c(0.01, 0.04, 0.03, 0.005), method = "holm")
+/// //    0.030 0.060 0.060 0.020
+/// assert!((adjusted[0] - 0.03).abs() < 1e-12);
+/// assert!((adjusted[1] - 0.06).abs() < 1e-12);
+/// assert!((adjusted[2] - 0.06).abs() < 1e-12);
+/// assert!((adjusted[3] - 0.02).abs() < 1e-12);
+/// ```
+pub fn holm_adjust(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&i, &j| {
+        p_values[i]
+            .partial_cmp(&p_values[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut adjusted = vec![0.0; m];
+    let mut running_max: f64 = 0.0;
+    for (rank, &idx) in order.iter().enumerate() {
+        let factor = (m - rank) as f64;
+        let candidate = (p_values[idx] * factor).min(1.0);
+        running_max = running_max.max(candidate);
+        adjusted[idx] = running_max;
+    }
+    adjusted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_p_unchanged() {
+        assert_eq!(holm_adjust(&[0.04]), vec![0.04]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(holm_adjust(&[]).is_empty());
+    }
+
+    #[test]
+    fn matches_r_p_adjust() {
+        // R: p.adjust(c(0.01, 0.02, 0.03, 0.04, 0.05), "holm")
+        //    0.05 0.08 0.09 0.09 0.09
+        let adj = holm_adjust(&[0.01, 0.02, 0.03, 0.04, 0.05]);
+        let want = [0.05, 0.08, 0.09, 0.09, 0.09];
+        for (a, w) in adj.iter().zip(want) {
+            assert!((a - w).abs() < 1e-12, "{a} vs {w}");
+        }
+    }
+
+    proptest! {
+        /// Adjusted p-values are >= raw, <= 1, and order-preserving.
+        #[test]
+        fn adjustment_properties(ps in proptest::collection::vec(0.0f64..1.0, 1..40)) {
+            let adj = holm_adjust(&ps);
+            for (&raw, &a) in ps.iter().zip(&adj) {
+                prop_assert!(a >= raw - 1e-15);
+                prop_assert!(a <= 1.0);
+            }
+            // Order preservation: if p_i <= p_j then adj_i <= adj_j.
+            for i in 0..ps.len() {
+                for j in 0..ps.len() {
+                    if ps[i] < ps[j] {
+                        prop_assert!(adj[i] <= adj[j] + 1e-15);
+                    }
+                }
+            }
+        }
+    }
+}

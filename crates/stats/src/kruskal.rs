@@ -1,0 +1,185 @@
+//! Kruskal–Wallis H test for `k >= 2` independent groups.
+//!
+//! Used by the paper (Table III) to establish that the 13 retained models
+//! differ significantly on each performance metric before running Dunn's
+//! pairwise procedure.
+
+use crate::ranks::{average_ranks, tie_correction_sum};
+use crate::special::chi2_sf;
+use std::error::Error;
+use std::fmt;
+
+/// Result of a Kruskal–Wallis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KruskalWallis {
+    /// The H statistic (tie-corrected).
+    pub h: f64,
+    /// Degrees of freedom (`k − 1`).
+    pub df: usize,
+    /// Upper-tail chi-square p-value.
+    pub p_value: f64,
+}
+
+/// Error produced by [`kruskal_wallis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KruskalWallisError {
+    /// Fewer than two groups supplied.
+    TooFewGroups {
+        /// Number of groups provided.
+        groups: usize,
+    },
+    /// A group was empty.
+    EmptyGroup {
+        /// Index of the empty group.
+        index: usize,
+    },
+    /// Every observation across all groups was identical, so ranks carry no
+    /// information.
+    AllIdentical,
+}
+
+impl fmt::Display for KruskalWallisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KruskalWallisError::TooFewGroups { groups } => {
+                write!(f, "kruskal-wallis requires at least 2 groups, got {groups}")
+            }
+            KruskalWallisError::EmptyGroup { index } => {
+                write!(f, "group {index} is empty")
+            }
+            KruskalWallisError::AllIdentical => {
+                write!(f, "all observations are identical across groups")
+            }
+        }
+    }
+}
+
+impl Error for KruskalWallisError {}
+
+/// Runs the Kruskal–Wallis test.
+///
+/// `H = 12 / (N(N+1)) · Σ Rᵢ²/nᵢ − 3(N+1)`, divided by the tie correction
+/// `1 − Σ(t³−t)/(N³−N)`; the p-value is the chi-square upper tail with
+/// `k − 1` degrees of freedom.
+///
+/// # Errors
+///
+/// See [`KruskalWallisError`].
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_stats::kruskal::kruskal_wallis;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = vec![1.0, 3.0, 5.0, 7.0, 9.0];
+/// let b = vec![2.0, 4.0, 6.0, 8.0, 10.0];
+/// let result = kruskal_wallis(&[a, b])?;
+/// assert!((result.h - 0.2727).abs() < 1e-3); // matches SciPy
+/// assert!(result.p_value > 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn kruskal_wallis(groups: &[Vec<f64>]) -> Result<KruskalWallis, KruskalWallisError> {
+    let k = groups.len();
+    if k < 2 {
+        return Err(KruskalWallisError::TooFewGroups { groups: k });
+    }
+    for (index, g) in groups.iter().enumerate() {
+        if g.is_empty() {
+            return Err(KruskalWallisError::EmptyGroup { index });
+        }
+    }
+
+    let pooled: Vec<f64> = groups.iter().flatten().copied().collect();
+    let n = pooled.len() as f64;
+    let ranks = average_ranks(&pooled);
+
+    let mut h = 0.0;
+    let mut offset = 0;
+    for g in groups {
+        let ni = g.len() as f64;
+        let ri: f64 = ranks[offset..offset + g.len()].iter().sum();
+        h += ri * ri / ni;
+        offset += g.len();
+    }
+    h = 12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0);
+
+    let tie_sum = tie_correction_sum(&pooled);
+    let correction = 1.0 - tie_sum / (n * n * n - n);
+    if correction <= 0.0 {
+        return Err(KruskalWallisError::AllIdentical);
+    }
+    h /= correction;
+
+    let df = k - 1;
+    Ok(KruskalWallis {
+        h,
+        df,
+        p_value: chi2_sf(h.max(0.0), df),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scipy_documentation_example() {
+        // scipy.stats.kruskal([1,3,5,7,9],[2,4,6,8,10]) -> H=0.2727..., p=0.6015
+        let r = kruskal_wallis(&[
+            vec![1.0, 3.0, 5.0, 7.0, 9.0],
+            vec![2.0, 4.0, 6.0, 8.0, 10.0],
+        ])
+        .unwrap();
+        assert!((r.h - 0.2727272727).abs() < 1e-9, "H = {}", r.h);
+        assert!((r.p_value - 0.6015081344405895).abs() < 1e-9, "p = {}", r.p_value);
+        assert_eq!(r.df, 1);
+    }
+
+    #[test]
+    fn scipy_identical_groups_example() {
+        // scipy.stats.kruskal([1,1,1],[2,2,2],[2,2]) -> H=7.0, p=0.0301973...
+        let r = kruskal_wallis(&[vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0], vec![2.0, 2.0]])
+            .unwrap();
+        assert!((r.h - 7.0).abs() < 1e-9, "H = {}", r.h);
+        assert!((r.p_value - 0.030197383422318501).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separated_groups_reject() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| 100.0 + i as f64).collect();
+        let c: Vec<f64> = (0..30).map(|i| 200.0 + i as f64).collect();
+        let r = kruskal_wallis(&[a, b, c]).unwrap();
+        assert!(r.p_value < 1e-10);
+        assert_eq!(r.df, 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            kruskal_wallis(&[vec![1.0]]),
+            Err(KruskalWallisError::TooFewGroups { groups: 1 })
+        );
+        assert_eq!(
+            kruskal_wallis(&[vec![1.0], vec![]]),
+            Err(KruskalWallisError::EmptyGroup { index: 1 })
+        );
+        assert_eq!(
+            kruskal_wallis(&[vec![2.0, 2.0], vec![2.0, 2.0]]),
+            Err(KruskalWallisError::AllIdentical)
+        );
+    }
+
+    #[test]
+    fn permutation_invariance_within_groups() {
+        let a = vec![5.0, 1.0, 4.0, 2.5];
+        let b = vec![9.0, 7.0, 2.5, 8.0];
+        let r1 = kruskal_wallis(&[a.clone(), b.clone()]).unwrap();
+        let mut a2 = a;
+        a2.reverse();
+        let r2 = kruskal_wallis(&[a2, b]).unwrap();
+        assert!((r1.h - r2.h).abs() < 1e-12);
+    }
+}

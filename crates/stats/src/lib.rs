@@ -1,0 +1,112 @@
+//! Statistical machinery for PhishingHook's post hoc analysis module (PAM).
+//!
+//! The paper validates its model comparison with a full non-parametric
+//! pipeline, originally written in R; this crate re-implements every piece
+//! from scratch:
+//!
+//! * [`shapiro`] — Shapiro–Wilk normality test (the parametric/non-parametric
+//!   gate);
+//! * [`kruskal`] — Kruskal–Wallis H test (Table III);
+//! * [`dunn`] — Dunn's pairwise procedure with Holm–Bonferroni correction
+//!   (Fig. 4);
+//! * [`friedman`], [`wilcoxon`], [`cliffs`], [`cdd`] — the scalability post
+//!   hoc (critical difference diagram, Fig. 6);
+//! * [`aut`] — Area Under Time for the time-resistance study (Fig. 8);
+//! * [`special`], [`ranks`], [`descriptive`] — the underlying numerics.
+//!
+//! # Examples
+//!
+//! ```
+//! use phishinghook_stats::{kruskal::kruskal_wallis, dunn::dunn_test};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let accuracy_per_model = vec![
+//!     vec![0.93, 0.94, 0.92, 0.95, 0.93],
+//!     vec![0.85, 0.86, 0.84, 0.85, 0.87],
+//!     vec![0.90, 0.91, 0.89, 0.90, 0.92],
+//! ];
+//! let kw = kruskal_wallis(&accuracy_per_model)?;
+//! if kw.p_value < 0.05 {
+//!     let dunn = dunn_test(&accuracy_per_model)?;
+//!     assert!(dunn.pair(0, 1).unwrap().p_adjusted <= 1.0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aut;
+pub mod cdd;
+pub mod cliffs;
+pub mod descriptive;
+pub mod dunn;
+pub mod friedman;
+pub mod holm;
+pub mod kruskal;
+pub mod ranks;
+pub mod shapiro;
+pub mod special;
+pub mod wilcoxon;
+
+pub use aut::area_under_time;
+pub use cdd::{critical_difference, CriticalDifference};
+pub use cliffs::{cliffs_delta, delta_magnitude, DeltaMagnitude};
+pub use dunn::{dunn_test, DunnPair, DunnTest};
+pub use friedman::{friedman_test, Friedman, FriedmanError};
+pub use holm::holm_adjust;
+pub use kruskal::{kruskal_wallis, KruskalWallis, KruskalWallisError};
+pub use shapiro::{shapiro_wilk, ShapiroWilk, ShapiroWilkError};
+pub use wilcoxon::{wilcoxon_signed_rank, Wilcoxon, WilcoxonError};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        /// Kruskal-Wallis is invariant under any strictly monotone transform.
+        #[test]
+        fn kw_monotone_invariance(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let groups: Vec<Vec<f64>> = (0..3)
+                .map(|g| (0..8).map(|_| rng.gen_range(0.0..10.0) + g as f64).collect())
+                .collect();
+            let transformed: Vec<Vec<f64>> = groups
+                .iter()
+                .map(|g| g.iter().map(|x| x.exp()).collect())
+                .collect();
+            let a = kruskal_wallis(&groups).unwrap();
+            let b = kruskal_wallis(&transformed).unwrap();
+            prop_assert!((a.h - b.h).abs() < 1e-9);
+        }
+
+        /// Dunn p-values live in [0, 1] and Holm never decreases them.
+        #[test]
+        fn dunn_p_value_sanity(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let groups: Vec<Vec<f64>> = (0..4)
+                .map(|_| (0..6).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            let d = dunn_test(&groups).unwrap();
+            for p in &d.pairs {
+                prop_assert!((0.0..=1.0).contains(&p.p_raw));
+                prop_assert!(p.p_adjusted >= p.p_raw - 1e-12);
+                prop_assert!(p.p_adjusted <= 1.0);
+            }
+        }
+
+        /// Shapiro-Wilk on genuinely normal data rarely rejects strongly:
+        /// check W stays high for normal-quantile-spaced samples of any size.
+        #[test]
+        fn shapiro_w_high_for_normal_scores(n in 12usize..200) {
+            let xs: Vec<f64> = (1..=n)
+                .map(|i| special::normal_quantile(i as f64 / (n as f64 + 1.0)))
+                .collect();
+            let r = shapiro_wilk(&xs).unwrap();
+            prop_assert!(r.w > 0.95, "W = {} at n = {}", r.w, n);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Rank utilities shared by the non-parametric tests: average (midrank)
+//! ranking with tie handling and tie-correction terms.
+
+/// Assigns average ranks (1-based) to the values, resolving ties by midrank —
+/// the convention used by Kruskal–Wallis, Dunn, Friedman and Wilcoxon.
+///
+/// # Examples
+///
+/// ```
+/// let ranks = phishinghook_stats::ranks::average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+/// assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| {
+        values[i]
+            .partial_cmp(&values[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Midrank of positions i..=j (1-based).
+        let rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Sizes of every tie group (groups of equal values), including singletons.
+pub fn tie_group_sizes(values: &[f64]) -> Vec<usize> {
+    let n = values.len();
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut sizes = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        sizes.push(j - i + 1);
+        i = j + 1;
+    }
+    sizes
+}
+
+/// The tie-correction sum `Σ (tᵢ³ − tᵢ)` over tie groups, used by
+/// Kruskal–Wallis and Dunn.
+pub fn tie_correction_sum(values: &[f64]) -> f64 {
+    tie_group_sizes(values)
+        .into_iter()
+        .filter(|&t| t > 1)
+        .map(|t| {
+            let t = t as f64;
+            t * t * t - t
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_ties_gives_permutation_ranks() {
+        let r = average_ranks(&[3.0, 1.0, 2.0]);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        let r = average_ranks(&[5.0; 4]);
+        assert_eq!(r, vec![2.5; 4]);
+        assert_eq!(tie_correction_sum(&[5.0; 4]), 60.0); // 4^3 - 4
+    }
+
+    #[test]
+    fn tie_groups() {
+        assert_eq!(tie_group_sizes(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]), vec![1, 2, 3]);
+        assert_eq!(tie_correction_sum(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]), 6.0 + 24.0);
+    }
+
+    proptest! {
+        /// Ranks always sum to n(n+1)/2 regardless of ties.
+        #[test]
+        fn rank_sum_invariant(v in proptest::collection::vec(-100i32..100, 1..200)) {
+            let vals: Vec<f64> = v.iter().map(|&x| x as f64).collect();
+            let ranks = average_ranks(&vals);
+            let n = vals.len() as f64;
+            let sum: f64 = ranks.iter().sum();
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        }
+
+        /// Ranking is monotone: larger values never get smaller ranks.
+        #[test]
+        fn rank_monotonicity(v in proptest::collection::vec(-1000.0f64..1000.0, 2..100)) {
+            let ranks = average_ranks(&v);
+            for i in 0..v.len() {
+                for j in 0..v.len() {
+                    if v[i] > v[j] {
+                        prop_assert!(ranks[i] > ranks[j]);
+                    }
+                }
+            }
+        }
+    }
+}

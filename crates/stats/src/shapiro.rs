@@ -1,0 +1,249 @@
+//! Shapiro–Wilk normality test (Royston's AS R94 algorithm).
+//!
+//! The paper's post hoc analysis first tests each model–metric distribution
+//! for normality; it is the gate that selects the non-parametric
+//! Kruskal–Wallis branch. The statistic is
+//! `W = (Σ aᵢ x₍ᵢ₎)² / Σ (xᵢ − x̄)²` with Royston's polynomial-smoothed
+//! weights `aᵢ`, and the p-value comes from his normalizing transformation.
+
+use crate::special::{normal_quantile, normal_sf};
+use std::error::Error;
+use std::fmt;
+
+/// Result of a Shapiro–Wilk test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapiroWilk {
+    /// The W statistic in `(0, 1]`; values near 1 are consistent with
+    /// normality.
+    pub w: f64,
+    /// Two-... one-sided p-value for the null hypothesis of normality
+    /// (small p rejects normality).
+    pub p_value: f64,
+}
+
+/// Error produced by [`shapiro_wilk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapiroWilkError {
+    /// Fewer than 3 observations.
+    TooFewSamples {
+        /// Number of observations provided.
+        n: usize,
+    },
+    /// More than 5000 observations — outside the validated range of AS R94.
+    TooManySamples {
+        /// Number of observations provided.
+        n: usize,
+    },
+    /// All observations identical: W is undefined.
+    ZeroVariance,
+    /// Input contained NaN.
+    NotFinite,
+}
+
+impl fmt::Display for ShapiroWilkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapiroWilkError::TooFewSamples { n } => {
+                write!(f, "shapiro-wilk requires at least 3 samples, got {n}")
+            }
+            ShapiroWilkError::TooManySamples { n } => {
+                write!(f, "shapiro-wilk is validated up to 5000 samples, got {n}")
+            }
+            ShapiroWilkError::ZeroVariance => write!(f, "all observations are identical"),
+            ShapiroWilkError::NotFinite => write!(f, "input contains non-finite values"),
+        }
+    }
+}
+
+impl Error for ShapiroWilkError {}
+
+/// Runs the Shapiro–Wilk test on a sample.
+///
+/// # Errors
+///
+/// See [`ShapiroWilkError`]: requires `3 <= n <= 5000`, finite input and
+/// non-zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_stats::shapiro::shapiro_wilk;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Royston's classic example (PRB weights): strongly non-normal.
+/// let x = [148.0, 154.0, 158.0, 160.0, 161.0, 162.0, 166.0, 170.0, 182.0, 195.0, 236.0];
+/// let result = shapiro_wilk(&x)?;
+/// assert!(result.p_value < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn shapiro_wilk(sample: &[f64]) -> Result<ShapiroWilk, ShapiroWilkError> {
+    let n = sample.len();
+    if n < 3 {
+        return Err(ShapiroWilkError::TooFewSamples { n });
+    }
+    if n > 5000 {
+        return Err(ShapiroWilkError::TooManySamples { n });
+    }
+    if sample.iter().any(|v| !v.is_finite()) {
+        return Err(ShapiroWilkError::NotFinite);
+    }
+
+    let mut x: Vec<f64> = sample.to_vec();
+    x.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    if x[n - 1] == x[0] {
+        return Err(ShapiroWilkError::ZeroVariance);
+    }
+
+    let nf = n as f64;
+
+    // Expected normal order statistics (Blom scores).
+    let m: Vec<f64> = (1..=n)
+        .map(|i| normal_quantile((i as f64 - 0.375) / (nf + 0.25)))
+        .collect();
+    let ssumm2: f64 = m.iter().map(|v| v * v).sum();
+
+    // Royston's polynomial-corrected weights.
+    let mut a = vec![0.0; n];
+    if n == 3 {
+        a[0] = -std::f64::consts::FRAC_1_SQRT_2;
+        a[2] = std::f64::consts::FRAC_1_SQRT_2;
+    } else {
+        let rsn = 1.0 / nf.sqrt();
+        let c_n = m[n - 1] / ssumm2.sqrt();
+        let a_n = poly(
+            &[c_n, 0.221157, -0.147981, -2.071190, 4.434685, -2.706056],
+            rsn,
+        );
+        if n > 5 {
+            let c_n1 = m[n - 2] / ssumm2.sqrt();
+            let a_n1 = poly(
+                &[c_n1, 0.042981, -0.293762, -1.752461, 5.682633, -3.582633],
+                rsn,
+            );
+            let phi = (ssumm2 - 2.0 * m[n - 1] * m[n - 1] - 2.0 * m[n - 2] * m[n - 2])
+                / (1.0 - 2.0 * a_n * a_n - 2.0 * a_n1 * a_n1);
+            a[n - 1] = a_n;
+            a[n - 2] = a_n1;
+            a[0] = -a_n;
+            a[1] = -a_n1;
+            let sqrt_phi = phi.sqrt();
+            for i in 2..n - 2 {
+                a[i] = m[i] / sqrt_phi;
+            }
+        } else {
+            let phi = (ssumm2 - 2.0 * m[n - 1] * m[n - 1]) / (1.0 - 2.0 * a_n * a_n);
+            a[n - 1] = a_n;
+            a[0] = -a_n;
+            let sqrt_phi = phi.sqrt();
+            for i in 1..n - 1 {
+                a[i] = m[i] / sqrt_phi;
+            }
+        }
+    }
+
+    // W statistic.
+    let mean = x.iter().sum::<f64>() / nf;
+    let numerator: f64 = a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>();
+    let denominator: f64 = x.iter().map(|xi| (xi - mean) * (xi - mean)).sum();
+    let w = (numerator * numerator / denominator).min(1.0);
+
+    // Normalizing transformation for the p-value.
+    let p_value = if n == 3 {
+        let p = 6.0 / std::f64::consts::PI * ((w.sqrt()).asin() - (0.75f64.sqrt()).asin());
+        p.clamp(0.0, 1.0)
+    } else if n <= 11 {
+        let gamma = -2.273 + 0.459 * nf;
+        let y = -(gamma - (1.0 - w).ln()).ln();
+        let mu = poly(&[0.5440, -0.39978, 0.025054, -0.0006714], nf);
+        let sigma = poly(&[1.3822, -0.77857, 0.062767, -0.0020322], nf).exp();
+        normal_sf((y - mu) / sigma)
+    } else {
+        let u = nf.ln();
+        let y = (1.0 - w).ln();
+        let mu = poly(&[-1.5861, -0.31082, -0.083751, 0.0038915], u);
+        let sigma = poly(&[-0.4803, -0.082676, 0.0030302], u).exp();
+        normal_sf((y - mu) / sigma)
+    };
+
+    Ok(ShapiroWilk { w, p_value })
+}
+
+/// Evaluates `c₀ + c₁x + c₂x² + ...`.
+fn poly(coefficients: &[f64], x: f64) -> f64 {
+    coefficients
+        .iter()
+        .rev()
+        .fold(0.0, |acc, &c| acc * x + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn royston_prb_weights_example() {
+        // R: shapiro.test(c(148,154,158,160,161,162,166,170,182,195,236))
+        //    W = 0.79, p-value = 0.0067 (approximately)
+        let x = [
+            148.0, 154.0, 158.0, 160.0, 161.0, 162.0, 166.0, 170.0, 182.0, 195.0, 236.0,
+        ];
+        let r = shapiro_wilk(&x).unwrap();
+        assert!((r.w - 0.79).abs() < 0.01, "W = {}", r.w);
+        assert!(r.p_value > 0.003 && r.p_value < 0.012, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn near_normal_grid_has_high_w() {
+        // Normal quantiles are, by construction, as normal as a sample gets.
+        let x: Vec<f64> = (1..=50)
+            .map(|i| crate::special::normal_quantile(i as f64 / 51.0))
+            .collect();
+        let r = shapiro_wilk(&x).unwrap();
+        assert!(r.w > 0.98, "W = {}", r.w);
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn exponential_tail_rejected() {
+        // Strongly skewed data: reject normality at any reasonable n.
+        let x: Vec<f64> = (1..=40).map(|i| (1.06f64).powi(i * i / 10)).collect();
+        let r = shapiro_wilk(&x).unwrap();
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn errors_for_degenerate_input() {
+        assert_eq!(
+            shapiro_wilk(&[1.0, 2.0]),
+            Err(ShapiroWilkError::TooFewSamples { n: 2 })
+        );
+        assert_eq!(shapiro_wilk(&[5.0; 10]), Err(ShapiroWilkError::ZeroVariance));
+        assert_eq!(
+            shapiro_wilk(&[1.0, f64::NAN, 2.0]),
+            Err(ShapiroWilkError::NotFinite)
+        );
+        let big = vec![0.0; 5001];
+        assert_eq!(
+            shapiro_wilk(&big),
+            Err(ShapiroWilkError::TooManySamples { n: 5001 })
+        );
+    }
+
+    #[test]
+    fn n3_special_case() {
+        let r = shapiro_wilk(&[1.0, 2.0, 10.0]).unwrap();
+        assert!(r.w > 0.0 && r.w <= 1.0);
+        assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn scale_and_shift_invariance() {
+        let x = [3.1, 0.2, 5.5, 2.2, 8.9, 1.0, 4.4, 6.6, 2.8, 0.9, 7.7, 3.3];
+        let y: Vec<f64> = x.iter().map(|v| 100.0 + 3.0 * v).collect();
+        let rx = shapiro_wilk(&x).unwrap();
+        let ry = shapiro_wilk(&y).unwrap();
+        assert!((rx.w - ry.w).abs() < 1e-12);
+        assert!((rx.p_value - ry.p_value).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! Wilcoxon signed-rank test for paired samples.
+//!
+//! The paper uses it pairwise after the Friedman test to build the critical
+//! difference diagram (Fig. 6). Exact two-sided p-values are computed by
+//! dynamic programming for small tie-free samples; otherwise the normal
+//! approximation with tie and continuity corrections is used.
+
+use crate::ranks::{average_ranks, tie_group_sizes};
+use crate::special::normal_sf;
+use std::error::Error;
+use std::fmt;
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wilcoxon {
+    /// The test statistic `W = min(W⁺, W⁻)`.
+    pub w: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Number of non-zero differences actually used.
+    pub n_used: usize,
+    /// `true` when the exact null distribution was enumerated.
+    pub exact: bool,
+}
+
+/// Error produced by [`wilcoxon_signed_rank`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WilcoxonError {
+    /// Input slices had different lengths.
+    LengthMismatch {
+        /// Length of `x`.
+        x: usize,
+        /// Length of `y`.
+        y: usize,
+    },
+    /// After dropping zero differences nothing remains.
+    AllZeroDifferences,
+}
+
+impl fmt::Display for WilcoxonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WilcoxonError::LengthMismatch { x, y } => {
+                write!(f, "paired samples differ in length: {x} vs {y}")
+            }
+            WilcoxonError::AllZeroDifferences => {
+                write!(f, "all paired differences are zero")
+            }
+        }
+    }
+}
+
+impl Error for WilcoxonError {}
+
+/// Largest tie-free sample size for which the exact distribution is
+/// enumerated (matching R's default behaviour).
+const EXACT_LIMIT: usize = 25;
+
+/// Runs the two-sided Wilcoxon signed-rank test on paired samples.
+///
+/// # Errors
+///
+/// See [`WilcoxonError`].
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_stats::wilcoxon::wilcoxon_signed_rank;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let before = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
+/// let after  = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+/// let result = wilcoxon_signed_rank(&before, &after)?;
+/// assert!(result.p_value > 0.05); // classic textbook example: not significant
+/// # Ok(())
+/// # }
+/// ```
+pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> Result<Wilcoxon, WilcoxonError> {
+    if x.len() != y.len() {
+        return Err(WilcoxonError::LengthMismatch { x: x.len(), y: y.len() });
+    }
+    let diffs: Vec<f64> = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return Err(WilcoxonError::AllZeroDifferences);
+    }
+
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = average_ranks(&abs);
+    let w_plus: f64 = ranks
+        .iter()
+        .zip(&diffs)
+        .filter(|(_, d)| **d > 0.0)
+        .map(|(r, _)| r)
+        .sum();
+    let total = n as f64 * (n as f64 + 1.0) / 2.0;
+    let w_minus = total - w_plus;
+    let w = w_plus.min(w_minus);
+
+    let has_ties = tie_group_sizes(&abs).iter().any(|&t| t > 1);
+    if n <= EXACT_LIMIT && !has_ties {
+        // Exact null distribution of W+ by dynamic programming over rank sums.
+        let max_sum = (n * (n + 1)) / 2;
+        let mut counts = vec![0.0f64; max_sum + 1];
+        counts[0] = 1.0;
+        for rank in 1..=n {
+            for s in (rank..=max_sum).rev() {
+                counts[s] += counts[s - rank];
+            }
+        }
+        let total_count: f64 = counts.iter().sum(); // 2^n
+        let w_int = w as usize;
+        let lower: f64 = counts[..=w_int].iter().sum();
+        let p = (2.0 * lower / total_count).min(1.0);
+        Ok(Wilcoxon { w, p_value: p, n_used: n, exact: true })
+    } else {
+        let nf = n as f64;
+        let mean = nf * (nf + 1.0) / 4.0;
+        let tie_sum: f64 = tie_group_sizes(&abs)
+            .into_iter()
+            .filter(|&t| t > 1)
+            .map(|t| {
+                let t = t as f64;
+                t * t * t - t
+            })
+            .sum();
+        let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_sum / 48.0;
+        let sd = var.sqrt();
+        // Continuity correction towards the mean.
+        let z = (w - mean + 0.5) / sd;
+        let p = (2.0 * normal_sf(z.abs())).min(1.0);
+        Ok(Wilcoxon { w, p_value: p, n_used: n, exact: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_sample_matches_r() {
+        // R: wilcox.test(c(1.83,0.50,1.62,2.48,1.68,1.88,1.55,3.06,1.30),
+        //                c(0.878,0.647,0.598,2.05,1.06,1.29,1.06,3.14,1.29),
+        //                paired = TRUE)  ->  V = 40, p-value = 0.03906
+        let x = [1.83, 0.50, 1.62, 2.48, 1.68, 1.88, 1.55, 3.06, 1.30];
+        let y = [0.878, 0.647, 0.598, 2.05, 1.06, 1.29, 1.06, 3.14, 1.29];
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!(r.exact);
+        assert_eq!(r.n_used, 9);
+        assert_eq!(r.w, 5.0); // min(W+, W-) = min(40, 5)
+        assert!((r.p_value - 0.0390625).abs() < 1e-9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn identical_samples_error() {
+        assert_eq!(
+            wilcoxon_signed_rank(&[1.0, 2.0], &[1.0, 2.0]),
+            Err(WilcoxonError::AllZeroDifferences)
+        );
+    }
+
+    #[test]
+    fn length_mismatch_error() {
+        assert_eq!(
+            wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]),
+            Err(WilcoxonError::LengthMismatch { x: 1, y: 2 })
+        );
+    }
+
+    #[test]
+    fn normal_approximation_for_large_n() {
+        let x: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..60).map(|i| i as f64 + ((i % 7) as f64 - 3.0)).collect();
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!(!r.exact);
+        assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn strong_shift_is_significant() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64 + 5.0 + (i % 3) as f64).collect();
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!(r.p_value < 0.001, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn symmetric_in_sign() {
+        let x = [1.0, 4.0, 3.0, 6.0, 9.0, 2.0, 8.0];
+        let y = [2.0, 1.0, 5.0, 3.0, 7.0, 6.0, 4.0];
+        let a = wilcoxon_signed_rank(&x, &y).unwrap();
+        let b = wilcoxon_signed_rank(&y, &x).unwrap();
+        assert_eq!(a.w, b.w);
+        assert!((a.p_value - b.p_value).abs() < 1e-12);
+    }
+}

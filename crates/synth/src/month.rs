@@ -1,0 +1,103 @@
+//! The study's time axis: calendar months from 2023-10 to 2024-10.
+//!
+//! The paper's dataset spans contracts deployed between October 2023 and
+//! October 2024 (Fig. 2); its time-resistance experiment trains on the first
+//! four months and tests on the following nine. [`Month`] indexes that
+//! thirteen-month window.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A month within the study window, numbered 0 (= 2023-10) through
+/// 12 (= 2024-10).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Month(pub u8);
+
+/// Number of months in the study window (2023-10 ..= 2024-10).
+pub const STUDY_MONTHS: usize = 13;
+
+impl Month {
+    /// First month of the window (October 2023).
+    pub const FIRST: Month = Month(0);
+    /// Last month of the window (October 2024).
+    pub const LAST: Month = Month(12);
+
+    /// Creates a month index, clamping into the study window.
+    pub fn new(index: u8) -> Self {
+        Month(index.min((STUDY_MONTHS - 1) as u8))
+    }
+
+    /// All months in order.
+    pub fn all() -> impl Iterator<Item = Month> {
+        (0..STUDY_MONTHS as u8).map(Month)
+    }
+
+    /// Calendar year of this month.
+    pub fn year(&self) -> u16 {
+        if self.0 < 3 {
+            2023
+        } else {
+            2024
+        }
+    }
+
+    /// Calendar month number (1–12).
+    pub fn month_of_year(&self) -> u8 {
+        ((self.0 + 9) % 12) + 1
+    }
+
+    /// `true` if this month falls in the paper's time-resistance *training*
+    /// window (October 2023 – January 2024).
+    pub fn in_training_window(&self) -> bool {
+        self.0 <= 3
+    }
+
+    /// The 1-based test period used in Fig. 8 (February 2024 = 1, ...,
+    /// October 2024 = 9); `None` for training months.
+    pub fn test_period(&self) -> Option<usize> {
+        if self.0 >= 4 {
+            Some(self.0 as usize - 3)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{:02}", self.year(), self.month_of_year())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_rendering() {
+        assert_eq!(Month(0).to_string(), "2023-10");
+        assert_eq!(Month(2).to_string(), "2023-12");
+        assert_eq!(Month(3).to_string(), "2024-01");
+        assert_eq!(Month(12).to_string(), "2024-10");
+    }
+
+    #[test]
+    fn training_window_is_first_four_months() {
+        let train: Vec<Month> = Month::all().filter(Month::in_training_window).collect();
+        assert_eq!(train.len(), 4);
+        assert_eq!(train.last(), Some(&Month(3)));
+    }
+
+    #[test]
+    fn nine_test_periods() {
+        let periods: Vec<usize> = Month::all().filter_map(|m| m.test_period()).collect();
+        assert_eq!(periods, (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn new_clamps() {
+        assert_eq!(Month::new(200), Month(12));
+    }
+}

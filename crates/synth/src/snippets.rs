@@ -1,0 +1,519 @@
+//! The library of code-body snippets the contract templates draw from.
+//!
+//! Each snippet is a small, idiomatic EVM sequence observed in real deployed
+//! contracts. The *benign-leaning* snippets reproduce the compiler output of
+//! common safe patterns (SafeMath overflow guards, OpenZeppelin
+//! `Address.functionCall` with gas introspection and return-data handling,
+//! access control); the *phishing-leaning* ones reproduce drainer idioms
+//! (hard-coded exfiltration addresses, `tx.origin` gates, balance sweeps,
+//! forged `Transfer` event spam, unchecked low-level calls). Neutral snippets
+//! appear in everything.
+//!
+//! The per-class differences are deliberately *distributional*, not
+//! categorical: every snippet may appear in either class (templates
+//! cross-pollinate), which is what keeps the classification task at the
+//! paper's ≈90% rather than trivially separable — exactly the overlap the
+//! paper shows in Fig. 3.
+
+use crate::asm::Asm;
+use phishinghook_evm::opcodes::op;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which class a snippet is characteristic of (documentation + tests only;
+/// the generator freely mixes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lean {
+    /// Appears uniformly in both classes.
+    Neutral,
+    /// Characteristic of legitimate compiler output.
+    Benign,
+    /// Characteristic of drainer/scam contracts.
+    Phishing,
+}
+
+/// Per-contract environment shared by all snippets of one contract.
+#[derive(Debug, Clone)]
+pub struct SnipEnv {
+    /// The exfiltration address a malicious contract keeps reusing.
+    pub attacker: [u8; 20],
+}
+
+/// A snippet emitter.
+pub type SnippetFn = fn(&mut Asm, &mut StdRng, &SnipEnv);
+
+/// A named snippet with its class lean.
+#[derive(Clone, Copy)]
+pub struct SnippetDef {
+    /// Stable identifier used by family profiles.
+    pub name: &'static str,
+    /// Class the snippet is characteristic of.
+    pub lean: Lean,
+    /// Code emitter.
+    pub emit: SnippetFn,
+}
+
+impl std::fmt::Debug for SnippetDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnippetDef")
+            .field("name", &self.name)
+            .field("lean", &self.lean)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Neutral snippets
+// ---------------------------------------------------------------------------
+
+fn stack_shuffle(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    let n = rng.gen_range(2..6);
+    for _ in 0..n {
+        match rng.gen_range(0..4) {
+            0 => a.op(op::DUP1 + rng.gen_range(0..4)),
+            1 => a.op(op::SWAP1 + rng.gen_range(0..4)),
+            2 => a.push1(rng.gen()),
+            _ => a.op(op::POP),
+        };
+    }
+    // Re-balance: pushes and pops need not match; pad with POP-safe DUPs.
+    a.op(op::DUP1).op(op::POP);
+}
+
+fn calldata_arg(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    let slot = 4 + 32 * rng.gen_range(0..3u64);
+    a.push_uint(slot).op(op::CALLDATALOAD);
+    if rng.gen_bool(0.5) {
+        // Mask to an address-sized value, as solc does for address args.
+        a.op(op::PUSH20).raw(&[0xFF; 20]).op(op::AND);
+    }
+}
+
+fn storage_read(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    a.push_uint(rng.gen_range(0..8)).op(op::SLOAD);
+}
+
+fn storage_write(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    a.op(op::DUP1).push_uint(rng.gen_range(0..8)).op(op::SSTORE);
+}
+
+fn mem_roundtrip(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    let off = 0x40 + 0x20 * rng.gen_range(0..4);
+    a.push1(rng.gen())
+        .push1(off)
+        .op(op::MSTORE)
+        .push1(off)
+        .op(op::MLOAD);
+}
+
+fn branch_check(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    a.op(op::DUP1).op(op::ISZERO);
+    let hole = a.push2_placeholder();
+    a.op(op::JUMPI);
+    // Fall-through arm: a little arithmetic.
+    a.push1(rng.gen()).op(op::ADD);
+    let target = a.len() as u16;
+    a.op(op::JUMPDEST);
+    a.patch_u16(hole, target);
+}
+
+fn arith_mix(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    let ops = [op::ADD, op::SUB, op::MUL, op::DIV, op::AND, op::OR, op::XOR, op::SHL, op::SHR];
+    let n = rng.gen_range(2..5);
+    for _ in 0..n {
+        a.push1(rng.gen::<u8>() | 1);
+        a.op(ops[rng.gen_range(0..ops.len())]);
+    }
+}
+
+fn hash_slot(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    // Mapping access: key and slot into memory, SHA3, SLOAD.
+    a.push1(rng.gen())
+        .op(op::PUSH0)
+        .op(op::MSTORE)
+        .push_uint(rng.gen_range(0..8))
+        .push1(0x20)
+        .op(op::MSTORE)
+        .push1(0x40)
+        .op(op::PUSH0)
+        .op(op::SHA3)
+        .op(op::SLOAD);
+}
+
+// ---------------------------------------------------------------------------
+// Benign-leaning snippets
+// ---------------------------------------------------------------------------
+
+fn overflow_guard(a: &mut Asm, _rng: &mut StdRng, _env: &SnipEnv) {
+    // SafeMath-style: c = a + b; require(c >= a)
+    a.op(op::DUP2).op(op::DUP2).op(op::ADD).op(op::DUP2).op(op::GT).op(op::ISZERO);
+    let hole = a.push2_placeholder();
+    a.op(op::JUMPI).op(op::PUSH0).op(op::DUP1).op(op::REVERT);
+    let target = a.len() as u16;
+    a.op(op::JUMPDEST);
+    a.patch_u16(hole, target);
+}
+
+fn safe_external_call(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    // OpenZeppelin Address.functionCallWithValue shape: explicit GAS
+    // forwarding, then full return-data inspection. Benign contracts manage
+    // gas carefully around external calls (the paper's Fig. 9 discussion).
+    a.op(op::PUSH0)
+        .op(op::PUSH0)
+        .push1(0x20)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::DUP6)
+        .op(op::GAS)
+        .op(op::CALL);
+    // Inspect return data.
+    a.op(op::RETURNDATASIZE).op(op::DUP1).op(op::ISZERO);
+    let hole = a.push2_placeholder();
+    a.op(op::JUMPI)
+        .op(op::RETURNDATASIZE)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::RETURNDATACOPY);
+    let target = a.len() as u16;
+    a.op(op::JUMPDEST);
+    a.patch_u16(hole, target);
+    // require(success)
+    a.op(op::ISZERO).op(op::ISZERO);
+    let hole2 = a.push2_placeholder();
+    a.op(op::JUMPI).op(op::PUSH0).op(op::DUP1).op(op::REVERT);
+    let target2 = a.len() as u16;
+    a.op(op::JUMPDEST);
+    a.patch_u16(hole2, target2);
+    let _ = rng;
+}
+
+fn event_transfer(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    // Emit a standard 2-topic event with a 32-byte data word.
+    let mut topic = [0u8; 32];
+    rng.fill(&mut topic);
+    a.op(op::DUP1)
+        .op(op::PUSH0)
+        .op(op::MSTORE)
+        .push_word(&topic)
+        .op(op::CALLER)
+        .push1(0x20)
+        .op(op::PUSH0)
+        .op(op::LOG2);
+}
+
+fn access_control(a: &mut Asm, _rng: &mut StdRng, _env: &SnipEnv) {
+    // require(msg.sender == owner) with owner in storage slot 0.
+    a.op(op::PUSH0).op(op::SLOAD).op(op::CALLER).op(op::EQ);
+    let hole = a.push2_placeholder();
+    a.op(op::JUMPI).op(op::PUSH0).op(op::DUP1).op(op::REVERT);
+    let target = a.len() as u16;
+    a.op(op::JUMPDEST);
+    a.patch_u16(hole, target);
+}
+
+fn delegate_forward(a: &mut Asm, _rng: &mut StdRng, _env: &SnipEnv) {
+    // Proxy-style forwarding with full returndata copy (EIP-1967 fallback).
+    a.op(op::CALLDATASIZE)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::CALLDATACOPY)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::CALLDATASIZE)
+        .op(op::PUSH0)
+        .op(op::DUP5)
+        .op(op::GAS)
+        .op(op::DELEGATECALL)
+        .op(op::RETURNDATASIZE)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::RETURNDATACOPY);
+}
+
+fn allowance_update(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    // allowance check-and-decrement: SLOAD, require(allowance >= amount), SSTORE.
+    a.push_uint(rng.gen_range(2..8))
+        .op(op::SLOAD)
+        .op(op::DUP2)
+        .op(op::DUP2)
+        .op(op::LT);
+    let hole = a.push2_placeholder();
+    a.op(op::ISZERO).op(op::JUMPI).op(op::PUSH0).op(op::DUP1).op(op::REVERT);
+    let target = a.len() as u16;
+    a.op(op::JUMPDEST);
+    a.patch_u16(hole, target);
+    a.op(op::SUB).push_uint(rng.gen_range(2..8)).op(op::SSTORE);
+}
+
+fn staticcall_view(a: &mut Asm, _rng: &mut StdRng, _env: &SnipEnv) {
+    // Read-only external query with returndata handling.
+    a.push1(0x20)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::DUP5)
+        .op(op::GAS)
+        .op(op::STATICCALL)
+        .op(op::POP)
+        .op(op::RETURNDATASIZE)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::RETURNDATACOPY)
+        .op(op::PUSH0)
+        .op(op::MLOAD);
+}
+
+fn time_gate(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    // require(block.timestamp >= unlockTime) — vesting/staking idiom.
+    a.op(op::TIMESTAMP)
+        .push_uint(rng.gen_range(1..8))
+        .op(op::SLOAD)
+        .op(op::GT)
+        .op(op::ISZERO);
+    let hole = a.push2_placeholder();
+    a.op(op::JUMPI).op(op::PUSH0).op(op::DUP1).op(op::REVERT);
+    let target = a.len() as u16;
+    a.op(op::JUMPDEST);
+    a.patch_u16(hole, target);
+}
+
+// ---------------------------------------------------------------------------
+// Phishing-leaning snippets
+// ---------------------------------------------------------------------------
+
+fn sweep_balance(a: &mut Asm, _rng: &mut StdRng, env: &SnipEnv) {
+    // Send the whole contract balance to a hard-coded address, ignoring the
+    // result. Drainers do not bother with gas management or success checks.
+    a.op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::SELFBALANCE)
+        .push_address(&env.attacker)
+        .op(op::GAS)
+        .op(op::CALL)
+        .op(op::POP);
+}
+
+fn origin_gate(a: &mut Asm, _rng: &mut StdRng, _env: &SnipEnv) {
+    // tx.origin == msg.sender check — a scam-adjacent idiom used to detect
+    // wallets (EOAs) and dodge security bots.
+    a.op(op::ORIGIN).op(op::CALLER).op(op::EQ);
+    let hole = a.push2_placeholder();
+    a.op(op::JUMPI).op(op::PUSH0).op(op::DUP1).op(op::REVERT);
+    let target = a.len() as u16;
+    a.op(op::JUMPDEST);
+    a.patch_u16(hole, target);
+}
+
+fn hardcoded_exfil(a: &mut Asm, rng: &mut StdRng, env: &SnipEnv) {
+    // Stash or use the attacker's address as a constant.
+    a.push_address(&env.attacker);
+    if rng.gen_bool(0.5) {
+        a.push_uint(rng.gen_range(0..4)).op(op::SSTORE);
+    } else {
+        a.op(op::BALANCE).op(op::POP);
+    }
+}
+
+fn drain_transfer_from(a: &mut Asm, _rng: &mut StdRng, env: &SnipEnv) {
+    // Forge a transferFrom(victim, attacker, amount) call on an arbitrary
+    // token: selector 0x23b872dd at memory 0, args follow, then CALL.
+    a.push_selector(0x23b8_72dd)
+        .push1(0xE0)
+        .op(op::SHL)
+        .op(op::PUSH0)
+        .op(op::MSTORE)
+        .op(op::CALLER)
+        .push1(0x04)
+        .op(op::MSTORE)
+        .push_address(&env.attacker)
+        .push1(0x24)
+        .op(op::MSTORE)
+        .op(op::DUP1)
+        .push1(0x44)
+        .op(op::MSTORE)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .push1(0x64)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::DUP7)
+        .op(op::GAS)
+        .op(op::CALL)
+        .op(op::POP);
+}
+
+fn fake_event_spam(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    // Forged 3-topic Transfer events to bait explorers/wallets into showing
+    // incoming "airdrops" (classic phishing lure).
+    let n = rng.gen_range(1..4);
+    for _ in 0..n {
+        let mut topic = [0u8; 32];
+        rng.fill(&mut topic);
+        a.op(op::PUSH0)
+            .op(op::PUSH0)
+            .op(op::MSTORE)
+            .push_word(&topic)
+            .op(op::CALLER)
+            .op(op::ADDRESS)
+            .push1(0x20)
+            .op(op::PUSH0)
+            .op(op::LOG3);
+    }
+}
+
+fn unchecked_call(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    // Low-level call whose result is discarded; no returndata inspection.
+    a.op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .op(op::PUSH0)
+        .push_uint(rng.gen_range(0..1_000_000))
+        .op(op::DUP6)
+        .op(op::GAS)
+        .op(op::CALL)
+        .op(op::POP);
+}
+
+fn selfdestruct_exit(a: &mut Asm, _rng: &mut StdRng, env: &SnipEnv) {
+    // Rug exit: send everything to the attacker and vanish (guarded so the
+    // body still has a fall-through path).
+    a.op(op::PUSH0).op(op::SLOAD).op(op::ISZERO);
+    let hole = a.push2_placeholder();
+    a.op(op::JUMPI).push_address(&env.attacker).op(op::SELFDESTRUCT);
+    let target = a.len() as u16;
+    a.op(op::JUMPDEST);
+    a.patch_u16(hole, target);
+}
+
+fn approval_bait(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
+    // Write an unlimited allowance (2^256-1) for a calldata-provided spender.
+    a.push1(0x04)
+        .op(op::CALLDATALOAD)
+        .op(op::PUSH32)
+        .raw(&[0xFF; 32])
+        .op(op::DUP2)
+        .push_uint(rng.gen_range(0..8))
+        .op(op::SSTORE)
+        .op(op::POP);
+}
+
+/// The full snippet library. Family profiles reference entries by name.
+pub static SNIPPETS: &[SnippetDef] = &[
+    SnippetDef { name: "stack_shuffle", lean: Lean::Neutral, emit: stack_shuffle },
+    SnippetDef { name: "calldata_arg", lean: Lean::Neutral, emit: calldata_arg },
+    SnippetDef { name: "storage_read", lean: Lean::Neutral, emit: storage_read },
+    SnippetDef { name: "storage_write", lean: Lean::Neutral, emit: storage_write },
+    SnippetDef { name: "mem_roundtrip", lean: Lean::Neutral, emit: mem_roundtrip },
+    SnippetDef { name: "branch_check", lean: Lean::Neutral, emit: branch_check },
+    SnippetDef { name: "arith_mix", lean: Lean::Neutral, emit: arith_mix },
+    SnippetDef { name: "hash_slot", lean: Lean::Neutral, emit: hash_slot },
+    SnippetDef { name: "overflow_guard", lean: Lean::Benign, emit: overflow_guard },
+    SnippetDef { name: "safe_external_call", lean: Lean::Benign, emit: safe_external_call },
+    SnippetDef { name: "event_transfer", lean: Lean::Benign, emit: event_transfer },
+    SnippetDef { name: "access_control", lean: Lean::Benign, emit: access_control },
+    SnippetDef { name: "delegate_forward", lean: Lean::Benign, emit: delegate_forward },
+    SnippetDef { name: "allowance_update", lean: Lean::Benign, emit: allowance_update },
+    SnippetDef { name: "staticcall_view", lean: Lean::Benign, emit: staticcall_view },
+    SnippetDef { name: "time_gate", lean: Lean::Benign, emit: time_gate },
+    SnippetDef { name: "sweep_balance", lean: Lean::Phishing, emit: sweep_balance },
+    SnippetDef { name: "origin_gate", lean: Lean::Phishing, emit: origin_gate },
+    SnippetDef { name: "hardcoded_exfil", lean: Lean::Phishing, emit: hardcoded_exfil },
+    SnippetDef { name: "drain_transfer_from", lean: Lean::Phishing, emit: drain_transfer_from },
+    SnippetDef { name: "fake_event_spam", lean: Lean::Phishing, emit: fake_event_spam },
+    SnippetDef { name: "unchecked_call", lean: Lean::Phishing, emit: unchecked_call },
+    SnippetDef { name: "selfdestruct_exit", lean: Lean::Phishing, emit: selfdestruct_exit },
+    SnippetDef { name: "approval_bait", lean: Lean::Phishing, emit: approval_bait },
+];
+
+/// Looks up a snippet index by name.
+///
+/// # Panics
+///
+/// Panics if the name is unknown (profiles are static data; a typo is a bug).
+pub fn snippet_index(name: &str) -> usize {
+    SNIPPETS
+        .iter()
+        .position(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown snippet {name:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_evm::disasm::disassemble;
+    use rand::SeedableRng;
+
+    fn env() -> SnipEnv {
+        SnipEnv { attacker: [0xAB; 20] }
+    }
+
+    #[test]
+    fn every_snippet_emits_decodable_code() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for def in SNIPPETS {
+            for _ in 0..20 {
+                let mut asm = Asm::new();
+                (def.emit)(&mut asm, &mut rng, &env());
+                assert!(!asm.is_empty(), "{} emitted nothing", def.name);
+                let code = asm.build();
+                let instrs = disassemble(code.as_bytes());
+                assert!(
+                    instrs.iter().all(|i| !i.truncated),
+                    "{} produced truncated code",
+                    def.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jump_targets_point_at_jumpdest() {
+        // Every PUSH2 immediate in snippet output that is followed by JUMPI
+        // must land on a JUMPDEST.
+        let mut rng = StdRng::seed_from_u64(7);
+        for def in SNIPPETS {
+            let mut asm = Asm::new();
+            (def.emit)(&mut asm, &mut rng, &env());
+            let bytes = asm.as_bytes().to_vec();
+            let instrs = disassemble(&bytes);
+            for w in instrs.windows(2) {
+                if w[0].mnemonic.name() == "PUSH2" && w[1].mnemonic.name() == "JUMPI" {
+                    let target =
+                        ((w[0].operand[0] as usize) << 8) | w[0].operand[1] as usize;
+                    assert_eq!(bytes[target], 0x5B, "{}: bad jump target", def.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_mentions_attacker() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut asm = Asm::new();
+        sweep_balance(&mut asm, &mut rng, &env());
+        let hex = asm.build().to_hex();
+        assert!(hex.contains(&"ab".repeat(20)));
+    }
+
+    #[test]
+    fn snippet_index_round_trips() {
+        for (i, def) in SNIPPETS.iter().enumerate() {
+            assert_eq!(snippet_index(def.name), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown snippet")]
+    fn snippet_index_panics_on_typo() {
+        snippet_index("does_not_exist");
+    }
+
+    #[test]
+    fn library_covers_all_leans() {
+        assert!(SNIPPETS.iter().any(|s| s.lean == Lean::Neutral));
+        assert!(SNIPPETS.iter().any(|s| s.lean == Lean::Benign));
+        assert!(SNIPPETS.iter().any(|s| s.lean == Lean::Phishing));
+    }
+}

@@ -1,0 +1,54 @@
+//! Mini Table II: cross-validate one model per category and print the
+//! paper-style metric rows plus a post hoc Kruskal–Wallis check.
+//!
+//! Run with: `cargo run --release --example model_showdown`
+
+use phishinghook::prelude::*;
+
+fn main() {
+    let corpus = generate_corpus(&CorpusConfig::small(7));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
+    let profile = EvalProfile::quick();
+
+    // One representative per category, as in the scalability study.
+    let contenders = [
+        ModelKind::RandomForest,
+        ModelKind::Xgboost,
+        ModelKind::ScsGuard,
+        ModelKind::EcaEfficientNet,
+        ModelKind::Escort,
+    ];
+
+    println!(
+        "{:<20} {:>9} {:>9} {:>10} {:>8}",
+        "Model", "Acc (%)", "F1", "Precision", "Recall"
+    );
+    let mut results = Vec::new();
+    for kind in contenders {
+        let trials = cross_validate(kind, &dataset, 3, 1, &profile, 17);
+        let mean = Metrics::mean(&trials.iter().map(|t| t.metrics).collect::<Vec<_>>());
+        println!(
+            "{:<20} {:>9.2} {:>9.4} {:>10.4} {:>8.4}",
+            kind.name(),
+            100.0 * mean.accuracy,
+            mean.f1,
+            mean.precision,
+            mean.recall
+        );
+        results.push((kind, trials));
+    }
+
+    // PAM: are the observed differences statistically significant?
+    let report = posthoc_analysis(&results);
+    println!("\npost hoc (Kruskal-Wallis, Holm-adjusted):");
+    for row in &report.omnibus {
+        println!(
+            "  {:<10} H = {:>8.2}  p_adj = {:.2e}  {}",
+            row.metric,
+            row.test.h,
+            row.p_adjusted,
+            if row.p_adjusted < 0.05 { "significant" } else { "ns" }
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Failure injection: the pipeline must degrade gracefully on the malformed
+//! inputs that exist on a real chain — truncated PUSH immediates, empty
+//! accounts, unknown opcodes, degenerate feature distributions.
+
+use phishinghook::prelude::*;
+use phishinghook::dataset::Sample;
+use phishinghook_features::{BigramEncoder, HistogramEncoder, R2d2Encoder};
+use phishinghook_linalg::Matrix;
+use phishinghook_ml::{Classifier, RandomForest};
+
+#[test]
+fn truncated_push_flows_through_features() {
+    // PUSH32 with only 2 immediate bytes: decodes truncated but featurizes.
+    let code = Bytecode::new(vec![0x7F, 0xAA, 0xBB]);
+    let instrs = disassemble_bytecode(&code);
+    assert!(instrs[0].truncated);
+    let enc = HistogramEncoder::fit(&[code.clone()]);
+    let h = enc.encode(&code);
+    assert_eq!(h.iter().sum::<f32>(), 1.0);
+    let img = R2d2Encoder::new(8).encode(&code);
+    assert_eq!(img.len(), 192);
+}
+
+#[test]
+fn unknown_opcodes_survive_every_encoder() {
+    // 0x0C and friends are unassigned in Shanghai.
+    let code = Bytecode::new(vec![0x0C, 0x0D, 0x0E, 0x21, 0xEF]);
+    let enc = HistogramEncoder::fit(&[code.clone()]);
+    assert_eq!(enc.encode(&code).iter().sum::<f32>(), 5.0);
+    let big = BigramEncoder::fit(&[code.clone()], 64, 8);
+    assert_eq!(big.encode(&code).len(), 8);
+}
+
+#[test]
+fn empty_bytecode_never_reaches_the_dataset() {
+    // The BEM skips empty accounts; build a dataset and check no empties.
+    let corpus = generate_corpus(&CorpusConfig::small(21));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
+    assert!(dataset.samples.iter().all(|s| !s.bytecode.is_empty()));
+}
+
+#[test]
+fn constant_features_do_not_crash_the_forest() {
+    // All-identical bytecode histograms: the tree collapses to the prior.
+    let x = Matrix::from_rows(&vec![vec![3.0, 1.0]; 8]);
+    let y = [0, 1, 0, 1, 0, 1, 0, 1];
+    let mut rf = RandomForest::new(10, 0);
+    rf.fit(&x, &y);
+    let p = rf.predict_proba(&x);
+    assert!(p.iter().all(|v| (*v - 0.5).abs() < 0.2));
+}
+
+#[test]
+fn single_class_month_is_skipped_by_time_resistance() {
+    // A tiny corpus with sparse months: run_time_resistance must not panic
+    // and must only report months with both classes.
+    let corpus = generate_corpus(&CorpusConfig {
+        unique_phishing: 80,
+        unique_benign: 80,
+        benign_temporal_match: true,
+        clone_factor: 1.0,
+        ..CorpusConfig::small(33)
+    });
+    let chain = SimulatedChain::from_corpus(&corpus);
+    let (dataset, _) = extract_dataset(&chain, &BemConfig { balance: false, ..Default::default() });
+    let result = run_time_resistance(ModelKind::Knn, &dataset, &EvalProfile::quick(), 1);
+    for m in &result.monthly {
+        assert!(m.period >= 1 && m.period <= 9);
+    }
+}
+
+#[test]
+fn minimal_proxy_classifies_without_panic() {
+    // 45-byte EIP-1167 proxies are the smallest real contracts around.
+    let proxy = phishinghook_synth::minimal_proxy(&[0x11; 20]);
+    let corpus = generate_corpus(&CorpusConfig::small(5));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
+    let train_codes = dataset.bytecodes();
+    let enc = HistogramEncoder::fit(&train_codes);
+    let x = Matrix::from_rows(&enc.encode_batch(&train_codes));
+    let mut rf = RandomForest::new(20, 3);
+    rf.fit(&x, &dataset.labels());
+    let p = rf.predict_proba(&Matrix::from_rows(&[enc.encode(&proxy)]));
+    assert!((0.0..=1.0).contains(&p[0]));
+}
+
+#[test]
+fn dataset_sample_is_constructible_by_hand() {
+    // Public API allows hand-built datasets (downstream users with real data).
+    let sample = Sample {
+        bytecode: Bytecode::from_hex("0x6080604052").unwrap(),
+        label: 1,
+        month: Month(0),
+    };
+    let d = Dataset::new(vec![sample]);
+    assert_eq!(d.positives(), 1);
+}

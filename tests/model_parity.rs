@@ -1,0 +1,66 @@
+//! Smoke parity across all sixteen models: each trains on the synthetic
+//! corpus and produces coherent metrics. Mirrors Table II's qualitative
+//! structure — HSCs strong, ESCORT near chance.
+
+use phishinghook::prelude::*;
+
+fn shared_dataset() -> Dataset {
+    let corpus = generate_corpus(&CorpusConfig::small(404));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    extract_dataset(&chain, &BemConfig::default()).0
+}
+
+#[test]
+fn all_sixteen_models_run_and_report_valid_metrics() {
+    let dataset = shared_dataset();
+    let folds = dataset.stratified_folds(3, 5);
+    let (train, test) = dataset.fold_split(&folds, 0);
+    let profile = EvalProfile::quick();
+
+    for kind in ModelKind::ALL {
+        let outcome = train_and_evaluate(kind, &train, &test, &profile, 5);
+        let m = outcome.metrics;
+        for v in [m.accuracy, m.f1, m.precision, m.recall] {
+            assert!((0.0..=1.0).contains(&v), "{kind}: metric out of range");
+        }
+        assert!(outcome.train_seconds >= 0.0);
+        assert!(outcome.infer_seconds >= 0.0);
+        // Nothing should be catastrophically below chance on a balanced set.
+        assert!(m.accuracy > 0.30, "{kind}: accuracy {} below sanity floor", m.accuracy);
+    }
+}
+
+#[test]
+fn histogram_classifiers_beat_the_vulnerability_detector() {
+    // The paper's headline structural finding: HSCs ≈ 90%+, ESCORT ≈ 56%.
+    let dataset = shared_dataset();
+    let folds = dataset.stratified_folds(3, 9);
+    let (train, test) = dataset.fold_split(&folds, 0);
+    let profile = EvalProfile::quick();
+
+    let rf = train_and_evaluate(ModelKind::RandomForest, &train, &test, &profile, 9);
+    let escort = train_and_evaluate(ModelKind::Escort, &train, &test, &profile, 9);
+    assert!(
+        rf.metrics.accuracy > escort.metrics.accuracy,
+        "RF {} should beat ESCORT {}",
+        rf.metrics.accuracy,
+        escort.metrics.accuracy
+    );
+    assert!(rf.metrics.accuracy > 0.75, "RF accuracy = {}", rf.metrics.accuracy);
+}
+
+#[test]
+fn boosting_trio_is_competitive_with_the_forest() {
+    let dataset = shared_dataset();
+    let folds = dataset.stratified_folds(3, 13);
+    let (train, test) = dataset.fold_split(&folds, 0);
+    let profile = EvalProfile::quick();
+    for kind in [ModelKind::Xgboost, ModelKind::Lightgbm, ModelKind::Catboost] {
+        let outcome = train_and_evaluate(kind, &train, &test, &profile, 13);
+        assert!(
+            outcome.metrics.accuracy > 0.7,
+            "{kind}: accuracy {}",
+            outcome.metrics.accuracy
+        );
+    }
+}

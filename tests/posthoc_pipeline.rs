@@ -1,0 +1,68 @@
+//! Integration of the statistics crate with the MEM output shapes: the
+//! PAM pipeline on realistic trial structures, plus the scalability post hoc
+//! (Friedman → Wilcoxon → CDD → Cliff's δ).
+
+use phishinghook::prelude::*;
+use phishinghook_stats::cliffs::cliffs_delta;
+use phishinghook_stats::critical_difference;
+
+#[test]
+fn pam_structure_matches_the_paper() {
+    let corpus = generate_corpus(&CorpusConfig::small(611));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
+    let profile = EvalProfile::quick();
+
+    // Three models × 6 trials (2 runs of 3-fold CV) — a scaled-down §IV-E.
+    let mut results = Vec::new();
+    for kind in [ModelKind::RandomForest, ModelKind::Knn, ModelKind::LogisticRegression] {
+        results.push((kind, cross_validate(kind, &dataset, 3, 2, &profile, 3)));
+    }
+    let report = posthoc_analysis(&results);
+
+    // Table III shape: one row per metric, Holm-adjusted p monotone vs raw.
+    assert_eq!(report.omnibus.len(), 4);
+    for row in &report.omnibus {
+        assert!(row.p_adjusted >= row.test.p_value - 1e-12);
+    }
+    // Fig. 4 shape: C(3,2) pairs per metric, p-values in range.
+    for dunn in &report.dunn {
+        assert_eq!(dunn.pairs.len(), 3);
+        for p in &dunn.pairs {
+            assert!((0.0..=1.0).contains(&p.p_adjusted));
+        }
+    }
+    // Breakdown fractions are valid probabilities.
+    for b in &report.breakdown {
+        for v in [b.overall, b.same_category, b.cross_category] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}
+
+#[test]
+fn scalability_posthoc_pipeline() {
+    // The Fig. 6 pipeline over a synthetic metric table: Friedman + pairwise
+    // Wilcoxon + cliques, then Cliff's delta as the effect size.
+    let blocks: Vec<Vec<f64>> = (0..12)
+        .map(|b| {
+            let jitter = (b % 4) as f64 * 0.002;
+            vec![0.93 + jitter, 0.80 + 2.0 * jitter, 0.86 - jitter]
+        })
+        .collect();
+    let cd = critical_difference(&blocks, 0.05).expect("valid table");
+    assert_eq!(cd.ranking()[0], 0, "model 0 dominates and must rank first");
+
+    let a: Vec<f64> = blocks.iter().map(|r| r[0]).collect();
+    let b: Vec<f64> = blocks.iter().map(|r| r[1]).collect();
+    let delta = cliffs_delta(&a, &b);
+    assert!(delta > 0.9, "complete dominance should give delta near 1, got {delta}");
+}
+
+#[test]
+fn aut_matches_hand_computation_on_pipeline_output() {
+    use phishinghook_stats::area_under_time;
+    let series = [0.9, 0.8, 0.85, 0.7];
+    let want = ((0.9 + 0.8) / 2.0 + (0.8 + 0.85) / 2.0 + (0.85 + 0.7) / 2.0) / 3.0;
+    assert!((area_under_time(&series) - want).abs() < 1e-12);
+}
