@@ -2,7 +2,7 @@
 //! the preprocessing side of the pipeline costs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use phishinghook_evm::Bytecode;
+use phishinghook_evm::{Bytecode, DisasmCache};
 use phishinghook_features::{
     BigramEncoder, EscortEmbedder, FreqImageEncoder, HistogramEncoder, OpcodeTokenizer,
     R2d2Encoder, SequenceVariant,
@@ -26,7 +26,9 @@ fn contracts(n: usize) -> Vec<Bytecode> {
 }
 
 fn bench_encoders(c: &mut Criterion) {
-    let codes = contracts(32);
+    // Shared single-pass caches: every encoder reads the same decoded
+    // streams, as in the MEM pipeline.
+    let codes = DisasmCache::build_batch(&contracts(32));
     let mut group = c.benchmark_group("features");
 
     group.bench_function("histogram_fit_encode", |b| {

@@ -1,0 +1,193 @@
+//! Criterion bench: the fused single-pass featurization pipeline vs the
+//! naive per-encoder path.
+//!
+//! *Naive* replicates the pre-refactor behavior: each of the six encoders
+//! re-disassembles every contract on its own, sequentially — 6 decodes per
+//! contract per dataset pass. *Fused* is the pipeline the MEM loop now
+//! uses: one parallel decode pass builds shared [`DisasmCache`]s, then all
+//! six encoders consume them across the worker pool.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! `BENCH_pipeline.json` baseline (contract count, per-path milliseconds,
+//! speedup) so future PRs can regression-check the pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phishinghook::par::parallel_map;
+use phishinghook_bench::json::Value;
+use phishinghook_evm::{Bytecode, DisasmCache};
+use phishinghook_features::{
+    BigramEncoder, EscortEmbedder, FreqImageEncoder, HistogramEncoder, OpcodeTokenizer,
+    R2d2Encoder, SequenceVariant,
+};
+use phishinghook_synth::{generate_contract, Difficulty, Family, Month};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const CONTRACTS: usize = 96;
+
+fn contracts(n: usize) -> Vec<Bytecode> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n)
+        .map(|i| {
+            generate_contract(
+                Family::ALL[i % Family::ALL.len()],
+                Month(3),
+                &Difficulty::default(),
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+/// All six encoders, fitted once on shared caches (fitting cost is common
+/// to both paths; the bench isolates the per-pass encode cost).
+struct Encoders {
+    hist: HistogramEncoder,
+    freq: FreqImageEncoder,
+    r2d2: R2d2Encoder,
+    bigram: BigramEncoder,
+    tokens: OpcodeTokenizer,
+    escort: EscortEmbedder,
+}
+
+impl Encoders {
+    fn fit(caches: &[DisasmCache]) -> Self {
+        Encoders {
+            hist: HistogramEncoder::fit(caches),
+            freq: FreqImageEncoder::fit(caches, 32),
+            r2d2: R2d2Encoder::new(32),
+            bigram: BigramEncoder::fit(caches, 2048, 48),
+            tokens: OpcodeTokenizer::new(64),
+            escort: EscortEmbedder::new(128),
+        }
+    }
+}
+
+/// Pre-refactor shape: every encoder decodes every contract afresh, one
+/// contract at a time, on one thread.
+fn naive_pass(enc: &Encoders, codes: &[Bytecode]) -> usize {
+    let mut scalars = 0usize;
+    scalars += codes
+        .iter()
+        .map(|c| enc.hist.encode(&DisasmCache::build(c)).len())
+        .sum::<usize>();
+    scalars += codes
+        .iter()
+        .map(|c| enc.freq.encode(&DisasmCache::build(c)).len())
+        .sum::<usize>();
+    scalars += codes
+        .iter()
+        .map(|c| enc.r2d2.encode(&DisasmCache::build(c)).len())
+        .sum::<usize>();
+    scalars += codes
+        .iter()
+        .map(|c| enc.bigram.encode(&DisasmCache::build(c)).len())
+        .sum::<usize>();
+    scalars += codes
+        .iter()
+        .map(|c| {
+            enc.tokens
+                .encode(&DisasmCache::build(c), SequenceVariant::SlidingWindow)
+                .len()
+        })
+        .sum::<usize>();
+    scalars += codes
+        .iter()
+        .map(|c| enc.escort.encode(&DisasmCache::build(c)).len())
+        .sum::<usize>();
+    scalars
+}
+
+/// The refactored pipeline: one parallel decode pass, six encoders over the
+/// shared caches, each batch fanned across the worker pool.
+fn fused_pass(enc: &Encoders, codes: &[Bytecode]) -> usize {
+    let caches: Vec<DisasmCache> = parallel_map(codes, DisasmCache::build);
+    let mut scalars = 0usize;
+    scalars += parallel_map(&caches, |c| enc.hist.encode(c).len())
+        .iter()
+        .sum::<usize>();
+    scalars += parallel_map(&caches, |c| enc.freq.encode(c).len())
+        .iter()
+        .sum::<usize>();
+    scalars += parallel_map(&caches, |c| enc.r2d2.encode(c).len())
+        .iter()
+        .sum::<usize>();
+    scalars += parallel_map(&caches, |c| enc.bigram.encode(c).len())
+        .iter()
+        .sum::<usize>();
+    scalars += parallel_map(&caches, |c| {
+        enc.tokens.encode(c, SequenceVariant::SlidingWindow).len()
+    })
+    .iter()
+    .sum::<usize>();
+    scalars += parallel_map(&caches, |c| enc.escort.encode(c).len())
+        .iter()
+        .sum::<usize>();
+    scalars
+}
+
+fn best_of(samples: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut out = 0;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+fn write_baseline(codes: &[Bytecode], enc: &Encoders) {
+    let total_bytes: usize = codes.iter().map(Bytecode::len).sum();
+    let (naive_ms, naive_scalars) = best_of(10, || naive_pass(enc, codes));
+    let (fused_ms, fused_scalars) = best_of(10, || fused_pass(enc, codes));
+    assert_eq!(
+        naive_scalars, fused_scalars,
+        "fused path must produce identical output volume"
+    );
+    let doc = Value::Obj(vec![
+        ("bench".into(), Value::Str("featurization_pipeline".into())),
+        ("contracts".into(), Value::Num(codes.len() as f64)),
+        ("total_bytes".into(), Value::Num(total_bytes as f64)),
+        ("encoders".into(), Value::Num(6.0)),
+        (
+            "workers".into(),
+            Value::Num(phishinghook::par::pool_size(codes.len()) as f64),
+        ),
+        ("naive_ms".into(), Value::Num(naive_ms)),
+        ("fused_ms".into(), Value::Num(fused_ms)),
+        ("speedup".into(), Value::Num(naive_ms / fused_ms)),
+        ("scalars_per_pass".into(), Value::Num(fused_scalars as f64)),
+    ]);
+    // Benches run with the package as cwd; anchor the baseline at the
+    // workspace root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, doc.render()).expect("write BENCH_pipeline.json");
+    println!(
+        "  baseline: naive {naive_ms:.2} ms vs fused {fused_ms:.2} ms \
+         ({:.2}x) -> BENCH_pipeline.json",
+        naive_ms / fused_ms
+    );
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let codes = contracts(CONTRACTS);
+    let caches = DisasmCache::build_batch(&codes);
+    let enc = Encoders::fit(&caches);
+    drop(caches);
+
+    let mut group = c.benchmark_group("featurization_pipeline");
+    group.bench_function("naive_per_encoder", |b| b.iter(|| naive_pass(&enc, &codes)));
+    group.bench_function("fused_single_pass", |b| b.iter(|| fused_pass(&enc, &codes)));
+    group.finish();
+
+    write_baseline(&codes, &enc);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

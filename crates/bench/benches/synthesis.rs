@@ -14,8 +14,13 @@ fn bench_synthesis(c: &mut Criterion) {
     group.bench_function("one_erc20", |b| {
         let mut rng = StdRng::seed_from_u64(3);
         b.iter(|| {
-            generate_contract(Family::Erc20Token, Month(2), &Difficulty::default(), &mut rng)
-                .len()
+            generate_contract(
+                Family::Erc20Token,
+                Month(2),
+                &Difficulty::default(),
+                &mut rng,
+            )
+            .len()
         })
     });
 

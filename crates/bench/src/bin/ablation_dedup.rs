@@ -31,7 +31,11 @@ fn main() {
         chain
             .records()
             .iter()
-            .map(|r| Sample { bytecode: r.bytecode.clone(), label: u8::from(r.flagged), month: r.month })
+            .map(|r| Sample {
+                bytecode: r.bytecode.clone(),
+                label: u8::from(r.flagged),
+                month: r.month,
+            })
             .collect(),
     );
 

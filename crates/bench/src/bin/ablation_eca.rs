@@ -13,8 +13,8 @@ fn run(dataset: &Dataset, eca_kernel: usize, profile: &EvalProfile) -> Metrics {
     let folds = dataset.stratified_folds(3, 11);
     let (train, test) = dataset.fold_split(&folds, 0);
     let enc = R2d2Encoder::new(profile.image_side);
-    let x_train: Vec<Vec<f32>> = train.bytecodes().iter().map(|c| enc.encode(c)).collect();
-    let x_test: Vec<Vec<f32>> = test.bytecodes().iter().map(|c| enc.encode(c)).collect();
+    let x_train: Vec<Vec<f32>> = train.disasm_batch().iter().map(|c| enc.encode(c)).collect();
+    let x_test: Vec<Vec<f32>> = test.disasm_batch().iter().map(|c| enc.encode(c)).collect();
     let mut model = EcaEfficientNet::new(EcaNetConfig {
         side: profile.image_side,
         eca_kernel,
@@ -38,7 +38,11 @@ fn main() {
     let dataset = main_dataset(scale, 0xAB3);
     let profile = scale.profile();
     println!("{:<26} {:>10} {:>10}", "variant", "accuracy", "F1");
-    for (label, k) in [("ECA k=3 (paper)", 3usize), ("scalar gate (k=1)", 1), ("wide ECA k=5", 5)] {
+    for (label, k) in [
+        ("ECA k=3 (paper)", 3usize),
+        ("scalar gate (k=1)", 1),
+        ("wide ECA k=5", 5),
+    ] {
         let m = run(&dataset, k, &profile);
         println!("{:<26} {:>10.4} {:>10.4}", label, m.accuracy, m.f1);
     }

@@ -4,6 +4,7 @@
 
 use phishinghook::prelude::*;
 use phishinghook_bench::{banner, main_dataset, RunScale};
+use phishinghook_evm::DisasmCache;
 use phishinghook_features::HistogramEncoder;
 use phishinghook_linalg::Matrix;
 use phishinghook_ml::{Classifier, RandomForest};
@@ -11,10 +12,10 @@ use phishinghook_ml::{Classifier, RandomForest};
 fn run(dataset: &Dataset, normalize: bool, trees: usize, seed: u64) -> Metrics {
     let folds = dataset.stratified_folds(3, seed);
     let (train, test) = dataset.fold_split(&folds, 0);
-    let train_codes = train.bytecodes();
-    let test_codes = test.bytecodes();
+    let train_codes = train.disasm_batch();
+    let test_codes = test.disasm_batch();
     let encoder = HistogramEncoder::fit(&train_codes);
-    let prep = |codes: &[Bytecode]| -> Matrix {
+    let prep = |codes: &[DisasmCache]| -> Matrix {
         let rows: Vec<Vec<f32>> = codes
             .iter()
             .map(|c| {
@@ -38,14 +39,23 @@ fn run(dataset: &Dataset, normalize: bool, trees: usize, seed: u64) -> Metrics {
 
 fn main() {
     let scale = RunScale::from_args();
-    banner("Ablation - raw vs normalized histograms (Random Forest)", scale);
+    banner(
+        "Ablation - raw vs normalized histograms (Random Forest)",
+        scale,
+    );
     let dataset = main_dataset(scale, 0xAB1);
     let trees = scale.profile().n_trees;
     let raw = run(&dataset, false, trees, 5);
     let norm = run(&dataset, true, trees, 5);
     println!("{:<22} {:>10} {:>10}", "variant", "accuracy", "F1");
-    println!("{:<22} {:>10.4} {:>10.4}", "raw counts (paper)", raw.accuracy, raw.f1);
-    println!("{:<22} {:>10.4} {:>10.4}", "L1-normalized", norm.accuracy, norm.f1);
+    println!(
+        "{:<22} {:>10.4} {:>10.4}",
+        "raw counts (paper)", raw.accuracy, raw.f1
+    );
+    println!(
+        "{:<22} {:>10.4} {:>10.4}",
+        "L1-normalized", norm.accuracy, norm.f1
+    );
     println!(
         "\ndelta accuracy = {:+.4} (raw - normalized)",
         raw.accuracy - norm.accuracy

@@ -10,9 +10,16 @@ fn main() {
     // The full corpus reproduces the paper's counts: 3,458 unique phishing
     // bytecodes inflated to ~17.5k deployments by clone duplication.
     let cfg = if scale == RunScale::Quick {
-        CorpusConfig { unique_phishing: 350, unique_benign: 0, ..CorpusConfig::default() }
+        CorpusConfig {
+            unique_phishing: 350,
+            unique_benign: 0,
+            ..CorpusConfig::default()
+        }
     } else {
-        CorpusConfig { unique_benign: 0, ..CorpusConfig::default() }
+        CorpusConfig {
+            unique_benign: 0,
+            ..CorpusConfig::default()
+        }
     };
     let corpus = generate_corpus(&cfg);
 
@@ -21,7 +28,12 @@ fn main() {
     println!("{:<10} {:>9} {:>8}", "month", "obtained", "unique");
     for (month, obtained, unique) in &monthly {
         let bar = "#".repeat(obtained * 40 / max.max(1));
-        println!("{:<10} {:>9} {:>8}  {bar}", month.to_string(), obtained, unique);
+        println!(
+            "{:<10} {:>9} {:>8}  {bar}",
+            month.to_string(),
+            obtained,
+            unique
+        );
     }
     let total_obtained: usize = monthly.iter().map(|(_, o, _)| o).sum();
     let total_unique: usize = monthly.iter().map(|(_, _, u)| u).sum();

@@ -9,26 +9,37 @@ fn main() {
     let scale = RunScale::from_args();
     banner("Fig. 4 - Dunn's pairwise comparisons", scale);
 
-    let results: Vec<(ModelKind, Vec<TrialOutcome>)> = if let Ok(json) =
-        std::fs::read_to_string("table2.json")
-    {
-        serde_json::from_str(&json).expect("valid table2.json")
+    let loaded = std::fs::read_to_string("table2.json")
+        .ok()
+        .and_then(|json| phishinghook_bench::json::trials_from_json(&json));
+    let results: Vec<(ModelKind, Vec<TrialOutcome>)> = if let Some(results) = loaded {
+        println!("(loaded trials from table2.json)\n");
+        results
     } else {
-        println!("(table2.json not found - running a reduced evaluation)\n");
+        println!("(table2.json missing or unreadable - running a reduced evaluation)\n");
         let dataset = main_dataset(scale, 0xD5);
         ModelKind::posthoc_set()
             .into_iter()
             .map(|kind| {
                 (
                     kind,
-                    cross_validate(kind, &dataset, scale.folds(), scale.runs(), &scale.profile(), 0xD5),
+                    cross_validate(
+                        kind,
+                        &dataset,
+                        scale.folds(),
+                        scale.runs(),
+                        &scale.profile(),
+                        0xD5,
+                    ),
                 )
             })
             .collect()
     };
     let keep = ModelKind::posthoc_set();
-    let results: Vec<(ModelKind, Vec<TrialOutcome>)> =
-        results.into_iter().filter(|(k, _)| keep.contains(k)).collect();
+    let results: Vec<(ModelKind, Vec<TrialOutcome>)> = results
+        .into_iter()
+        .filter(|(k, _)| keep.contains(k))
+        .collect();
 
     let report = posthoc_analysis(&results);
     for (mi, metric) in METRIC_NAMES.iter().enumerate() {
@@ -40,6 +51,7 @@ fn main() {
             print!("{:>4}", &kind.name()[..3.min(kind.name().len())]);
         }
         println!();
+        #[allow(clippy::needless_range_loop)] // j is also the dunn pair index
         for j in 1..results.len() {
             print!("{:<22}", results[j].0.name());
             for i in 0..j {

@@ -3,8 +3,8 @@
 //! data splits.
 
 use phishinghook::prelude::*;
-use phishinghook_bench::{banner, main_dataset, RunScale};
 use phishinghook::scalability::SCALABILITY_MODELS;
+use phishinghook_bench::{banner, main_dataset, RunScale};
 
 fn main() {
     let scale = RunScale::from_args();
@@ -28,7 +28,7 @@ fn main() {
 
     // Persist for fig6/fig7.
     let table: Vec<Vec<f64>> = study.metric_table("accuracy");
-    let json = serde_json::to_string(&table).expect("serialize");
+    let json = phishinghook_bench::json::f64_table_to_json(&table);
     std::fs::write("fig5_accuracy_table.json", json).expect("write fig5 table");
     println!("accuracy table written to fig5_accuracy_table.json");
 }

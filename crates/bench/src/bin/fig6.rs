@@ -10,7 +10,10 @@ use phishinghook_stats::delta_magnitude;
 
 fn main() {
     let scale = RunScale::from_args();
-    banner("Fig. 6 - critical difference diagram (scalability post hoc)", scale);
+    banner(
+        "Fig. 6 - critical difference diagram (scalability post hoc)",
+        scale,
+    );
     let dataset = main_dataset(scale, 0xF6);
     let folds = if scale == RunScale::Quick { 2 } else { 4 };
     let study = run_scalability(&dataset, folds, &scale.profile(), 0xF6);
@@ -43,8 +46,10 @@ fn main() {
             println!("  no non-significance bars");
         } else {
             for clique in &cd.cliques {
-                let names: Vec<&str> =
-                    clique.iter().map(|&m| SCALABILITY_MODELS[m].name()).collect();
+                let names: Vec<&str> = clique
+                    .iter()
+                    .map(|&m| SCALABILITY_MODELS[m].name())
+                    .collect();
                 println!("  thick bar (indistinguishable): {}", names.join(" - "));
             }
         }

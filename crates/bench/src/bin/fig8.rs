@@ -16,12 +16,19 @@ fn main() {
         train.len()
     );
 
-    let models = [ModelKind::RandomForest, ModelKind::EcaEfficientNet, ModelKind::ScsGuard];
+    let models = [
+        ModelKind::RandomForest,
+        ModelKind::EcaEfficientNet,
+        ModelKind::ScsGuard,
+    ];
     let paper_aut = [0.89, 0.79, 0.84];
     for (model, paper) in models.into_iter().zip(paper_aut) {
         let result = run_time_resistance(model, &dataset, &scale.profile(), 0xF8);
         println!("--- {} ---", model.name());
-        println!("{:<10} {:>6} {:>8} {:>8} {:>8}", "month", "period", "prec", "recall", "F1");
+        println!(
+            "{:<10} {:>6} {:>8} {:>8} {:>8}",
+            "month", "period", "prec", "recall", "F1"
+        );
         for m in &result.monthly {
             println!(
                 "{:<10} {:>6} {:>8.4} {:>8.4} {:>8.4}",

@@ -4,8 +4,11 @@ use phishinghook_bench::{banner, RunScale};
 use phishinghook_evm::SHANGHAI_OPCODES;
 
 fn main() {
-    banner("Table I - EVM opcodes (Shanghai fork)", RunScale::from_args());
-    println!("{:<8} {:<16} {:>8}  {}", "Opcode", "Name", "Gas", "Description");
+    banner(
+        "Table I - EVM opcodes (Shanghai fork)",
+        RunScale::from_args(),
+    );
+    println!("{:<8} {:<16} {:>8}  Description", "Opcode", "Name", "Gas");
     for info in SHANGHAI_OPCODES {
         let gas = match info.gas {
             Some(g) => g.to_string(),

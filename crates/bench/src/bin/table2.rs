@@ -21,8 +21,8 @@ fn main() {
     );
 
     println!(
-        "{:<20} {:>12} {:>10} {:>10} {:>10}  {}",
-        "Model", "Accuracy(%)", "F1", "Precision", "Recall", "category"
+        "{:<20} {:>12} {:>10} {:>10} {:>10}  category",
+        "Model", "Accuracy(%)", "F1", "Precision", "Recall"
     );
 
     let mut all_results: Vec<(ModelKind, Vec<TrialOutcome>)> = Vec::new();
@@ -70,7 +70,7 @@ fn main() {
         );
     }
 
-    let json = serde_json::to_string(&all_results).expect("serialize results");
+    let json = phishinghook_bench::json::trials_to_json(&all_results);
     std::fs::write("table2.json", json).expect("write table2.json");
     println!("\ntrial-level results written to table2.json (consumed by table3/fig4)");
 }

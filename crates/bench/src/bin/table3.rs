@@ -9,7 +9,7 @@ use phishinghook_bench::{banner, fmt_p, main_dataset, RunScale};
 
 fn load_or_run(scale: RunScale) -> Vec<(ModelKind, Vec<TrialOutcome>)> {
     if let Ok(json) = std::fs::read_to_string("table2.json") {
-        if let Ok(results) = serde_json::from_str::<Vec<(ModelKind, Vec<TrialOutcome>)>>(&json) {
+        if let Some(results) = phishinghook_bench::json::trials_from_json(&json) {
             println!("(loaded trials from table2.json)\n");
             return results;
         }
@@ -21,7 +21,14 @@ fn load_or_run(scale: RunScale) -> Vec<(ModelKind, Vec<TrialOutcome>)> {
         .map(|kind| {
             (
                 kind,
-                cross_validate(kind, &dataset, scale.folds(), scale.runs(), &scale.profile(), 0xD5),
+                cross_validate(
+                    kind,
+                    &dataset,
+                    scale.folds(),
+                    scale.runs(),
+                    &scale.profile(),
+                    0xD5,
+                ),
             )
         })
         .collect()
@@ -29,14 +36,15 @@ fn load_or_run(scale: RunScale) -> Vec<(ModelKind, Vec<TrialOutcome>)> {
 
 fn main() {
     let scale = RunScale::from_args();
-    banner("Table III - Kruskal-Wallis tests on the performance metrics", scale);
+    banner(
+        "Table III - Kruskal-Wallis tests on the performance metrics",
+        scale,
+    );
     let all = load_or_run(scale);
     // §IV-E: exclude ESCORT and the beta variants.
     let keep = ModelKind::posthoc_set();
-    let results: Vec<(ModelKind, Vec<TrialOutcome>)> = all
-        .into_iter()
-        .filter(|(k, _)| keep.contains(k))
-        .collect();
+    let results: Vec<(ModelKind, Vec<TrialOutcome>)> =
+        all.into_iter().filter(|(k, _)| keep.contains(k)).collect();
     let n_trials: usize = results.iter().map(|(_, t)| t.len()).sum();
     println!(
         "{} models x {} trials each = {} observations per metric\n",
@@ -59,7 +67,11 @@ fn main() {
             row.test.h,
             fmt_p(row.test.p_value),
             fmt_p(row.p_adjusted),
-            if row.p_adjusted < 0.05 { "significant" } else { "ns" }
+            if row.p_adjusted < 0.05 {
+                "significant"
+            } else {
+                "ns"
+            }
         );
     }
 }

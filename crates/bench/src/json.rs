@@ -1,0 +1,407 @@
+//! Dependency-free JSON encoding/decoding for the regeneration binaries.
+//!
+//! The offline build has no `serde`, so the few artifacts that persist
+//! between binaries (`table2.json`, `fig5_accuracy_table.json`,
+//! `BENCH_pipeline.json`) are read and written through this small module: a
+//! generic [`Value`] tree with a recursive-descent parser, plus typed
+//! helpers for the shapes the binaries exchange.
+
+use phishinghook::{Metrics, ModelKind, TrialOutcome};
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Numeric accessor.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object-field accessor.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Compact JSON rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Value::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parses a JSON document. Returns `None` on any syntax error or trailing
+/// garbage.
+pub fn parse(input: &str) -> Option<Value> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Value> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'n' => parse_lit(b, pos, "null", Value::Null),
+        b't' => parse_lit(b, pos, "true", Value::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", Value::Bool(false)),
+        b'"' => parse_string(b, pos).map(Value::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Value::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return None;
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Value::Obj(fields));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        _ => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Option<Value> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match *b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match *b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar.
+                let s = std::str::from_utf8(&b[*pos..]).ok()?;
+                let c = s.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Option<Value> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    if *pos == start {
+        return None;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(Value::Num)
+}
+
+fn trial_to_value(t: &TrialOutcome) -> Value {
+    Value::Obj(vec![
+        ("accuracy".into(), Value::Num(t.metrics.accuracy)),
+        ("f1".into(), Value::Num(t.metrics.f1)),
+        ("precision".into(), Value::Num(t.metrics.precision)),
+        ("recall".into(), Value::Num(t.metrics.recall)),
+        ("train_seconds".into(), Value::Num(t.train_seconds)),
+        ("infer_seconds".into(), Value::Num(t.infer_seconds)),
+    ])
+}
+
+fn trial_from_value(v: &Value) -> Option<TrialOutcome> {
+    Some(TrialOutcome {
+        metrics: Metrics {
+            accuracy: v.get("accuracy")?.as_f64()?,
+            f1: v.get("f1")?.as_f64()?,
+            precision: v.get("precision")?.as_f64()?,
+            recall: v.get("recall")?.as_f64()?,
+        },
+        train_seconds: v.get("train_seconds")?.as_f64()?,
+        infer_seconds: v.get("infer_seconds")?.as_f64()?,
+    })
+}
+
+/// Serializes per-model trial lists (the `table2.json` artifact).
+pub fn trials_to_json(results: &[(ModelKind, Vec<TrialOutcome>)]) -> String {
+    Value::Arr(
+        results
+            .iter()
+            .map(|(kind, trials)| {
+                Value::Obj(vec![
+                    ("model".into(), Value::Str(kind.id().into())),
+                    (
+                        "trials".into(),
+                        Value::Arr(trials.iter().map(trial_to_value).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+    .render()
+}
+
+/// Parses the `table2.json` artifact back into per-model trial lists.
+pub fn trials_from_json(input: &str) -> Option<Vec<(ModelKind, Vec<TrialOutcome>)>> {
+    let doc = parse(input)?;
+    let mut out = Vec::new();
+    for entry in doc.as_arr()? {
+        let kind = ModelKind::from_id(entry.get("model")?.as_str()?)?;
+        let trials = entry
+            .get("trials")?
+            .as_arr()?
+            .iter()
+            .map(trial_from_value)
+            .collect::<Option<Vec<_>>>()?;
+        out.push((kind, trials));
+    }
+    Some(out)
+}
+
+/// Serializes a rectangular `f64` table (the `fig5_accuracy_table.json`
+/// artifact).
+pub fn f64_table_to_json(table: &[Vec<f64>]) -> String {
+    Value::Arr(
+        table
+            .iter()
+            .map(|row| Value::Arr(row.iter().map(|&x| Value::Num(x)).collect()))
+            .collect(),
+    )
+    .render()
+}
+
+/// Parses a rectangular `f64` table.
+pub fn f64_table_from_json(input: &str) -> Option<Vec<Vec<f64>>> {
+    parse(input)?
+        .as_arr()?
+        .iter()
+        .map(|row| {
+            row.as_arr()?
+                .iter()
+                .map(|x| x.as_f64())
+                .collect::<Option<Vec<f64>>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let text = r#"{"a":[1,2.5,-3e2],"b":"x\"y","c":null,"d":true}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\"y"));
+        let again = parse(&v.render()).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_none());
+        assert!(parse("[1,]").is_none());
+        assert!(parse("123 456").is_none());
+        assert!(parse("").is_none());
+    }
+
+    #[test]
+    fn trials_round_trip() {
+        let results = vec![(
+            ModelKind::RandomForest,
+            vec![TrialOutcome {
+                metrics: Metrics {
+                    accuracy: 0.9,
+                    f1: 0.8,
+                    precision: 0.7,
+                    recall: 0.6,
+                },
+                train_seconds: 1.25,
+                infer_seconds: 0.5,
+            }],
+        )];
+        let json = trials_to_json(&results);
+        let parsed = trials_from_json(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, ModelKind::RandomForest);
+        assert_eq!(parsed[0].1[0].metrics.accuracy, 0.9);
+        assert_eq!(parsed[0].1[0].train_seconds, 1.25);
+    }
+
+    #[test]
+    fn f64_table_round_trip() {
+        let t = vec![vec![1.0, 2.0], vec![3.5, -4.0]];
+        assert_eq!(f64_table_from_json(&f64_table_to_json(&t)).unwrap(), t);
+    }
+}

@@ -7,6 +7,8 @@
 //! below the paper's GPU cluster budget, which is why `EXPERIMENTS.md`
 //! compares *shapes*, not absolute values.
 
+pub mod json;
+
 use phishinghook::prelude::*;
 
 /// Run scale selected on the command line.
@@ -84,7 +86,14 @@ pub fn temporal_dataset(scale: RunScale, seed: u64) -> Dataset {
         ..CorpusConfig::small(seed)
     });
     let chain = SimulatedChain::from_corpus(&corpus);
-    extract_dataset(&chain, &BemConfig { balance: false, ..Default::default() }).0
+    extract_dataset(
+        &chain,
+        &BemConfig {
+            balance: false,
+            ..Default::default()
+        },
+    )
+    .0
 }
 
 /// Formats a p-value the way the paper prints Table III.
@@ -99,10 +108,7 @@ pub fn fmt_p(p: f64) -> String {
 /// Prints a standard header for a regeneration binary.
 pub fn banner(artifact: &str, scale: RunScale) {
     println!("== PhishingHook reproduction :: {artifact} ==");
-    println!(
-        "scale: {:?} (pass --quick for the CI-sized run)\n",
-        scale
-    );
+    println!("scale: {:?} (pass --quick for the CI-sized run)\n", scale);
 }
 
 #[cfg(test)]

@@ -1,6 +1,5 @@
 //! 20-byte Ethereum account addresses.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 20-byte Ethereum address.
@@ -13,7 +12,7 @@ use std::fmt;
 /// let addr = Address::from_bytes([0xAB; 20]);
 /// assert!(addr.to_string().starts_with("0xabab"));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Address([u8; 20]);
 
 impl Address {

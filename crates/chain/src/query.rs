@@ -40,12 +40,7 @@ impl<'a> QueryService<'a> {
     pub fn monthly_deployments(&self) -> Vec<(Month, usize)> {
         Month::all()
             .map(|m| {
-                let count = self
-                    .chain
-                    .records()
-                    .iter()
-                    .filter(|r| r.month == m)
-                    .count();
+                let count = self.chain.records().iter().filter(|r| r.month == m).count();
                 (m, count)
             })
             .collect()

@@ -3,11 +3,10 @@
 use crate::address::Address;
 use phishinghook_evm::Bytecode;
 use phishinghook_synth::{Corpus, Family, Month};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One contract-creation record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentRecord {
     /// Account address the contract was deployed at.
     pub address: Address,
@@ -59,7 +58,11 @@ impl SimulatedChain {
     /// addresses, so a collision is a bug).
     pub fn deploy(&mut self, record: DeploymentRecord) {
         let previous = self.by_address.insert(record.address, self.records.len());
-        assert!(previous.is_none(), "address collision at {}", record.address);
+        assert!(
+            previous.is_none(),
+            "address collision at {}",
+            record.address
+        );
         self.records.push(record);
     }
 

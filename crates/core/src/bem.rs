@@ -31,7 +31,12 @@ pub struct BemConfig {
 
 impl Default for BemConfig {
     fn default() -> Self {
-        BemConfig { from: Month::FIRST, to: Month::LAST, balance: true, seed: 7 }
+        BemConfig {
+            from: Month::FIRST,
+            to: Month::LAST,
+            balance: true,
+            seed: 7,
+        }
     }
 }
 
@@ -93,7 +98,11 @@ pub fn extract_dataset(chain: &SimulatedChain, config: &BemConfig) -> (Dataset, 
             .record(&address)
             .map(|r| r.month)
             .unwrap_or(Month::FIRST);
-        samples.push(Sample { bytecode, label: u8::from(is_flagged), month });
+        samples.push(Sample {
+            bytecode,
+            label: u8::from(is_flagged),
+            month,
+        });
     }
     let unique = samples.len();
 
@@ -119,7 +128,12 @@ pub fn extract_dataset(chain: &SimulatedChain, config: &BemConfig) -> (Dataset, 
     }
 
     let dataset = Dataset::new(samples);
-    let report = BemReport { scanned, flagged, unique, dataset: dataset.len() };
+    let report = BemReport {
+        scanned,
+        flagged,
+        unique,
+        dataset: dataset.len(),
+    };
     (dataset, report)
 }
 
@@ -135,7 +149,13 @@ mod tests {
     #[test]
     fn dedup_collapses_clones() {
         let chain = chain(11);
-        let (_, report) = extract_dataset(&chain, &BemConfig { balance: false, ..Default::default() });
+        let (_, report) = extract_dataset(
+            &chain,
+            &BemConfig {
+                balance: false,
+                ..Default::default()
+            },
+        );
         assert!(report.unique < report.scanned, "clones should collapse");
         assert_eq!(report.scanned, chain.len());
     }
@@ -150,10 +170,20 @@ mod tests {
     #[test]
     fn window_restriction_reduces_scan() {
         let chain = chain(17);
-        let full = extract_dataset(&chain, &BemConfig { balance: false, ..Default::default() });
+        let full = extract_dataset(
+            &chain,
+            &BemConfig {
+                balance: false,
+                ..Default::default()
+            },
+        );
         let early = extract_dataset(
             &chain,
-            &BemConfig { to: Month(3), balance: false, ..Default::default() },
+            &BemConfig {
+                to: Month(3),
+                balance: false,
+                ..Default::default()
+            },
         );
         assert!(early.1.scanned < full.1.scanned);
     }
@@ -161,7 +191,13 @@ mod tests {
     #[test]
     fn labels_come_from_the_explorer() {
         let chain = chain(19);
-        let (dataset, report) = extract_dataset(&chain, &BemConfig { balance: false, ..Default::default() });
+        let (dataset, report) = extract_dataset(
+            &chain,
+            &BemConfig {
+                balance: false,
+                ..Default::default()
+            },
+        );
         assert!(report.flagged > 0);
         // Every label in the dataset is 0/1 and positives exist.
         assert!(dataset.positives() > 0);

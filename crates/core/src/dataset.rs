@@ -2,15 +2,15 @@
 //! balanced, deduplicated 7,000-bytecode corpus, plus the split machinery
 //! (stratified k-fold, temporal splits) used by every experiment.
 
-use phishinghook_evm::Bytecode;
+use crate::par::parallel_map;
+use phishinghook_evm::{Bytecode, DisasmCache};
 use phishinghook_synth::{Month, STUDY_MONTHS};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// One labeled contract sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// Deployed bytecode.
     pub bytecode: Bytecode,
@@ -21,7 +21,7 @@ pub struct Sample {
 }
 
 /// A labeled dataset of unique contract bytecodes.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Dataset {
     /// The samples, in construction order.
     pub samples: Vec<Sample>,
@@ -48,14 +48,20 @@ impl Dataset {
         self.samples.iter().map(|s| s.label).collect()
     }
 
-    /// Bytecodes as a vector of clones (cheap: `Bytecode` is refcounted).
-    pub fn bytecodes(&self) -> Vec<Bytecode> {
-        self.samples.iter().map(|s| s.bytecode.clone()).collect()
-    }
-
     /// Number of positive (phishing-labeled) samples.
     pub fn positives(&self) -> usize {
         self.samples.iter().filter(|s| s.label == 1).count()
+    }
+
+    /// Decodes every contract exactly once, in parallel across a fixed-size
+    /// worker pool, returning per-contract [`DisasmCache`]s in sample order.
+    ///
+    /// This is the single-pass entry point of the featurization pipeline:
+    /// all six encoders consume the returned caches, so one dataset pass
+    /// pays disassembly cost once per contract regardless of how many
+    /// representations are extracted.
+    pub fn disasm_batch(&self) -> Vec<DisasmCache> {
+        parallel_map(&self.samples, |s| DisasmCache::build(&s.bytecode))
     }
 
     /// Selects a subset by indices.
@@ -127,8 +133,7 @@ impl Dataset {
     pub fn fold_split(&self, folds: &[Vec<usize>], k: usize) -> (Dataset, Dataset) {
         let test_idx = &folds[k];
         let test_set: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
-        let train_idx: Vec<usize> =
-            (0..self.len()).filter(|i| !test_set.contains(i)).collect();
+        let train_idx: Vec<usize> = (0..self.len()).filter(|i| !test_set.contains(i)).collect();
         (self.subset(&train_idx), self.subset(test_idx))
     }
 
@@ -141,8 +146,9 @@ impl Dataset {
             .collect();
         let mut tests = Vec::new();
         for m in Month::all().filter(|m| !m.in_training_window()) {
-            let idx: Vec<usize> =
-                (0..self.len()).filter(|&i| self.samples[i].month == m).collect();
+            let idx: Vec<usize> = (0..self.len())
+                .filter(|&i| self.samples[i].month == m)
+                .collect();
             tests.push((m, self.subset(&idx)));
         }
         (self.subset(&train_idx), tests)
@@ -150,8 +156,8 @@ impl Dataset {
 
     /// Per-month sample counts (phishing, benign) over the study window.
     pub fn monthly_class_counts(&self) -> Vec<(Month, usize, usize)> {
-        let mut pos = vec![0usize; STUDY_MONTHS];
-        let mut neg = vec![0usize; STUDY_MONTHS];
+        let mut pos = [0usize; STUDY_MONTHS];
+        let mut neg = [0usize; STUDY_MONTHS];
         for s in &self.samples {
             if s.label == 1 {
                 pos[s.month.0 as usize] += 1;
@@ -233,7 +239,7 @@ mod tests {
         let d = toy_dataset(130);
         let (train, tests) = d.temporal_split();
         assert_eq!(tests.len(), 9);
-        assert!(train.len() > 0);
+        assert!(!train.is_empty());
         let total: usize = train.len() + tests.iter().map(|(_, t)| t.len()).sum::<usize>();
         assert_eq!(total, 130);
     }

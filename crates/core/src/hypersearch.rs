@@ -172,7 +172,11 @@ pub struct Study {
 impl Study {
     /// Creates a study with a sampler and seed.
     pub fn new(sampler: Sampler, seed: u64) -> Self {
-        Study { sampler, seed, trials: Vec::new() }
+        Study {
+            sampler,
+            seed,
+            trials: Vec::new(),
+        }
     }
 
     /// Runs `n_trials` evaluations of the objective (maximization) and
@@ -190,7 +194,10 @@ impl Study {
         for i in 0..n_trials {
             let mut trial = Trial::new(self.sampler, self.trials.len() + i, self.seed);
             let value = objective(&mut trial);
-            self.trials.push(CompletedTrial { params: trial.values, value });
+            self.trials.push(CompletedTrial {
+                params: trial.values,
+                value,
+            });
         }
         self.best().expect("at least one completed trial").clone()
     }
@@ -203,7 +210,9 @@ impl Study {
     /// The best trial so far (highest objective value).
     pub fn best(&self) -> Option<&CompletedTrial> {
         self.trials.iter().max_by(|a, b| {
-            a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal)
+            a.value
+                .partial_cmp(&b.value)
+                .unwrap_or(std::cmp::Ordering::Equal)
         })
     }
 }

@@ -51,6 +51,7 @@ pub mod mem;
 pub mod metrics;
 pub mod opcode_stats;
 pub mod pam;
+pub mod par;
 pub mod scalability;
 pub mod shap_analysis;
 pub mod time_resistance;
@@ -72,8 +73,7 @@ pub mod prelude {
     pub use crate::dataset::{Dataset, Sample};
     pub use crate::hypersearch::{Sampler, Study};
     pub use crate::mem::{
-        cross_validate, train_and_evaluate, EvalProfile, ModelCategory, ModelKind,
-        TrialOutcome,
+        cross_validate, train_and_evaluate, EvalProfile, ModelCategory, ModelKind, TrialOutcome,
     };
     pub use crate::metrics::{Metrics, METRIC_NAMES};
     pub use crate::opcode_stats::{opcode_usage, FIG3_OPCODES};

@@ -5,19 +5,21 @@
 
 use crate::dataset::Dataset;
 use crate::metrics::Metrics;
-use phishinghook_evm::{disassemble_bytecode, Bytecode};
+use crate::par::parallel_map;
+use phishinghook_evm::opcodes::op;
+use phishinghook_evm::DisasmCache;
 use phishinghook_features::{
     BigramEncoder, EscortEmbedder, FreqImageEncoder, HistogramEncoder, OpcodeTokenizer,
     R2d2Encoder, SequenceVariant,
 };
 use phishinghook_linalg::Matrix;
-use phishinghook_ml::{
-    CatBoostClassifier, Classifier, KnnClassifier, LgbmClassifier, LinearSvm,
-    LogisticRegression, RandomForest, XgbClassifier,
-};
 use phishinghook_ml::forest::ForestParams;
 use phishinghook_ml::gbdt::BoostParams;
 use phishinghook_ml::tree::TreeParams;
+use phishinghook_ml::{
+    CatBoostClassifier, Classifier, KnnClassifier, LgbmClassifier, LinearSvm, LogisticRegression,
+    RandomForest, XgbClassifier,
+};
 use phishinghook_models::eca_net::EcaNetConfig;
 use phishinghook_models::escort::EscortConfig;
 use phishinghook_models::gpt2::Gpt2Config;
@@ -27,11 +29,10 @@ use phishinghook_models::vit::ViTConfig;
 use phishinghook_models::{
     EcaEfficientNet, EscortNet, Gpt2Classifier, ScsGuard, T5Classifier, TrainConfig, ViT,
 };
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// The four model categories of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelCategory {
     /// Histogram Similarity Classifiers (†).
     Histogram,
@@ -44,7 +45,7 @@ pub enum ModelCategory {
 }
 
 /// The sixteen models of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum ModelKind {
     RandomForest,
@@ -92,7 +93,10 @@ impl ModelKind {
         ModelKind::ALL
             .into_iter()
             .filter(|k| {
-                !matches!(k, ModelKind::Escort | ModelKind::Gpt2Beta | ModelKind::T5Beta)
+                !matches!(
+                    k,
+                    ModelKind::Escort | ModelKind::Gpt2Beta | ModelKind::T5Beta
+                )
             })
             .collect()
     }
@@ -117,6 +121,34 @@ impl ModelKind {
             ModelKind::T5Beta => "T5b",
             ModelKind::Escort => "ESCORT",
         }
+    }
+
+    /// Stable machine-readable identifier, used by the JSON artifacts the
+    /// regeneration binaries exchange.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ModelKind::RandomForest => "random_forest",
+            ModelKind::Knn => "knn",
+            ModelKind::Svm => "svm",
+            ModelKind::LogisticRegression => "logistic_regression",
+            ModelKind::Xgboost => "xgboost",
+            ModelKind::Lightgbm => "lightgbm",
+            ModelKind::Catboost => "catboost",
+            ModelKind::EcaEfficientNet => "eca_efficientnet",
+            ModelKind::VitR2d2 => "vit_r2d2",
+            ModelKind::VitFreq => "vit_freq",
+            ModelKind::ScsGuard => "scsguard",
+            ModelKind::Gpt2Alpha => "gpt2_alpha",
+            ModelKind::T5Alpha => "t5_alpha",
+            ModelKind::Gpt2Beta => "gpt2_beta",
+            ModelKind::T5Beta => "t5_beta",
+            ModelKind::Escort => "escort",
+        }
+    }
+
+    /// Inverse of [`ModelKind::id`].
+    pub fn from_id(id: &str) -> Option<ModelKind> {
+        ModelKind::ALL.into_iter().find(|k| k.id() == id)
     }
 
     /// The model's category.
@@ -151,7 +183,7 @@ impl std::fmt::Display for ModelKind {
 /// Capacity/scale profile for one evaluation run. `full()` approximates the
 /// paper's settings at CPU-feasible sizes; `quick()` is for smoke tests and
 /// CI.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalProfile {
     /// Image side for the vision encoders.
     pub image_side: usize,
@@ -214,7 +246,7 @@ impl EvalProfile {
 }
 
 /// The outcome of one train/evaluate trial.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrialOutcome {
     /// Test-set metrics.
     pub metrics: Metrics,
@@ -251,14 +283,14 @@ fn eval_classifier(
 /// Structural "vulnerability" pseudo-labels for ESCORT's pre-training phase:
 /// code-flaw-style predicates (dangerous opcodes, block-state dependence,
 /// code size) that a VDM trunk would learn — mostly orthogonal to phishing.
-fn vulnerability_labels(code: &Bytecode) -> Vec<u8> {
-    let instrs = disassemble_bytecode(code);
-    let has = |m: &str| instrs.iter().any(|i| i.mnemonic.name() == m);
+/// Reads the shared [`DisasmCache`] — no re-disassembly.
+fn vulnerability_labels(cache: &DisasmCache) -> Vec<u8> {
+    let has = |byte: u8| cache.op_ids().any(|id| id.byte() == byte && id.is_known());
     vec![
-        u8::from(has("SELFDESTRUCT")),
-        u8::from(has("DELEGATECALL")),
-        u8::from(has("TIMESTAMP")),
-        u8::from(code.len() > 900),
+        u8::from(has(op::SELFDESTRUCT)),
+        u8::from(has(op::DELEGATECALL)),
+        u8::from(has(op::TIMESTAMP)),
+        u8::from(cache.bytes().len() > 900),
     ]
 }
 
@@ -278,19 +310,25 @@ pub fn train_and_evaluate(
     assert!(!train.is_empty() && !test.is_empty(), "empty split");
     let y_train = train.labels();
     let y_test = test.labels();
-    let train_codes = train.bytecodes();
-    let test_codes = test.bytecodes();
+    // Single-pass featurization: decode each contract exactly once, in
+    // parallel across the worker pool, and feed every encoder from the
+    // shared caches.
+    let train_caches = train.disasm_batch();
+    let test_caches = test.disasm_batch();
 
     match kind.category() {
         ModelCategory::Histogram => {
-            let encoder = HistogramEncoder::fit(&train_codes);
-            let x_train = to_matrix(encoder.encode_batch(&train_codes));
-            let x_test = to_matrix(encoder.encode_batch(&test_codes));
+            let encoder = HistogramEncoder::fit(&train_caches);
+            let x_train = to_matrix(parallel_map(&train_caches, |c| encoder.encode(c)));
+            let x_test = to_matrix(parallel_map(&test_caches, |c| encoder.encode(c)));
             let mut model: Box<dyn Classifier> = match kind {
                 ModelKind::RandomForest => Box::new(RandomForest::with_params(
                     ForestParams {
                         n_trees: profile.n_trees,
-                        tree: TreeParams { max_depth: 14, ..TreeParams::default() },
+                        tree: TreeParams {
+                            max_depth: 14,
+                            ..TreeParams::default()
+                        },
                         subsample: 1.0,
                     },
                     seed,
@@ -305,7 +343,10 @@ pub fn train_and_evaluate(
                     ..BoostParams::default()
                 })),
                 ModelKind::Lightgbm => Box::new(LgbmClassifier::new(
-                    BoostParams { n_rounds: profile.boost_rounds, ..BoostParams::default() },
+                    BoostParams {
+                        n_rounds: profile.boost_rounds,
+                        ..BoostParams::default()
+                    },
                     48,
                 )),
                 ModelKind::Catboost => Box::new(CatBoostClassifier::new(
@@ -323,17 +364,17 @@ pub fn train_and_evaluate(
         ModelCategory::Vision => {
             let (x_train, x_test): (Vec<Vec<f32>>, Vec<Vec<f32>>) = match kind {
                 ModelKind::VitFreq => {
-                    let enc = FreqImageEncoder::fit(&train_codes, profile.image_side);
+                    let enc = FreqImageEncoder::fit(&train_caches, profile.image_side);
                     (
-                        train_codes.iter().map(|c| enc.encode(c)).collect(),
-                        test_codes.iter().map(|c| enc.encode(c)).collect(),
+                        parallel_map(&train_caches, |c| enc.encode(c)),
+                        parallel_map(&test_caches, |c| enc.encode(c)),
                     )
                 }
                 _ => {
                     let enc = R2d2Encoder::new(profile.image_side);
                     (
-                        train_codes.iter().map(|c| enc.encode(c)).collect(),
-                        test_codes.iter().map(|c| enc.encode(c)).collect(),
+                        parallel_map(&train_caches, |c| enc.encode(c)),
+                        parallel_map(&test_caches, |c| enc.encode(c)),
                     )
                 }
             };
@@ -386,10 +427,9 @@ pub fn train_and_evaluate(
             };
             if kind == ModelKind::ScsGuard {
                 let enc =
-                    BigramEncoder::fit(&train_codes, profile.bigram_vocab, profile.bigram_len);
-                let x_train: Vec<Vec<u32>> =
-                    train_codes.iter().map(|c| enc.encode(c)).collect();
-                let x_test: Vec<Vec<u32>> = test_codes.iter().map(|c| enc.encode(c)).collect();
+                    BigramEncoder::fit(&train_caches, profile.bigram_vocab, profile.bigram_len);
+                let x_train: Vec<Vec<u32>> = parallel_map(&train_caches, |c| enc.encode(c));
+                let x_test: Vec<Vec<u32>> = parallel_map(&test_caches, |c| enc.encode(c));
                 let mut model = ScsGuard::new(ScsGuardConfig {
                     vocab: enc.vocab_size(),
                     train: train_cfg,
@@ -409,9 +449,8 @@ pub fn train_and_evaluate(
             };
             let tok = OpcodeTokenizer::new(profile.context);
             let x_train: Vec<Vec<Vec<u32>>> =
-                train_codes.iter().map(|c| tok.encode(c, variant)).collect();
-            let x_test: Vec<Vec<Vec<u32>>> =
-                test_codes.iter().map(|c| tok.encode(c, variant)).collect();
+                parallel_map(&train_caches, |c| tok.encode(c, variant));
+            let x_test: Vec<Vec<Vec<u32>>> = parallel_map(&test_caches, |c| tok.encode(c, variant));
             match kind {
                 ModelKind::Gpt2Alpha | ModelKind::Gpt2Beta => {
                     let mut model = Gpt2Classifier::new(Gpt2Config {
@@ -453,10 +492,9 @@ pub fn train_and_evaluate(
         }
         ModelCategory::Vulnerability => {
             let embedder = EscortEmbedder::new(profile.escort_dim);
-            let x_train: Vec<Vec<f32>> =
-                train_codes.iter().map(|c| embedder.encode(c)).collect();
-            let x_test: Vec<Vec<f32>> = test_codes.iter().map(|c| embedder.encode(c)).collect();
-            let vuln: Vec<Vec<u8>> = train_codes.iter().map(vulnerability_labels).collect();
+            let x_train: Vec<Vec<f32>> = parallel_map(&train_caches, |c| embedder.encode(c));
+            let x_test: Vec<Vec<f32>> = parallel_map(&test_caches, |c| embedder.encode(c));
+            let vuln: Vec<Vec<u8>> = train_caches.iter().map(vulnerability_labels).collect();
             let mut model = EscortNet::new(EscortConfig {
                 input_dim: profile.escort_dim,
                 train: TrainConfig {
@@ -509,7 +547,13 @@ pub fn cross_validate(
         let assignment = data.stratified_folds(folds, run_seed);
         for k in 0..folds {
             let (train, test) = data.fold_split(&assignment, k);
-            out.push(train_and_evaluate(kind, &train, &test, profile, run_seed ^ k as u64));
+            out.push(train_and_evaluate(
+                kind,
+                &train,
+                &test,
+                profile,
+                run_seed ^ k as u64,
+            ));
         }
     }
     out
@@ -537,9 +581,7 @@ mod tests {
 
     #[test]
     fn categories_partition_the_models() {
-        let count = |c: ModelCategory| {
-            ModelKind::ALL.iter().filter(|k| k.category() == c).count()
-        };
+        let count = |c: ModelCategory| ModelKind::ALL.iter().filter(|k| k.category() == c).count();
         assert_eq!(count(ModelCategory::Histogram), 7);
         assert_eq!(count(ModelCategory::Vision), 3);
         assert_eq!(count(ModelCategory::Language), 5);
@@ -569,8 +611,7 @@ mod tests {
     #[test]
     fn cross_validation_trial_count() {
         let data = small_dataset();
-        let trials =
-            cross_validate(ModelKind::Knn, &data, 3, 2, &EvalProfile::quick(), 11);
+        let trials = cross_validate(ModelKind::Knn, &data, 3, 2, &EvalProfile::quick(), 11);
         assert_eq!(trials.len(), 6);
         for t in &trials {
             assert!((0.0..=1.0).contains(&t.metrics.accuracy));
@@ -579,8 +620,8 @@ mod tests {
 
     #[test]
     fn vulnerability_labels_are_structural() {
-        let code = Bytecode::new(vec![0xFF]); // SELFDESTRUCT
-        let labels = vulnerability_labels(&code);
+        let code = phishinghook_evm::Bytecode::new(vec![0xFF]); // SELFDESTRUCT
+        let labels = vulnerability_labels(&DisasmCache::build(&code));
         assert_eq!(labels[0], 1);
         assert_eq!(labels[1], 0);
     }

@@ -1,9 +1,7 @@
 //! Binary-classification metrics: the four columns of Table II.
 
-use serde::{Deserialize, Serialize};
-
 /// Confusion matrix of a binary classifier (positive = phishing).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Confusion {
     /// Phishing predicted phishing.
     pub tp: usize,
@@ -42,7 +40,7 @@ impl Confusion {
 }
 
 /// The four performance metrics the paper reports, in `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Metrics {
     /// Fraction of correct predictions.
     pub accuracy: f64,
@@ -75,7 +73,12 @@ impl Metrics {
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Metrics { accuracy, f1, precision, recall }
+        Metrics {
+            accuracy,
+            f1,
+            precision,
+            recall,
+        }
     }
 
     /// Convenience: metrics straight from predictions.
@@ -154,8 +157,18 @@ mod tests {
 
     #[test]
     fn mean_of_metrics() {
-        let a = Metrics { accuracy: 0.8, f1: 0.6, precision: 0.7, recall: 0.5 };
-        let b = Metrics { accuracy: 1.0, f1: 0.8, precision: 0.9, recall: 0.7 };
+        let a = Metrics {
+            accuracy: 0.8,
+            f1: 0.6,
+            precision: 0.7,
+            recall: 0.5,
+        };
+        let b = Metrics {
+            accuracy: 1.0,
+            f1: 0.8,
+            precision: 0.9,
+            recall: 0.7,
+        };
         let m = Metrics::mean(&[a, b]);
         assert!((m.accuracy - 0.9).abs() < 1e-12);
         assert!((m.f1 - 0.7).abs() < 1e-12);
@@ -163,7 +176,12 @@ mod tests {
 
     #[test]
     fn by_name_round_trip() {
-        let m = Metrics { accuracy: 0.1, f1: 0.2, precision: 0.3, recall: 0.4 };
+        let m = Metrics {
+            accuracy: 0.1,
+            f1: 0.2,
+            precision: 0.3,
+            recall: 0.4,
+        };
         for (name, want) in METRIC_NAMES.iter().zip([0.1, 0.2, 0.3, 0.4]) {
             assert_eq!(m.by_name(name), want);
         }

@@ -50,9 +50,7 @@ pub struct OpcodeUsage {
 pub fn opcode_usage(data: &Dataset, mnemonics: &[&str]) -> OpcodeUsage {
     let mut usage = OpcodeUsage::default();
     for m in mnemonics {
-        usage
-            .by_opcode
-            .insert((*m).to_string(), Default::default());
+        usage.by_opcode.insert((*m).to_string(), Default::default());
     }
     for sample in &data.samples {
         let mut counts: BTreeMap<&str, u32> = mnemonics.iter().map(|m| (*m, 0)).collect();
@@ -120,7 +118,9 @@ mod tests {
 
     #[test]
     fn quartiles_are_ordered() {
-        let d = UsageDistribution { counts: vec![1, 5, 2, 9, 7, 3] };
+        let d = UsageDistribution {
+            counts: vec![1, 5, 2, 9, 7, 3],
+        };
         let (q1, q2, q3) = d.quartiles();
         assert!(q1 <= q2 && q2 <= q3);
     }

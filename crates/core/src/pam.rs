@@ -55,7 +55,10 @@ pub struct PosthocReport {
 ///
 /// Panics if fewer than two models are supplied or trial lists are empty.
 pub fn posthoc_analysis(results: &[(ModelKind, Vec<TrialOutcome>)]) -> PosthocReport {
-    assert!(results.len() >= 2, "post hoc analysis needs at least two models");
+    assert!(
+        results.len() >= 2,
+        "post hoc analysis needs at least two models"
+    );
     assert!(
         results.iter().all(|(_, trials)| !trials.is_empty()),
         "every model needs at least one trial"
@@ -92,7 +95,11 @@ pub fn posthoc_analysis(results: &[(ModelKind, Vec<TrialOutcome>)]) -> PosthocRe
     let omnibus: Vec<OmnibusRow> = METRIC_NAMES
         .iter()
         .zip(tests.into_iter().zip(adjusted))
-        .map(|(metric, (test, p_adjusted))| OmnibusRow { metric, test, p_adjusted })
+        .map(|(metric, (test, p_adjusted))| OmnibusRow {
+            metric,
+            test,
+            p_adjusted,
+        })
         .collect();
 
     // Dunn per metric + significance breakdowns.
@@ -108,7 +115,13 @@ pub fn posthoc_analysis(results: &[(ModelKind, Vec<TrialOutcome>)]) -> PosthocRe
         dunn.push(d);
     }
 
-    PosthocReport { models, normality_violations, omnibus, dunn, breakdown }
+    PosthocReport {
+        models,
+        normality_violations,
+        omnibus,
+        dunn,
+        breakdown,
+    }
 }
 
 /// Splits Dunn significance fractions by whether the pair shares a category.
@@ -120,8 +133,7 @@ fn significance_breakdown(
     let (mut same, mut same_sig) = (0usize, 0usize);
     let (mut cross, mut cross_sig) = (0usize, 0usize);
     for pair in &dunn.pairs {
-        let same_cat =
-            models[pair.group_a].category() == models[pair.group_b].category();
+        let same_cat = models[pair.group_a].category() == models[pair.group_b].category();
         let sig = pair.is_significant(alpha);
         if same_cat {
             same += 1;
@@ -131,7 +143,13 @@ fn significance_breakdown(
             cross_sig += usize::from(sig);
         }
     }
-    let frac = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    let frac = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
     SignificanceBreakdown {
         overall: frac(same_sig + cross_sig, same + cross),
         same_category: frac(same_sig, same),
@@ -152,7 +170,12 @@ mod tests {
             .map(|_| {
                 let v = (center + rng.gen_range(-spread..spread)).clamp(0.0, 1.0);
                 TrialOutcome {
-                    metrics: Metrics { accuracy: v, f1: v, precision: v, recall: v },
+                    metrics: Metrics {
+                        accuracy: v,
+                        f1: v,
+                        precision: v,
+                        recall: v,
+                    },
                     train_seconds: 1.0,
                     infer_seconds: 0.1,
                 }
@@ -170,7 +193,12 @@ mod tests {
         let report = posthoc_analysis(&results);
         assert_eq!(report.omnibus.len(), 4);
         for row in &report.omnibus {
-            assert!(row.p_adjusted < 0.05, "{}: p = {}", row.metric, row.p_adjusted);
+            assert!(
+                row.p_adjusted < 0.05,
+                "{}: p = {}",
+                row.metric,
+                row.p_adjusted
+            );
         }
         // RF (histogram) vs ViT (vision) must differ; the cross-category
         // fraction should dominate, as in the paper.
@@ -199,7 +227,12 @@ mod tests {
             .map(|_| {
                 let v: f64 = 0.9 - rng.gen_range(0.0f64..1.0).powi(6) * 0.4;
                 TrialOutcome {
-                    metrics: Metrics { accuracy: v, f1: v, precision: v, recall: v },
+                    metrics: Metrics {
+                        accuracy: v,
+                        f1: v,
+                        precision: v,
+                        recall: v,
+                    },
                     train_seconds: 0.0,
                     infer_seconds: 0.0,
                 }

@@ -132,11 +132,18 @@ pub fn run_scalability(
                 let (train, test) = subset.fold_split(&assignment, k);
                 let outcome =
                     train_and_evaluate(model, &train, &test, profile, seed ^ (k as u64) << 8);
-                cells.push(ScalabilityCell { model, ratio, outcome });
+                cells.push(ScalabilityCell {
+                    model,
+                    ratio,
+                    outcome,
+                });
             }
         }
     }
-    ScalabilityStudy { cells, folds: folds.max(2) }
+    ScalabilityStudy {
+        cells,
+        folds: folds.max(2),
+    }
 }
 
 #[cfg(test)]

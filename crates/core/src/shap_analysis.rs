@@ -46,16 +46,20 @@ pub fn shap_analysis(
     seed: u64,
 ) -> ShapAnalysis {
     assert!(!train.is_empty() && !test.is_empty(), "empty split");
-    let train_codes = train.bytecodes();
-    let test_codes = test.bytecodes();
-    let encoder = HistogramEncoder::fit(&train_codes);
-    let x_train = Matrix::from_rows(&encoder.encode_batch(&train_codes));
-    let x_test = Matrix::from_rows(&encoder.encode_batch(&test_codes));
+    // Shared single-pass disassembly caches, as in the MEM pipeline.
+    let train_caches = train.disasm_batch();
+    let test_caches = test.disasm_batch();
+    let encoder = HistogramEncoder::fit(&train_caches);
+    let x_train = Matrix::from_rows(&encoder.encode_batch(&train_caches));
+    let x_test = Matrix::from_rows(&encoder.encode_batch(&test_caches));
 
     let mut forest = RandomForest::with_params(
         ForestParams {
             n_trees: profile.n_trees.min(60), // SHAP cost scales with trees
-            tree: TreeParams { max_depth: 10, ..TreeParams::default() },
+            tree: TreeParams {
+                max_depth: 10,
+                ..TreeParams::default()
+            },
             subsample: 1.0,
         },
         seed,

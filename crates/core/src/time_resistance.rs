@@ -73,7 +73,11 @@ pub fn run_time_resistance(
     } else {
         area_under_time(&f1_series)
     };
-    TimeResistance { model, monthly, aut_f1 }
+    TimeResistance {
+        model,
+        monthly,
+        aut_f1,
+    }
 }
 
 #[cfg(test)]
@@ -92,14 +96,20 @@ mod tests {
             ..CorpusConfig::small(41)
         });
         let chain = SimulatedChain::from_corpus(&corpus);
-        extract_dataset(&chain, &BemConfig { balance: false, ..Default::default() }).0
+        extract_dataset(
+            &chain,
+            &BemConfig {
+                balance: false,
+                ..Default::default()
+            },
+        )
+        .0
     }
 
     #[test]
     fn covers_test_periods_in_order() {
         let data = temporal_dataset();
-        let result =
-            run_time_resistance(ModelKind::RandomForest, &data, &EvalProfile::quick(), 3);
+        let result = run_time_resistance(ModelKind::RandomForest, &data, &EvalProfile::quick(), 3);
         assert!(!result.monthly.is_empty());
         for w in result.monthly.windows(2) {
             assert!(w[0].period < w[1].period);
@@ -110,8 +120,7 @@ mod tests {
     #[test]
     fn detector_stays_above_chance_over_time() {
         let data = temporal_dataset();
-        let result =
-            run_time_resistance(ModelKind::RandomForest, &data, &EvalProfile::quick(), 7);
+        let result = run_time_resistance(ModelKind::RandomForest, &data, &EvalProfile::quick(), 7);
         assert!(result.aut_f1 > 0.5, "AUT = {}", result.aut_f1);
     }
 }

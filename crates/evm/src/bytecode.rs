@@ -4,7 +4,6 @@
 //! bytecode extraction module (BEM) pulls from the chain via `eth_getCode`.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -71,7 +70,7 @@ impl Bytecode {
     /// non-hexadecimal character is present.
     pub fn from_hex(hex: &str) -> Result<Self, ParseBytecodeError> {
         let digits = hex.strip_prefix("0x").unwrap_or(hex);
-        if digits.len() % 2 != 0 {
+        if !digits.len().is_multiple_of(2) {
             return Err(ParseBytecodeError::OddLength {
                 digits: digits.len(),
             });
@@ -165,19 +164,6 @@ impl From<&[u8]> for Bytecode {
 impl AsRef<[u8]> for Bytecode {
     fn as_ref(&self) -> &[u8] {
         &self.0
-    }
-}
-
-impl Serialize for Bytecode {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_hex())
-    }
-}
-
-impl<'de> Deserialize<'de> for Bytecode {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Bytecode::from_hex(&s).map_err(serde::de::Error::custom)
     }
 }
 

@@ -1,0 +1,177 @@
+//! Per-contract disassembly cache.
+//!
+//! The paper's pipeline featurizes every contract with up to six encoders;
+//! naively each encoder re-disassembles the bytecode, multiplying the
+//! decoding cost. [`DisasmCache`] decodes a contract **exactly once** into a
+//! packed op table (8 bytes per instruction) and hands every featurizer a
+//! zero-copy [`StreamOp`] view over it. Operands are never copied — they are
+//! resolved as subslices of the original [`Bytecode`] on demand.
+//!
+//! A process-wide [`decode_count`] counter records how many full decodes
+//! have happened; tests use it to assert the single-pass property of the
+//! featurization pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use phishinghook_evm::{Bytecode, DisasmCache};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cache = DisasmCache::build(&Bytecode::from_hex("0x6080604052")?);
+//! assert_eq!(cache.op_count(), 3);
+//! let names: Vec<String> = cache.ops().map(|op| op.mnemonic().name().into_owned()).collect();
+//! assert_eq!(names, ["PUSH1", "PUSH1", "MSTORE"]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::bytecode::Bytecode;
+use crate::disasm::{OpcodeStream, StreamOp};
+use crate::opid::OpId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of full bytecode decodes (see [`decode_count`]).
+static DECODE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`DisasmCache::build`] decodes performed by this process so
+/// far. Monotonic; tests snapshot it before and after a dataset pass to
+/// assert each contract is disassembled exactly once.
+pub fn decode_count() -> u64 {
+    DECODE_COUNT.load(Ordering::Relaxed)
+}
+
+/// One decoded instruction, packed to 8 bytes. The operand is implicit: it
+/// is the `operand_len` bytes following `offset` in the cached code.
+#[derive(Debug, Clone, Copy)]
+struct PackedOp {
+    offset: u32,
+    id: OpId,
+    operand_len: u8,
+    truncated: bool,
+}
+
+/// The decoded instruction stream of one contract, computed exactly once.
+///
+/// Cheap to clone (the bytecode is refcounted and the op table is the only
+/// owned allocation).
+#[derive(Debug, Clone)]
+pub struct DisasmCache {
+    code: Bytecode,
+    ops: Vec<PackedOp>,
+}
+
+impl DisasmCache {
+    /// Decodes `code` into a cache. This is the **only** place the
+    /// featurization pipeline pays disassembly cost; the global
+    /// [`decode_count`] is incremented on every call.
+    pub fn build(code: &Bytecode) -> Self {
+        DECODE_COUNT.fetch_add(1, Ordering::Relaxed);
+        let ops = OpcodeStream::new(code.as_bytes())
+            .map(|op| PackedOp {
+                offset: op.offset as u32,
+                id: op.id,
+                operand_len: op.operand.len() as u8,
+                truncated: op.truncated,
+            })
+            .collect();
+        DisasmCache {
+            code: code.clone(),
+            ops,
+        }
+    }
+
+    /// Builds caches for a whole batch, in order.
+    pub fn build_batch(codes: &[Bytecode]) -> Vec<DisasmCache> {
+        codes.iter().map(DisasmCache::build).collect()
+    }
+
+    /// The cached contract bytecode.
+    pub fn code(&self) -> &Bytecode {
+        &self.code
+    }
+
+    /// Raw code bytes (the byte-level encoders consume these directly).
+    pub fn bytes(&self) -> &[u8] {
+        self.code.as_bytes()
+    }
+
+    /// Number of decoded instructions.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the contract decodes to no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Zero-copy iteration over the decoded stream; operands are subslices
+    /// of the cached bytecode.
+    pub fn ops(&self) -> impl Iterator<Item = StreamOp<'_>> + '_ {
+        let bytes = self.code.as_bytes();
+        self.ops.iter().map(move |p| {
+            let start = p.offset as usize + 1;
+            StreamOp {
+                offset: p.offset as usize,
+                id: p.id,
+                operand: &bytes[start..start + p.operand_len as usize],
+                truncated: p.truncated,
+            }
+        })
+    }
+
+    /// Iteration over the interned op ids alone (the histogram/token path).
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.ops.iter().map(|p| p.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_matches_fresh_disassembly() {
+        let code = Bytecode::from_hex("0x6080604052fe0c61aabb").unwrap();
+        let cache = DisasmCache::build(&code);
+        let fresh: Vec<_> = OpcodeStream::new(code.as_bytes()).collect();
+        let cached: Vec<_> = cache.ops().collect();
+        assert_eq!(fresh, cached);
+    }
+
+    // NOTE: the exact decode_count() delta assertion lives in the
+    // single-test integration binary `tests/decode_counter.rs` — the
+    // counter is process-global, so asserting an exact delta here would
+    // race with sibling unit tests that also build caches.
+
+    #[test]
+    fn empty_code_yields_empty_cache() {
+        let cache = DisasmCache::build(&Bytecode::from_hex("0x").unwrap());
+        assert!(cache.is_empty());
+        assert_eq!(cache.op_count(), 0);
+        assert_eq!(cache.ops().count(), 0);
+    }
+
+    #[test]
+    fn truncated_push_survives_caching() {
+        let cache = DisasmCache::build(&Bytecode::new(vec![0x61, 0xAA]));
+        let ops: Vec<_> = cache.ops().collect();
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].truncated);
+        assert_eq!(ops[0].operand, &[0xAA]);
+    }
+
+    #[test]
+    fn batch_preserves_order() {
+        let codes = vec![
+            Bytecode::new(vec![0x01]),
+            Bytecode::new(vec![0x02, 0x03]),
+            Bytecode::new(vec![]),
+        ];
+        let caches = DisasmCache::build_batch(&codes);
+        assert_eq!(caches.len(), 3);
+        assert_eq!(caches[0].op_count(), 1);
+        assert_eq!(caches[1].op_count(), 2);
+        assert_eq!(caches[2].op_count(), 0);
+    }
+}

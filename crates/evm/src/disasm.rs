@@ -16,7 +16,8 @@
 //! chain and must still be featurized.
 
 use crate::bytecode::Bytecode;
-use crate::opcodes::{immediate_len, opcode_info, OpcodeInfo};
+use crate::opcodes::{opcode_info, OpcodeInfo};
+use crate::opid::OpId;
 use std::borrow::Cow;
 use std::fmt;
 
@@ -128,7 +129,109 @@ impl fmt::Display for Instruction {
     }
 }
 
-/// Streaming disassembler over a byte slice.
+/// One decoded operation as seen by the zero-copy streaming view: the
+/// interned [`OpId`], the immediate operand *borrowed* from the underlying
+/// code, and the position. No heap allocation occurs while streaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOp<'a> {
+    /// Byte offset of the opcode within the code.
+    pub offset: usize,
+    /// Interned operation id.
+    pub id: OpId,
+    /// Immediate operand bytes (`PUSHn` argument), borrowed from the code.
+    pub operand: &'a [u8],
+    /// `true` if a `PUSHn` immediate ran past the end of the code.
+    pub truncated: bool,
+}
+
+impl StreamOp<'_> {
+    /// Total encoded size in bytes (opcode + immediates actually present).
+    pub fn size(&self) -> usize {
+        1 + self.operand.len()
+    }
+
+    /// Static gas cost, if defined.
+    pub fn gas(&self) -> Option<u32> {
+        self.id.gas()
+    }
+
+    /// Display-layer view of the operation.
+    pub fn mnemonic(&self) -> Mnemonic {
+        self.id.mnemonic()
+    }
+
+    /// Materializes the display-layer [`Instruction`] (allocates the
+    /// operand).
+    pub fn to_instruction(&self) -> Instruction {
+        Instruction {
+            offset: self.offset,
+            mnemonic: self.mnemonic(),
+            operand: self.operand.to_vec(),
+            truncated: self.truncated,
+        }
+    }
+}
+
+/// Copy-free streaming decoder: yields `(OpId, operand, gas)` triples
+/// directly over the code slice. This is the substrate every featurizer
+/// consumes (usually through a
+/// [`DisasmCache`](crate::cache::DisasmCache), which stores the decoded
+/// stream exactly once per contract).
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook_evm::disasm::OpcodeStream;
+///
+/// let code = [0x60, 0x80, 0x60, 0x40, 0x52];
+/// let ops: Vec<_> = OpcodeStream::new(&code).collect();
+/// assert_eq!(ops.len(), 3);
+/// assert_eq!(ops[0].operand, &[0x80]); // borrowed, not copied
+/// assert_eq!(ops[2].gas(), Some(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpcodeStream<'a> {
+    code: &'a [u8],
+    pc: usize,
+}
+
+impl<'a> OpcodeStream<'a> {
+    /// Creates a stream positioned at offset 0.
+    pub fn new(code: &'a [u8]) -> Self {
+        OpcodeStream { code, pc: 0 }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+}
+
+impl<'a> Iterator for OpcodeStream<'a> {
+    type Item = StreamOp<'a>;
+
+    fn next(&mut self) -> Option<StreamOp<'a>> {
+        if self.pc >= self.code.len() {
+            return None;
+        }
+        let offset = self.pc;
+        let id = OpId::from_byte(self.code[offset]);
+        let want = id.immediates();
+        let avail = (self.code.len() - offset - 1).min(want);
+        let operand = &self.code[offset + 1..offset + 1 + avail];
+        self.pc = offset + 1 + avail;
+        Some(StreamOp {
+            offset,
+            id,
+            operand,
+            truncated: avail < want,
+        })
+    }
+}
+
+/// Streaming disassembler over a byte slice, yielding owned display-layer
+/// [`Instruction`]s. Thin wrapper over [`OpcodeStream`]; hot paths should
+/// use the stream (or a cache) directly.
 ///
 /// # Examples
 ///
@@ -142,19 +245,20 @@ impl fmt::Display for Instruction {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Disassembler<'a> {
-    code: &'a [u8],
-    pc: usize,
+    stream: OpcodeStream<'a>,
 }
 
 impl<'a> Disassembler<'a> {
     /// Creates a disassembler positioned at offset 0.
     pub fn new(code: &'a [u8]) -> Self {
-        Disassembler { code, pc: 0 }
+        Disassembler {
+            stream: OpcodeStream::new(code),
+        }
     }
 
     /// Current program counter.
     pub fn pc(&self) -> usize {
-        self.pc
+        self.stream.pc()
     }
 }
 
@@ -162,21 +266,7 @@ impl Iterator for Disassembler<'_> {
     type Item = Instruction;
 
     fn next(&mut self) -> Option<Instruction> {
-        if self.pc >= self.code.len() {
-            return None;
-        }
-        let offset = self.pc;
-        let byte = self.code[offset];
-        let want = immediate_len(byte);
-        let avail = (self.code.len() - offset - 1).min(want);
-        let operand = self.code[offset + 1..offset + 1 + avail].to_vec();
-        self.pc = offset + 1 + avail;
-        Some(Instruction {
-            offset,
-            mnemonic: Mnemonic::from_byte(byte),
-            operand,
-            truncated: avail < want,
-        })
+        self.stream.next().map(|op| op.to_instruction())
     }
 }
 

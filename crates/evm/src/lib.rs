@@ -29,15 +29,21 @@
 #![warn(missing_docs)]
 
 pub mod bytecode;
+pub mod cache;
 pub mod disasm;
 pub mod opcodes;
+pub mod opid;
 
 pub use bytecode::{Bytecode, ParseBytecodeError};
-pub use disasm::{disassemble, disassemble_bytecode, Disassembler, Instruction, Mnemonic};
+pub use cache::{decode_count, DisasmCache};
+pub use disasm::{
+    disassemble, disassemble_bytecode, Disassembler, Instruction, Mnemonic, OpcodeStream, StreamOp,
+};
 pub use opcodes::{
     opcode_by_mnemonic, opcode_info, OpCategory, OpcodeInfo, SHANGHAI_OPCODES,
     SHANGHAI_OPCODE_COUNT,
 };
+pub use opid::OpId;
 
 #[cfg(test)]
 mod proptests {

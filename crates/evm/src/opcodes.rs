@@ -445,7 +445,14 @@ mod tests {
 
     #[test]
     fn terminators() {
-        for m in ["STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT", "JUMP"] {
+        for m in [
+            "STOP",
+            "RETURN",
+            "REVERT",
+            "INVALID",
+            "SELFDESTRUCT",
+            "JUMP",
+        ] {
             assert!(opcode_by_mnemonic(m).unwrap().is_terminator());
         }
         assert!(!opcode_by_mnemonic("JUMPI").unwrap().is_terminator());

@@ -1,0 +1,27 @@
+//! Exact decode-counter semantics, isolated in a single-test binary.
+//!
+//! `decode_count()` is process-global, so exact-delta assertions are only
+//! race-free when nothing else in the process builds caches concurrently.
+//! This file deliberately contains exactly one test.
+
+use phishinghook_evm::{decode_count, Bytecode, DisasmCache};
+
+#[test]
+fn decode_counter_increments_once_per_build_and_never_on_reads() {
+    let code = Bytecode::from_hex("0x6001600201").unwrap();
+    let before = decode_count();
+    let cache = DisasmCache::build(&code);
+    // Reading the cache many times never decodes again.
+    for _ in 0..10 {
+        let _ = cache.ops().count();
+        let _ = cache.op_ids().count();
+    }
+    assert_eq!(decode_count() - before, 1);
+
+    // Batch builds count one decode per contract.
+    let codes = vec![Bytecode::new(vec![0x01]), Bytecode::new(vec![0x02, 0x03])];
+    let at = decode_count();
+    let caches = DisasmCache::build_batch(&codes);
+    assert_eq!(decode_count() - at, codes.len() as u64);
+    assert_eq!(caches.len(), 2);
+}

@@ -8,14 +8,21 @@
 //! Six hex characters = three bytes; consecutive non-overlapping 3-byte
 //! chunks are mapped to integer ids via a vocabulary built on the training
 //! split. Id 0 is reserved for padding and 1 for out-of-vocabulary chunks.
+//! The encoder reads the raw bytes of the shared [`DisasmCache`].
 
-use phishinghook_evm::Bytecode;
+use crate::featurizer::{FeatureVec, Featurizer};
+use phishinghook_evm::DisasmCache;
 use std::collections::HashMap;
 
 /// Reserved padding token id.
 pub const PAD: u32 = 0;
 /// Reserved out-of-vocabulary token id.
 pub const UNK: u32 = 1;
+
+/// Default vocabulary cap used by the [`Featurizer`] impl.
+pub const DEFAULT_VOCAB: usize = 2048;
+/// Default padded sequence length used by the [`Featurizer`] impl.
+pub const DEFAULT_LEN: usize = 48;
 
 /// Fitted bigram vocabulary plus sequence geometry.
 #[derive(Debug, Clone)]
@@ -25,18 +32,18 @@ pub struct BigramEncoder {
 }
 
 impl BigramEncoder {
-    /// Builds the vocabulary from the training bytecodes, keeping the
+    /// Builds the vocabulary from the training caches, keeping the
     /// `max_vocab` most frequent chunks, and fixes the padded length.
     ///
     /// # Panics
     ///
     /// Panics if `max_len == 0` or `max_vocab == 0`.
-    pub fn fit(training: &[Bytecode], max_vocab: usize, max_len: usize) -> Self {
+    pub fn fit(training: &[DisasmCache], max_vocab: usize, max_len: usize) -> Self {
         assert!(max_len > 0, "max_len must be positive");
         assert!(max_vocab > 0, "max_vocab must be positive");
         let mut counts: HashMap<[u8; 3], u64> = HashMap::new();
-        for code in training {
-            for chunk in code.as_bytes().chunks_exact(3) {
+        for cache in training {
+            for chunk in cache.bytes().chunks_exact(3) {
                 *counts.entry([chunk[0], chunk[1], chunk[2]]).or_insert(0) += 1;
             }
         }
@@ -62,11 +69,11 @@ impl BigramEncoder {
         self.max_len
     }
 
-    /// Encodes one bytecode as a fixed-length id sequence: truncated at
+    /// Encodes one contract as a fixed-length id sequence: truncated at
     /// `max_len`, right-padded with [`PAD`].
-    pub fn encode(&self, code: &Bytecode) -> Vec<u32> {
+    pub fn encode(&self, contract: &DisasmCache) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.max_len);
-        for chunk in code.as_bytes().chunks_exact(3).take(self.max_len) {
+        for chunk in contract.bytes().chunks_exact(3).take(self.max_len) {
             let key = [chunk[0], chunk[1], chunk[2]];
             out.push(self.vocab.get(&key).copied().unwrap_or(UNK));
         }
@@ -75,17 +82,30 @@ impl BigramEncoder {
     }
 }
 
+impl Featurizer for BigramEncoder {
+    const NAME: &'static str = "scsguard_bigram";
+
+    fn fit(training: &[DisasmCache]) -> Self {
+        BigramEncoder::fit(training, DEFAULT_VOCAB, DEFAULT_LEN)
+    }
+
+    fn encode(&self, contract: &DisasmCache) -> FeatureVec {
+        FeatureVec::Ids(self.encode(contract))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phishinghook_evm::Bytecode;
 
-    fn code(bytes: &[u8]) -> Bytecode {
-        Bytecode::new(bytes.to_vec())
+    fn cache(bytes: &[u8]) -> DisasmCache {
+        DisasmCache::build(&Bytecode::new(bytes.to_vec()))
     }
 
     #[test]
     fn ids_start_after_reserved() {
-        let train = vec![code(&[1, 2, 3, 1, 2, 3, 9, 9, 9])];
+        let train = vec![cache(&[1, 2, 3, 1, 2, 3, 9, 9, 9])];
         let enc = BigramEncoder::fit(&train, 100, 8);
         let ids = enc.encode(&train[0]);
         // Most frequent chunk [1,2,3] gets id 2.
@@ -97,30 +117,30 @@ mod tests {
 
     #[test]
     fn unknown_chunks_map_to_unk() {
-        let train = vec![code(&[1, 2, 3])];
+        let train = vec![cache(&[1, 2, 3])];
         let enc = BigramEncoder::fit(&train, 10, 4);
-        let ids = enc.encode(&code(&[7, 7, 7]));
+        let ids = enc.encode(&cache(&[7, 7, 7]));
         assert_eq!(ids[0], UNK);
     }
 
     #[test]
     fn sequences_are_uniform_length() {
-        let train = vec![code(&[1, 2, 3, 4, 5, 6])];
+        let train = vec![cache(&[1, 2, 3, 4, 5, 6])];
         let enc = BigramEncoder::fit(&train, 10, 5);
-        assert_eq!(enc.encode(&code(&[])).len(), 5);
-        assert_eq!(enc.encode(&code(&[1u8; 300])).len(), 5);
+        assert_eq!(enc.encode(&cache(&[])).len(), 5);
+        assert_eq!(enc.encode(&cache(&[1u8; 300])).len(), 5);
     }
 
     #[test]
     fn vocab_capped() {
         let bytes: Vec<u8> = (0..=255u8).flat_map(|b| [b, b, b]).collect();
-        let enc = BigramEncoder::fit(&[code(&bytes)], 16, 8);
+        let enc = BigramEncoder::fit(&[cache(&bytes)], 16, 8);
         assert_eq!(enc.vocab_size(), 18);
     }
 
     #[test]
     fn trailing_partial_chunk_is_dropped() {
-        let train = vec![code(&[1, 2, 3, 4, 5])]; // 5 bytes: one chunk + tail
+        let train = vec![cache(&[1, 2, 3, 4, 5])]; // 5 bytes: one chunk + tail
         let enc = BigramEncoder::fit(&train, 10, 4);
         let ids = enc.encode(&train[0]);
         assert_eq!(ids, vec![2, PAD, PAD, PAD]);

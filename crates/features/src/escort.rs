@@ -5,20 +5,26 @@
 //! network." (§IV-B) The original system slices bytecode into fragments and
 //! embeds them; we reproduce the embedding stage as a hashed byte-trigram
 //! bag — a fixed-dimension vector space representation of code fragments —
-//! which the ESCORT DNN trunk then consumes.
+//! which the ESCORT DNN trunk then consumes. The embedder reads the raw
+//! bytes of the shared [`DisasmCache`].
 
-use phishinghook_evm::Bytecode;
+use crate::featurizer::{FeatureVec, Featurizer};
+use phishinghook_evm::DisasmCache;
+
+/// Default embedding dimension used by the [`Featurizer`] impl.
+pub const DEFAULT_DIM: usize = 128;
 
 /// Hashed trigram embedder with a fixed output dimension.
 ///
 /// # Examples
 ///
 /// ```
-/// use phishinghook_evm::Bytecode;
+/// use phishinghook_evm::{Bytecode, DisasmCache};
 /// use phishinghook_features::EscortEmbedder;
 ///
 /// let embedder = EscortEmbedder::new(128);
-/// let v = embedder.encode(&Bytecode::new(vec![1, 2, 3, 4]));
+/// let cache = DisasmCache::build(&Bytecode::new(vec![1, 2, 3, 4]));
+/// let v = embedder.encode(&cache);
 /// assert_eq!(v.len(), 128);
 /// ```
 #[derive(Debug, Clone, Copy)]
@@ -42,10 +48,10 @@ impl EscortEmbedder {
         self.dim
     }
 
-    /// Encodes bytecode as a log-scaled hashed trigram count vector.
-    pub fn encode(&self, code: &Bytecode) -> Vec<f32> {
+    /// Encodes a contract as a log-scaled hashed trigram count vector.
+    pub fn encode(&self, contract: &DisasmCache) -> Vec<f32> {
         let mut out = vec![0.0f32; self.dim];
-        for w in code.as_bytes().windows(3) {
+        for w in contract.bytes().windows(3) {
             let h = fnv3(w[0], w[1], w[2]) as usize % self.dim;
             out[h] += 1.0;
         }
@@ -53,6 +59,18 @@ impl EscortEmbedder {
             *v = (1.0 + *v).ln();
         }
         out
+    }
+}
+
+impl Featurizer for EscortEmbedder {
+    const NAME: &'static str = "escort_embedding";
+
+    fn fit(_training: &[DisasmCache]) -> Self {
+        EscortEmbedder::new(DEFAULT_DIM)
+    }
+
+    fn encode(&self, contract: &DisasmCache) -> FeatureVec {
+        FeatureVec::Dense(self.encode(contract))
     }
 }
 
@@ -68,41 +86,46 @@ fn fnv3(a: u8, b: u8, c: u8) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phishinghook_evm::Bytecode;
+
+    fn cache(bytes: Vec<u8>) -> DisasmCache {
+        DisasmCache::build(&Bytecode::new(bytes))
+    }
 
     #[test]
     fn fixed_dimension() {
         let e = EscortEmbedder::new(64);
-        assert_eq!(e.encode(&Bytecode::new(vec![])).len(), 64);
-        assert_eq!(e.encode(&Bytecode::new(vec![1; 1000])).len(), 64);
+        assert_eq!(e.encode(&cache(vec![])).len(), 64);
+        assert_eq!(e.encode(&cache(vec![1; 1000])).len(), 64);
     }
 
     #[test]
     fn deterministic() {
         let e = EscortEmbedder::new(32);
-        let a = e.encode(&Bytecode::new(vec![5, 6, 7, 8]));
-        let b = e.encode(&Bytecode::new(vec![5, 6, 7, 8]));
+        let a = e.encode(&cache(vec![5, 6, 7, 8]));
+        let b = e.encode(&cache(vec![5, 6, 7, 8]));
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_code_different_embedding() {
         let e = EscortEmbedder::new(256);
-        let a = e.encode(&Bytecode::new((0..100).collect::<Vec<u8>>()));
-        let b = e.encode(&Bytecode::new((100..200).collect::<Vec<u8>>()));
+        let a = e.encode(&cache((0..100).collect::<Vec<u8>>()));
+        let b = e.encode(&cache((100..200).collect::<Vec<u8>>()));
         assert_ne!(a, b);
     }
 
     #[test]
     fn empty_code_embeds_to_zero() {
         let e = EscortEmbedder::new(16);
-        assert!(e.encode(&Bytecode::new(vec![])).iter().all(|&v| v == 0.0));
+        assert!(e.encode(&cache(vec![])).iter().all(|&v| v == 0.0));
     }
 
     #[test]
     fn log_scaling_is_monotone_in_counts() {
         let e = EscortEmbedder::new(8);
-        let short = e.encode(&Bytecode::new(vec![1, 2, 3]));
-        let long = e.encode(&Bytecode::new([1, 2, 3].repeat(50)));
+        let short = e.encode(&cache(vec![1, 2, 3]));
+        let long = e.encode(&cache([1, 2, 3].repeat(50)));
         let s: f32 = short.iter().sum();
         let l: f32 = long.iter().sum();
         assert!(l > s);

@@ -8,47 +8,51 @@
 //! frequently encountered mnemonics, operands and gas consumptions."
 //! (§IV-B)
 //!
-//! One disassembled instruction becomes one pixel: R from the mnemonic's
-//! training-set frequency, G from the operand's, B from the gas value's.
-//! The lookup table is built exactly once, on the training split.
+//! One decoded instruction becomes one pixel: R from the op's training-set
+//! frequency (a dense [`OpId`]-indexed table), G from the operand's, B from
+//! the gas value's. The lookup tables are built exactly once, on the
+//! training split's [`DisasmCache`]s; encoding reads the shared cache and
+//! allocates nothing but the output image.
 
-use phishinghook_evm::disasm::Disassembler;
-use phishinghook_evm::Bytecode;
+use crate::featurizer::{FeatureVec, Featurizer};
+use phishinghook_evm::{DisasmCache, OpId};
 use std::collections::HashMap;
+
+/// Default image side used by the [`Featurizer`] impl.
+pub const DEFAULT_SIDE: usize = 32;
 
 /// Fitted frequency tables plus the output image geometry.
 #[derive(Debug, Clone)]
 pub struct FreqImageEncoder {
     side: usize,
-    mnemonic_freq: HashMap<String, f32>,
+    /// Dense `OpId::index() -> intensity` table.
+    mnemonic_freq: Vec<f32>,
     operand_freq: HashMap<Vec<u8>, f32>,
     gas_freq: HashMap<Option<u32>, f32>,
 }
 
 impl FreqImageEncoder {
-    /// Fits the three lookup tables (mnemonic, operand, gas) on the training
-    /// set and fixes the image side.
+    /// Fits the three lookup tables (op id, operand, gas) on the training
+    /// caches and fixes the image side.
     ///
     /// # Panics
     ///
     /// Panics if `side == 0`.
-    pub fn fit(training: &[Bytecode], side: usize) -> Self {
+    pub fn fit(training: &[DisasmCache], side: usize) -> Self {
         assert!(side > 0, "image side must be positive");
-        let mut mnemonic_counts: HashMap<String, u64> = HashMap::new();
+        let mut mnemonic_counts = vec![0u64; OpId::CARDINALITY];
         let mut operand_counts: HashMap<Vec<u8>, u64> = HashMap::new();
         let mut gas_counts: HashMap<Option<u32>, u64> = HashMap::new();
-        for code in training {
-            for instr in Disassembler::new(code.as_bytes()) {
-                *mnemonic_counts
-                    .entry(instr.mnemonic.name().into_owned())
-                    .or_insert(0) += 1;
-                *operand_counts.entry(instr.operand.clone()).or_insert(0) += 1;
-                *gas_counts.entry(instr.gas()).or_insert(0) += 1;
+        for cache in training {
+            for op in cache.ops() {
+                mnemonic_counts[op.id.index()] += 1;
+                *operand_counts.entry(op.operand.to_vec()).or_insert(0) += 1;
+                *gas_counts.entry(op.gas()).or_insert(0) += 1;
             }
         }
         FreqImageEncoder {
             side,
-            mnemonic_freq: normalize(mnemonic_counts),
+            mnemonic_freq: normalize_dense(&mnemonic_counts),
             operand_freq: normalize(operand_counts),
             gas_freq: normalize(gas_counts),
         }
@@ -69,22 +73,30 @@ impl FreqImageEncoder {
         false
     }
 
-    /// Encodes one bytecode: instruction `k` becomes pixel `k` with channel
+    /// Encodes one contract: instruction `k` becomes pixel `k` with channel
     /// intensities given by the fitted frequency tables (unseen entries get
     /// intensity 0, like any out-of-vocabulary element).
-    pub fn encode(&self, code: &Bytecode) -> Vec<f32> {
+    pub fn encode(&self, contract: &DisasmCache) -> Vec<f32> {
         let pixels = self.side * self.side;
         let mut out = vec![0.0f32; 3 * pixels];
-        for (k, instr) in Disassembler::new(code.as_bytes()).take(pixels).enumerate() {
-            out[k] = self
-                .mnemonic_freq
-                .get(instr.mnemonic.name().as_ref())
-                .copied()
-                .unwrap_or(0.0);
-            out[pixels + k] = self.operand_freq.get(&instr.operand).copied().unwrap_or(0.0);
-            out[2 * pixels + k] = self.gas_freq.get(&instr.gas()).copied().unwrap_or(0.0);
+        for (k, op) in contract.ops().take(pixels).enumerate() {
+            out[k] = self.mnemonic_freq[op.id.index()];
+            out[pixels + k] = self.operand_freq.get(op.operand).copied().unwrap_or(0.0);
+            out[2 * pixels + k] = self.gas_freq.get(&op.gas()).copied().unwrap_or(0.0);
         }
         out
+    }
+}
+
+impl Featurizer for FreqImageEncoder {
+    const NAME: &'static str = "freq_image";
+
+    fn fit(training: &[DisasmCache]) -> Self {
+        FreqImageEncoder::fit(training, DEFAULT_SIDE)
+    }
+
+    fn encode(&self, contract: &DisasmCache) -> FeatureVec {
+        FeatureVec::Dense(self.encode(contract))
     }
 }
 
@@ -97,48 +109,63 @@ fn normalize<K: std::hash::Hash + Eq>(counts: HashMap<K, u64>) -> HashMap<K, f32
         .collect()
 }
 
+/// Dense-table variant of [`normalize`]; zero counts stay at intensity 0.
+fn normalize_dense(counts: &[u64]) -> Vec<f32> {
+    let max = counts.iter().copied().max().unwrap_or(1).max(1) as f32;
+    let denom = (1.0 + max).ln();
+    counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                0.0
+            } else {
+                (1.0 + c as f32).ln() / denom
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phishinghook_evm::Bytecode;
 
-    fn code(hex: &str) -> Bytecode {
-        Bytecode::from_hex(hex).unwrap()
+    fn cache(hex: &str) -> DisasmCache {
+        DisasmCache::build(&Bytecode::from_hex(hex).unwrap())
     }
 
     #[test]
     fn most_frequent_mnemonic_gets_highest_red() {
         // PUSH1 appears twice, MSTORE once.
-        let train = vec![code("0x6080604052")];
+        let train = vec![cache("0x6080604052")];
         let enc = FreqImageEncoder::fit(&train, 4);
         let img = enc.encode(&train[0]);
-        let pixels = 16;
         let push1_red = img[0];
         let mstore_red = img[2];
         assert!(push1_red > mstore_red, "{push1_red} vs {mstore_red}");
         assert!((push1_red - 1.0).abs() < 1e-6);
-        let _ = pixels;
     }
 
     #[test]
     fn unseen_instruction_is_dark() {
-        let train = vec![code("0x6080")];
+        let train = vec![cache("0x6080")];
         let enc = FreqImageEncoder::fit(&train, 4);
-        let img = enc.encode(&code("0x01")); // ADD never seen
-        // Gas 3 was seen (PUSH1 has gas 3, ADD also gas 3) so blue may fire,
-        // but the red (mnemonic) channel must be zero.
+        let img = enc.encode(&cache("0x01")); // ADD never seen
+                                              // Gas 3 was seen (PUSH1 has gas 3, ADD also gas 3) so blue may fire,
+                                              // but the red (mnemonic) channel must be zero.
         assert_eq!(img[0], 0.0);
     }
 
     #[test]
     fn output_dimensions() {
-        let enc = FreqImageEncoder::fit(&[code("0x6080")], 8);
-        assert_eq!(enc.encode(&code("0x6080")).len(), 3 * 64);
+        let enc = FreqImageEncoder::fit(&[cache("0x6080")], 8);
+        assert_eq!(enc.encode(&cache("0x6080")).len(), 3 * 64);
         assert_eq!(enc.len(), 192);
     }
 
     #[test]
     fn intensities_in_unit_range() {
-        let train: Vec<Bytecode> = vec![code("0x6080604052"), code("0x010203")];
+        let train: Vec<DisasmCache> = vec![cache("0x6080604052"), cache("0x010203")];
         let enc = FreqImageEncoder::fit(&train, 8);
         for c in &train {
             assert!(enc.encode(c).iter().all(|v| (0.0..=1.0).contains(v)));
@@ -147,7 +174,7 @@ mod tests {
 
     #[test]
     fn empty_code_is_black() {
-        let enc = FreqImageEncoder::fit(&[code("0x6080")], 4);
-        assert!(enc.encode(&code("0x")).iter().all(|&v| v == 0.0));
+        let enc = FreqImageEncoder::fit(&[cache("0x6080")], 4);
+        assert!(enc.encode(&cache("0x")).iter().all(|&v| v == 0.0));
     }
 }

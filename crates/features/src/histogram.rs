@@ -4,24 +4,31 @@
 //! created. It builds a vector of length equal to the number of unique
 //! opcodes inside the training set. The vector is directly served as input
 //! (i.e., without normalized nor standardized steps)." (§IV-B)
+//!
+//! The vocabulary is interned: fitting records the distinct [`OpId`]s seen
+//! in the training caches (first-seen order) and encoding is a dense
+//! array-indexed count — no string hashing anywhere on the hot path.
 
-use phishinghook_evm::disasm::Disassembler;
-use phishinghook_evm::Bytecode;
-use std::collections::HashMap;
+use crate::featurizer::{FeatureVec, Featurizer};
+use phishinghook_evm::opcodes::opcode_by_mnemonic;
+use phishinghook_evm::{DisasmCache, OpId};
+
+/// Sentinel for "op id not in vocabulary" in the dense index table.
+const ABSENT: i32 = -1;
 
 /// Histogram encoder over a vocabulary fitted on the training set.
 ///
 /// # Examples
 ///
 /// ```
-/// use phishinghook_evm::Bytecode;
+/// use phishinghook_evm::{Bytecode, DisasmCache};
 /// use phishinghook_features::HistogramEncoder;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let train = vec![Bytecode::from_hex("0x6080604052")?];
+/// let train = vec![DisasmCache::build(&Bytecode::from_hex("0x6080604052")?)];
 /// let encoder = HistogramEncoder::fit(&train);
 /// // Vocabulary: PUSH1 and MSTORE.
-/// assert_eq!(encoder.vocabulary().len(), 2);
+/// assert_eq!(encoder.vocab_len(), 2);
 /// let features = encoder.encode(&train[0]);
 /// assert_eq!(features.iter().sum::<f32>(), 3.0); // raw counts
 /// # Ok(())
@@ -29,68 +36,113 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct HistogramEncoder {
-    vocabulary: Vec<String>,
-    index: HashMap<String, usize>,
+    /// Distinct training-set op ids, in first-seen order.
+    vocab: Vec<OpId>,
+    /// Dense `OpId::index() -> feature column` table (`ABSENT` = not in
+    /// vocabulary).
+    index: Vec<i32>,
 }
 
 impl HistogramEncoder {
-    /// Builds the vocabulary from the unique mnemonics observed in the
-    /// training bytecodes, in order of first appearance.
-    pub fn fit(training: &[Bytecode]) -> Self {
-        let mut vocabulary = Vec::new();
-        let mut index = HashMap::new();
-        for code in training {
-            for instr in Disassembler::new(code.as_bytes()) {
-                let name = instr.mnemonic.name().into_owned();
-                if !index.contains_key(&name) {
-                    index.insert(name.clone(), vocabulary.len());
-                    vocabulary.push(name);
+    /// Builds the vocabulary from the distinct op ids observed in the
+    /// training caches, in order of first appearance.
+    pub fn fit(training: &[DisasmCache]) -> Self {
+        let mut vocab = Vec::new();
+        let mut index = vec![ABSENT; OpId::CARDINALITY];
+        for cache in training {
+            for id in cache.op_ids() {
+                if index[id.index()] == ABSENT {
+                    index[id.index()] = vocab.len() as i32;
+                    vocab.push(id);
                 }
             }
         }
-        HistogramEncoder { vocabulary, index }
+        HistogramEncoder { vocab, index }
     }
 
-    /// The fitted vocabulary (unique mnemonics in the training set).
-    pub fn vocabulary(&self) -> &[String] {
-        &self.vocabulary
+    /// Number of features (distinct training-set op ids).
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
     }
 
-    /// Encodes one bytecode as raw opcode counts over the vocabulary.
-    /// Mnemonics unseen at fit time are ignored, as with any fixed
-    /// vocabulary.
-    pub fn encode(&self, code: &Bytecode) -> Vec<f32> {
-        let mut hist = vec![0.0f32; self.vocabulary.len()];
-        for instr in Disassembler::new(code.as_bytes()) {
-            if let Some(&i) = self.index.get(instr.mnemonic.name().as_ref()) {
-                hist[i] += 1.0;
+    /// The interned vocabulary, in feature-column order.
+    pub fn vocab_ids(&self) -> &[OpId] {
+        &self.vocab
+    }
+
+    /// Display-layer vocabulary: mnemonic names in feature-column order.
+    pub fn vocabulary(&self) -> Vec<String> {
+        self.vocab
+            .iter()
+            .map(|id| id.mnemonic().name().into_owned())
+            .collect()
+    }
+
+    /// Encodes one contract as raw opcode counts over the vocabulary.
+    /// Op ids unseen at fit time are ignored, as with any fixed vocabulary.
+    pub fn encode(&self, contract: &DisasmCache) -> Vec<f32> {
+        let mut hist = vec![0.0f32; self.vocab.len()];
+        for id in contract.op_ids() {
+            let col = self.index[id.index()];
+            if col != ABSENT {
+                hist[col as usize] += 1.0;
             }
         }
         hist
     }
 
     /// Encodes a batch into row-major `(n, vocab)` features.
-    pub fn encode_batch(&self, codes: &[Bytecode]) -> Vec<Vec<f32>> {
-        codes.iter().map(|c| self.encode(c)).collect()
+    pub fn encode_batch(&self, batch: &[DisasmCache]) -> Vec<Vec<f32>> {
+        batch.iter().map(|c| self.encode(c)).collect()
     }
 
-    /// Index of a mnemonic in the feature vector, if in vocabulary.
+    /// Feature column of an op id, if in vocabulary.
+    pub fn feature_index_of(&self, id: OpId) -> Option<usize> {
+        match self.index[id.index()] {
+            ABSENT => None,
+            col => Some(col as usize),
+        }
+    }
+
+    /// Feature column of a mnemonic name (display layer), if in vocabulary.
+    /// Accepts both registry names (`"MSTORE"`) and the `UNKNOWN_0xXX`
+    /// rendering of unassigned bytes.
     pub fn feature_index(&self, mnemonic: &str) -> Option<usize> {
-        self.index.get(mnemonic).copied()
+        let id = match opcode_by_mnemonic(mnemonic) {
+            Some(info) => OpId::from_byte(info.byte),
+            None => {
+                let hex = mnemonic.strip_prefix("UNKNOWN_0x")?;
+                OpId::from_byte(u8::from_str_radix(hex, 16).ok()?)
+            }
+        };
+        self.feature_index_of(id)
+    }
+}
+
+impl Featurizer for HistogramEncoder {
+    const NAME: &'static str = "histogram";
+
+    fn fit(training: &[DisasmCache]) -> Self {
+        HistogramEncoder::fit(training)
+    }
+
+    fn encode(&self, contract: &DisasmCache) -> FeatureVec {
+        FeatureVec::Dense(self.encode(contract))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phishinghook_evm::Bytecode;
 
-    fn code(hex: &str) -> Bytecode {
-        Bytecode::from_hex(hex).unwrap()
+    fn cache(hex: &str) -> DisasmCache {
+        DisasmCache::build(&Bytecode::from_hex(hex).unwrap())
     }
 
     #[test]
     fn counts_are_raw_not_normalized() {
-        let train = vec![code("0x60806040526080")]; // PUSH1 x3, MSTORE
+        let train = vec![cache("0x60806040526080")]; // PUSH1 x3, MSTORE
         let enc = HistogramEncoder::fit(&train);
         let h = enc.encode(&train[0]);
         let push1 = enc.feature_index("PUSH1").unwrap();
@@ -101,32 +153,56 @@ mod tests {
 
     #[test]
     fn unseen_mnemonics_are_ignored() {
-        let train = vec![code("0x6080")]; // only PUSH1
+        let train = vec![cache("0x6080")]; // only PUSH1
         let enc = HistogramEncoder::fit(&train);
-        let h = enc.encode(&code("0x01")); // ADD, not in vocab
+        let h = enc.encode(&cache("0x01")); // ADD, not in vocab
         assert_eq!(h, vec![0.0]);
     }
 
     #[test]
     fn vocabulary_is_deduplicated_first_seen_order() {
-        let train = vec![code("0x6080604052"), code("0x52020202")];
+        let train = vec![cache("0x6080604052"), cache("0x52020202")];
         let enc = HistogramEncoder::fit(&train);
-        assert_eq!(enc.vocabulary(), &["PUSH1".to_string(), "MSTORE".to_string(), "MUL".to_string()]);
+        assert_eq!(
+            enc.vocabulary(),
+            vec!["PUSH1".to_string(), "MSTORE".to_string(), "MUL".to_string()]
+        );
     }
 
     #[test]
     fn empty_bytecode_gives_zero_vector() {
-        let train = vec![code("0x6080")];
+        let train = vec![cache("0x6080")];
         let enc = HistogramEncoder::fit(&train);
-        assert_eq!(enc.encode(&code("0x")), vec![0.0]);
+        assert_eq!(enc.encode(&cache("0x")), vec![0.0]);
     }
 
     #[test]
     fn batch_matches_single() {
-        let train = vec![code("0x6080604052"), code("0x0102")];
+        let train = vec![cache("0x6080604052"), cache("0x0102")];
         let enc = HistogramEncoder::fit(&train);
         let batch = enc.encode_batch(&train);
         assert_eq!(batch[0], enc.encode(&train[0]));
         assert_eq!(batch[1], enc.encode(&train[1]));
+    }
+
+    #[test]
+    fn unknown_bytes_are_first_class_vocabulary_entries() {
+        let train = vec![cache("0x0c0c01")]; // UNKNOWN_0x0C x2, ADD
+        let enc = HistogramEncoder::fit(&train);
+        let h = enc.encode(&train[0]);
+        let unk = enc.feature_index("UNKNOWN_0x0C").unwrap();
+        assert_eq!(h[unk], 2.0);
+        assert_eq!(enc.vocabulary()[unk], "UNKNOWN_0x0C");
+    }
+
+    #[test]
+    fn trait_path_matches_inherent_path() {
+        let train = vec![cache("0x6080604052")];
+        let enc = <HistogramEncoder as Featurizer>::fit(&train);
+        let via_trait = Featurizer::encode(&enc, &train[0]);
+        assert_eq!(
+            via_trait.as_dense().unwrap(),
+            enc.encode(&train[0]).as_slice()
+        );
     }
 }

@@ -9,8 +9,12 @@
 //! our CPU-trained small ViT uses a configurable side (32 by default), which
 //! preserves the encoding — consecutive byte triplets become pixels, row
 //! major, zero padded — at a tractable resolution (see DESIGN.md §4).
+//!
+//! The encoder is stateless and reads the raw bytes of the shared
+//! [`DisasmCache`]; it needs no disassembly of its own.
 
-use phishinghook_evm::Bytecode;
+use crate::featurizer::{FeatureVec, Featurizer};
+use phishinghook_evm::DisasmCache;
 
 /// Default image side for the CPU-scale reproduction.
 pub const DEFAULT_SIDE: usize = 32;
@@ -21,12 +25,13 @@ pub const DEFAULT_SIDE: usize = 32;
 /// # Examples
 ///
 /// ```
-/// use phishinghook_evm::Bytecode;
+/// use phishinghook_evm::{Bytecode, DisasmCache};
 /// use phishinghook_features::R2d2Encoder;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let encoder = R2d2Encoder::new(32);
-/// let image = encoder.encode(&Bytecode::from_hex("0x608060")?);
+/// let cache = DisasmCache::build(&Bytecode::from_hex("0x608060")?);
+/// let image = encoder.encode(&cache);
 /// assert_eq!(image.len(), 3 * 32 * 32);
 /// assert!((image[0] - 0x60 as f32 / 255.0).abs() < 1e-6);
 /// # Ok(())
@@ -67,10 +72,10 @@ impl R2d2Encoder {
     /// channel of pixel `k`, `3k+1` green, `3k+2` blue; the tail is
     /// zero-padded and over-long code is truncated (as any fixed-size tensor
     /// input requires).
-    pub fn encode(&self, code: &Bytecode) -> Vec<f32> {
+    pub fn encode(&self, contract: &DisasmCache) -> Vec<f32> {
         let pixels = self.side * self.side;
         let mut out = vec![0.0f32; 3 * pixels];
-        for (k, chunk) in code.as_bytes().chunks(3).take(pixels).enumerate() {
+        for (k, chunk) in contract.bytes().chunks(3).take(pixels).enumerate() {
             for (c, &b) in chunk.iter().enumerate() {
                 // Channel-first layout: out[c][row][col].
                 out[c * pixels + k] = b as f32 / 255.0;
@@ -86,14 +91,31 @@ impl Default for R2d2Encoder {
     }
 }
 
+impl Featurizer for R2d2Encoder {
+    const NAME: &'static str = "r2d2_image";
+
+    fn fit(_training: &[DisasmCache]) -> Self {
+        R2d2Encoder::default()
+    }
+
+    fn encode(&self, contract: &DisasmCache) -> FeatureVec {
+        FeatureVec::Dense(self.encode(contract))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phishinghook_evm::Bytecode;
+
+    fn cache(bytes: Vec<u8>) -> DisasmCache {
+        DisasmCache::build(&Bytecode::new(bytes))
+    }
 
     #[test]
     fn layout_is_channel_first() {
         let enc = R2d2Encoder::new(4);
-        let img = enc.encode(&Bytecode::new(vec![10, 20, 30, 40, 50, 60]));
+        let img = enc.encode(&cache(vec![10, 20, 30, 40, 50, 60]));
         let pixels = 16;
         assert_eq!(img[0], 10.0 / 255.0); // R of pixel 0
         assert_eq!(img[pixels], 20.0 / 255.0); // G of pixel 0
@@ -104,7 +126,7 @@ mod tests {
     #[test]
     fn zero_padding_fills_tail() {
         let enc = R2d2Encoder::new(8);
-        let img = enc.encode(&Bytecode::new(vec![0xFF; 3]));
+        let img = enc.encode(&cache(vec![0xFF; 3]));
         let nonzero = img.iter().filter(|v| **v != 0.0).count();
         assert_eq!(nonzero, 3);
     }
@@ -112,7 +134,7 @@ mod tests {
     #[test]
     fn long_code_is_truncated() {
         let enc = R2d2Encoder::new(2); // 4 pixels = 12 bytes
-        let img = enc.encode(&Bytecode::new(vec![1u8; 100]));
+        let img = enc.encode(&cache(vec![1u8; 100]));
         assert_eq!(img.len(), 12);
         assert!(img.iter().all(|&v| v > 0.0));
     }
@@ -121,7 +143,7 @@ mod tests {
     fn values_are_unit_range() {
         let enc = R2d2Encoder::default();
         let bytes: Vec<u8> = (0..=255).collect();
-        let img = enc.encode(&Bytecode::new(bytes));
+        let img = enc.encode(&cache(bytes));
         assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 

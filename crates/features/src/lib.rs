@@ -1,5 +1,6 @@
 //! Feature encoders: every representation the paper feeds its sixteen
-//! models.
+//! models, unified behind the [`Featurizer`] trait over shared
+//! [`DisasmCache`](phishinghook_evm::DisasmCache)s.
 //!
 //! | Encoder | Models | Paper description |
 //! |---------|--------|-------------------|
@@ -14,11 +15,21 @@
 //! protocol so that no test-set information leaks into the representation
 //! (the paper constructs its lookup tables "exactly once on the entire
 //! contract training set").
+//!
+//! # Single-pass featurization
+//!
+//! Every encoder consumes a per-contract
+//! [`DisasmCache`](phishinghook_evm::DisasmCache): the bytecode is decoded
+//! once, and all six representations are derived from that cached stream.
+//! Opcode-level encoders index dense tables by interned
+//! [`OpId`](phishinghook_evm::OpId) rather than hashing mnemonic strings,
+//! so the hot path allocates nothing beyond its output vector.
 
 #![warn(missing_docs)]
 
 pub mod bigram;
 pub mod escort;
+pub mod featurizer;
 pub mod freq_image;
 pub mod histogram;
 pub mod image;
@@ -26,7 +37,31 @@ pub mod tokens;
 
 pub use bigram::BigramEncoder;
 pub use escort::EscortEmbedder;
+pub use featurizer::{FeatureVec, Featurizer};
 pub use freq_image::FreqImageEncoder;
 pub use histogram::HistogramEncoder;
 pub use image::R2d2Encoder;
 pub use tokens::{OpcodeTokenizer, SequenceVariant};
+
+// NOTE: the six-encoders-one-decode acceptance test lives in the
+// single-test integration binary `tests/single_pass.rs` — the decode
+// counter is process-global, so exact-delta assertions would race with the
+// encoder unit tests in this library, which also build caches.
+#[cfg(test)]
+mod single_pass {
+    use super::*;
+
+    #[test]
+    fn featurizer_names_are_distinct() {
+        let names = [
+            <HistogramEncoder as Featurizer>::NAME,
+            <FreqImageEncoder as Featurizer>::NAME,
+            <R2d2Encoder as Featurizer>::NAME,
+            <BigramEncoder as Featurizer>::NAME,
+            <OpcodeTokenizer as Featurizer>::NAME,
+            <EscortEmbedder as Featurizer>::NAME,
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -4,7 +4,8 @@
 //! `GPT2Tokenizer`/`T5Tokenizer` over textual mnemonics; our from-scratch
 //! models tokenize at the opcode level directly (one token per instruction,
 //! vocabulary = the 144 Shanghai opcodes + specials), which carries the same
-//! information without a subword stage.
+//! information without a subword stage. Tokens are derived from the interned
+//! [`OpId`]s of the shared [`DisasmCache`] — no re-disassembly, no strings.
 //!
 //! Two sequence policies reproduce the paper's α/β variants:
 //!
@@ -13,8 +14,8 @@
 //! * **β (sliding window)** — "full bytecodes are processed in chunks using
 //!   a sliding window".
 
-use phishinghook_evm::disasm::{Disassembler, Mnemonic};
-use phishinghook_evm::Bytecode;
+use crate::featurizer::{FeatureVec, Featurizer};
+use phishinghook_evm::{DisasmCache, OpId};
 
 /// Padding token id.
 pub const PAD: u32 = 0;
@@ -22,6 +23,9 @@ pub const PAD: u32 = 0;
 pub const UNK: u32 = 1;
 /// First id assigned to real opcodes.
 pub const BASE: u32 = 2;
+
+/// Default context length used by the [`Featurizer`] impl.
+pub const DEFAULT_CONTEXT: usize = 64;
 
 /// How a long sequence is fitted to the model's context length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,27 +64,26 @@ impl OpcodeTokenizer {
         BASE as usize + 256
     }
 
-    /// Token id of one instruction.
-    fn token(m: &Mnemonic) -> u32 {
-        match m {
-            Mnemonic::Known(info) => BASE + info.byte as u32,
-            Mnemonic::Unknown(_) => UNK,
+    /// Token id of one interned op.
+    fn token(id: OpId) -> u32 {
+        if id.is_known() {
+            BASE + id.byte() as u32
+        } else {
+            UNK
         }
     }
 
-    /// Full (unpadded, unbounded) token stream of a bytecode.
-    pub fn stream(&self, code: &Bytecode) -> Vec<u32> {
-        Disassembler::new(code.as_bytes())
-            .map(|i| Self::token(&i.mnemonic))
-            .collect()
+    /// Full (unpadded, unbounded) token stream of a contract.
+    pub fn stream(&self, contract: &DisasmCache) -> Vec<u32> {
+        contract.op_ids().map(Self::token).collect()
     }
 
     /// Encodes under a sequence policy. Returns one window for
     /// [`SequenceVariant::Truncate`], one or more for
     /// [`SequenceVariant::SlidingWindow`]; every window has exactly
     /// `context` ids (right-padded).
-    pub fn encode(&self, code: &Bytecode, variant: SequenceVariant) -> Vec<Vec<u32>> {
-        let stream = self.stream(code);
+    pub fn encode(&self, contract: &DisasmCache, variant: SequenceVariant) -> Vec<Vec<u32>> {
+        let stream = self.stream(contract);
         match variant {
             SequenceVariant::Truncate => {
                 let mut w: Vec<u32> = stream.into_iter().take(self.context).collect();
@@ -112,32 +115,49 @@ impl OpcodeTokenizer {
     }
 }
 
+impl Featurizer for OpcodeTokenizer {
+    const NAME: &'static str = "opcode_tokens";
+
+    fn fit(_training: &[DisasmCache]) -> Self {
+        OpcodeTokenizer::new(DEFAULT_CONTEXT)
+    }
+
+    fn encode(&self, contract: &DisasmCache) -> FeatureVec {
+        FeatureVec::Windows(self.encode(contract, SequenceVariant::Truncate))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phishinghook_evm::Bytecode;
 
-    fn code(bytes: &[u8]) -> Bytecode {
-        Bytecode::new(bytes.to_vec())
+    fn cache(bytes: &[u8]) -> DisasmCache {
+        DisasmCache::build(&Bytecode::new(bytes.to_vec()))
     }
 
     #[test]
     fn alpha_truncates_and_pads() {
         let tok = OpcodeTokenizer::new(4);
         // 6 single-byte instructions.
-        let windows = tok.encode(&code(&[0x01; 6]), SequenceVariant::Truncate);
+        let windows = tok.encode(&cache(&[0x01; 6]), SequenceVariant::Truncate);
         assert_eq!(windows.len(), 1);
         assert_eq!(windows[0].len(), 4);
         assert!(windows[0].iter().all(|&t| t == BASE + 1));
 
-        let short = tok.encode(&code(&[0x01]), SequenceVariant::Truncate);
+        let short = tok.encode(&cache(&[0x01]), SequenceVariant::Truncate);
         assert_eq!(short[0], vec![BASE + 1, PAD, PAD, PAD]);
     }
 
     #[test]
     fn beta_windows_cover_whole_stream() {
         let tok = OpcodeTokenizer::new(4);
-        let windows = tok.encode(&code(&[0x01; 10]), SequenceVariant::SlidingWindow);
-        assert!(windows.len() >= 4, "expected several windows, got {}", windows.len());
+        let windows = tok.encode(&cache(&[0x01; 10]), SequenceVariant::SlidingWindow);
+        assert!(
+            windows.len() >= 4,
+            "expected several windows, got {}",
+            windows.len()
+        );
         assert!(windows.iter().all(|w| w.len() == 4));
         // Total real (non-pad) token occurrences cover all 10 instructions.
         let covered: usize = windows
@@ -151,7 +171,7 @@ mod tests {
     fn push_immediates_are_not_tokens() {
         let tok = OpcodeTokenizer::new(8);
         // PUSH2 0xAABB ADD = 2 instructions.
-        let stream = tok.stream(&code(&[0x61, 0xAA, 0xBB, 0x01]));
+        let stream = tok.stream(&cache(&[0x61, 0xAA, 0xBB, 0x01]));
         assert_eq!(stream.len(), 2);
         assert_eq!(stream[0], BASE + 0x61);
     }
@@ -159,14 +179,14 @@ mod tests {
     #[test]
     fn unknown_bytes_map_to_unk() {
         let tok = OpcodeTokenizer::new(2);
-        let stream = tok.stream(&code(&[0x0C]));
+        let stream = tok.stream(&cache(&[0x0C]));
         assert_eq!(stream, vec![UNK]);
     }
 
     #[test]
     fn short_input_single_window_in_beta() {
         let tok = OpcodeTokenizer::new(16);
-        let windows = tok.encode(&code(&[0x01; 5]), SequenceVariant::SlidingWindow);
+        let windows = tok.encode(&cache(&[0x01; 5]), SequenceVariant::SlidingWindow);
         assert_eq!(windows.len(), 1);
     }
 }

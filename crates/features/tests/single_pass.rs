@@ -1,0 +1,46 @@
+//! The acceptance property of the pipeline refactor, isolated in a
+//! single-test binary: running *all six* encoders over a batch decodes each
+//! contract exactly once — at cache build time — and never again.
+//!
+//! `decode_count()` is process-global, so this exact-delta assertion must
+//! not share a process with other cache-building tests.
+
+use phishinghook_evm::{decode_count, Bytecode, DisasmCache};
+use phishinghook_features::{
+    BigramEncoder, EscortEmbedder, Featurizer, FreqImageEncoder, HistogramEncoder, OpcodeTokenizer,
+    R2d2Encoder,
+};
+
+#[test]
+fn all_six_encoders_share_one_decode_per_contract() {
+    let codes: Vec<Bytecode> = (0u8..10)
+        .map(|i| Bytecode::new(vec![0x60, i, 0x60, 0x40, 0x52, 0x01, i]))
+        .collect();
+
+    let before = decode_count();
+    let caches = DisasmCache::build_batch(&codes);
+    let after_build = decode_count();
+    assert_eq!(after_build - before, codes.len() as u64);
+
+    // Fit and encode every representation from the shared caches.
+    let hist = <HistogramEncoder as Featurizer>::fit(&caches);
+    let freq = <FreqImageEncoder as Featurizer>::fit(&caches);
+    let r2d2 = <R2d2Encoder as Featurizer>::fit(&caches);
+    let bigram = <BigramEncoder as Featurizer>::fit(&caches);
+    let tokens = <OpcodeTokenizer as Featurizer>::fit(&caches);
+    let escort = <EscortEmbedder as Featurizer>::fit(&caches);
+    for cache in &caches {
+        assert!(!Featurizer::encode(&hist, cache).is_empty());
+        assert!(!Featurizer::encode(&freq, cache).is_empty());
+        assert!(!Featurizer::encode(&r2d2, cache).is_empty());
+        assert!(!Featurizer::encode(&bigram, cache).is_empty());
+        assert!(!Featurizer::encode(&tokens, cache).is_empty());
+        assert!(!Featurizer::encode(&escort, cache).is_empty());
+    }
+
+    assert_eq!(
+        decode_count(),
+        after_build,
+        "featurization must not re-disassemble: all six encoders read the cache"
+    );
+}

@@ -26,7 +26,10 @@ impl Default for ForestParams {
     fn default() -> Self {
         ForestParams {
             n_trees: 100,
-            tree: TreeParams { max_depth: 14, ..TreeParams::default() },
+            tree: TreeParams {
+                max_depth: 14,
+                ..TreeParams::default()
+            },
             subsample: 1.0,
         }
     }
@@ -57,7 +60,10 @@ impl RandomForest {
     /// Creates a forest with `n_trees` trees and default tree parameters.
     pub fn new(n_trees: usize, seed: u64) -> Self {
         RandomForest {
-            params: ForestParams { n_trees, ..ForestParams::default() },
+            params: ForestParams {
+                n_trees,
+                ..ForestParams::default()
+            },
             seed,
             trees: Vec::new(),
         }
@@ -65,7 +71,11 @@ impl RandomForest {
 
     /// Creates a forest with explicit parameters.
     pub fn with_params(params: ForestParams, seed: u64) -> Self {
-        RandomForest { params, seed, trees: Vec::new() }
+        RandomForest {
+            params,
+            seed,
+            trees: Vec::new(),
+        }
     }
 
     /// The fitted trees (empty before `fit`).
@@ -85,7 +95,10 @@ impl Classifier for RandomForest {
             .max_features
             .unwrap_or_else(|| (x.cols() as f32).sqrt().ceil() as usize)
             .max(1);
-        let tree_params = TreeParams { max_features: Some(mtry), ..self.params.tree };
+        let tree_params = TreeParams {
+            max_features: Some(mtry),
+            ..self.params.tree
+        };
         let seed = self.seed;
 
         self.trees = (0..self.params.n_trees)
@@ -126,7 +139,7 @@ mod tests {
         let mut y = Vec::new();
         for i in 0..n {
             let t: f32 = rng.gen_range(0.0..std::f32::consts::PI);
-            let noise = rng.gen_range(-0.08..0.08);
+            let noise = rng.gen_range(-0.08f32..0.08);
             if i % 2 == 0 {
                 rows.push(vec![t.cos() + noise, t.sin() + noise]);
                 y.push(0);

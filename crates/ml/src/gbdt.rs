@@ -153,6 +153,7 @@ impl XgbTree {
         tree
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         &mut self,
         x: &Matrix,
@@ -178,7 +179,9 @@ impl XgbTree {
             order.clear();
             order.extend_from_slice(idx);
             order.sort_by(|&a, &b| {
-                x[(a, f)].partial_cmp(&x[(b, f)]).unwrap_or(std::cmp::Ordering::Equal)
+                x[(a, f)]
+                    .partial_cmp(&x[(b, f)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let (mut gl, mut hl) = (0.0f32, 0.0f32);
             for k in 0..order.len() - 1 {
@@ -256,7 +259,11 @@ pub struct XgbClassifier {
 impl XgbClassifier {
     /// Creates an unfitted model.
     pub fn new(params: BoostParams) -> Self {
-        XgbClassifier { params, base_score: 0.0, trees: Vec::new() }
+        XgbClassifier {
+            params,
+            base_score: 0.0,
+            trees: Vec::new(),
+        }
     }
 }
 
@@ -283,6 +290,7 @@ impl Classifier for XgbClassifier {
                 h[i] = (p * (1.0 - p)).max(1e-8);
             }
             let tree = XgbTree::fit(x, &g, &h, &self.params);
+            #[allow(clippy::needless_range_loop)] // i indexes scores and x rows
             for i in 0..n {
                 scores[i] += self.params.learning_rate * tree.predict_row(x.row(i));
             }
@@ -424,7 +432,13 @@ impl LgbmTree {
 
         let mut frontier: Vec<LeafCandidate> = Vec::new();
         if let Some((gain, feature, bin)) = Self::best_split(binned, &root_idx, g, h, params) {
-            frontier.push(LeafCandidate { node: 0, indices: root_idx, gain, feature, bin });
+            frontier.push(LeafCandidate {
+                node: 0,
+                indices: root_idx,
+                gain,
+                feature,
+                bin,
+            });
         }
         let mut leaves = 1usize;
 
@@ -433,7 +447,11 @@ impl LgbmTree {
             let Some(pos) = frontier
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.gain.partial_cmp(&b.1.gain).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| {
+                    a.1.gain
+                        .partial_cmp(&b.1.gain)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .map(|(i, _)| i)
             else {
                 break;
@@ -474,9 +492,14 @@ impl LgbmTree {
             leaves += 1;
 
             for (child, idxs) in [(left, li), (right, ri)] {
-                if let Some((gain, feature, bin)) = Self::best_split(binned, &idxs, g, h, params)
-                {
-                    frontier.push(LeafCandidate { node: child, indices: idxs, gain, feature, bin });
+                if let Some((gain, feature, bin)) = Self::best_split(binned, &idxs, g, h, params) {
+                    frontier.push(LeafCandidate {
+                        node: child,
+                        indices: idxs,
+                        gain,
+                        feature,
+                        bin,
+                    });
                 }
             }
         }
@@ -499,7 +522,12 @@ pub struct LgbmClassifier {
 impl LgbmClassifier {
     /// Creates an unfitted model.
     pub fn new(params: BoostParams, max_bins: usize) -> Self {
-        LgbmClassifier { params, max_bins, base_score: 0.0, trees: Vec::new() }
+        LgbmClassifier {
+            params,
+            max_bins,
+            base_score: 0.0,
+            trees: Vec::new(),
+        }
     }
 }
 
@@ -527,6 +555,7 @@ impl Classifier for LgbmClassifier {
                 h[i] = (p * (1.0 - p)).max(1e-8);
             }
             let tree = LgbmTree::fit(x, &binned, &g, &h, &self.params);
+            #[allow(clippy::needless_range_loop)] // i indexes scores and x rows
             for i in 0..n {
                 scores[i] += self.params.learning_rate * tree.predict_row(x.row(i));
             }
@@ -638,6 +667,7 @@ impl ObliviousTree {
             let t = binned.threshold(f, b);
             features.push(f as u32);
             thresholds.push(t);
+            #[allow(clippy::needless_range_loop)] // i indexes bins and leaf_of
             for i in 0..n {
                 if binned.bins[f][i] as usize > b {
                     leaf_of[i] |= 1 << level;
@@ -657,7 +687,11 @@ impl ObliviousTree {
             .zip(&hsum)
             .map(|(gs, hs)| -gs / (hs + params.lambda))
             .collect();
-        ObliviousTree { features, thresholds, leaves }
+        ObliviousTree {
+            features,
+            thresholds,
+            leaves,
+        }
     }
 }
 
@@ -676,14 +710,22 @@ pub struct CatBoostClassifier {
 impl CatBoostClassifier {
     /// Creates an unfitted model.
     pub fn new(params: BoostParams, max_bins: usize) -> Self {
-        CatBoostClassifier { params, max_bins, base_score: 0.0, trees: Vec::new() }
+        CatBoostClassifier {
+            params,
+            max_bins,
+            base_score: 0.0,
+            trees: Vec::new(),
+        }
     }
 }
 
 impl Default for CatBoostClassifier {
     fn default() -> Self {
         CatBoostClassifier::new(
-            BoostParams { max_depth: 5, ..BoostParams::default() },
+            BoostParams {
+                max_depth: 5,
+                ..BoostParams::default()
+            },
             48,
         )
     }
@@ -707,6 +749,7 @@ impl Classifier for CatBoostClassifier {
                 h[i] = (p * (1.0 - p)).max(1e-8);
             }
             let tree = ObliviousTree::fit(x, &binned, &g, &h, &self.params);
+            #[allow(clippy::needless_range_loop)] // i indexes scores and x rows
             for i in 0..n {
                 scores[i] += self.params.learning_rate * tree.predict_row(x.row(i));
             }
@@ -755,7 +798,10 @@ mod tests {
     }
 
     fn small_params() -> BoostParams {
-        BoostParams { n_rounds: 40, ..BoostParams::default() }
+        BoostParams {
+            n_rounds: 40,
+            ..BoostParams::default()
+        }
     }
 
     #[test]
@@ -796,7 +842,10 @@ mod tests {
         // With constant features, every model predicts (close to) the prior.
         let x = Matrix::from_rows(&vec![vec![1.0]; 10]);
         let y = [1, 1, 1, 1, 1, 1, 0, 0, 0, 0];
-        let mut m = XgbClassifier::new(BoostParams { n_rounds: 5, ..BoostParams::default() });
+        let mut m = XgbClassifier::new(BoostParams {
+            n_rounds: 5,
+            ..BoostParams::default()
+        });
         m.fit(&x, &y);
         let p = m.predict_proba(&x)[0];
         assert!((p - 0.6).abs() < 0.05, "p = {p}");
@@ -806,7 +855,11 @@ mod tests {
     fn oblivious_tree_is_symmetric() {
         let (x, y) = xor_data(200, 5);
         let mut m = CatBoostClassifier::new(
-            BoostParams { n_rounds: 1, max_depth: 3, ..BoostParams::default() },
+            BoostParams {
+                n_rounds: 1,
+                max_depth: 3,
+                ..BoostParams::default()
+            },
             16,
         );
         m.fit(&x, &y);

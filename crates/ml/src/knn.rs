@@ -33,7 +33,11 @@ impl KnnClassifier {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        KnnClassifier { k, x: Matrix::zeros(0, 0), y: Vec::new() }
+        KnnClassifier {
+            k,
+            x: Matrix::zeros(0, 0),
+            y: Vec::new(),
+        }
     }
 
     /// The configured number of neighbours.
@@ -97,7 +101,10 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
         let mut knn = KnnClassifier::new(100);
         knn.fit(&x, &[0, 1]);
-        assert_eq!(knn.predict_proba(&Matrix::from_rows(&[vec![0.5]])), vec![0.5]);
+        assert_eq!(
+            knn.predict_proba(&Matrix::from_rows(&[vec![0.5]])),
+            vec![0.5]
+        );
     }
 
     #[test]

@@ -40,13 +40,17 @@ impl LinearModel {
         grad: impl Fn(f32, f32) -> f32,
     ) -> LinearModel {
         let (n, d) = x.shape();
-        let mut model = LinearModel { weights: vec![0.0; d], bias: 0.0 };
+        let mut model = LinearModel {
+            weights: vec![0.0; d],
+            bias: 0.0,
+        };
         let (mut m, mut v) = (vec![0.0f32; d + 1], vec![0.0f32; d + 1]);
         let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
 
         for t in 1..=epochs {
             let mut gw = vec![0.0f32; d];
             let mut gb = 0.0f32;
+            #[allow(clippy::needless_range_loop)] // r indexes x rows and y
             for r in 0..n {
                 let row = x.row(r);
                 let g = grad(model.score(row), y[r] as f32);
@@ -105,13 +109,21 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Default hyper-parameters with a custom epoch budget.
     pub fn with_epochs(epochs: usize) -> Self {
-        LogisticRegression { epochs, ..LogisticRegression::default() }
+        LogisticRegression {
+            epochs,
+            ..LogisticRegression::default()
+        }
     }
 }
 
 impl Default for LogisticRegression {
     fn default() -> Self {
-        LogisticRegression { epochs: 800, learning_rate: 0.3, l2: 1e-3, model: None }
+        LogisticRegression {
+            epochs: 800,
+            learning_rate: 0.3,
+            l2: 1e-3,
+            model: None,
+        }
     }
 }
 
@@ -130,7 +142,9 @@ impl Classifier for LogisticRegression {
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
         let model = self.model.as_ref().expect("predict before fit");
-        (0..x.rows()).map(|r| sigmoid(model.score(x.row(r)))).collect()
+        (0..x.rows())
+            .map(|r| sigmoid(model.score(x.row(r))))
+            .collect()
     }
 }
 
@@ -163,13 +177,21 @@ pub struct LinearSvm {
 impl LinearSvm {
     /// Default hyper-parameters with a custom epoch budget.
     pub fn with_epochs(epochs: usize) -> Self {
-        LinearSvm { epochs, ..LinearSvm::default() }
+        LinearSvm {
+            epochs,
+            ..LinearSvm::default()
+        }
     }
 }
 
 impl Default for LinearSvm {
     fn default() -> Self {
-        LinearSvm { epochs: 800, learning_rate: 0.3, l2: 5e-4, model: None }
+        LinearSvm {
+            epochs: 800,
+            learning_rate: 0.3,
+            l2: 5e-4,
+            model: None,
+        }
     }
 }
 
@@ -195,7 +217,9 @@ impl Classifier for LinearSvm {
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
         let model = self.model.as_ref().expect("predict before fit");
-        (0..x.rows()).map(|r| sigmoid(model.score(x.row(r)))).collect()
+        (0..x.rows())
+            .map(|r| sigmoid(model.score(x.row(r))))
+            .collect()
     }
 }
 
@@ -213,8 +237,8 @@ mod tests {
             let label = (i % 2) as u8;
             let center = if label == 1 { sep } else { -sep };
             rows.push(vec![
-                center + rng.gen_range(-1.0..1.0),
-                center + rng.gen_range(-1.0..1.0),
+                center + rng.gen_range(-1.0f32..1.0),
+                center + rng.gen_range(-1.0f32..1.0),
             ]);
             y.push(label);
         }
@@ -251,7 +275,7 @@ mod tests {
             let label = (i % 2) as u8;
             let big = if label == 1 { 900.0 } else { 600.0 };
             rows.push(vec![
-                big + rng.gen_range(-100.0..100.0),
+                big + rng.gen_range(-100.0f32..100.0),
                 rng.gen_range(0.0..2.0),
             ]);
             y.push(label);

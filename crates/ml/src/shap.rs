@@ -24,7 +24,12 @@ struct PathElement {
 
 fn extend(m: &mut Vec<PathElement>, pz: f64, po: f64, pi: i32) {
     let w0 = if m.is_empty() { 1.0 } else { 0.0 };
-    m.push(PathElement { d: pi, z: pz, o: po, w: w0 });
+    m.push(PathElement {
+        d: pi,
+        z: pz,
+        o: po,
+        w: w0,
+    });
     let l = m.len();
     for i in (0..l - 1).rev() {
         m[i + 1].w += po * m[i].w * (i as f64 + 1.0) / l as f64;
@@ -72,6 +77,7 @@ fn unwound_sum(m: &[PathElement], k: usize) -> f64 {
     total
 }
 
+#[allow(clippy::too_many_arguments)]
 fn recurse(
     nodes: &[Node],
     x: &[f32],
@@ -108,8 +114,26 @@ fn recurse(
         io = m[k].o;
         unwind(&mut m, k);
     }
-    recurse(nodes, x, phi, hot, m.clone(), iz * r_hot / r_j, io, node.feature as i32);
-    recurse(nodes, x, phi, cold, m, iz * r_cold / r_j, 0.0, node.feature as i32);
+    recurse(
+        nodes,
+        x,
+        phi,
+        hot,
+        m.clone(),
+        iz * r_hot / r_j,
+        io,
+        node.feature as i32,
+    );
+    recurse(
+        nodes,
+        x,
+        phi,
+        cold,
+        m,
+        iz * r_cold / r_j,
+        0.0,
+        node.feature as i32,
+    );
 }
 
 /// Cover-weighted expected prediction of a tree (the SHAP base value).
@@ -207,7 +231,13 @@ mod tests {
     #[test]
     fn local_accuracy_single_tree() {
         let (x, y) = random_data(300, 4, 1);
-        let mut tree = DecisionTree::new(TreeParams { max_depth: 6, ..Default::default() }, 3);
+        let mut tree = DecisionTree::new(
+            TreeParams {
+                max_depth: 6,
+                ..Default::default()
+            },
+            3,
+        );
         tree.fit(&x, &y);
         let base = tree_expected_value(&tree);
         for r in 0..20 {
@@ -229,6 +259,7 @@ mod tests {
         forest.fit(&x, &y);
         let base = forest_expected_value(&forest);
         let probs = forest.predict_proba(&x);
+        #[allow(clippy::needless_range_loop)] // r indexes x rows and probs
         for r in 0..10 {
             let phi = forest_shap(&forest, x.row(r), 5);
             let sum: f64 = phi.iter().sum();
@@ -243,9 +274,7 @@ mod tests {
     #[test]
     fn irrelevant_features_get_zero() {
         // Only feature 0 matters; features 1-2 are constant.
-        let rows: Vec<Vec<f32>> = (0..100)
-            .map(|i| vec![i as f32 / 100.0, 1.0, 2.0])
-            .collect();
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 100.0, 1.0, 2.0]).collect();
         let y: Vec<u8> = (0..100).map(|i| u8::from(i >= 50)).collect();
         let x = Matrix::from_rows(&rows);
         let mut tree = DecisionTree::default();

@@ -76,7 +76,11 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Creates an unfitted tree with the given parameters.
     pub fn new(params: TreeParams, seed: u64) -> Self {
-        DecisionTree { params, seed, nodes: Vec::new() }
+        DecisionTree {
+            params,
+            seed,
+            nodes: Vec::new(),
+        }
     }
 
     /// The fitted node arena (empty before `fit`). Index 0 is the root.
@@ -302,7 +306,10 @@ mod tests {
     fn xor_needs_depth_two() {
         let (x, y) = xor_data(400, 3);
         let mut tree = DecisionTree::new(
-            TreeParams { max_depth: 4, ..TreeParams::default() },
+            TreeParams {
+                max_depth: 4,
+                ..TreeParams::default()
+            },
             0,
         );
         tree.fit(&x, &y);
@@ -315,7 +322,10 @@ mod tests {
     fn depth_limit_is_respected() {
         let (x, y) = xor_data(300, 5);
         let mut tree = DecisionTree::new(
-            TreeParams { max_depth: 1, ..TreeParams::default() },
+            TreeParams {
+                max_depth: 1,
+                ..TreeParams::default()
+            },
             0,
         );
         tree.fit(&x, &y);
@@ -361,7 +371,10 @@ mod tests {
     fn min_samples_leaf_enforced() {
         let (x, y) = xor_data(100, 13);
         let mut tree = DecisionTree::new(
-            TreeParams { min_samples_leaf: 20, ..TreeParams::default() },
+            TreeParams {
+                min_samples_leaf: 20,
+                ..TreeParams::default()
+            },
             0,
         );
         tree.fit(&x, &y);

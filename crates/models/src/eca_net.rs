@@ -54,6 +54,7 @@ struct Conv {
 }
 
 impl Conv {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         store: &mut ParamStore,
         rng: &mut StdRng,
@@ -90,7 +91,10 @@ struct Norm {
 
 impl Norm {
     fn new(store: &mut ParamStore, c: usize) -> Norm {
-        Norm { gamma: store.full(&[c], 1.0), beta: store.zeros(&[c]) }
+        Norm {
+            gamma: store.full(&[c], 1.0),
+            beta: store.zeros(&[c]),
+        }
     }
 
     fn forward(&self, t: &mut Tape, s: &ParamStore, x: Var) -> Var {
@@ -195,12 +199,30 @@ impl EcaEfficientNet {
         let mut store = ParamStore::new();
         let stem = Conv::new(&mut store, &mut rng, config.stem, 3, 3, 1, 1, 1);
         let stem_norm = Norm::new(&mut store, config.stem);
-        let block1 =
-            MbConvEca::new(&mut store, &mut rng, config.stem, config.stage1, config.eca_kernel);
-        let block2 =
-            MbConvEca::new(&mut store, &mut rng, config.stage1, config.stage2, config.eca_kernel);
+        let block1 = MbConvEca::new(
+            &mut store,
+            &mut rng,
+            config.stem,
+            config.stage1,
+            config.eca_kernel,
+        );
+        let block2 = MbConvEca::new(
+            &mut store,
+            &mut rng,
+            config.stage1,
+            config.stage2,
+            config.eca_kernel,
+        );
         let head = Linear::new(&mut store, config.stage2, 1, &mut rng);
-        EcaEfficientNet { config, store, stem, stem_norm, block1, block2, head }
+        EcaEfficientNet {
+            config,
+            store,
+            stem,
+            stem_norm,
+            block1,
+            block2,
+            head,
+        }
     }
 
     fn logit(&self, t: &mut Tape, s: &ParamStore, image: &[f32]) -> Var {
@@ -218,8 +240,13 @@ impl EcaEfficientNet {
     /// Trains on channel-first image vectors.
     pub fn fit(&mut self, images: &[Vec<f32>], y: &[u8]) {
         let side = self.config.side;
-        let (stem, stem_norm, block1, block2, head) =
-            (self.stem, self.stem_norm, self.block1, self.block2, self.head);
+        let (stem, stem_norm, block1, block2, head) = (
+            self.stem,
+            self.stem_norm,
+            self.block1,
+            self.block2,
+            self.head,
+        );
         let cfg = self.config.train;
         let mut store = std::mem::take(&mut self.store);
         train_binary(&mut store, images, y, &cfg, &[], |t, s, img: &Vec<f32>| {

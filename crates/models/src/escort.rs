@@ -81,11 +81,8 @@ impl EscortNet {
         let mut store = ParamStore::new();
         let trunk1 = Linear::new(&mut store, config.input_dim, config.trunk1, &mut rng);
         let trunk2 = Linear::new(&mut store, config.trunk1, config.trunk2, &mut rng);
-        let trunk_params: Vec<ParamId> = trunk1
-            .params()
-            .into_iter()
-            .chain(trunk2.params())
-            .collect();
+        let trunk_params: Vec<ParamId> =
+            trunk1.params().into_iter().chain(trunk2.params()).collect();
         let vuln_heads = (0..config.vuln_branches)
             .map(|_| Linear::new(&mut store, config.trunk2, 1, &mut rng))
             .collect();
@@ -183,7 +180,11 @@ mod tests {
             trunk1: 8,
             trunk2: 4,
             vuln_branches: 2,
-            train: TrainConfig { epochs: 25, learning_rate: 0.03, ..Default::default() },
+            train: TrainConfig {
+                epochs: 25,
+                learning_rate: 0.03,
+                ..Default::default()
+            },
         }
     }
 

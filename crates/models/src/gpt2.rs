@@ -8,7 +8,9 @@
 //! fine-tuning does) and `predict_proba` averages window probabilities.
 
 use crate::trainer::{train_binary, TrainConfig};
-use phishinghook_nn::{LayerNorm, Linear, ParamId, ParamStore, Tape, Tensor, TransformerBlock, Var};
+use phishinghook_nn::{
+    LayerNorm, Linear, ParamId, ParamStore, Tape, Tensor, TransformerBlock, Var,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -87,15 +89,26 @@ impl Gpt2Classifier {
     pub fn new(config: Gpt2Config) -> Self {
         let mut rng = StdRng::seed_from_u64(config.train.seed);
         let mut store = ParamStore::new();
-        let token_embed =
-            store.param(Tensor::random(&[config.vocab.max(2), config.dim], 0.1, &mut rng));
+        let token_embed = store.param(Tensor::random(
+            &[config.vocab.max(2), config.dim],
+            0.1,
+            &mut rng,
+        ));
         let pos_embed = store.param(Tensor::random(&[config.context, config.dim], 0.1, &mut rng));
         let blocks = (0..config.depth)
             .map(|_| TransformerBlock::new(&mut store, config.dim, config.heads, &mut rng))
             .collect();
         let final_norm = LayerNorm::new(&mut store, config.dim);
         let head = Linear::new(&mut store, config.dim, 1, &mut rng);
-        Gpt2Classifier { config, store, token_embed, pos_embed, blocks, final_norm, head }
+        Gpt2Classifier {
+            config,
+            store,
+            token_embed,
+            pos_embed,
+            blocks,
+            final_norm,
+            head,
+        }
     }
 
     fn window_logit(&self, t: &mut Tape, s: &ParamStore, window: &[u32]) -> Var {
@@ -107,10 +120,7 @@ impl Gpt2Classifier {
             pos_full
         } else {
             // Shorter final window: take matching positional rows.
-            let data = t
-                .value(pos_full)
-                .data()[..ids.len() * self.config.dim]
-                .to_vec();
+            let data = t.value(pos_full).data()[..ids.len() * self.config.dim].to_vec();
             t.input(Tensor::from_vec(&[ids.len(), self.config.dim], data))
         };
         let mut x = t.add(e, pos);
@@ -200,7 +210,11 @@ mod tests {
             heads: 2,
             depth: 1,
             max_train_windows: 2,
-            train: TrainConfig { epochs: 20, learning_rate: 0.02, ..Default::default() },
+            train: TrainConfig {
+                epochs: 20,
+                learning_rate: 0.02,
+                ..Default::default()
+            },
         }
     }
 

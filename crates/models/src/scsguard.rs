@@ -83,7 +83,14 @@ impl ScsGuard {
         let attn = MultiHeadAttention::new(&mut store, config.embed_dim, config.heads, &mut rng);
         let gru = Gru::new(&mut store, config.embed_dim, config.hidden, &mut rng);
         let head = Linear::new(&mut store, config.hidden, 1, &mut rng);
-        ScsGuard { config, store, embed, attn, gru, head }
+        ScsGuard {
+            config,
+            store,
+            embed,
+            attn,
+            gru,
+            head,
+        }
     }
 
     fn logit(&self, tape: &mut Tape, store: &ParamStore, ids: &[u32]) -> Var {
@@ -101,16 +108,22 @@ impl ScsGuard {
     ///
     /// Panics on empty or mismatched inputs.
     pub fn fit(&mut self, xs: &[Vec<u32>], y: &[u8]) {
-        let (embed, attn, gru, head) =
-            (self.embed, self.attn.clone(), self.gru.clone(), self.head);
-        train_binary(&mut self.store, xs, y, &self.config.train, &[], |t, s, ids| {
-            let table = t.param(s, embed);
-            let e = t.embedding(table, ids);
-            let a = attn.forward(t, s, e, false);
-            let x = t.add(e, a);
-            let hsz = gru.forward(t, s, x);
-            head.forward(t, s, hsz)
-        });
+        let (embed, attn, gru, head) = (self.embed, self.attn.clone(), self.gru.clone(), self.head);
+        train_binary(
+            &mut self.store,
+            xs,
+            y,
+            &self.config.train,
+            &[],
+            |t, s, ids| {
+                let table = t.param(s, embed);
+                let e = t.embedding(table, ids);
+                let a = attn.forward(t, s, e, false);
+                let x = t.add(e, a);
+                let hsz = gru.forward(t, s, x);
+                head.forward(t, s, hsz)
+            },
+        );
     }
 
     /// Phishing probability per sequence.
@@ -134,7 +147,11 @@ mod tests {
             embed_dim: 8,
             heads: 2,
             hidden: 8,
-            train: TrainConfig { epochs: 20, learning_rate: 0.02, ..Default::default() },
+            train: TrainConfig {
+                epochs: 20,
+                learning_rate: 0.02,
+                ..Default::default()
+            },
         }
     }
 

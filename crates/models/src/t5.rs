@@ -9,8 +9,7 @@
 
 use crate::trainer::{train_binary, TrainConfig};
 use phishinghook_nn::{
-    LayerNorm, Linear, MultiHeadAttention, ParamId, ParamStore, Tape, Tensor, TransformerBlock,
-    Var,
+    LayerNorm, Linear, MultiHeadAttention, ParamId, ParamStore, Tape, Tensor, TransformerBlock, Var,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -88,8 +87,11 @@ impl T5Classifier {
     pub fn new(config: T5Config) -> Self {
         let mut rng = StdRng::seed_from_u64(config.train.seed);
         let mut store = ParamStore::new();
-        let token_embed =
-            store.param(Tensor::random(&[config.vocab.max(2), config.dim], 0.1, &mut rng));
+        let token_embed = store.param(Tensor::random(
+            &[config.vocab.max(2), config.dim],
+            0.1,
+            &mut rng,
+        ));
         let pos_embed = store.param(Tensor::random(&[config.context, config.dim], 0.1, &mut rng));
         let encoder = (0..config.depth)
             .map(|_| TransformerBlock::new(&mut store, config.dim, config.heads, &mut rng))
@@ -214,7 +216,11 @@ mod tests {
             heads: 2,
             depth: 1,
             max_train_windows: 2,
-            train: TrainConfig { epochs: 20, learning_rate: 0.02, ..Default::default() },
+            train: TrainConfig {
+                epochs: 20,
+                learning_rate: 0.02,
+                ..Default::default()
+            },
         }
     }
 

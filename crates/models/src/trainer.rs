@@ -21,7 +21,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 4, learning_rate: 0.01, batch_size: 16, seed: 0x5EED }
+        TrainConfig {
+            epochs: 4,
+            learning_rate: 0.01,
+            batch_size: 16,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -95,7 +100,11 @@ mod tests {
             .map(|i| vec![(i % 2) as f32, 1.0 - (i % 2) as f32])
             .collect();
         let labels: Vec<u8> = (0..100).map(|i| (i % 2) as u8).collect();
-        let cfg = TrainConfig { epochs: 30, learning_rate: 0.05, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            learning_rate: 0.05,
+            ..Default::default()
+        };
         let loss = train_binary(&mut store, &samples, &labels, &cfg, &[], |t, s, x| {
             let xv = t.input(Tensor::from_vec(&[1, 2], x.clone()));
             lin.forward(t, s, xv)
@@ -123,10 +132,7 @@ mod tests {
             &[0, 1],
             &TrainConfig::default(),
             &[],
-            |t, _, _| {
-                let x = t.input(Tensor::from_vec(&[1, 1], vec![0.0]));
-                x
-            },
+            |t, _, _| t.input(Tensor::from_vec(&[1, 1], vec![0.0])),
         );
     }
 }

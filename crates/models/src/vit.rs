@@ -7,7 +7,9 @@
 //! (32×32 images, patch 8, small width), trained from scratch.
 
 use crate::trainer::{predict_binary, train_binary, TrainConfig};
-use phishinghook_nn::{LayerNorm, Linear, ParamId, ParamStore, Tape, Tensor, TransformerBlock, Var};
+use phishinghook_nn::{
+    LayerNorm, Linear, ParamId, ParamStore, Tape, Tensor, TransformerBlock, Var,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -87,14 +89,22 @@ impl ViT {
         let n_patches = (config.side / config.patch) * (config.side / config.patch);
         let patch_proj = Linear::new(&mut store, patch_dim, config.dim, &mut rng);
         let cls_token = store.param(Tensor::random(&[1, config.dim], 0.1, &mut rng));
-        let pos_embed =
-            store.param(Tensor::random(&[n_patches + 1, config.dim], 0.1, &mut rng));
+        let pos_embed = store.param(Tensor::random(&[n_patches + 1, config.dim], 0.1, &mut rng));
         let blocks = (0..config.depth)
             .map(|_| TransformerBlock::new(&mut store, config.dim, config.heads, &mut rng))
             .collect();
         let final_norm = LayerNorm::new(&mut store, config.dim);
         let head = Linear::new(&mut store, config.dim, 1, &mut rng);
-        ViT { config, store, patch_proj, cls_token, pos_embed, blocks, final_norm, head }
+        ViT {
+            config,
+            store,
+            patch_proj,
+            cls_token,
+            pos_embed,
+            blocks,
+            final_norm,
+            head,
+        }
     }
 
     /// Rearranges a channel-first image vector into `(n_patches, 3·p·p)`.
@@ -247,6 +257,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "patch must divide side")]
     fn bad_patch_rejected() {
-        ViT::new(ViTConfig { side: 10, patch: 4, ..toy() });
+        ViT::new(ViTConfig {
+            side: 10,
+            patch: 4,
+            ..toy()
+        });
     }
 }

@@ -46,7 +46,10 @@ pub struct LayerNorm {
 impl LayerNorm {
     /// Registers parameters for a width-`d` layer norm.
     pub fn new(store: &mut ParamStore, d: usize) -> Self {
-        LayerNorm { gamma: store.full(&[d], 1.0), beta: store.zeros(&[d]) }
+        LayerNorm {
+            gamma: store.full(&[d], 1.0),
+            beta: store.zeros(&[d]),
+        }
     }
 
     /// Applies the layer.
@@ -78,7 +81,9 @@ impl MultiHeadAttention {
         assert_eq!(d % heads, 0, "model width must divide head count");
         let head_dim = d / heads;
         let mk = |store: &mut ParamStore, rng: &mut R| -> Vec<ParamId> {
-            (0..heads).map(|_| store.he(&[d, head_dim], d, rng)).collect()
+            (0..heads)
+                .map(|_| store.he(&[d, head_dim], d, rng))
+                .collect()
         };
         MultiHeadAttention {
             heads,

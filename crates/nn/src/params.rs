@@ -139,8 +139,10 @@ impl ParamStore {
     /// ESCORT's transfer-learning phase).
     pub fn adam_step_masked(&mut self, lr: f32, batch: usize, frozen: &[ParamId]) {
         // Save frozen values, step, then restore.
-        let saved: Vec<(ParamId, Tensor)> =
-            frozen.iter().map(|&id| (id, self.values[id.0].clone())).collect();
+        let saved: Vec<(ParamId, Tensor)> = frozen
+            .iter()
+            .map(|&id| (id, self.values[id.0].clone()))
+            .collect();
         self.adam_step(lr, batch);
         for (id, v) in saved {
             self.values[id.0] = v;

@@ -31,20 +31,50 @@ enum Op {
     Sigmoid(Var),
     Tanh(Var),
     SoftmaxRows(Var),
-    LayerNormRows { x: Var, gamma: Var, beta: Var },
-    Embedding { table: Var, ids: Vec<u32> },
+    LayerNormRows {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+    },
+    Embedding {
+        table: Var,
+        ids: Vec<u32>,
+    },
     MeanRows(Var),
-    AddBias { x: Var, bias: Var },
+    AddBias {
+        x: Var,
+        bias: Var,
+    },
     Reshape(Var),
     ConcatRows(Var, Var),
     ConcatCols(Var, Var),
     RowAt(Var, usize),
-    BceWithLogit { logit: Var, target: f32 },
-    Conv2d { x: Var, w: Var, b: Var, stride: usize, pad: usize, groups: usize },
-    ChannelNorm { x: Var, gamma: Var, beta: Var },
+    BceWithLogit {
+        logit: Var,
+        target: f32,
+    },
+    Conv2d {
+        x: Var,
+        w: Var,
+        b: Var,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    },
+    ChannelNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+    },
     GlobalAvgPool(Var),
-    Conv1dSame { x: Var, w: Var },
-    ScaleChannels { x: Var, s: Var },
+    Conv1dSame {
+        x: Var,
+        w: Var,
+    },
+    ScaleChannels {
+        x: Var,
+        s: Var,
+    },
 }
 
 struct Node {
@@ -88,7 +118,12 @@ impl Tape {
     }
 
     fn push_aux(&mut self, value: Tensor, op: Op, aux: Option<Tensor>) -> Var {
-        self.nodes.push(Node { value, op, param: None, aux });
+        self.nodes.push(Node {
+            value,
+            op,
+            param: None,
+            aux,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -115,7 +150,12 @@ impl Tape {
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(ta.shape(), tb.shape(), "add shape mismatch");
-        let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x + y).collect();
+        let data = ta
+            .data()
+            .iter()
+            .zip(tb.data())
+            .map(|(x, y)| x + y)
+            .collect();
         let t = Tensor::from_vec(ta.shape(), data);
         self.push(t, Op::Add(a, b))
     }
@@ -124,7 +164,12 @@ impl Tape {
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(ta.shape(), tb.shape(), "mul shape mismatch");
-        let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x * y).collect();
+        let data = ta
+            .data()
+            .iter()
+            .zip(tb.data())
+            .map(|(x, y)| x * y)
+            .collect();
         let t = Tensor::from_vec(ta.shape(), data);
         self.push(t, Op::Mul(a, b))
     }
@@ -354,7 +399,10 @@ impl Tape {
         }
         self.push(
             Tensor::from_vec(&[ids.len(), d], out),
-            Op::Embedding { table, ids: ids.to_vec() },
+            Op::Embedding {
+                table,
+                ids: ids.to_vec(),
+            },
         )
     }
 
@@ -426,7 +474,14 @@ impl Tape {
         }
         self.push(
             Tensor::from_vec(&[o, oh, ow], out),
-            Op::Conv2d { x, w, b, stride, pad, groups },
+            Op::Conv2d {
+                x,
+                w,
+                b,
+                stride,
+                pad,
+                groups,
+            },
         )
     }
 
@@ -482,6 +537,7 @@ impl Tape {
         let tx = self.nodes[x.0].value.data();
         let tw = self.nodes[w.0].value.data();
         let mut out = vec![0.0f32; c];
+        #[allow(clippy::needless_range_loop)] // i indexes out and the conv window
         for i in 0..c {
             let mut acc = 0.0;
             for j in 0..k {
@@ -510,7 +566,10 @@ impl Tape {
                 out[ch * hw + i] = tx[ch * hw + i] * ts[ch];
             }
         }
-        self.push(Tensor::from_vec(&[c, h, w], out), Op::ScaleChannels { x, s })
+        self.push(
+            Tensor::from_vec(&[c, h, w], out),
+            Op::ScaleChannels { x, s },
+        )
     }
 
     // -- backward ----------------------------------------------------------
@@ -612,8 +671,12 @@ impl Tape {
                     self.add_grad(&mut grads, a, ga);
                 }
                 Op::Gelu(a) => {
-                    let der: Vec<f32> =
-                        self.nodes[a.0].value.data().iter().map(|&x| gelu_grad(x)).collect();
+                    let der: Vec<f32> = self.nodes[a.0]
+                        .value
+                        .data()
+                        .iter()
+                        .map(|&x| gelu_grad(x))
+                        .collect();
                     let ga = self.ew(&g, &der);
                     self.add_grad(&mut grads, a, ga);
                 }
@@ -631,14 +694,22 @@ impl Tape {
                     self.add_grad(&mut grads, a, ga);
                 }
                 Op::Sigmoid(a) => {
-                    let der: Vec<f32> =
-                        self.nodes[i].value.data().iter().map(|&y| y * (1.0 - y)).collect();
+                    let der: Vec<f32> = self.nodes[i]
+                        .value
+                        .data()
+                        .iter()
+                        .map(|&y| y * (1.0 - y))
+                        .collect();
                     let ga = self.ew(&g, &der);
                     self.add_grad(&mut grads, a, ga);
                 }
                 Op::Tanh(a) => {
-                    let der: Vec<f32> =
-                        self.nodes[i].value.data().iter().map(|&y| 1.0 - y * y).collect();
+                    let der: Vec<f32> = self.nodes[i]
+                        .value
+                        .data()
+                        .iter()
+                        .map(|&y| 1.0 - y * y)
+                        .collect();
                     let ga = self.ew(&g, &der);
                     self.add_grad(&mut grads, a, ga);
                 }
@@ -660,7 +731,12 @@ impl Tape {
                 Op::LayerNormRows { x, gamma, beta } => {
                     const EPS: f32 = 1e-5;
                     let (l, d) = self.nodes[x.0].value.dims2();
-                    let xhat = self.nodes[i].aux.as_ref().expect("layernorm aux").data().to_vec();
+                    let xhat = self.nodes[i]
+                        .aux
+                        .as_ref()
+                        .expect("layernorm aux")
+                        .data()
+                        .to_vec();
                     let tg = self.nodes[gamma.0].value.data().to_vec();
                     let tx = self.nodes[x.0].value.data().to_vec();
                     let gd = g.data();
@@ -767,7 +843,14 @@ impl Tape {
                     let ga = Tensor::from_vec(self.nodes[logit.0].value.shape(), vec![dz]);
                     self.add_grad(&mut grads, logit, ga);
                 }
-                Op::Conv2d { x, w, b, stride, pad, groups } => {
+                Op::Conv2d {
+                    x,
+                    w,
+                    b,
+                    stride,
+                    pad,
+                    groups,
+                } => {
                     let xs = self.nodes[x.0].value.shape().to_vec();
                     let ws = self.nodes[w.0].value.shape().to_vec();
                     let (c, h, wdt) = (xs[0], xs[1], xs[2]);
@@ -802,12 +885,9 @@ impl Tape {
                                             if ix < pad || ix - pad >= wdt {
                                                 continue;
                                             }
-                                            let xi =
-                                                c_in * h * wdt + (iy - pad) * wdt + (ix - pad);
-                                            let wi = oc * cg * kh * kw
-                                                + ic * kh * kw
-                                                + ky * kw
-                                                + kx;
+                                            let xi = c_in * h * wdt + (iy - pad) * wdt + (ix - pad);
+                                            let wi =
+                                                oc * cg * kh * kw + ic * kh * kw + ky * kw + kx;
                                             gx[xi] += go * tw[wi];
                                             gw[wi] += go * tx[xi];
                                         }
@@ -825,8 +905,12 @@ impl Tape {
                     let xs = self.nodes[x.0].value.shape().to_vec();
                     let (c, h, w) = (xs[0], xs[1], xs[2]);
                     let hw = h * w;
-                    let xhat =
-                        self.nodes[i].aux.as_ref().expect("channelnorm aux").data().to_vec();
+                    let xhat = self.nodes[i]
+                        .aux
+                        .as_ref()
+                        .expect("channelnorm aux")
+                        .data()
+                        .to_vec();
                     let tg = self.nodes[gamma.0].value.data().to_vec();
                     let tx = self.nodes[x.0].value.data().to_vec();
                     let gd = g.data();
@@ -836,8 +920,8 @@ impl Tape {
                     for ch in 0..c {
                         let plane = &tx[ch * hw..(ch + 1) * hw];
                         let mean: f32 = plane.iter().sum::<f32>() / hw as f32;
-                        let var: f32 = plane.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                            / hw as f32;
+                        let var: f32 =
+                            plane.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / hw as f32;
                         let inv = 1.0 / (var + EPS).sqrt();
                         let mut sum_gh = 0.0f32;
                         let mut sum_ghx = 0.0f32;
@@ -880,6 +964,7 @@ impl Tape {
                     let tw = self.nodes[w.0].value.data();
                     let mut gx = vec![0.0f32; c];
                     let mut gw = vec![0.0f32; k];
+                    #[allow(clippy::needless_range_loop)] // i2 indexes gd, gx and tx
                     for i2 in 0..c {
                         for j in 0..k {
                             let idx = i2 as isize + j as isize - half as isize;
@@ -1053,12 +1138,17 @@ mod tests {
             |t, gamma_init| {
                 let x = t.input(Tensor::from_vec(
                     &[2, 6],
-                    vec![0.4, -0.8, 1.2, 0.1, -0.6, 0.9, 0.0, 0.3, -0.2, 0.7, 1.1, -0.5],
+                    vec![
+                        0.4, -0.8, 1.2, 0.1, -0.6, 0.9, 0.0, 0.3, -0.2, 0.7, 1.1, -0.5,
+                    ],
                 ));
                 let beta = t.input(Tensor::zeros(&[6]));
                 let y = t.layer_norm(x, gamma_init, beta);
                 let m = t.mean_rows(y);
-                let w = t.input(Tensor::from_vec(&[6, 1], vec![0.5, 0.1, -0.3, 0.8, -0.2, 0.4]));
+                let w = t.input(Tensor::from_vec(
+                    &[6, 1],
+                    vec![0.5, 0.1, -0.3, 0.8, -0.2, 0.4],
+                ));
                 let z = t.matmul(m, w);
                 t.bce_with_logit(z, 1.0)
             },
@@ -1075,7 +1165,10 @@ mod tests {
                 let beta = t.input(Tensor::zeros(&[6]));
                 let y = t.layer_norm(x, gamma, beta);
                 let m = t.mean_rows(y);
-                let w = t.input(Tensor::from_vec(&[6, 1], vec![0.5, 0.1, -0.3, 0.8, -0.2, 0.4]));
+                let w = t.input(Tensor::from_vec(
+                    &[6, 1],
+                    vec![0.5, 0.1, -0.3, 0.8, -0.2, 0.4],
+                ));
                 let z = t.matmul(m, w);
                 t.bce_with_logit(z, 1.0)
             },
@@ -1106,7 +1199,11 @@ mod tests {
         grad_check(
             &[2, 1, 3, 3],
             |t, w| {
-                let x = t.input(Tensor::random(&[1, 5, 5], 0.9, &mut StdRng::seed_from_u64(3)));
+                let x = t.input(Tensor::random(
+                    &[1, 5, 5],
+                    0.9,
+                    &mut StdRng::seed_from_u64(3),
+                ));
                 let b = t.input(Tensor::zeros(&[2]));
                 let y = t.conv2d(x, w, b, 1, 1, 1);
                 let p = t.global_avg_pool(y);
@@ -1123,7 +1220,11 @@ mod tests {
         grad_check(
             &[3],
             |t, k| {
-                let x = t.input(Tensor::random(&[4, 3, 3], 0.7, &mut StdRng::seed_from_u64(5)));
+                let x = t.input(Tensor::random(
+                    &[4, 3, 3],
+                    0.7,
+                    &mut StdRng::seed_from_u64(5),
+                ));
                 let pooled = t.global_avg_pool(x); // (1,4)
                 let attn = t.conv1d_same(pooled, k);
                 let attn = t.sigmoid(attn);

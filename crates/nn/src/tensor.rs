@@ -22,7 +22,10 @@ pub struct Tensor {
 impl Tensor {
     /// All-zero tensor of a shape.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
     }
 
     /// Tensor from raw data.
@@ -36,12 +39,18 @@ impl Tensor {
             shape.iter().product::<usize>(),
             "shape/data mismatch"
         );
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Scalar (rank-0) tensor.
     pub fn scalar(v: f32) -> Self {
-        Tensor { shape: vec![], data: vec![v] }
+        Tensor {
+            shape: vec![],
+            data: vec![v],
+        }
     }
 
     /// Uniform random tensor in `[-scale, scale]`.
@@ -105,7 +114,12 @@ impl Tensor {
 
     /// Rows × cols view check for 2-D ops.
     pub fn dims2(&self) -> (usize, usize) {
-        assert_eq!(self.shape.len(), 2, "expected 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "expected 2-D tensor, got {:?}",
+            self.shape
+        );
         (self.shape[0], self.shape[1])
     }
 }

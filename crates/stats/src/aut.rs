@@ -31,10 +31,7 @@ pub fn area_under_time(series: &[f64]) -> f64 {
         return series[0];
     }
     let n = series.len();
-    let sum: f64 = series
-        .windows(2)
-        .map(|w| (w[0] + w[1]) / 2.0)
-        .sum();
+    let sum: f64 = series.windows(2).map(|w| (w[0] + w[1]) / 2.0).sum();
     sum / (n - 1) as f64
 }
 

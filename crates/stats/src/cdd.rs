@@ -128,9 +128,7 @@ pub fn critical_difference(
     let significant = |a: usize, b: usize| {
         pairs
             .iter()
-            .find(|p| {
-                (p.model_a == a && p.model_b == b) || (p.model_a == b && p.model_b == a)
-            })
+            .find(|p| (p.model_a == a && p.model_b == b) || (p.model_a == b && p.model_b == a))
             .map(|p| p.p_adjusted < alpha)
             .unwrap_or(false)
     };
@@ -198,10 +196,7 @@ mod tests {
         let cd = critical_difference(&blocks, 0.05).unwrap();
         assert!(!cd.cliques.is_empty());
         // The two identical models must share a clique.
-        assert!(cd
-            .cliques
-            .iter()
-            .any(|c| c.contains(&0) && c.contains(&1)));
+        assert!(cd.cliques.iter().any(|c| c.contains(&0) && c.contains(&1)));
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub enum DeltaMagnitude {
 /// assert_eq!(cliffs_delta(&[1.0, 1.0], &[2.0, 2.0]), -1.0);
 /// ```
 pub fn cliffs_delta(x: &[f64], y: &[f64]) -> f64 {
-    assert!(!x.is_empty() && !y.is_empty(), "cliffs_delta requires non-empty samples");
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "cliffs_delta requires non-empty samples"
+    );
     let mut gt = 0i64;
     let mut lt = 0i64;
     for &a in x {

@@ -57,7 +57,10 @@ impl DunnTest {
         if self.pairs.is_empty() {
             return 0.0;
         }
-        self.pairs.iter().filter(|p| p.is_significant(alpha)).count() as f64
+        self.pairs
+            .iter()
+            .filter(|p| p.is_significant(alpha))
+            .count() as f64
             / self.pairs.len() as f64
     }
 }

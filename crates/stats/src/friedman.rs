@@ -40,7 +40,10 @@ impl fmt::Display for FriedmanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FriedmanError::TooFewTreatments { treatments } => {
-                write!(f, "friedman requires at least 2 treatments, got {treatments}")
+                write!(
+                    f,
+                    "friedman requires at least 2 treatments, got {treatments}"
+                )
             }
             FriedmanError::NoBlocks => write!(f, "friedman requires at least 1 block"),
             FriedmanError::RaggedBlock { index } => {
@@ -160,7 +163,11 @@ mod tests {
 
     #[test]
     fn handles_ties_within_blocks() {
-        let blocks = vec![vec![1.0, 1.0, 2.0], vec![1.0, 1.0, 2.0], vec![3.0, 3.0, 5.0]];
+        let blocks = vec![
+            vec![1.0, 1.0, 2.0],
+            vec![1.0, 1.0, 2.0],
+            vec![3.0, 3.0, 5.0],
+        ];
         let r = friedman_test(&blocks).unwrap();
         assert!(r.chi2.is_finite());
         assert!((0.0..=1.0).contains(&r.p_value));

@@ -133,17 +133,21 @@ mod tests {
         ])
         .unwrap();
         assert!((r.h - 0.2727272727).abs() < 1e-9, "H = {}", r.h);
-        assert!((r.p_value - 0.6015081344405895).abs() < 1e-9, "p = {}", r.p_value);
+        assert!(
+            (r.p_value - 0.6015081344405895).abs() < 1e-9,
+            "p = {}",
+            r.p_value
+        );
         assert_eq!(r.df, 1);
     }
 
     #[test]
     fn scipy_identical_groups_example() {
         // scipy.stats.kruskal([1,1,1],[2,2,2],[2,2]) -> H=7.0, p=0.0301973...
-        let r = kruskal_wallis(&[vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0], vec![2.0, 2.0]])
-            .unwrap();
+        let r =
+            kruskal_wallis(&[vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0], vec![2.0, 2.0]]).unwrap();
         assert!((r.h - 7.0).abs() < 1e-9, "H = {}", r.h);
-        assert!((r.p_value - 0.030197383422318501).abs() < 1e-9);
+        assert!((r.p_value - 0.030_197_383_422_318_5).abs() < 1e-9);
     }
 
     #[test]

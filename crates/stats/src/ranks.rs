@@ -86,8 +86,14 @@ mod tests {
 
     #[test]
     fn tie_groups() {
-        assert_eq!(tie_group_sizes(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]), vec![1, 2, 3]);
-        assert_eq!(tie_correction_sum(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]), 6.0 + 24.0);
+        assert_eq!(
+            tie_group_sizes(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            tie_correction_sum(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]),
+            6.0 + 24.0
+        );
     }
 
     proptest! {

@@ -171,10 +171,7 @@ pub fn shapiro_wilk(sample: &[f64]) -> Result<ShapiroWilk, ShapiroWilkError> {
 
 /// Evaluates `c₀ + c₁x + c₂x² + ...`.
 fn poly(coefficients: &[f64], x: f64) -> f64 {
-    coefficients
-        .iter()
-        .rev()
-        .fold(0.0, |acc, &c| acc * x + c)
+    coefficients.iter().rev().fold(0.0, |acc, &c| acc * x + c)
 }
 
 #[cfg(test)]
@@ -218,7 +215,10 @@ mod tests {
             shapiro_wilk(&[1.0, 2.0]),
             Err(ShapiroWilkError::TooFewSamples { n: 2 })
         );
-        assert_eq!(shapiro_wilk(&[5.0; 10]), Err(ShapiroWilkError::ZeroVariance));
+        assert_eq!(
+            shapiro_wilk(&[5.0; 10]),
+            Err(ShapiroWilkError::ZeroVariance)
+        );
         assert_eq!(
             shapiro_wilk(&[1.0, f64::NAN, 2.0]),
             Err(ShapiroWilkError::NotFinite)

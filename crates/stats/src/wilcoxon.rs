@@ -77,7 +77,10 @@ const EXACT_LIMIT: usize = 25;
 /// ```
 pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> Result<Wilcoxon, WilcoxonError> {
     if x.len() != y.len() {
-        return Err(WilcoxonError::LengthMismatch { x: x.len(), y: y.len() });
+        return Err(WilcoxonError::LengthMismatch {
+            x: x.len(),
+            y: y.len(),
+        });
     }
     let diffs: Vec<f64> = x
         .iter()
@@ -117,7 +120,12 @@ pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> Result<Wilcoxon, WilcoxonEr
         let w_int = w as usize;
         let lower: f64 = counts[..=w_int].iter().sum();
         let p = (2.0 * lower / total_count).min(1.0);
-        Ok(Wilcoxon { w, p_value: p, n_used: n, exact: true })
+        Ok(Wilcoxon {
+            w,
+            p_value: p,
+            n_used: n,
+            exact: true,
+        })
     } else {
         let nf = n as f64;
         let mean = nf * (nf + 1.0) / 4.0;
@@ -134,7 +142,12 @@ pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> Result<Wilcoxon, WilcoxonEr
         // Continuity correction towards the mean.
         let z = (w - mean + 0.5) / sd;
         let p = (2.0 * normal_sf(z.abs())).min(1.0);
-        Ok(Wilcoxon { w, p_value: p, n_used: n, exact: false })
+        Ok(Wilcoxon {
+            w,
+            p_value: p,
+            n_used: n,
+            exact: false,
+        })
     }
 }
 
@@ -148,6 +161,7 @@ mod tests {
         //                c(0.878,0.647,0.598,2.05,1.06,1.29,1.06,3.14,1.29),
         //                paired = TRUE)  ->  V = 40, p-value = 0.03906
         let x = [1.83, 0.50, 1.62, 2.48, 1.68, 1.88, 1.55, 3.06, 1.30];
+        #[allow(clippy::approx_constant)] // 3.14 is literal R sample data
         let y = [0.878, 0.647, 0.598, 2.05, 1.06, 1.29, 1.06, 3.14, 1.29];
         let r = wilcoxon_signed_rank(&x, &y).unwrap();
         assert!(r.exact);

@@ -143,7 +143,10 @@ mod tests {
         a.push_uint(0xAABBCCDD);
         let code = a.build();
         let instrs = disassemble(code.as_bytes());
-        let names: Vec<String> = instrs.iter().map(|i| i.mnemonic.name().into_owned()).collect();
+        let names: Vec<String> = instrs
+            .iter()
+            .map(|i| i.mnemonic.name().into_owned())
+            .collect();
         assert_eq!(names, ["PUSH0", "PUSH1", "PUSH2", "PUSH4"]);
         assert_eq!(instrs[3].operand, vec![0xAA, 0xBB, 0xCC, 0xDD]);
     }

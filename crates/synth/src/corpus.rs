@@ -13,7 +13,6 @@ use crate::month::{Month, STUDY_MONTHS};
 use phishinghook_evm::Bytecode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Relative volume of obtained phishing contracts per month, shaped like the
@@ -24,7 +23,7 @@ pub const MONTHLY_PHISHING_SHAPE: [f64; STUDY_MONTHS] = [
 ];
 
 /// Configuration for corpus generation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorpusConfig {
     /// Number of *unique* phishing bytecodes (the paper has 3,458).
     pub unique_phishing: usize,
@@ -76,7 +75,7 @@ impl CorpusConfig {
 }
 
 /// One deployed contract (possibly a bit-identical clone of another).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthContract {
     /// Deployed bytecode.
     pub bytecode: Bytecode,
@@ -97,7 +96,7 @@ impl SynthContract {
 }
 
 /// A generated corpus of deployments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Corpus {
     /// Every deployment, clones included, sorted by month.
     pub contracts: Vec<SynthContract>,
@@ -121,8 +120,8 @@ impl Corpus {
     /// series of Fig. 2. "Unique" counts a bytecode in the month it first
     /// appeared.
     pub fn monthly_phishing_counts(&self) -> Vec<(Month, usize, usize)> {
-        let mut obtained = vec![0usize; STUDY_MONTHS];
-        let mut unique = vec![0usize; STUDY_MONTHS];
+        let mut obtained = [0usize; STUDY_MONTHS];
+        let mut unique = [0usize; STUDY_MONTHS];
         let mut seen = HashSet::new();
         for c in &self.contracts {
             if c.class() == ContractClass::Phishing {
@@ -283,7 +282,12 @@ fn push_with_clones(
     clone_factor: f64,
     rng: &mut StdRng,
 ) {
-    out.push(SynthContract { bytecode: bytecode.clone(), family, month, flagged });
+    out.push(SynthContract {
+        bytecode: bytecode.clone(),
+        family,
+        month,
+        flagged,
+    });
     // Geometric-ish clone count with mean ≈ clone_factor − 1 extras.
     let p = 1.0 / clone_factor.max(1.0);
     let mut extras = 0usize;
@@ -318,7 +322,10 @@ mod tests {
     fn dedup_shrinks_obtained_to_unique() {
         let corpus = generate_corpus(&CorpusConfig::small(5));
         let unique = corpus.dedup();
-        assert!(unique.len() < corpus.len(), "clones should inflate deployments");
+        assert!(
+            unique.len() < corpus.len(),
+            "clones should inflate deployments"
+        );
         // Unique count matches the configured uniques (up to random hash
         // collisions in generated code, which do not occur at this scale).
         assert_eq!(unique.len(), 300);
@@ -393,9 +400,8 @@ mod tests {
             clone_factor: 1.0,
             ..CorpusConfig::small(23)
         });
-        let count_in = |c: &Corpus, m: u8| {
-            c.contracts.iter().filter(|x| x.month.0 == m).count() as f64
-        };
+        let count_in =
+            |c: &Corpus, m: u8| c.contracts.iter().filter(|x| x.month.0 == m).count() as f64;
         // The March-2024 peak should hold noticeably more of the matched
         // corpus than of the uniform one.
         assert!(count_in(&matched, 5) > 1.5 * count_in(&uniform, 5));

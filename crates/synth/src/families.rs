@@ -16,11 +16,10 @@ use phishinghook_evm::opcodes::op;
 use phishinghook_evm::Bytecode;
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Ground-truth class of a contract.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ContractClass {
     /// Legitimate contract.
     Benign,
@@ -38,7 +37,7 @@ impl fmt::Display for ContractClass {
 }
 
 /// The synthetic contract families.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Family {
     /// Standard fungible token.
     Erc20Token,
@@ -103,7 +102,11 @@ impl Family {
 
     /// Families of one class.
     pub fn of_class(class: ContractClass) -> Vec<Family> {
-        Family::ALL.iter().copied().filter(|f| f.class() == class).collect()
+        Family::ALL
+            .iter()
+            .copied()
+            .filter(|f| f.class() == class)
+            .collect()
     }
 }
 
@@ -128,7 +131,7 @@ impl fmt::Display for Family {
 }
 
 /// Tunable knobs controlling how hard the classification task is.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Difficulty {
     /// Probability that a body snippet is drawn from the *other* class's
     /// characteristic pool instead of the family's own profile.
@@ -141,7 +144,10 @@ pub struct Difficulty {
 impl Default for Difficulty {
     fn default() -> Self {
         // Calibrated so HSC accuracy lands in the paper's 84-94% band.
-        Difficulty { cross_pollination: 0.35, drift: 0.45 }
+        Difficulty {
+            cross_pollination: 0.35,
+            drift: 0.45,
+        }
     }
 }
 
@@ -403,8 +409,7 @@ pub fn minimal_proxy(implementation: &[u8; 20]) -> Bytecode {
     bytes.extend_from_slice(&[0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73]);
     bytes.extend_from_slice(implementation);
     bytes.extend_from_slice(&[
-        0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91, 0x60, 0x2b, 0x57, 0xfd, 0x5b,
-        0xf3,
+        0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91, 0x60, 0x2b, 0x57, 0xfd, 0x5b, 0xf3,
     ]);
     Bytecode::new(bytes)
 }
@@ -457,7 +462,10 @@ pub fn generate_contract(
     asm.push1(0x04).op(op::CALLDATASIZE).op(op::LT);
     let fallback_hole = asm.push2_placeholder();
     asm.op(op::JUMPI);
-    asm.op(op::PUSH0).op(op::CALLDATALOAD).push1(0xE0).op(op::SHR);
+    asm.op(op::PUSH0)
+        .op(op::CALLDATALOAD)
+        .push1(0xE0)
+        .op(op::SHR);
 
     // Dispatcher chain with placeholder body targets.
     let mut body_holes = Vec::with_capacity(selectors.len());
@@ -469,7 +477,10 @@ pub fn generate_contract(
     // Fallback: revert.
     let fallback_at = asm.len() as u16;
     asm.patch_u16(fallback_hole, fallback_at);
-    asm.op(op::JUMPDEST).op(op::PUSH0).op(op::DUP1).op(op::REVERT);
+    asm.op(op::JUMPDEST)
+        .op(op::PUSH0)
+        .op(op::DUP1)
+        .op(op::REVERT);
 
     // Function bodies.
     for hole in body_holes {
@@ -483,11 +494,20 @@ pub fn generate_contract(
         }
         // Terminator: return a word, stop, or revert (honeypots revert more).
         let r: f64 = rng.gen();
-        let revert_bias = if family == Family::HoneypotVault { 0.45 } else { 0.1 };
+        let revert_bias = if family == Family::HoneypotVault {
+            0.45
+        } else {
+            0.1
+        };
         if r < revert_bias {
             asm.op(op::PUSH0).op(op::DUP1).op(op::REVERT);
         } else if r < 0.6 {
-            asm.push1(0x01).op(op::PUSH0).op(op::MSTORE).push1(0x20).op(op::PUSH0).op(op::RETURN);
+            asm.push1(0x01)
+                .op(op::PUSH0)
+                .op(op::MSTORE)
+                .push1(0x20)
+                .op(op::PUSH0)
+                .op(op::RETURN);
         } else {
             asm.op(op::STOP);
         }

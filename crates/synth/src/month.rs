@@ -5,14 +5,11 @@
 //! four months and tests on the following nine. [`Month`] indexes that
 //! thirteen-month window.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A month within the study window, numbered 0 (= 2023-10) through
 /// 12 (= 2024-10).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Month(pub u8);
 
 /// Number of months in the study window (2023-10 ..= 2024-10).

@@ -70,8 +70,8 @@ fn stack_shuffle(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
     let n = rng.gen_range(2..6);
     for _ in 0..n {
         match rng.gen_range(0..4) {
-            0 => a.op(op::DUP1 + rng.gen_range(0..4)),
-            1 => a.op(op::SWAP1 + rng.gen_range(0..4)),
+            0 => a.op(op::DUP1 + rng.gen_range(0..4u8)),
+            1 => a.op(op::SWAP1 + rng.gen_range(0..4u8)),
             2 => a.push1(rng.gen()),
             _ => a.op(op::POP),
         };
@@ -98,7 +98,7 @@ fn storage_write(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
 }
 
 fn mem_roundtrip(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
-    let off = 0x40 + 0x20 * rng.gen_range(0..4);
+    let off = 0x40 + 0x20 * rng.gen_range(0..4u8);
     a.push1(rng.gen())
         .push1(off)
         .op(op::MSTORE)
@@ -118,7 +118,17 @@ fn branch_check(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
 }
 
 fn arith_mix(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
-    let ops = [op::ADD, op::SUB, op::MUL, op::DIV, op::AND, op::OR, op::XOR, op::SHL, op::SHR];
+    let ops = [
+        op::ADD,
+        op::SUB,
+        op::MUL,
+        op::DIV,
+        op::AND,
+        op::OR,
+        op::XOR,
+        op::SHL,
+        op::SHR,
+    ];
     let n = rng.gen_range(2..5);
     for _ in 0..n {
         a.push1(rng.gen::<u8>() | 1);
@@ -146,7 +156,12 @@ fn hash_slot(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
 
 fn overflow_guard(a: &mut Asm, _rng: &mut StdRng, _env: &SnipEnv) {
     // SafeMath-style: c = a + b; require(c >= a)
-    a.op(op::DUP2).op(op::DUP2).op(op::ADD).op(op::DUP2).op(op::GT).op(op::ISZERO);
+    a.op(op::DUP2)
+        .op(op::DUP2)
+        .op(op::ADD)
+        .op(op::DUP2)
+        .op(op::GT)
+        .op(op::ISZERO);
     let hole = a.push2_placeholder();
     a.op(op::JUMPI).op(op::PUSH0).op(op::DUP1).op(op::REVERT);
     let target = a.len() as u16;
@@ -238,7 +253,11 @@ fn allowance_update(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
         .op(op::DUP2)
         .op(op::LT);
     let hole = a.push2_placeholder();
-    a.op(op::ISZERO).op(op::JUMPI).op(op::PUSH0).op(op::DUP1).op(op::REVERT);
+    a.op(op::ISZERO)
+        .op(op::JUMPI)
+        .op(op::PUSH0)
+        .op(op::DUP1)
+        .op(op::REVERT);
     let target = a.len() as u16;
     a.op(op::JUMPDEST);
     a.patch_u16(hole, target);
@@ -381,7 +400,9 @@ fn selfdestruct_exit(a: &mut Asm, _rng: &mut StdRng, env: &SnipEnv) {
     // body still has a fall-through path).
     a.op(op::PUSH0).op(op::SLOAD).op(op::ISZERO);
     let hole = a.push2_placeholder();
-    a.op(op::JUMPI).push_address(&env.attacker).op(op::SELFDESTRUCT);
+    a.op(op::JUMPI)
+        .push_address(&env.attacker)
+        .op(op::SELFDESTRUCT);
     let target = a.len() as u16;
     a.op(op::JUMPDEST);
     a.patch_u16(hole, target);
@@ -401,30 +422,126 @@ fn approval_bait(a: &mut Asm, rng: &mut StdRng, _env: &SnipEnv) {
 
 /// The full snippet library. Family profiles reference entries by name.
 pub static SNIPPETS: &[SnippetDef] = &[
-    SnippetDef { name: "stack_shuffle", lean: Lean::Neutral, emit: stack_shuffle },
-    SnippetDef { name: "calldata_arg", lean: Lean::Neutral, emit: calldata_arg },
-    SnippetDef { name: "storage_read", lean: Lean::Neutral, emit: storage_read },
-    SnippetDef { name: "storage_write", lean: Lean::Neutral, emit: storage_write },
-    SnippetDef { name: "mem_roundtrip", lean: Lean::Neutral, emit: mem_roundtrip },
-    SnippetDef { name: "branch_check", lean: Lean::Neutral, emit: branch_check },
-    SnippetDef { name: "arith_mix", lean: Lean::Neutral, emit: arith_mix },
-    SnippetDef { name: "hash_slot", lean: Lean::Neutral, emit: hash_slot },
-    SnippetDef { name: "overflow_guard", lean: Lean::Benign, emit: overflow_guard },
-    SnippetDef { name: "safe_external_call", lean: Lean::Benign, emit: safe_external_call },
-    SnippetDef { name: "event_transfer", lean: Lean::Benign, emit: event_transfer },
-    SnippetDef { name: "access_control", lean: Lean::Benign, emit: access_control },
-    SnippetDef { name: "delegate_forward", lean: Lean::Benign, emit: delegate_forward },
-    SnippetDef { name: "allowance_update", lean: Lean::Benign, emit: allowance_update },
-    SnippetDef { name: "staticcall_view", lean: Lean::Benign, emit: staticcall_view },
-    SnippetDef { name: "time_gate", lean: Lean::Benign, emit: time_gate },
-    SnippetDef { name: "sweep_balance", lean: Lean::Phishing, emit: sweep_balance },
-    SnippetDef { name: "origin_gate", lean: Lean::Phishing, emit: origin_gate },
-    SnippetDef { name: "hardcoded_exfil", lean: Lean::Phishing, emit: hardcoded_exfil },
-    SnippetDef { name: "drain_transfer_from", lean: Lean::Phishing, emit: drain_transfer_from },
-    SnippetDef { name: "fake_event_spam", lean: Lean::Phishing, emit: fake_event_spam },
-    SnippetDef { name: "unchecked_call", lean: Lean::Phishing, emit: unchecked_call },
-    SnippetDef { name: "selfdestruct_exit", lean: Lean::Phishing, emit: selfdestruct_exit },
-    SnippetDef { name: "approval_bait", lean: Lean::Phishing, emit: approval_bait },
+    SnippetDef {
+        name: "stack_shuffle",
+        lean: Lean::Neutral,
+        emit: stack_shuffle,
+    },
+    SnippetDef {
+        name: "calldata_arg",
+        lean: Lean::Neutral,
+        emit: calldata_arg,
+    },
+    SnippetDef {
+        name: "storage_read",
+        lean: Lean::Neutral,
+        emit: storage_read,
+    },
+    SnippetDef {
+        name: "storage_write",
+        lean: Lean::Neutral,
+        emit: storage_write,
+    },
+    SnippetDef {
+        name: "mem_roundtrip",
+        lean: Lean::Neutral,
+        emit: mem_roundtrip,
+    },
+    SnippetDef {
+        name: "branch_check",
+        lean: Lean::Neutral,
+        emit: branch_check,
+    },
+    SnippetDef {
+        name: "arith_mix",
+        lean: Lean::Neutral,
+        emit: arith_mix,
+    },
+    SnippetDef {
+        name: "hash_slot",
+        lean: Lean::Neutral,
+        emit: hash_slot,
+    },
+    SnippetDef {
+        name: "overflow_guard",
+        lean: Lean::Benign,
+        emit: overflow_guard,
+    },
+    SnippetDef {
+        name: "safe_external_call",
+        lean: Lean::Benign,
+        emit: safe_external_call,
+    },
+    SnippetDef {
+        name: "event_transfer",
+        lean: Lean::Benign,
+        emit: event_transfer,
+    },
+    SnippetDef {
+        name: "access_control",
+        lean: Lean::Benign,
+        emit: access_control,
+    },
+    SnippetDef {
+        name: "delegate_forward",
+        lean: Lean::Benign,
+        emit: delegate_forward,
+    },
+    SnippetDef {
+        name: "allowance_update",
+        lean: Lean::Benign,
+        emit: allowance_update,
+    },
+    SnippetDef {
+        name: "staticcall_view",
+        lean: Lean::Benign,
+        emit: staticcall_view,
+    },
+    SnippetDef {
+        name: "time_gate",
+        lean: Lean::Benign,
+        emit: time_gate,
+    },
+    SnippetDef {
+        name: "sweep_balance",
+        lean: Lean::Phishing,
+        emit: sweep_balance,
+    },
+    SnippetDef {
+        name: "origin_gate",
+        lean: Lean::Phishing,
+        emit: origin_gate,
+    },
+    SnippetDef {
+        name: "hardcoded_exfil",
+        lean: Lean::Phishing,
+        emit: hardcoded_exfil,
+    },
+    SnippetDef {
+        name: "drain_transfer_from",
+        lean: Lean::Phishing,
+        emit: drain_transfer_from,
+    },
+    SnippetDef {
+        name: "fake_event_spam",
+        lean: Lean::Phishing,
+        emit: fake_event_spam,
+    },
+    SnippetDef {
+        name: "unchecked_call",
+        lean: Lean::Phishing,
+        emit: unchecked_call,
+    },
+    SnippetDef {
+        name: "selfdestruct_exit",
+        lean: Lean::Phishing,
+        emit: selfdestruct_exit,
+    },
+    SnippetDef {
+        name: "approval_bait",
+        lean: Lean::Phishing,
+        emit: approval_bait,
+    },
 ];
 
 /// Looks up a snippet index by name.
@@ -446,7 +563,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn env() -> SnipEnv {
-        SnipEnv { attacker: [0xAB; 20] }
+        SnipEnv {
+            attacker: [0xAB; 20],
+        }
     }
 
     #[test]
@@ -480,8 +599,7 @@ mod tests {
             let instrs = disassemble(&bytes);
             for w in instrs.windows(2) {
                 if w[0].mnemonic.name() == "PUSH2" && w[1].mnemonic.name() == "JUMPI" {
-                    let target =
-                        ((w[0].operand[0] as usize) << 8) | w[0].operand[1] as usize;
+                    let target = ((w[0].operand[0] as usize) << 8) | w[0].operand[1] as usize;
                     assert_eq!(bytes[target], 0x5B, "{}: bad jump target", def.name);
                 }
             }

@@ -48,7 +48,11 @@ fn main() {
             row.metric,
             row.test.h,
             row.p_adjusted,
-            if row.p_adjusted < 0.05 { "significant" } else { "ns" }
+            if row.p_adjusted < 0.05 {
+                "significant"
+            } else {
+                "ns"
+            }
         );
     }
 }

@@ -17,17 +17,21 @@ fn main() {
         ..CorpusConfig::small(88)
     });
     let chain = SimulatedChain::from_corpus(&corpus);
-    let (dataset, _) = extract_dataset(&chain, &BemConfig { balance: false, ..Default::default() });
-
-    let result = run_time_resistance(
-        ModelKind::RandomForest,
-        &dataset,
-        &EvalProfile::quick(),
-        5,
+    let (dataset, _) = extract_dataset(
+        &chain,
+        &BemConfig {
+            balance: false,
+            ..Default::default()
+        },
     );
 
+    let result = run_time_resistance(ModelKind::RandomForest, &dataset, &EvalProfile::quick(), 5);
+
     println!("time-resistance, Random Forest (train 2023-10..2024-01):\n");
-    println!("{:<10} {:>6} {:>8} {:>8} {:>8}", "month", "period", "F1", "prec", "recall");
+    println!(
+        "{:<10} {:>6} {:>8} {:>8} {:>8}",
+        "month", "period", "F1", "prec", "recall"
+    );
     for m in &result.monthly {
         println!(
             "{:<10} {:>6} {:>8.4} {:>8.4} {:>8.4}",
@@ -38,5 +42,8 @@ fn main() {
             m.metrics.recall
         );
     }
-    println!("\nAUT(F1) = {:.3}  (paper: 0.89 for Random Forest)", result.aut_f1);
+    println!(
+        "\nAUT(F1) = {:.3}  (paper: 0.89 for Random Forest)",
+        result.aut_f1
+    );
 }

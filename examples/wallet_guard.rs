@@ -37,21 +37,26 @@ fn main() {
     use phishinghook_linalg::Matrix;
     use phishinghook_ml::{Classifier, RandomForest};
 
-    let train_codes = train.bytecodes();
-    let encoder = HistogramEncoder::fit(&train_codes);
-    let x_train = Matrix::from_rows(&encoder.encode_batch(&train_codes));
+    let train_caches = train.disasm_batch();
+    let encoder = HistogramEncoder::fit(&train_caches);
+    let x_train = Matrix::from_rows(&encoder.encode_batch(&train_caches));
     let mut model = RandomForest::new(profile.n_trees, 11);
     model.fit(&x_train, &train.labels());
 
-    println!("wallet guard: screening {} contracts before signature\n", suspects.len());
+    println!(
+        "wallet guard: screening {} contracts before signature\n",
+        suspects.len()
+    );
     for address in suspects {
         let code = rpc.eth_get_code(&address).expect("deployed contract");
-        let features = Matrix::from_rows(&[encoder.encode(&code)]);
+        let cache = phishinghook_evm::DisasmCache::build(&code);
+        let features = Matrix::from_rows(&[encoder.encode(&cache)]);
         let p = model.predict_proba(&features)[0];
-        let truth = chain.record(&address).map(|r| r.family.to_string()).unwrap_or_default();
+        let truth = chain
+            .record(&address)
+            .map(|r| r.family.to_string())
+            .unwrap_or_default();
         let verdict = if p >= 0.5 { "BLOCK  " } else { "allow  " };
-        println!(
-            "  {verdict} {address}  p(phishing) = {p:.3}   (ground truth family: {truth})"
-        );
+        println!("  {verdict} {address}  p(phishing) = {p:.3}   (ground truth family: {truth})");
     }
 }

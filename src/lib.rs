@@ -1,0 +1,8 @@
+//! Umbrella crate for the workspace-level `tests/` and `examples/` targets.
+//!
+//! The real library surface lives in the `crates/` members; this package
+//! exists so that the repository root can host integration tests and
+//! examples that exercise several crates at once. It re-exports the
+//! top-level prelude for convenience.
+
+pub use phishinghook::prelude;

@@ -1,0 +1,106 @@
+//! Disassembler edge cases, end to end through the public API: empty
+//! bytecode, truncated `PUSHn` immediates, unknown opcode bytes, and the
+//! `OpId` ↔ `Mnemonic` round trip over all 256 byte values.
+
+use phishinghook_evm::{disassemble, opcode_info, Bytecode, DisasmCache, OpId, OpcodeStream};
+
+#[test]
+fn empty_bytecode_everywhere() {
+    let code = Bytecode::from_hex("0x").unwrap();
+    assert!(code.is_empty());
+    assert!(disassemble(code.as_bytes()).is_empty());
+    assert_eq!(OpcodeStream::new(code.as_bytes()).count(), 0);
+    let cache = DisasmCache::build(&code);
+    assert!(cache.is_empty());
+    assert_eq!(cache.ops().count(), 0);
+}
+
+#[test]
+fn truncated_push_immediates_at_every_width() {
+    for n in 1..=32u8 {
+        let push = 0x5F + n; // PUSH1..PUSH32
+        for present in 0..n {
+            let mut code = vec![push];
+            code.extend(std::iter::repeat_n(0xAB, present as usize));
+            let cache = DisasmCache::build(&Bytecode::new(code));
+            let ops: Vec<_> = cache.ops().collect();
+            assert_eq!(ops.len(), 1, "PUSH{n} with {present} bytes");
+            assert!(ops[0].truncated);
+            assert_eq!(ops[0].operand.len(), present as usize);
+            assert_eq!(ops[0].id.byte(), push);
+        }
+        // Exactly enough immediate bytes: not truncated.
+        let mut code = vec![push];
+        code.extend(std::iter::repeat_n(0xCD, n as usize));
+        let cache = DisasmCache::build(&Bytecode::new(code));
+        let ops: Vec<_> = cache.ops().collect();
+        assert_eq!(ops.len(), 1);
+        assert!(!ops[0].truncated);
+        assert_eq!(ops[0].operand.len(), n as usize);
+    }
+}
+
+#[test]
+fn unknown_opcode_bytes_decode_totally() {
+    // Every unassigned byte decodes to an Unknown mnemonic with no gas and
+    // no immediates, and the stream keeps going afterwards.
+    for b in 0..=255u8 {
+        if opcode_info(b).is_some() {
+            continue;
+        }
+        let code = Bytecode::new(vec![b, 0x01]); // unknown byte then ADD
+        let cache = DisasmCache::build(&code);
+        let ops: Vec<_> = cache.ops().collect();
+        assert_eq!(
+            ops.len(),
+            2,
+            "unknown byte 0x{b:02X} must not swallow input"
+        );
+        assert!(!ops[0].id.is_known());
+        assert_eq!(ops[0].gas(), None);
+        assert_eq!(ops[0].mnemonic().name(), format!("UNKNOWN_0x{b:02X}"));
+        assert_eq!(ops[1].id.byte(), 0x01);
+    }
+}
+
+#[test]
+fn opid_mnemonic_round_trip_over_all_256_bytes() {
+    for b in 0..=255u8 {
+        let id = OpId::from_byte(b);
+        // OpId -> byte round trip.
+        assert_eq!(id.byte(), b);
+        // OpId -> Mnemonic -> byte round trip.
+        let m = id.mnemonic();
+        assert_eq!(m.byte(), b);
+        // Mnemonic and registry agree on identity and gas.
+        match opcode_info(b) {
+            Some(info) => {
+                assert!(id.is_known());
+                assert_eq!(m.name(), info.mnemonic);
+                assert_eq!(id.gas(), info.gas);
+            }
+            None => {
+                assert!(!id.is_known());
+                assert_eq!(id.gas(), None);
+            }
+        }
+        // Dense index round trip.
+        assert_eq!(OpId::from_index(id.index()), Some(id));
+    }
+}
+
+#[test]
+fn stream_offsets_tile_malformed_soup() {
+    // A worst-case blend: unknown bytes, PUSH immediates that swallow
+    // opcode-looking bytes, and a truncated tail.
+    let code = Bytecode::new(vec![0x0C, 0x60, 0xFF, 0xFE, 0x7F, 0x01, 0x02]);
+    let cache = DisasmCache::build(&code);
+    let ops: Vec<_> = cache.ops().collect();
+    let mut expected_offset = 0;
+    for op in &ops {
+        assert_eq!(op.offset, expected_offset);
+        expected_offset += op.size();
+    }
+    assert_eq!(expected_offset, code.len());
+    assert!(ops.last().unwrap().truncated);
+}

@@ -2,8 +2,9 @@
 //! inputs that exist on a real chain — truncated PUSH immediates, empty
 //! accounts, unknown opcodes, degenerate feature distributions.
 
-use phishinghook::prelude::*;
 use phishinghook::dataset::Sample;
+use phishinghook::prelude::*;
+use phishinghook_evm::DisasmCache;
 use phishinghook_features::{BigramEncoder, HistogramEncoder, R2d2Encoder};
 use phishinghook_linalg::Matrix;
 use phishinghook_ml::{Classifier, RandomForest};
@@ -14,10 +15,11 @@ fn truncated_push_flows_through_features() {
     let code = Bytecode::new(vec![0x7F, 0xAA, 0xBB]);
     let instrs = disassemble_bytecode(&code);
     assert!(instrs[0].truncated);
-    let enc = HistogramEncoder::fit(&[code.clone()]);
-    let h = enc.encode(&code);
+    let cache = DisasmCache::build(&code);
+    let enc = HistogramEncoder::fit(std::slice::from_ref(&cache));
+    let h = enc.encode(&cache);
     assert_eq!(h.iter().sum::<f32>(), 1.0);
-    let img = R2d2Encoder::new(8).encode(&code);
+    let img = R2d2Encoder::new(8).encode(&cache);
     assert_eq!(img.len(), 192);
 }
 
@@ -25,10 +27,11 @@ fn truncated_push_flows_through_features() {
 fn unknown_opcodes_survive_every_encoder() {
     // 0x0C and friends are unassigned in Shanghai.
     let code = Bytecode::new(vec![0x0C, 0x0D, 0x0E, 0x21, 0xEF]);
-    let enc = HistogramEncoder::fit(&[code.clone()]);
-    assert_eq!(enc.encode(&code).iter().sum::<f32>(), 5.0);
-    let big = BigramEncoder::fit(&[code.clone()], 64, 8);
-    assert_eq!(big.encode(&code).len(), 8);
+    let cache = DisasmCache::build(&code);
+    let enc = HistogramEncoder::fit(std::slice::from_ref(&cache));
+    assert_eq!(enc.encode(&cache).iter().sum::<f32>(), 5.0);
+    let big = BigramEncoder::fit(std::slice::from_ref(&cache), 64, 8);
+    assert_eq!(big.encode(&cache).len(), 8);
 }
 
 #[test]
@@ -63,7 +66,13 @@ fn single_class_month_is_skipped_by_time_resistance() {
         ..CorpusConfig::small(33)
     });
     let chain = SimulatedChain::from_corpus(&corpus);
-    let (dataset, _) = extract_dataset(&chain, &BemConfig { balance: false, ..Default::default() });
+    let (dataset, _) = extract_dataset(
+        &chain,
+        &BemConfig {
+            balance: false,
+            ..Default::default()
+        },
+    );
     let result = run_time_resistance(ModelKind::Knn, &dataset, &EvalProfile::quick(), 1);
     for m in &result.monthly {
         assert!(m.period >= 1 && m.period <= 9);
@@ -77,12 +86,14 @@ fn minimal_proxy_classifies_without_panic() {
     let corpus = generate_corpus(&CorpusConfig::small(5));
     let chain = SimulatedChain::from_corpus(&corpus);
     let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
-    let train_codes = dataset.bytecodes();
-    let enc = HistogramEncoder::fit(&train_codes);
-    let x = Matrix::from_rows(&enc.encode_batch(&train_codes));
+    let train_caches = dataset.disasm_batch();
+    let enc = HistogramEncoder::fit(&train_caches);
+    let x = Matrix::from_rows(&enc.encode_batch(&train_caches));
     let mut rf = RandomForest::new(20, 3);
     rf.fit(&x, &dataset.labels());
-    let p = rf.predict_proba(&Matrix::from_rows(&[enc.encode(&proxy)]));
+    let p = rf.predict_proba(&Matrix::from_rows(&[
+        enc.encode(&DisasmCache::build(&proxy))
+    ]));
     assert!((0.0..=1.0).contains(&p[0]));
 }
 

@@ -1,0 +1,123 @@
+//! Acceptance tests for the single-pass featurization pipeline: one dataset
+//! pass decodes each contract exactly once, the parallel batch is
+//! deterministic, and every encoder consumes the shared caches.
+
+use phishinghook::prelude::*;
+use phishinghook_evm::{decode_count, DisasmCache};
+use phishinghook_features::{
+    BigramEncoder, EscortEmbedder, FreqImageEncoder, HistogramEncoder, OpcodeTokenizer,
+    R2d2Encoder, SequenceVariant,
+};
+
+/// `decode_count()` is process-global and this binary's tests all build
+/// caches, so every test takes this lock: exact-delta assertions must not
+/// interleave with sibling cache builds on multi-core hosts.
+static COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn counter_guard() -> std::sync::MutexGuard<'static, ()> {
+    COUNTER_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn build_dataset(seed: u64) -> Dataset {
+    let corpus = generate_corpus(&CorpusConfig::small(seed));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    extract_dataset(&chain, &BemConfig::default()).0
+}
+
+#[test]
+fn dataset_pass_decodes_each_contract_exactly_once() {
+    let _serialized = counter_guard();
+    let dataset = build_dataset(101);
+    assert!(
+        dataset.len() > 50,
+        "corpus too small for a meaningful check"
+    );
+
+    let before = decode_count();
+    let caches = dataset.disasm_batch();
+    let after_build = decode_count();
+    assert_eq!(
+        after_build - before,
+        dataset.len() as u64,
+        "disasm_batch must decode once per contract"
+    );
+
+    // Featurize with all six encoders off the shared caches: zero further
+    // decodes.
+    let hist = HistogramEncoder::fit(&caches);
+    let freq = FreqImageEncoder::fit(&caches, 16);
+    let r2d2 = R2d2Encoder::new(16);
+    let bigram = BigramEncoder::fit(&caches, 256, 24);
+    let tokens = OpcodeTokenizer::new(32);
+    let escort = EscortEmbedder::new(64);
+    for cache in &caches {
+        assert_eq!(hist.encode(cache).len(), hist.vocab_len());
+        assert_eq!(freq.encode(cache).len(), freq.len());
+        assert_eq!(r2d2.encode(cache).len(), r2d2.len());
+        assert_eq!(bigram.encode(cache).len(), bigram.max_len());
+        assert!(!tokens.encode(cache, SequenceVariant::Truncate).is_empty());
+        assert_eq!(escort.encode(cache).len(), escort.dim());
+    }
+    assert_eq!(
+        decode_count(),
+        after_build,
+        "all six encoders must reuse the shared caches, never re-disassemble"
+    );
+}
+
+#[test]
+fn parallel_batch_is_deterministic_and_ordered() {
+    let _serialized = counter_guard();
+    let dataset = build_dataset(77);
+    let a = dataset.disasm_batch();
+    let b = dataset.disasm_batch();
+    assert_eq!(a.len(), dataset.len());
+    for (i, (ca, cb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(
+            ca.code(),
+            &dataset.samples[i].bytecode,
+            "order must match samples"
+        );
+        assert_eq!(
+            ca.op_count(),
+            cb.op_count(),
+            "repeat pass must be identical"
+        );
+    }
+
+    // The parallel path must agree byte-for-byte with a sequential build.
+    let seq: Vec<DisasmCache> = dataset
+        .samples
+        .iter()
+        .map(|s| DisasmCache::build(&s.bytecode))
+        .collect();
+    for (pa, ps) in a.iter().zip(&seq) {
+        let ops_a: Vec<_> = pa.ops().collect();
+        let ops_s: Vec<_> = ps.ops().collect();
+        assert_eq!(ops_a, ops_s);
+    }
+}
+
+#[test]
+fn cross_validation_stays_reproducible_through_the_parallel_pipeline() {
+    let _serialized = counter_guard();
+    let dataset = build_dataset(55);
+    let profile = EvalProfile::quick();
+    let a = train_and_evaluate(
+        ModelKind::LogisticRegression,
+        &dataset.fold_split(&dataset.stratified_folds(3, 9), 0).0,
+        &dataset.fold_split(&dataset.stratified_folds(3, 9), 0).1,
+        &profile,
+        4,
+    );
+    let b = train_and_evaluate(
+        ModelKind::LogisticRegression,
+        &dataset.fold_split(&dataset.stratified_folds(3, 9), 0).0,
+        &dataset.fold_split(&dataset.stratified_folds(3, 9), 0).1,
+        &profile,
+        4,
+    );
+    assert_eq!(a.metrics, b.metrics, "same seed, same folds, same metrics");
+}

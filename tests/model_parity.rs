@@ -26,7 +26,11 @@ fn all_sixteen_models_run_and_report_valid_metrics() {
         assert!(outcome.train_seconds >= 0.0);
         assert!(outcome.infer_seconds >= 0.0);
         // Nothing should be catastrophically below chance on a balanced set.
-        assert!(m.accuracy > 0.30, "{kind}: accuracy {} below sanity floor", m.accuracy);
+        assert!(
+            m.accuracy > 0.30,
+            "{kind}: accuracy {} below sanity floor",
+            m.accuracy
+        );
     }
 }
 
@@ -46,7 +50,11 @@ fn histogram_classifiers_beat_the_vulnerability_detector() {
         rf.metrics.accuracy,
         escort.metrics.accuracy
     );
-    assert!(rf.metrics.accuracy > 0.75, "RF accuracy = {}", rf.metrics.accuracy);
+    assert!(
+        rf.metrics.accuracy > 0.75,
+        "RF accuracy = {}",
+        rf.metrics.accuracy
+    );
 }
 
 #[test]

@@ -26,7 +26,11 @@ fn full_pipeline_produces_significant_model_differences() {
     let rf = cross_validate(ModelKind::RandomForest, &dataset, 3, 1, &profile, 1);
     let lr = cross_validate(ModelKind::LogisticRegression, &dataset, 3, 1, &profile, 1);
     let rf_mean = Metrics::mean(&rf.iter().map(|t| t.metrics).collect::<Vec<_>>());
-    assert!(rf_mean.accuracy > 0.75, "RF mean accuracy = {}", rf_mean.accuracy);
+    assert!(
+        rf_mean.accuracy > 0.75,
+        "RF mean accuracy = {}",
+        rf_mean.accuracy
+    );
 
     // PAM (➑): the analysis runs and reports coherent structure.
     let knn = cross_validate(ModelKind::Knn, &dataset, 3, 1, &profile, 1);
@@ -52,7 +56,11 @@ fn bem_window_restriction_propagates() {
     let chain = SimulatedChain::from_corpus(&corpus);
     let early = extract_dataset(
         &chain,
-        &BemConfig { to: Month(3), balance: false, ..Default::default() },
+        &BemConfig {
+            to: Month(3),
+            balance: false,
+            ..Default::default()
+        },
     );
     assert!(early.0.samples.iter().all(|s| s.month.0 <= 3));
 }

@@ -15,7 +15,11 @@ fn pam_structure_matches_the_paper() {
 
     // Three models × 6 trials (2 runs of 3-fold CV) — a scaled-down §IV-E.
     let mut results = Vec::new();
-    for kind in [ModelKind::RandomForest, ModelKind::Knn, ModelKind::LogisticRegression] {
+    for kind in [
+        ModelKind::RandomForest,
+        ModelKind::Knn,
+        ModelKind::LogisticRegression,
+    ] {
         results.push((kind, cross_validate(kind, &dataset, 3, 2, &profile, 3)));
     }
     let report = posthoc_analysis(&results);
@@ -56,7 +60,10 @@ fn scalability_posthoc_pipeline() {
     let a: Vec<f64> = blocks.iter().map(|r| r[0]).collect();
     let b: Vec<f64> = blocks.iter().map(|r| r[1]).collect();
     let delta = cliffs_delta(&a, &b);
-    assert!(delta > 0.9, "complete dominance should give delta near 1, got {delta}");
+    assert!(
+        delta > 0.9,
+        "complete dominance should give delta near 1, got {delta}"
+    );
 }
 
 #[test]

@@ -27,7 +27,11 @@ fn model_evaluation_is_deterministic() {
     let (train, test) = dataset.fold_split(&folds, 0);
     let profile = EvalProfile::quick();
 
-    for kind in [ModelKind::RandomForest, ModelKind::Xgboost, ModelKind::ScsGuard] {
+    for kind in [
+        ModelKind::RandomForest,
+        ModelKind::Xgboost,
+        ModelKind::ScsGuard,
+    ] {
         let a = train_and_evaluate(kind, &train, &test, &profile, 42);
         let b = train_and_evaluate(kind, &train, &test, &profile, 42);
         assert_eq!(a.metrics, b.metrics, "{kind} must be seed-deterministic");

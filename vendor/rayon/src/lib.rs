@@ -1,0 +1,148 @@
+//! Minimal, dependency-free stand-in for the `rayon` crate.
+//!
+//! Implements the one pattern this workspace uses —
+//! `(0..n).into_par_iter().map(f).collect::<Vec<_>>()` — with real
+//! parallelism over `std::thread::scope`. The input range is split into one
+//! contiguous chunk per worker and results are concatenated in order, so
+//! output ordering (and therefore every downstream seed-derived computation)
+//! is deterministic and identical to the sequential path.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Number of worker threads used by parallel operations.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Parallel iterator type.
+    type Iter;
+
+    /// Starts a parallel pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index through `f` in parallel.
+    pub fn map<T, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel range, ready to collect.
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Runs the map across a thread pool and collects results in input
+    /// order.
+    pub fn collect<T, C>(self) -> C
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        C: FromParallelResults<T>,
+    {
+        let ParMap { range, f } = self;
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return C::from_ordered(Vec::new());
+        }
+        let workers = current_num_threads().min(n).max(1);
+        if workers == 1 {
+            return C::from_ordered(range.map(f).collect());
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &f;
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = range.start + w * chunk;
+                    let hi = (lo + chunk).min(range.end);
+                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
+        }
+        C::from_ordered(out)
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallelResults<T> {
+    /// Builds the collection from in-order results.
+    fn from_ordered(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelResults<T> for Vec<T> {
+    fn from_ordered(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParMap, ParRange};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn empty_range() {
+        let v: Vec<u8> = (5..5).into_par_iter().map(|_| 0u8).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn matches_sequential() {
+        let par: Vec<u64> = (0..257)
+            .into_par_iter()
+            .map(|i| (i as u64).pow(2))
+            .collect();
+        let seq: Vec<u64> = (0..257).map(|i| (i as u64).pow(2)).collect();
+        assert_eq!(par, seq);
+    }
+}
