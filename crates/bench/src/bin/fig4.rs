@@ -18,22 +18,9 @@ fn main() {
     } else {
         println!("(table2.json missing or unreadable - running a reduced evaluation)\n");
         let dataset = main_dataset(scale, 0xD5);
-        ModelKind::posthoc_set()
-            .into_iter()
-            .map(|kind| {
-                (
-                    kind,
-                    cross_validate(
-                        kind,
-                        &dataset,
-                        scale.folds(),
-                        scale.runs(),
-                        &scale.profile(),
-                        0xD5,
-                    ),
-                )
-            })
-            .collect()
+        let ctx = EvalContext::new(&dataset, &scale.profile());
+        let plan = trial_plan(&dataset, scale.folds(), scale.runs(), 0xD5);
+        evaluate_models(&ctx, &ModelKind::posthoc_set(), &plan)
     };
     let keep = ModelKind::posthoc_set();
     let results: Vec<(ModelKind, Vec<TrialOutcome>)> = results

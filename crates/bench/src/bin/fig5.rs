@@ -1,6 +1,10 @@
 //! Regenerates **Fig. 5**: performance of the best model per category
 //! (Random Forest, ECA+EfficientNet, SCSGuard) across 1/3, 2/3 and full
 //! data splits.
+//!
+//! The full study (all cells and timings) is persisted to
+//! `fig5_study.json`; the `fig6` and `fig7` binaries reload it
+//! table2-style instead of re-running the trial matrix.
 
 use phishinghook::prelude::*;
 use phishinghook::scalability::SCALABILITY_MODELS;
@@ -26,9 +30,8 @@ fn main() {
         println!();
     }
 
-    // Persist for fig6/fig7.
-    let table: Vec<Vec<f64>> = study.metric_table("accuracy");
-    let json = phishinghook_bench::json::f64_table_to_json(&table);
-    std::fs::write("fig5_accuracy_table.json", json).expect("write fig5 table");
-    println!("accuracy table written to fig5_accuracy_table.json");
+    // Persist the whole study for fig6/fig7.
+    let json = phishinghook_bench::json::scalability_to_json(&study);
+    std::fs::write("fig5_study.json", json).expect("write fig5 study");
+    println!("full study written to fig5_study.json (consumed by fig6/fig7)");
 }

@@ -5,7 +5,7 @@
 
 use phishinghook::prelude::*;
 use phishinghook::scalability::SCALABILITY_MODELS;
-use phishinghook_bench::{banner, fmt_p, main_dataset, RunScale};
+use phishinghook_bench::{banner, fmt_p, load_scalability_study, main_dataset, RunScale};
 use phishinghook_stats::delta_magnitude;
 
 fn main() {
@@ -14,9 +14,12 @@ fn main() {
         "Fig. 6 - critical difference diagram (scalability post hoc)",
         scale,
     );
-    let dataset = main_dataset(scale, 0xF6);
-    let folds = if scale == RunScale::Quick { 2 } else { 4 };
-    let study = run_scalability(&dataset, folds, &scale.profile(), 0xF6);
+    let study = load_scalability_study().unwrap_or_else(|| {
+        println!("(fig5_study.json not found - running a fresh scalability study)\n");
+        let dataset = main_dataset(scale, 0xF6);
+        let folds = if scale == RunScale::Quick { 2 } else { 4 };
+        run_scalability(&dataset, folds, &scale.profile(), 0xF6)
+    });
 
     for (metric, cd) in study.critical_differences() {
         println!("--- {metric} ---");

@@ -3,14 +3,17 @@
 
 use phishinghook::prelude::*;
 use phishinghook::scalability::SCALABILITY_MODELS;
-use phishinghook_bench::{banner, main_dataset, RunScale};
+use phishinghook_bench::{banner, load_scalability_study, main_dataset, RunScale};
 
 fn main() {
     let scale = RunScale::from_args();
     banner("Fig. 7 - training/inference time per data split", scale);
-    let dataset = main_dataset(scale, 0xF7);
-    let folds = if scale == RunScale::Quick { 2 } else { 3 };
-    let study = run_scalability(&dataset, folds, &scale.profile(), 0xF7);
+    let study = load_scalability_study().unwrap_or_else(|| {
+        println!("(fig5_study.json not found - running a fresh scalability study)\n");
+        let dataset = main_dataset(scale, 0xF7);
+        let folds = if scale == RunScale::Quick { 2 } else { 3 };
+        run_scalability(&dataset, folds, &scale.profile(), 0xF7)
+    });
 
     println!("training time (s):");
     println!("{:<20} {:>9} {:>9} {:>9}", "model", "1/3", "2/3", "1.0");

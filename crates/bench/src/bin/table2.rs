@@ -25,16 +25,13 @@ fn main() {
         "Model", "Accuracy(%)", "F1", "Precision", "Recall"
     );
 
+    // One decode+featurize pass for the whole sixteen-model matrix: the
+    // shared context is built once and every trial slices it by index.
+    let ctx = EvalContext::new(&dataset, &scale.profile());
+    let plan = trial_plan(&dataset, scale.folds(), scale.runs(), 0xD5);
     let mut all_results: Vec<(ModelKind, Vec<TrialOutcome>)> = Vec::new();
     for kind in ModelKind::ALL {
-        let trials = cross_validate(
-            kind,
-            &dataset,
-            scale.folds(),
-            scale.runs(),
-            &scale.profile(),
-            0xD5,
-        );
+        let trials = cross_validate_on(&ctx, kind, &plan);
         let mean = Metrics::mean(&trials.iter().map(|t| t.metrics).collect::<Vec<_>>());
         println!(
             "{:<20} {:>12.2} {:>10.4} {:>10.4} {:>10.4}  {:?}",

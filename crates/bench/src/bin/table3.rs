@@ -16,22 +16,9 @@ fn load_or_run(scale: RunScale) -> Vec<(ModelKind, Vec<TrialOutcome>)> {
     }
     println!("(table2.json not found - running a fresh evaluation)\n");
     let dataset = main_dataset(scale, 0xD5);
-    ModelKind::ALL
-        .into_iter()
-        .map(|kind| {
-            (
-                kind,
-                cross_validate(
-                    kind,
-                    &dataset,
-                    scale.folds(),
-                    scale.runs(),
-                    &scale.profile(),
-                    0xD5,
-                ),
-            )
-        })
-        .collect()
+    let ctx = EvalContext::new(&dataset, &scale.profile());
+    let plan = trial_plan(&dataset, scale.folds(), scale.runs(), 0xD5);
+    evaluate_models(&ctx, &ModelKind::ALL, &plan)
 }
 
 fn main() {

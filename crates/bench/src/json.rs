@@ -1,12 +1,14 @@
 //! Dependency-free JSON encoding/decoding for the regeneration binaries.
 //!
 //! The offline build has no `serde`, so the few artifacts that persist
-//! between binaries (`table2.json`, `fig5_accuracy_table.json`,
-//! `BENCH_pipeline.json`) are read and written through this small module: a
-//! generic [`Value`] tree with a recursive-descent parser, plus typed
-//! helpers for the shapes the binaries exchange.
+//! between binaries (`table2.json`, `fig5_study.json`,
+//! `BENCH_pipeline.json`, `BENCH_evalstore.json`) are read and written
+//! through this small module: a generic [`Value`] tree with a
+//! depth-capped recursive-descent parser, plus typed helpers for the
+//! shapes the binaries exchange.
 
-use phishinghook::{Metrics, ModelKind, TrialOutcome};
+use phishinghook::scalability::ScalabilityCell;
+use phishinghook::{Metrics, ModelKind, ScalabilityStudy, TrialOutcome};
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,12 +119,19 @@ impl Value {
     }
 }
 
-/// Parses a JSON document. Returns `None` on any syntax error or trailing
-/// garbage.
+/// Maximum container nesting depth the parser accepts. The recursive
+/// descent uses one stack frame per nesting level, so an unbounded depth
+/// would let a pathologically nested artifact overflow the stack; beyond
+/// this limit [`parse`] returns `None` like any other malformed input. The
+/// artifacts the binaries exchange nest three or four levels deep.
+pub const MAX_DEPTH: usize = 128;
+
+/// Parses a JSON document. Returns `None` on any syntax error, trailing
+/// garbage, or nesting deeper than [`MAX_DEPTH`].
 pub fn parse(input: &str) -> Option<Value> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos == bytes.len() {
         Some(value)
@@ -137,7 +146,10 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Option<Value> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Option<Value> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
     skip_ws(b, pos);
     match *b.get(*pos)? {
         b'n' => parse_lit(b, pos, "null", Value::Null),
@@ -153,7 +165,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Option<Value> {
                 return Some(Value::Arr(items));
             }
             loop {
-                items.push(parse_value(b, pos)?);
+                items.push(parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos)? {
                     b',' => *pos += 1,
@@ -181,7 +193,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Option<Value> {
                     return None;
                 }
                 *pos += 1;
-                fields.push((key, parse_value(b, pos)?));
+                fields.push((key, parse_value(b, pos, depth + 1)?));
                 skip_ws(b, pos);
                 match b.get(*pos)? {
                     b',' => *pos += 1,
@@ -328,30 +340,44 @@ pub fn trials_from_json(input: &str) -> Option<Vec<(ModelKind, Vec<TrialOutcome>
     Some(out)
 }
 
-/// Serializes a rectangular `f64` table (the `fig5_accuracy_table.json`
-/// artifact).
-pub fn f64_table_to_json(table: &[Vec<f64>]) -> String {
-    Value::Arr(
-        table
-            .iter()
-            .map(|row| Value::Arr(row.iter().map(|&x| Value::Num(x)).collect()))
-            .collect(),
-    )
+/// Serializes a full scalability study (the `fig5_study.json` artifact
+/// fig6/fig7 reload instead of re-running the nine-cell trial matrix).
+pub fn scalability_to_json(study: &ScalabilityStudy) -> String {
+    Value::Obj(vec![
+        ("folds".into(), Value::Num(study.folds as f64)),
+        (
+            "cells".into(),
+            Value::Arr(
+                study
+                    .cells
+                    .iter()
+                    .map(|cell| {
+                        Value::Obj(vec![
+                            ("model".into(), Value::Str(cell.model.id().into())),
+                            ("ratio".into(), Value::Num(cell.ratio)),
+                            ("trial".into(), trial_to_value(&cell.outcome)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
     .render()
 }
 
-/// Parses a rectangular `f64` table.
-pub fn f64_table_from_json(input: &str) -> Option<Vec<Vec<f64>>> {
-    parse(input)?
-        .as_arr()?
-        .iter()
-        .map(|row| {
-            row.as_arr()?
-                .iter()
-                .map(|x| x.as_f64())
-                .collect::<Option<Vec<f64>>>()
-        })
-        .collect()
+/// Parses the `fig5_study.json` artifact back into a scalability study.
+pub fn scalability_from_json(input: &str) -> Option<ScalabilityStudy> {
+    let doc = parse(input)?;
+    let folds = doc.get("folds")?.as_f64()? as usize;
+    let mut cells = Vec::new();
+    for cell in doc.get("cells")?.as_arr()? {
+        cells.push(ScalabilityCell {
+            model: ModelKind::from_id(cell.get("model")?.as_str()?)?,
+            ratio: cell.get("ratio")?.as_f64()?,
+            outcome: trial_from_value(cell.get("trial")?)?,
+        });
+    }
+    Some(ScalabilityStudy { cells, folds })
 }
 
 #[cfg(test)]
@@ -400,8 +426,51 @@ mod tests {
     }
 
     #[test]
-    fn f64_table_round_trip() {
-        let t = vec![vec![1.0, 2.0], vec![3.5, -4.0]];
-        assert_eq!(f64_table_from_json(&f64_table_to_json(&t)).unwrap(), t);
+    fn scalability_round_trip() {
+        let study = ScalabilityStudy {
+            cells: vec![ScalabilityCell {
+                model: ModelKind::ScsGuard,
+                ratio: 1.0 / 3.0,
+                outcome: TrialOutcome {
+                    metrics: Metrics {
+                        accuracy: 0.91,
+                        f1: 0.9,
+                        precision: 0.89,
+                        recall: 0.92,
+                    },
+                    train_seconds: 2.5,
+                    infer_seconds: 0.25,
+                },
+            }],
+            folds: 4,
+        };
+        let parsed = scalability_from_json(&scalability_to_json(&study)).unwrap();
+        assert_eq!(parsed.folds, 4);
+        assert_eq!(parsed.cells.len(), 1);
+        assert_eq!(parsed.cells[0].model, ModelKind::ScsGuard);
+        // The 1/3 ratio must survive the round trip bit-exactly: the study
+        // accessors match ratios with an epsilon compare.
+        assert_eq!(parsed.cells[0].ratio, 1.0 / 3.0);
+        assert_eq!(parsed.cells[0].outcome.metrics.accuracy, 0.91);
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // Far deeper than any artifact, and deep enough to overflow the
+        // stack without the cap.
+        let deep = "[".repeat(200_000);
+        assert!(parse(&deep).is_none());
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(parse(&deep_obj).is_none());
+        // A document at a reasonable depth still parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_some());
+        // One past the limit fails cleanly.
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&over).is_none());
     }
 }

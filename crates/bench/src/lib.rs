@@ -10,6 +10,7 @@
 pub mod json;
 
 use phishinghook::prelude::*;
+use phishinghook::ScalabilityStudy;
 
 /// Run scale selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +95,15 @@ pub fn temporal_dataset(scale: RunScale, seed: u64) -> Dataset {
         },
     )
     .0
+}
+
+/// Loads the scalability study persisted by the `fig5` binary, if present
+/// and parseable (the table2-style load-or-run pattern for fig6/fig7).
+pub fn load_scalability_study() -> Option<ScalabilityStudy> {
+    let text = std::fs::read_to_string("fig5_study.json").ok()?;
+    let study = json::scalability_from_json(&text)?;
+    println!("(loaded scalability study from fig5_study.json)\n");
+    Some(study)
 }
 
 /// Formats a p-value the way the paper prints Table III.

@@ -5,9 +5,17 @@
 //! the study window, scrape the explorer's `Phish/Hack` flag for each hash,
 //! pull bytecode over `eth_getCode`, deduplicate bit-by-bit, and balance the
 //! classes into the final dataset.
+//!
+//! Extraction is *streaming*: [`ExtractionStream`] is an iterator that
+//! pulls one address at a time from the query service's lazy scan cursor
+//! and yields deduplicated [`Sample`]s as they are discovered, so the
+//! extraction front end holds only the dedup set (refcounted bytecode
+//! handles) regardless of corpus size. [`extract_dataset`] drains the
+//! stream into the balanced dataset the experiments consume; pipelines
+//! that featurize on the fly can consume the iterator directly.
 
 use crate::dataset::{Dataset, Sample};
-use phishinghook_chain::{Explorer, QueryService, RpcProvider, SimulatedChain};
+use phishinghook_chain::{Address, Explorer, QueryService, RpcProvider, SimulatedChain};
 use phishinghook_evm::Bytecode;
 use phishinghook_synth::Month;
 use rand::rngs::StdRng;
@@ -53,7 +61,107 @@ pub struct BemReport {
     pub dataset: usize,
 }
 
-/// Runs the full extraction pipeline against the three data services.
+/// Running counters of an [`ExtractionStream`] (the numbers §III reports,
+/// available incrementally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Addresses pulled from the scan cursor so far.
+    pub scanned: usize,
+    /// Scanned addresses carrying the `Phish/Hack` flag so far.
+    pub flagged: usize,
+    /// Unique bytecodes yielded so far.
+    pub unique: usize,
+}
+
+/// Streaming extraction front end: scan → label scrape → `eth_getCode` →
+/// bit-by-bit dedup, one address per pull. The first deployment of a
+/// bytecode determines its month and label. Memory use is bounded by the
+/// dedup set (refcounted bytecode handles), not by the scan size.
+///
+/// # Examples
+///
+/// ```
+/// use phishinghook::bem::ExtractionStream;
+/// use phishinghook_chain::SimulatedChain;
+/// use phishinghook_synth::{generate_corpus, CorpusConfig, Month};
+///
+/// let corpus = generate_corpus(&CorpusConfig::small(5));
+/// let chain = SimulatedChain::from_corpus(&corpus);
+/// let mut stream = ExtractionStream::new(&chain, Month::FIRST, Month::LAST);
+/// let first = stream.next().expect("non-empty corpus");
+/// assert!(first.label <= 1);
+/// assert_eq!(stream.stats().unique, 1); // counters advance incrementally
+/// ```
+pub struct ExtractionStream<'a> {
+    chain: &'a SimulatedChain,
+    explorer: Explorer<'a>,
+    rpc: RpcProvider<'a>,
+    addresses: Box<dyn Iterator<Item = Address> + 'a>,
+    seen: HashSet<Bytecode>,
+    stats: StreamStats,
+}
+
+impl std::fmt::Debug for ExtractionStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtractionStream")
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ExtractionStream<'a> {
+    /// Opens a scan cursor over `[from, to]` (inclusive).
+    pub fn new(chain: &'a SimulatedChain, from: Month, to: Month) -> Self {
+        ExtractionStream {
+            chain,
+            explorer: Explorer::new(chain),
+            rpc: RpcProvider::new(chain),
+            addresses: Box::new(QueryService::new(chain).stream_deployed_between(from, to)),
+            seen: HashSet::new(),
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Counters accumulated so far (final once the stream is drained).
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+}
+
+impl Iterator for ExtractionStream<'_> {
+    type Item = Sample;
+
+    fn next(&mut self) -> Option<Sample> {
+        loop {
+            let address = self.addresses.next()?;
+            self.stats.scanned += 1;
+            let is_flagged = self.explorer.is_flagged(&address);
+            if is_flagged {
+                self.stats.flagged += 1;
+            }
+            let Ok(bytecode) = self.rpc.eth_get_code(&address) else {
+                continue; // EOA or destroyed account: skip, as the paper must
+            };
+            if bytecode.is_empty() || !self.seen.insert(bytecode.clone()) {
+                continue;
+            }
+            self.stats.unique += 1;
+            let month = self
+                .chain
+                .record(&address)
+                .map(|r| r.month)
+                .unwrap_or(Month::FIRST);
+            return Some(Sample {
+                bytecode,
+                label: u8::from(is_flagged),
+                month,
+            });
+        }
+    }
+}
+
+/// Runs the full extraction pipeline against the three data services by
+/// draining an [`ExtractionStream`] and balancing the classes.
 ///
 /// Returns the final [`Dataset`] plus the [`BemReport`] counters.
 ///
@@ -71,40 +179,10 @@ pub struct BemReport {
 /// assert_eq!(dataset.len(), report.dataset);
 /// ```
 pub fn extract_dataset(chain: &SimulatedChain, config: &BemConfig) -> (Dataset, BemReport) {
-    let query = QueryService::new(chain);
-    let explorer = Explorer::new(chain);
-    let rpc = RpcProvider::new(chain);
-
-    let addresses = query.contracts_deployed_between(config.from, config.to);
-    let scanned = addresses.len();
-
-    // Scrape labels and pull bytecode, deduplicating bit-by-bit. The first
-    // deployment of a bytecode determines its month and label.
-    let mut seen: HashSet<Bytecode> = HashSet::new();
-    let mut samples: Vec<Sample> = Vec::new();
-    let mut flagged = 0usize;
-    for address in addresses {
-        let is_flagged = explorer.is_flagged(&address);
-        if is_flagged {
-            flagged += 1;
-        }
-        let Ok(bytecode) = rpc.eth_get_code(&address) else {
-            continue; // EOA or destroyed account: skip, as the paper must
-        };
-        if bytecode.is_empty() || !seen.insert(bytecode.clone()) {
-            continue;
-        }
-        let month = chain
-            .record(&address)
-            .map(|r| r.month)
-            .unwrap_or(Month::FIRST);
-        samples.push(Sample {
-            bytecode,
-            label: u8::from(is_flagged),
-            month,
-        });
-    }
-    let unique = samples.len();
+    let mut stream = ExtractionStream::new(chain, config.from, config.to);
+    let mut samples: Vec<Sample> = stream.by_ref().collect();
+    let stats = stream.stats();
+    let (scanned, flagged, unique) = (stats.scanned, stats.flagged, stats.unique);
 
     if config.balance {
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -186,6 +264,38 @@ mod tests {
             },
         );
         assert!(early.1.scanned < full.1.scanned);
+    }
+
+    #[test]
+    fn stream_agrees_with_batch_extraction() {
+        let chain = chain(23);
+        let mut stream = ExtractionStream::new(&chain, Month::FIRST, Month::LAST);
+        let streamed: Vec<Sample> = stream.by_ref().collect();
+        let stats = stream.stats();
+        let (dataset, report) = extract_dataset(
+            &chain,
+            &BemConfig {
+                balance: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(streamed, dataset.samples);
+        assert_eq!(stats.scanned, report.scanned);
+        assert_eq!(stats.flagged, report.flagged);
+        assert_eq!(stats.unique, report.unique);
+    }
+
+    #[test]
+    fn stream_stats_advance_incrementally() {
+        let chain = chain(29);
+        let mut stream = ExtractionStream::new(&chain, Month::FIRST, Month::LAST);
+        assert_eq!(stream.stats(), StreamStats::default());
+        let _first = stream.next().expect("non-empty corpus");
+        let mid = stream.stats();
+        assert_eq!(mid.unique, 1);
+        assert!(mid.scanned >= 1);
+        let _rest: Vec<Sample> = stream.by_ref().collect();
+        assert!(stream.stats().scanned > mid.scanned);
     }
 
     #[test]

@@ -69,9 +69,11 @@ impl Dataset {
         Dataset::new(indices.iter().map(|&i| self.samples[i].clone()).collect())
     }
 
-    /// Random stratified subsample of `fraction` of the data (the
-    /// scalability study's 1/3 and 2/3 splits).
-    pub fn fraction(&self, fraction: f64, seed: u64) -> Dataset {
+    /// Index set of a random stratified subsample of `fraction` of the data
+    /// (the scalability study's 1/3 and 2/3 splits), sorted ascending. The
+    /// index form lets a shared feature store slice the subsample without
+    /// materializing a new dataset.
+    pub fn fraction_indices(&self, fraction: f64, seed: u64) -> Vec<usize> {
         assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pos: Vec<usize> = Vec::new();
@@ -89,22 +91,35 @@ impl Dataset {
         neg.truncate((neg.len() as f64 * fraction).round() as usize);
         pos.extend(neg);
         pos.sort_unstable();
-        self.subset(&pos)
+        pos
     }
 
-    /// Stratified k-fold assignment: returns `folds` index sets with
+    /// Random stratified subsample of `fraction` of the data (the
+    /// scalability study's 1/3 and 2/3 splits).
+    pub fn fraction(&self, fraction: f64, seed: u64) -> Dataset {
+        self.subset(&self.fraction_indices(fraction, seed))
+    }
+
+    /// Stratified k-fold assignment restricted to an index subset: returns
+    /// `folds` sets of *global* indices drawn from `within`, with
     /// near-equal class balance. Deterministic given the seed.
     ///
     /// # Panics
     ///
-    /// Panics if `folds < 2` or exceeds the class sizes.
-    pub fn stratified_folds(&self, folds: usize, seed: u64) -> Vec<Vec<usize>> {
+    /// Panics if `folds < 2` or exceeds either class size within the
+    /// subset.
+    pub fn stratified_folds_of(
+        &self,
+        within: &[usize],
+        folds: usize,
+        seed: u64,
+    ) -> Vec<Vec<usize>> {
         assert!(folds >= 2, "need at least 2 folds");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pos: Vec<usize> = Vec::new();
         let mut neg: Vec<usize> = Vec::new();
-        for (i, s) in self.samples.iter().enumerate() {
-            if s.label == 1 {
+        for &i in within {
+            if self.samples[i].label == 1 {
                 pos.push(i);
             } else {
                 neg.push(i);
@@ -129,18 +144,43 @@ impl Dataset {
         out
     }
 
-    /// Train/test pair for fold `k` of a fold assignment.
-    pub fn fold_split(&self, folds: &[Vec<usize>], k: usize) -> (Dataset, Dataset) {
-        let test_idx = &folds[k];
-        let test_set: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
-        let train_idx: Vec<usize> = (0..self.len()).filter(|i| !test_set.contains(i)).collect();
-        (self.subset(&train_idx), self.subset(test_idx))
+    /// Stratified k-fold assignment over the whole dataset: returns `folds`
+    /// index sets with near-equal class balance. Deterministic given the
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `folds < 2` or exceeds the class sizes.
+    pub fn stratified_folds(&self, folds: usize, seed: u64) -> Vec<Vec<usize>> {
+        let all: Vec<usize> = (0..self.len()).collect();
+        self.stratified_folds_of(&all, folds, seed)
     }
 
-    /// The paper's time-resistance split: training set = contracts deployed
-    /// October 2023 – January 2024; nine monthly test sets, February –
-    /// October 2024 (Fig. 8).
-    pub fn temporal_split(&self) -> (Dataset, Vec<(Month, Dataset)>) {
+    /// Train/test index pair for fold `k` of a fold assignment: test = fold
+    /// `k`, train = the union of every other fold, both sorted ascending.
+    /// Works for assignments over the full dataset and over subsets alike.
+    pub fn fold_indices(folds: &[Vec<usize>], k: usize) -> (Vec<usize>, Vec<usize>) {
+        let test_idx = folds[k].clone();
+        let mut train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != k)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        train_idx.sort_unstable();
+        (train_idx, test_idx)
+    }
+
+    /// Train/test pair for fold `k` of a fold assignment.
+    pub fn fold_split(&self, folds: &[Vec<usize>], k: usize) -> (Dataset, Dataset) {
+        let (train_idx, test_idx) = Dataset::fold_indices(folds, k);
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Index form of the paper's time-resistance split (Fig. 8): training
+    /// indices (October 2023 – January 2024) plus nine monthly test index
+    /// sets (February – October 2024).
+    pub fn temporal_split_indices(&self) -> (Vec<usize>, Vec<(Month, Vec<usize>)>) {
         let train_idx: Vec<usize> = (0..self.len())
             .filter(|&i| self.samples[i].month.in_training_window())
             .collect();
@@ -149,9 +189,23 @@ impl Dataset {
             let idx: Vec<usize> = (0..self.len())
                 .filter(|&i| self.samples[i].month == m)
                 .collect();
-            tests.push((m, self.subset(&idx)));
+            tests.push((m, idx));
         }
-        (self.subset(&train_idx), tests)
+        (train_idx, tests)
+    }
+
+    /// The paper's time-resistance split: training set = contracts deployed
+    /// October 2023 – January 2024; nine monthly test sets, February –
+    /// October 2024 (Fig. 8).
+    pub fn temporal_split(&self) -> (Dataset, Vec<(Month, Dataset)>) {
+        let (train_idx, tests) = self.temporal_split_indices();
+        (
+            self.subset(&train_idx),
+            tests
+                .into_iter()
+                .map(|(m, idx)| (m, self.subset(&idx)))
+                .collect(),
+        )
     }
 
     /// Per-month sample counts (phishing, benign) over the study window.
@@ -256,5 +310,37 @@ mod tests {
     #[should_panic(expected = "need at least 2 folds")]
     fn one_fold_rejected() {
         toy_dataset(10).stratified_folds(1, 0);
+    }
+
+    #[test]
+    fn subset_folds_stay_within_the_subset() {
+        let d = toy_dataset(100);
+        let within = d.fraction_indices(0.5, 9);
+        assert_eq!(within.len(), 50);
+        assert!(within.windows(2).all(|w| w[0] < w[1]), "sorted indices");
+        let folds = d.stratified_folds_of(&within, 5, 1);
+        let covered: usize = folds.iter().map(Vec::len).sum();
+        assert_eq!(covered, within.len());
+        for f in &folds {
+            assert!(f.iter().all(|i| within.contains(i)));
+        }
+        // fold_indices partitions the subset, not the full dataset.
+        let (train, test) = Dataset::fold_indices(&folds, 2);
+        assert_eq!(train.len() + test.len(), within.len());
+        assert!(train.iter().all(|i| !test.contains(i)));
+    }
+
+    #[test]
+    fn index_and_dataset_splits_agree() {
+        let d = toy_dataset(60);
+        let folds = d.stratified_folds(3, 4);
+        let (train_idx, test_idx) = Dataset::fold_indices(&folds, 1);
+        let (train, test) = d.fold_split(&folds, 1);
+        assert_eq!(train, d.subset(&train_idx));
+        assert_eq!(test, d.subset(&test_idx));
+        let (t_idx, months) = d.temporal_split_indices();
+        let (t_set, month_sets) = d.temporal_split();
+        assert_eq!(t_set, d.subset(&t_idx));
+        assert_eq!(months.len(), month_sets.len());
     }
 }

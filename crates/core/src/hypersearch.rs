@@ -10,6 +10,8 @@
 //! space is discovered dynamically, exactly like Optuna's API. Two samplers
 //! are provided: grid (the paper's choice) and random.
 
+use crate::evalstore::EvalContext;
+use crate::mem::{cross_validate_on_with, ModelKind, TrialSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -191,8 +193,12 @@ impl Study {
         mut objective: impl FnMut(&mut Trial) -> f64,
     ) -> CompletedTrial {
         assert!(n_trials > 0, "need at least one trial");
+        // Snapshot the base index before the loop: `trials` grows as
+        // results are pushed, and a moving base would stride the grid
+        // cursor by two, skipping grid points.
+        let base = self.trials.len();
         for i in 0..n_trials {
-            let mut trial = Trial::new(self.sampler, self.trials.len() + i, self.seed);
+            let mut trial = Trial::new(self.sampler, base + i, self.seed);
             let value = objective(&mut trial);
             self.trials.push(CompletedTrial {
                 params: trial.values,
@@ -215,6 +221,57 @@ impl Study {
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
     }
+}
+
+/// Grid/random search over a model's *capacity* knobs (tree counts,
+/// boosting rounds, `k`, epochs) against a shared [`EvalContext`].
+///
+/// The paper runs its Optuna grid search with 10-fold cross-validation per
+/// configuration; re-featurizing per configuration would multiply the
+/// pipeline cost by the trial budget. Here every objective evaluation
+/// executes the same sharded `plan` through
+/// [`cross_validate_on_with`], so the entire search reuses one
+/// decode+featurize pass — only training budgets vary (feature geometry is
+/// fixed by the store; see [`evaluate_trial_with`]'s contract).
+///
+/// Returns the best completed trial by mean cross-validated accuracy.
+///
+/// [`cross_validate_on_with`]: crate::mem::cross_validate_on_with
+/// [`evaluate_trial_with`]: crate::mem::evaluate_trial_with
+pub fn tune_model(
+    ctx: &EvalContext,
+    kind: ModelKind,
+    plan: &[TrialSpec],
+    sampler: Sampler,
+    n_trials: usize,
+    seed: u64,
+) -> CompletedTrial {
+    let mut study = Study::new(sampler, seed);
+    study.optimize(n_trials, |trial| {
+        let mut profile = *ctx.profile();
+        // Suggest only the knobs the model actually reads: declaring
+        // irrelevant dimensions would blow up the grid cardinality and let
+        // a small budget never reach the knob that matters.
+        match kind {
+            ModelKind::RandomForest => {
+                profile.n_trees = trial.suggest_int("n_trees", 20, 120) as usize;
+            }
+            ModelKind::Xgboost | ModelKind::Lightgbm | ModelKind::Catboost => {
+                profile.boost_rounds = trial.suggest_int("boost_rounds", 10, 60) as usize;
+            }
+            ModelKind::Knn => {
+                profile.knn_k = trial.suggest_int("knn_k", 3, 9) as usize;
+            }
+            ModelKind::Svm | ModelKind::LogisticRegression => {
+                profile.linear_epochs = trial.suggest_int("linear_epochs", 100, 600) as usize;
+            }
+            _ => {
+                profile.nn_epochs = trial.suggest_int("nn_epochs", 2, 6) as usize;
+            }
+        }
+        let trials = cross_validate_on_with(ctx, kind, plan, &profile);
+        trials.iter().map(|t| t.metrics.accuracy).sum::<f64>() / trials.len().max(1) as f64
+    })
 }
 
 #[cfg(test)]
@@ -274,5 +331,22 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_rejected() {
         Study::new(Sampler::Random, 0).optimize(0, |_| 0.0);
+    }
+
+    #[test]
+    fn tune_model_reuses_the_store() {
+        use crate::bem::{extract_dataset, BemConfig};
+        use crate::mem::{trial_plan, EvalProfile};
+        use phishinghook_chain::SimulatedChain;
+        use phishinghook_synth::{generate_corpus, CorpusConfig};
+
+        let corpus = generate_corpus(&CorpusConfig::small(17));
+        let chain = SimulatedChain::from_corpus(&corpus);
+        let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
+        let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+        let plan = trial_plan(&dataset, 2, 1, 9);
+        let best = tune_model(&ctx, ModelKind::Knn, &plan, Sampler::Random, 3, 1);
+        assert!((0.0..=1.0).contains(&best.value));
+        assert!(best.params.contains_key("knn_k"));
     }
 }

@@ -46,6 +46,7 @@
 
 pub mod bem;
 pub mod dataset;
+pub mod evalstore;
 pub mod hypersearch;
 pub mod mem;
 pub mod metrics;
@@ -56,31 +57,40 @@ pub mod scalability;
 pub mod shap_analysis;
 pub mod time_resistance;
 
-pub use bem::{extract_dataset, BemConfig, BemReport};
+pub use bem::{extract_dataset, BemConfig, BemReport, ExtractionStream, StreamStats};
 pub use dataset::{Dataset, Sample};
+pub use evalstore::EvalContext;
 pub use mem::{
-    cross_validate, train_and_evaluate, EvalProfile, ModelCategory, ModelKind, TrialOutcome,
+    cross_validate, cross_validate_on, cross_validate_on_with, evaluate_models, evaluate_trial,
+    evaluate_trial_with, train_and_evaluate, trial_plan, EvalProfile, ModelCategory, ModelKind,
+    TrialOutcome, TrialSpec,
 };
 pub use metrics::{Confusion, Metrics, METRIC_NAMES};
-pub use pam::{posthoc_analysis, PosthocReport};
-pub use scalability::{run_scalability, ScalabilityStudy, SCALABILITY_MODELS, SPLIT_RATIOS};
+pub use pam::{posthoc_analysis, posthoc_over, PosthocReport};
+pub use scalability::{
+    run_scalability, run_scalability_on, ScalabilityStudy, SCALABILITY_MODELS, SPLIT_RATIOS,
+};
 pub use shap_analysis::{shap_analysis, ShapAnalysis};
-pub use time_resistance::{run_time_resistance, TimeResistance};
+pub use time_resistance::{run_time_resistance, run_time_resistance_on, TimeResistance};
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
-    pub use crate::bem::{extract_dataset, BemConfig, BemReport};
+    pub use crate::bem::{extract_dataset, BemConfig, BemReport, ExtractionStream};
     pub use crate::dataset::{Dataset, Sample};
-    pub use crate::hypersearch::{Sampler, Study};
+    pub use crate::evalstore::EvalContext;
+    pub use crate::hypersearch::{tune_model, Sampler, Study};
     pub use crate::mem::{
-        cross_validate, train_and_evaluate, EvalProfile, ModelCategory, ModelKind, TrialOutcome,
+        cross_validate, cross_validate_on, evaluate_models, evaluate_trial, train_and_evaluate,
+        trial_plan, EvalProfile, ModelCategory, ModelKind, TrialOutcome, TrialSpec,
     };
     pub use crate::metrics::{Metrics, METRIC_NAMES};
     pub use crate::opcode_stats::{opcode_usage, FIG3_OPCODES};
-    pub use crate::pam::posthoc_analysis;
-    pub use crate::scalability::{run_scalability, SCALABILITY_MODELS, SPLIT_RATIOS};
+    pub use crate::pam::{posthoc_analysis, posthoc_over};
+    pub use crate::scalability::{
+        run_scalability, run_scalability_on, SCALABILITY_MODELS, SPLIT_RATIOS,
+    };
     pub use crate::shap_analysis::shap_analysis;
-    pub use crate::time_resistance::run_time_resistance;
+    pub use crate::time_resistance::{run_time_resistance, run_time_resistance_on};
     pub use phishinghook_chain::{Explorer, QueryService, RpcProvider, SimulatedChain};
     pub use phishinghook_evm::{disassemble_bytecode, Bytecode};
     pub use phishinghook_synth::{generate_corpus, CorpusConfig, Month};

@@ -2,16 +2,20 @@
 //! models of Table II on a dataset, with the paper's 10-fold × 3-run
 //! cross-validation protocol and the training/inference timing used by the
 //! cost analysis (Fig. 7).
+//!
+//! The module is built on the decode-once
+//! [`EvalContext`](crate::evalstore::EvalContext): a dataset is disassembled
+//! and featurized exactly once, every (model, run, fold) trial gathers
+//! pre-featurized row slices from the shared
+//! [`FeatureStore`](phishinghook_features::FeatureStore), and the trial
+//! matrix itself is sharded across the worker pool with per-trial seeds
+//! fixed up front — parallel results are bit-identical to the sequential
+//! trial order.
 
 use crate::dataset::Dataset;
+use crate::evalstore::{store_config, EvalContext};
 use crate::metrics::Metrics;
 use crate::par::parallel_map;
-use phishinghook_evm::opcodes::op;
-use phishinghook_evm::DisasmCache;
-use phishinghook_features::{
-    BigramEncoder, EscortEmbedder, FreqImageEncoder, HistogramEncoder, OpcodeTokenizer,
-    R2d2Encoder, SequenceVariant,
-};
 use phishinghook_linalg::Matrix;
 use phishinghook_ml::forest::ForestParams;
 use phishinghook_ml::gbdt::BoostParams;
@@ -256,10 +260,6 @@ pub struct TrialOutcome {
     pub infer_seconds: f64,
 }
 
-fn to_matrix(rows: Vec<Vec<f32>>) -> Matrix {
-    Matrix::from_rows(&rows)
-}
-
 fn eval_classifier(
     model: &mut dyn Classifier,
     x_train: &Matrix,
@@ -280,21 +280,13 @@ fn eval_classifier(
     }
 }
 
-/// Structural "vulnerability" pseudo-labels for ESCORT's pre-training phase:
-/// code-flaw-style predicates (dangerous opcodes, block-state dependence,
-/// code size) that a VDM trunk would learn — mostly orthogonal to phishing.
-/// Reads the shared [`DisasmCache`] — no re-disassembly.
-fn vulnerability_labels(cache: &DisasmCache) -> Vec<u8> {
-    let has = |byte: u8| cache.op_ids().any(|id| id.byte() == byte && id.is_known());
-    vec![
-        u8::from(has(op::SELFDESTRUCT)),
-        u8::from(has(op::DELEGATECALL)),
-        u8::from(has(op::TIMESTAMP)),
-        u8::from(cache.bytes().len() > 900),
-    ]
-}
-
 /// Trains `kind` on `train` and evaluates on `test`, timing both phases.
+///
+/// Convenience wrapper over the store path: builds a one-shot
+/// [`EvalContext`] over `train` ⧺ `test` (bytecode is refcounted, so the
+/// concatenation is cheap) and runs a single trial on the index split.
+/// Repeated trials over the same data should build the context once and
+/// call [`evaluate_trial`] directly.
 ///
 /// # Panics
 ///
@@ -308,19 +300,73 @@ pub fn train_and_evaluate(
     seed: u64,
 ) -> TrialOutcome {
     assert!(!train.is_empty() && !test.is_empty(), "empty split");
-    let y_train = train.labels();
-    let y_test = test.labels();
-    // Single-pass featurization: decode each contract exactly once, in
-    // parallel across the worker pool, and feed every encoder from the
-    // shared caches.
-    let train_caches = train.disasm_batch();
-    let test_caches = test.disasm_batch();
+    let mut samples = train.samples.clone();
+    samples.extend(test.samples.iter().cloned());
+    let joint = Dataset::new(samples);
+    let ctx = EvalContext::new(&joint, profile);
+    let train_idx: Vec<usize> = (0..train.len()).collect();
+    let test_idx: Vec<usize> = (train.len()..joint.len()).collect();
+    evaluate_trial(&ctx, kind, &train_idx, &test_idx, seed)
+}
+
+/// Runs one (model, fold) trial against a shared [`EvalContext`]: gathers
+/// the pre-featurized train/test rows by index, trains `kind`, and times
+/// both phases. No disassembly or featurization happens here.
+///
+/// # Panics
+///
+/// Panics on an empty train or test index slice.
+pub fn evaluate_trial(
+    ctx: &EvalContext,
+    kind: ModelKind,
+    train_idx: &[usize],
+    test_idx: &[usize],
+    seed: u64,
+) -> TrialOutcome {
+    evaluate_trial_with(ctx, kind, train_idx, test_idx, ctx.profile(), seed)
+}
+
+/// [`evaluate_trial`] with model-capacity knobs overridden: `profile` may
+/// change training budgets (tree counts, boosting rounds, epochs, `k`) but
+/// must agree with the context's store on feature geometry — the store is
+/// immutable, so image sides, context lengths and vocabulary caps are fixed
+/// at [`EvalContext::new`] time. This is the hyper-parameter-search entry
+/// point: one store, many capacity configurations.
+///
+/// # Panics
+///
+/// Panics on an empty index slice or a feature-geometry mismatch.
+pub fn evaluate_trial_with(
+    ctx: &EvalContext,
+    kind: ModelKind,
+    train_idx: &[usize],
+    test_idx: &[usize],
+    profile: &EvalProfile,
+    seed: u64,
+) -> TrialOutcome {
+    assert!(!train_idx.is_empty() && !test_idx.is_empty(), "empty split");
+    assert_eq!(
+        store_config(profile),
+        store_config(ctx.profile()),
+        "profile feature geometry must match the context's store"
+    );
+    let y_train = ctx.gather_labels(train_idx);
+    let y_test = ctx.gather_labels(test_idx);
+    let store = ctx.store();
 
     match kind.category() {
         ModelCategory::Histogram => {
-            let encoder = HistogramEncoder::fit(&train_caches);
-            let x_train = to_matrix(parallel_map(&train_caches, |c| encoder.encode(c)));
-            let x_test = to_matrix(parallel_map(&test_caches, |c| encoder.encode(c)));
+            let width = store.histogram_width();
+            let x_train = Matrix::from_vec(
+                train_idx.len(),
+                width,
+                store.histogram().gather_dense_flat(train_idx),
+            );
+            let x_test = Matrix::from_vec(
+                test_idx.len(),
+                width,
+                store.histogram().gather_dense_flat(test_idx),
+            );
             let mut model: Box<dyn Classifier> = match kind {
                 ModelKind::RandomForest => Box::new(RandomForest::with_params(
                     ForestParams {
@@ -362,22 +408,12 @@ pub fn train_and_evaluate(
             eval_classifier(model.as_mut(), &x_train, &y_train, &x_test, &y_test)
         }
         ModelCategory::Vision => {
-            let (x_train, x_test): (Vec<Vec<f32>>, Vec<Vec<f32>>) = match kind {
-                ModelKind::VitFreq => {
-                    let enc = FreqImageEncoder::fit(&train_caches, profile.image_side);
-                    (
-                        parallel_map(&train_caches, |c| enc.encode(c)),
-                        parallel_map(&test_caches, |c| enc.encode(c)),
-                    )
-                }
-                _ => {
-                    let enc = R2d2Encoder::new(profile.image_side);
-                    (
-                        parallel_map(&train_caches, |c| enc.encode(c)),
-                        parallel_map(&test_caches, |c| enc.encode(c)),
-                    )
-                }
+            let images = match kind {
+                ModelKind::VitFreq => store.freq_image(),
+                _ => store.r2d2(),
             };
+            let x_train = images.gather_dense(train_idx);
+            let x_test = images.gather_dense(test_idx);
             let train_cfg = TrainConfig {
                 epochs: profile.nn_epochs,
                 learning_rate: 0.02,
@@ -426,12 +462,10 @@ pub fn train_and_evaluate(
                 seed,
             };
             if kind == ModelKind::ScsGuard {
-                let enc =
-                    BigramEncoder::fit(&train_caches, profile.bigram_vocab, profile.bigram_len);
-                let x_train: Vec<Vec<u32>> = parallel_map(&train_caches, |c| enc.encode(c));
-                let x_test: Vec<Vec<u32>> = parallel_map(&test_caches, |c| enc.encode(c));
+                let x_train = store.bigram().gather_ids(train_idx);
+                let x_test = store.bigram().gather_ids(test_idx);
                 let mut model = ScsGuard::new(ScsGuardConfig {
-                    vocab: enc.vocab_size(),
+                    vocab: store.bigram_vocab_size(),
                     train: train_cfg,
                     ..ScsGuardConfig::default()
                 });
@@ -443,18 +477,16 @@ pub fn train_and_evaluate(
                 let infer_seconds = t1.elapsed().as_secs_f64();
                 return outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds);
             }
-            let variant = match kind {
-                ModelKind::Gpt2Beta | ModelKind::T5Beta => SequenceVariant::SlidingWindow,
-                _ => SequenceVariant::Truncate,
+            let tokens = match kind {
+                ModelKind::Gpt2Beta | ModelKind::T5Beta => store.tokens_windows(),
+                _ => store.tokens_truncate(),
             };
-            let tok = OpcodeTokenizer::new(profile.context);
-            let x_train: Vec<Vec<Vec<u32>>> =
-                parallel_map(&train_caches, |c| tok.encode(c, variant));
-            let x_test: Vec<Vec<Vec<u32>>> = parallel_map(&test_caches, |c| tok.encode(c, variant));
+            let x_train = tokens.gather_windows(train_idx);
+            let x_test = tokens.gather_windows(test_idx);
             match kind {
                 ModelKind::Gpt2Alpha | ModelKind::Gpt2Beta => {
                     let mut model = Gpt2Classifier::new(Gpt2Config {
-                        vocab: tok.vocab_size(),
+                        vocab: store.token_vocab_size(),
                         context: profile.context,
                         dim: profile.nn_dim,
                         heads: 4,
@@ -472,7 +504,7 @@ pub fn train_and_evaluate(
                 }
                 _ => {
                     let mut model = T5Classifier::new(T5Config {
-                        vocab: tok.vocab_size(),
+                        vocab: store.token_vocab_size(),
                         context: profile.context,
                         dim: profile.nn_dim,
                         heads: 4,
@@ -491,10 +523,9 @@ pub fn train_and_evaluate(
             }
         }
         ModelCategory::Vulnerability => {
-            let embedder = EscortEmbedder::new(profile.escort_dim);
-            let x_train: Vec<Vec<f32>> = parallel_map(&train_caches, |c| embedder.encode(c));
-            let x_test: Vec<Vec<f32>> = parallel_map(&test_caches, |c| embedder.encode(c));
-            let vuln: Vec<Vec<u8>> = train_caches.iter().map(vulnerability_labels).collect();
+            let x_train = store.escort().gather_dense(train_idx);
+            let x_test = store.escort().gather_dense(test_idx);
+            let vuln = ctx.gather_vuln(train_idx);
             let mut model = EscortNet::new(EscortConfig {
                 input_dim: profile.escort_dim,
                 train: TrainConfig {
@@ -531,8 +562,102 @@ fn outcome_from_probs(
     }
 }
 
+/// One scheduled (run, fold) trial of the cross-validation matrix: the
+/// index split plus the RNG seed fixed at planning time, so trials can be
+/// executed in any order (or in parallel) without changing results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialSpec {
+    /// Zero-based repetition index.
+    pub run: usize,
+    /// Zero-based fold index within the run.
+    pub fold: usize,
+    /// The trial's model seed, derived from (study seed, run, fold).
+    pub seed: u64,
+    /// Training sample indices.
+    pub train_idx: Vec<usize>,
+    /// Held-out sample indices.
+    pub test_idx: Vec<usize>,
+}
+
+/// Plans the paper's protocol — `runs` repetitions of stratified
+/// `folds`-fold cross-validation — as a flat trial list in (run, fold)
+/// order. All randomness (fold assignment, per-trial seeds) is resolved
+/// here, which is what makes the trial matrix shardable.
+pub fn trial_plan(data: &Dataset, folds: usize, runs: usize, seed: u64) -> Vec<TrialSpec> {
+    let mut plan = Vec::with_capacity(folds * runs);
+    for run in 0..runs {
+        let run_seed = seed ^ (run as u64).wrapping_mul(0x9E37_79B9);
+        let assignment = data.stratified_folds(folds, run_seed);
+        for k in 0..folds {
+            let (train_idx, test_idx) = Dataset::fold_indices(&assignment, k);
+            plan.push(TrialSpec {
+                run,
+                fold: k,
+                seed: run_seed ^ k as u64,
+                train_idx,
+                test_idx,
+            });
+        }
+    }
+    plan
+}
+
+/// Executes a trial plan for one model against a shared [`EvalContext`],
+/// sharding the trials across the worker pool. Output order matches plan
+/// order and *metrics* are bit-identical to executing the plan
+/// sequentially: every trial's seed and split were fixed at planning time,
+/// and the pool concatenates shard results in input order. The wall-clock
+/// `train_seconds`/`infer_seconds` fields are measured while sibling
+/// trials share the cores — use a sequential executor (the scalability
+/// study does) when timings are the deliverable.
+pub fn cross_validate_on(
+    ctx: &EvalContext,
+    kind: ModelKind,
+    plan: &[TrialSpec],
+) -> Vec<TrialOutcome> {
+    cross_validate_on_with(ctx, kind, plan, ctx.profile())
+}
+
+/// [`cross_validate_on`] with model-capacity knobs overridden (see
+/// [`evaluate_trial_with`] for the geometry contract).
+pub fn cross_validate_on_with(
+    ctx: &EvalContext,
+    kind: ModelKind,
+    plan: &[TrialSpec],
+    profile: &EvalProfile,
+) -> Vec<TrialOutcome> {
+    parallel_map(plan, |spec| {
+        evaluate_trial_with(
+            ctx,
+            kind,
+            &spec.train_idx,
+            &spec.test_idx,
+            profile,
+            spec.seed,
+        )
+    })
+}
+
+/// Executes one shared trial plan for several models over one context —
+/// the shape Table II/III and the PAM consume. The dataset is decoded and
+/// featurized exactly once for the entire model zoo.
+pub fn evaluate_models(
+    ctx: &EvalContext,
+    models: &[ModelKind],
+    plan: &[TrialSpec],
+) -> Vec<(ModelKind, Vec<TrialOutcome>)> {
+    models
+        .iter()
+        .map(|&kind| (kind, cross_validate_on(ctx, kind, plan)))
+        .collect()
+}
+
 /// The paper's protocol: `runs` repetitions of stratified `folds`-fold
 /// cross-validation (§IV-D uses 10 folds × 3 runs = 30 trials per model).
+///
+/// Builds a one-shot [`EvalContext`] (a single decode+featurize pass) and
+/// runs the sharded plan over it. Multi-model studies should build the
+/// context once and call [`cross_validate_on`] / [`evaluate_models`].
 pub fn cross_validate(
     kind: ModelKind,
     data: &Dataset,
@@ -541,22 +666,8 @@ pub fn cross_validate(
     profile: &EvalProfile,
     seed: u64,
 ) -> Vec<TrialOutcome> {
-    let mut out = Vec::with_capacity(folds * runs);
-    for run in 0..runs {
-        let run_seed = seed ^ (run as u64).wrapping_mul(0x9E37_79B9);
-        let assignment = data.stratified_folds(folds, run_seed);
-        for k in 0..folds {
-            let (train, test) = data.fold_split(&assignment, k);
-            out.push(train_and_evaluate(
-                kind,
-                &train,
-                &test,
-                profile,
-                run_seed ^ k as u64,
-            ));
-        }
-    }
-    out
+    let ctx = EvalContext::new(data, profile);
+    cross_validate_on(&ctx, kind, &trial_plan(data, folds, runs, seed))
 }
 
 #[cfg(test)]
@@ -619,10 +730,27 @@ mod tests {
     }
 
     #[test]
-    fn vulnerability_labels_are_structural() {
-        let code = phishinghook_evm::Bytecode::new(vec![0xFF]); // SELFDESTRUCT
-        let labels = vulnerability_labels(&DisasmCache::build(&code));
-        assert_eq!(labels[0], 1);
-        assert_eq!(labels[1], 0);
+    fn trial_plan_is_deterministic_and_partitions() {
+        let data = small_dataset();
+        let plan = trial_plan(&data, 3, 2, 7);
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan, trial_plan(&data, 3, 2, 7));
+        for spec in &plan {
+            assert_eq!(spec.train_idx.len() + spec.test_idx.len(), data.len());
+            assert!(spec.train_idx.iter().all(|i| !spec.test_idx.contains(i)));
+        }
+        // Seeds differ across folds and runs.
+        let seeds: std::collections::HashSet<u64> = plan.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), plan.len());
+    }
+
+    #[test]
+    fn evaluate_models_shares_one_context() {
+        let data = small_dataset();
+        let ctx = EvalContext::new(&data, &EvalProfile::quick());
+        let plan = trial_plan(&data, 3, 1, 2);
+        let results = evaluate_models(&ctx, &[ModelKind::Knn, ModelKind::Svm], &plan);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|(_, trials)| trials.len() == 3));
     }
 }

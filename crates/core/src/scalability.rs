@@ -4,7 +4,8 @@
 //! difference diagram of Fig. 6 and the time curves of Fig. 7.
 
 use crate::dataset::Dataset;
-use crate::mem::{train_and_evaluate, EvalProfile, ModelKind, TrialOutcome};
+use crate::evalstore::EvalContext;
+use crate::mem::{evaluate_trial, EvalProfile, ModelKind, TrialOutcome};
 use crate::metrics::METRIC_NAMES;
 use phishinghook_stats::cdd::{critical_difference, CriticalDifference};
 use phishinghook_stats::cliffs::cliffs_delta;
@@ -115,35 +116,67 @@ impl ScalabilityStudy {
     }
 }
 
-/// Runs the study: for each split ratio, a stratified subsample is drawn and
-/// each model is evaluated on `folds` train/test folds of it.
+/// Runs the study over a one-shot context; see [`run_scalability_on`].
 pub fn run_scalability(
     data: &Dataset,
     folds: usize,
     profile: &EvalProfile,
     seed: u64,
 ) -> ScalabilityStudy {
-    let mut cells = Vec::new();
+    run_scalability_on(&EvalContext::new(data, profile), data, folds, seed)
+}
+
+/// Runs the study against a shared [`EvalContext`]: every split ratio is an
+/// index subsample of the same store, so the nine (model, ratio) cells and
+/// all their folds reuse one decode+featurize pass.
+///
+/// Unlike the CV engine, the cells execute **sequentially**: this study's
+/// `train_seconds`/`infer_seconds` feed the Fig. 7 cost curves, and timing
+/// trials while siblings compete for the same cores would inflate every
+/// number by contention. The decode-once store is still the speedup — the
+/// featurization work the old per-trial loop repeated per cell is gone.
+pub fn run_scalability_on(
+    ctx: &EvalContext,
+    data: &Dataset,
+    folds: usize,
+    seed: u64,
+) -> ScalabilityStudy {
+    assert_eq!(ctx.len(), data.len(), "context/dataset misaligned");
+    struct CellSpec {
+        model: ModelKind,
+        ratio: f64,
+        train_idx: Vec<usize>,
+        test_idx: Vec<usize>,
+        seed: u64,
+    }
+
+    let folds = folds.max(2);
+    let mut specs: Vec<CellSpec> = Vec::new();
     for (ri, &ratio) in SPLIT_RATIOS.iter().enumerate() {
-        let subset = data.fraction(ratio, seed ^ ri as u64);
-        let assignment = subset.stratified_folds(folds.max(2), seed);
+        let within = data.fraction_indices(ratio, seed ^ ri as u64);
+        let assignment = data.stratified_folds_of(&within, folds, seed);
         for model in SCALABILITY_MODELS {
-            for k in 0..folds.max(2).min(assignment.len()) {
-                let (train, test) = subset.fold_split(&assignment, k);
-                let outcome =
-                    train_and_evaluate(model, &train, &test, profile, seed ^ (k as u64) << 8);
-                cells.push(ScalabilityCell {
+            for k in 0..folds.min(assignment.len()) {
+                let (train_idx, test_idx) = Dataset::fold_indices(&assignment, k);
+                specs.push(CellSpec {
                     model,
                     ratio,
-                    outcome,
+                    train_idx,
+                    test_idx,
+                    seed: seed ^ ((k as u64) << 8),
                 });
             }
         }
     }
-    ScalabilityStudy {
-        cells,
-        folds: folds.max(2),
-    }
+    let cells = specs
+        .iter()
+        .map(|spec| ScalabilityCell {
+            model: spec.model,
+            ratio: spec.ratio,
+            outcome: evaluate_trial(ctx, spec.model, &spec.train_idx, &spec.test_idx, spec.seed),
+        })
+        .collect();
+    ScalabilityStudy { cells, folds }
 }
 
 #[cfg(test)]

@@ -4,8 +4,10 @@
 //! robustness is summarized by the Area Under Time of the phishing-class F1.
 
 use crate::dataset::Dataset;
-use crate::mem::{train_and_evaluate, EvalProfile, ModelKind};
+use crate::evalstore::EvalContext;
+use crate::mem::{evaluate_trial, EvalProfile, ModelKind};
 use crate::metrics::Metrics;
+use crate::par::parallel_map;
 use phishinghook_stats::aut::area_under_time;
 use phishinghook_synth::Month;
 
@@ -46,27 +48,54 @@ pub fn run_time_resistance(
     profile: &EvalProfile,
     seed: u64,
 ) -> TimeResistance {
-    let (train, tests) = data.temporal_split();
-    assert!(!train.is_empty(), "empty temporal training window");
+    // Fit the encoder lookup tables on the temporal training window only:
+    // a TESSERACT-style study must not let vocabularies or frequency
+    // tables see future months, or the drift it measures is erased.
+    let (train_idx, _) = data.temporal_split_indices();
+    let ctx = EvalContext::fitted_on(data, profile, &train_idx);
+    run_time_resistance_on(&ctx, model, data, seed)
+}
+
+/// [`run_time_resistance`] against a shared [`EvalContext`]: the training
+/// window and all nine monthly test sets are index slices of the same
+/// store, and the monthly trials are sharded across the worker pool.
+///
+/// The context must cover `data` index-for-index and should be built with
+/// [`EvalContext::fitted_on`] over the temporal training window (as
+/// [`run_time_resistance`] does) to keep future months out of the fitted
+/// lookup tables.
+pub fn run_time_resistance_on(
+    ctx: &EvalContext,
+    model: ModelKind,
+    data: &Dataset,
+    seed: u64,
+) -> TimeResistance {
+    assert_eq!(ctx.len(), data.len(), "context/dataset misaligned");
+    let (train_idx, tests) = data.temporal_split_indices();
+    assert!(!train_idx.is_empty(), "empty temporal training window");
+    let train_pos = ctx.positives_in(&train_idx);
     assert!(
-        train.positives() > 0 && train.positives() < train.len(),
+        train_pos > 0 && train_pos < train_idx.len(),
         "single-class temporal training window"
     );
 
-    let mut monthly = Vec::new();
-    for (month, test) in tests {
-        if test.is_empty() || test.positives() == 0 || test.positives() == test.len() {
+    let specs: Vec<(Month, Vec<usize>)> = tests
+        .into_iter()
+        .filter(|(_, idx)| {
             // Degenerate month: the paper's corpus guarantees both classes
             // per month; small synthetic corpora may not. Skip.
-            continue;
-        }
-        let outcome = train_and_evaluate(model, &train, &test, profile, seed);
-        monthly.push(MonthlyResult {
-            month,
+            let pos = ctx.positives_in(idx);
+            !idx.is_empty() && pos > 0 && pos < idx.len()
+        })
+        .collect();
+    let monthly = parallel_map(&specs, |(month, idx)| {
+        let outcome = evaluate_trial(ctx, model, &train_idx, idx, seed);
+        MonthlyResult {
+            month: *month,
             period: month.test_period().expect("test month"),
             metrics: outcome.metrics,
-        });
-    }
+        }
+    });
     let f1_series: Vec<f64> = monthly.iter().map(|m| m.metrics.f1).collect();
     let aut_f1 = if f1_series.is_empty() {
         0.0

@@ -28,12 +28,14 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bytecode;
 pub mod cache;
 pub mod disasm;
 pub mod opcodes;
 pub mod opid;
 
+pub use batch::CacheBatch;
 pub use bytecode::{Bytecode, ParseBytecodeError};
 pub use cache::{decode_count, DisasmCache};
 pub use disasm::{

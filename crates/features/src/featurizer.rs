@@ -35,6 +35,44 @@ pub enum FeatureVec {
     Windows(Vec<Vec<u32>>),
 }
 
+/// A borrowed view of one sample's features inside a column store — the
+/// zero-copy counterpart of [`FeatureVec`] that
+/// [`FeatureMatrix::row`](crate::store::FeatureMatrix::row) hands out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeatureRow<'a> {
+    /// Dense real-valued row.
+    Dense(&'a [f32]),
+    /// Fixed-length id row.
+    Ids(&'a [u32]),
+    /// Per-sample window list.
+    Windows(&'a [Vec<u32>]),
+}
+
+impl FeatureRow<'_> {
+    /// Total scalar count across the representation.
+    pub fn len(&self) -> usize {
+        match self {
+            FeatureRow::Dense(v) => v.len(),
+            FeatureRow::Ids(v) => v.len(),
+            FeatureRow::Windows(w) => w.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// `true` when the view holds no scalars.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clones the view into an owned [`FeatureVec`].
+    pub fn to_owned_vec(&self) -> FeatureVec {
+        match self {
+            FeatureRow::Dense(v) => FeatureVec::Dense(v.to_vec()),
+            FeatureRow::Ids(v) => FeatureVec::Ids(v.to_vec()),
+            FeatureRow::Windows(w) => FeatureVec::Windows(w.to_vec()),
+        }
+    }
+}
+
 impl FeatureVec {
     /// Total scalar count across the representation.
     pub fn len(&self) -> usize {
@@ -71,6 +109,15 @@ impl FeatureVec {
         match self {
             FeatureVec::Windows(w) => Some(w),
             _ => None,
+        }
+    }
+
+    /// Borrowed view of this vector.
+    pub fn as_row(&self) -> FeatureRow<'_> {
+        match self {
+            FeatureVec::Dense(v) => FeatureRow::Dense(v),
+            FeatureVec::Ids(v) => FeatureRow::Ids(v),
+            FeatureVec::Windows(w) => FeatureRow::Windows(w),
         }
     }
 }

@@ -24,6 +24,11 @@
 //! Opcode-level encoders index dense tables by interned
 //! [`OpId`](phishinghook_evm::OpId) rather than hashing mnemonic strings,
 //! so the hot path allocates nothing beyond its output vector.
+//!
+//! On top of the per-contract protocol, [`store::FeatureStore`] packs every
+//! encoding of a whole dataset into fold-sliceable [`store::FeatureMatrix`]
+//! column stores, so repeated cross-validation trials gather pre-featurized
+//! rows instead of re-running the encoders.
 
 #![warn(missing_docs)]
 
@@ -33,14 +38,16 @@ pub mod featurizer;
 pub mod freq_image;
 pub mod histogram;
 pub mod image;
+pub mod store;
 pub mod tokens;
 
 pub use bigram::BigramEncoder;
 pub use escort::EscortEmbedder;
-pub use featurizer::{FeatureVec, Featurizer};
+pub use featurizer::{FeatureRow, FeatureVec, Featurizer};
 pub use freq_image::FreqImageEncoder;
 pub use histogram::HistogramEncoder;
 pub use image::R2d2Encoder;
+pub use store::{BatchExecutor, FeatureMatrix, FeatureStore, SequentialExecutor, StoreConfig};
 pub use tokens::{OpcodeTokenizer, SequenceVariant};
 
 // NOTE: the six-encoders-one-decode acceptance test lives in the

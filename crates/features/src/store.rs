@@ -1,0 +1,563 @@
+//! Decode-once feature store: every encoding of every contract, built
+//! exactly once per dataset and sliced by sample index thereafter.
+//!
+//! The paper's model-evaluation matrix cross-validates six feature
+//! encodings against sixteen models over 10 folds × 3 runs; featurizing
+//! inside the trial loop multiplies the encoding cost by the trial count.
+//! [`FeatureStore::build`] runs the whole featurization pipeline **once**:
+//! each encoder is fitted on the dataset's shared
+//! [`DisasmCache`]s and its outputs are packed into per-encoding
+//! [`FeatureMatrix`] column stores. A (model, run, fold) trial then
+//! *gathers* rows by index — a memcpy, never a re-decode or re-encode.
+//!
+//! Lookup tables (histogram vocabulary, bigram vocabulary, per-instruction
+//! frequencies) are fitted on the full dataset rather than per training
+//! fold, mirroring the paper's "exactly once on the entire contract
+//! training set" construction; fold slicing only selects rows, so every
+//! trial sees a consistent feature geometry.
+//!
+//! # Examples
+//!
+//! ```
+//! use phishinghook_evm::{Bytecode, DisasmCache};
+//! use phishinghook_features::store::{FeatureStore, StoreConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let caches = vec![
+//!     DisasmCache::build(&Bytecode::from_hex("0x6080604052")?),
+//!     DisasmCache::build(&Bytecode::from_hex("0x60016002016000f3")?),
+//! ];
+//! let store = FeatureStore::build(&caches, &StoreConfig::default());
+//! assert_eq!(store.len(), 2);
+//! // One histogram row per contract, fixed width across the dataset.
+//! assert_eq!(store.histogram().rows(), 2);
+//! let row = store.histogram().dense_row(0);
+//! assert_eq!(row.len(), store.histogram_width());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::bigram::BigramEncoder;
+use crate::escort::EscortEmbedder;
+use crate::featurizer::{FeatureRow, FeatureVec};
+use crate::freq_image::FreqImageEncoder;
+use crate::histogram::HistogramEncoder;
+use crate::image::R2d2Encoder;
+use crate::tokens::{OpcodeTokenizer, SequenceVariant};
+use phishinghook_evm::DisasmCache;
+
+/// Geometry knobs of the six encoders (the feature-relevant subset of the
+/// evaluation profile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Image side for both vision encoders.
+    pub image_side: usize,
+    /// Language-model context length (tokens).
+    pub context: usize,
+    /// SCSGuard vocabulary cap.
+    pub bigram_vocab: usize,
+    /// SCSGuard padded sequence length.
+    pub bigram_len: usize,
+    /// ESCORT embedding dimension.
+    pub escort_dim: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            image_side: 32,
+            context: 64,
+            bigram_vocab: crate::bigram::DEFAULT_VOCAB,
+            bigram_len: crate::bigram::DEFAULT_LEN,
+            escort_dim: 128,
+        }
+    }
+}
+
+/// How a store maps an encoder over a cache batch. The features crate is
+/// dependency-free, so the parallel driver lives upstream (the core crate's
+/// worker pool implements this trait); [`SequentialExecutor`] is the
+/// built-in single-threaded fallback.
+pub trait BatchExecutor: Sync {
+    /// Applies `encode` to every cache, preserving order.
+    fn encode_batch(
+        &self,
+        caches: &[DisasmCache],
+        encode: &(dyn Fn(&DisasmCache) -> FeatureVec + Sync),
+    ) -> Vec<FeatureVec>;
+}
+
+/// Single-threaded [`BatchExecutor`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor;
+
+impl BatchExecutor for SequentialExecutor {
+    fn encode_batch(
+        &self,
+        caches: &[DisasmCache],
+        encode: &(dyn Fn(&DisasmCache) -> FeatureVec + Sync),
+    ) -> Vec<FeatureVec> {
+        caches.iter().map(encode).collect()
+    }
+}
+
+/// Column-store layout of one encoding over a whole dataset.
+#[derive(Debug, Clone, PartialEq)]
+enum Columns {
+    /// Row-major dense block, fixed `width` per row.
+    Dense { width: usize, data: Vec<f32> },
+    /// Row-major id block, fixed `width` per row.
+    Ids { width: usize, data: Vec<u32> },
+    /// Ragged per-sample window lists; `offsets[i]..offsets[i + 1]` indexes
+    /// sample `i`'s windows.
+    Windows {
+        offsets: Vec<usize>,
+        windows: Vec<Vec<u32>>,
+    },
+}
+
+/// One encoding of every sample, indexed by sample, sliceable by fold.
+///
+/// Dense and id encodings are packed row-major into a single flat buffer;
+/// window encodings keep a ragged offset table. Rows are borrowed out as
+/// [`FeatureRow`] views and gathered per fold without touching an encoder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    rows: usize,
+    columns: Columns,
+}
+
+impl FeatureMatrix {
+    /// Packs per-sample feature vectors into a column store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors mix representations or dense/id rows disagree
+    /// on width (encoders produce fixed geometry per dataset, so a mismatch
+    /// is a featurization bug).
+    pub fn from_vecs(vecs: Vec<FeatureVec>) -> Self {
+        let rows = vecs.len();
+        let columns = match vecs.first() {
+            None => Columns::Dense {
+                width: 0,
+                data: Vec::new(),
+            },
+            Some(FeatureVec::Dense(first)) => {
+                let width = first.len();
+                let mut data = Vec::with_capacity(width * rows);
+                for v in &vecs {
+                    let row = v.as_dense().expect("mixed feature representations");
+                    assert_eq!(row.len(), width, "ragged dense rows");
+                    data.extend_from_slice(row);
+                }
+                Columns::Dense { width, data }
+            }
+            Some(FeatureVec::Ids(first)) => {
+                let width = first.len();
+                let mut data = Vec::with_capacity(width * rows);
+                for v in &vecs {
+                    let row = v.as_ids().expect("mixed feature representations");
+                    assert_eq!(row.len(), width, "ragged id rows");
+                    data.extend_from_slice(row);
+                }
+                Columns::Ids { width, data }
+            }
+            Some(FeatureVec::Windows(_)) => {
+                let mut offsets = Vec::with_capacity(rows + 1);
+                let mut windows = Vec::new();
+                offsets.push(0);
+                for v in vecs {
+                    let FeatureVec::Windows(w) = v else {
+                        panic!("mixed feature representations");
+                    };
+                    windows.extend(w);
+                    offsets.push(windows.len());
+                }
+                Columns::Windows { offsets, windows }
+            }
+        };
+        FeatureMatrix { rows, columns }
+    }
+
+    /// Number of samples in the store.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Fixed row width for dense/id layouts; `None` for ragged windows.
+    pub fn width(&self) -> Option<usize> {
+        match &self.columns {
+            Columns::Dense { width, .. } | Columns::Ids { width, .. } => Some(*width),
+            Columns::Windows { .. } => None,
+        }
+    }
+
+    /// Borrowed view of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> FeatureRow<'_> {
+        assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
+        match &self.columns {
+            Columns::Dense { width, data } => FeatureRow::Dense(&data[i * width..(i + 1) * width]),
+            Columns::Ids { width, data } => FeatureRow::Ids(&data[i * width..(i + 1) * width]),
+            Columns::Windows { offsets, windows } => {
+                FeatureRow::Windows(&windows[offsets[i]..offsets[i + 1]])
+            }
+        }
+    }
+
+    /// Dense row accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is not dense or `i` is out of bounds.
+    pub fn dense_row(&self, i: usize) -> &[f32] {
+        match self.row(i) {
+            FeatureRow::Dense(r) => r,
+            _ => panic!("not a dense matrix"),
+        }
+    }
+
+    /// Gathers dense rows for a fold, in index order (copies row data —
+    /// downstream models need owned contiguous inputs).
+    pub fn gather_dense(&self, indices: &[usize]) -> Vec<Vec<f32>> {
+        indices
+            .iter()
+            .map(|&i| match self.row(i) {
+                FeatureRow::Dense(r) => r.to_vec(),
+                _ => panic!("not a dense matrix"),
+            })
+            .collect()
+    }
+
+    /// Gathers dense rows for a fold into one row-major flat buffer — the
+    /// zero-intermediate path into a contiguous design matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is not dense or an index is out of bounds.
+    pub fn gather_dense_flat(&self, indices: &[usize]) -> Vec<f32> {
+        let Columns::Dense { width, data } = &self.columns else {
+            panic!("not a dense matrix");
+        };
+        let mut out = Vec::with_capacity(indices.len() * width);
+        for &i in indices {
+            assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
+            out.extend_from_slice(&data[i * width..(i + 1) * width]);
+        }
+        out
+    }
+
+    /// Gathers id rows for a fold, in index order.
+    pub fn gather_ids(&self, indices: &[usize]) -> Vec<Vec<u32>> {
+        indices
+            .iter()
+            .map(|&i| match self.row(i) {
+                FeatureRow::Ids(r) => r.to_vec(),
+                _ => panic!("not an id matrix"),
+            })
+            .collect()
+    }
+
+    /// Gathers per-sample window lists for a fold, in index order.
+    pub fn gather_windows(&self, indices: &[usize]) -> Vec<Vec<Vec<u32>>> {
+        indices
+            .iter()
+            .map(|&i| match self.row(i) {
+                FeatureRow::Windows(w) => w.to_vec(),
+                _ => panic!("not a window matrix"),
+            })
+            .collect()
+    }
+
+    /// Total scalar count held by the store (diagnostics/benches).
+    pub fn scalar_count(&self) -> usize {
+        match &self.columns {
+            Columns::Dense { data, .. } => data.len(),
+            Columns::Ids { data, .. } => data.len(),
+            Columns::Windows { windows, .. } => windows.iter().map(Vec::len).sum(),
+        }
+    }
+}
+
+/// All encodings of one dataset, plus the fitted encoders (kept so freshly
+/// observed contracts can be featurized against the same lookup tables).
+#[derive(Debug, Clone)]
+pub struct FeatureStore {
+    len: usize,
+    histogram: FeatureMatrix,
+    freq_image: FeatureMatrix,
+    r2d2: FeatureMatrix,
+    bigram: FeatureMatrix,
+    tokens_truncate: FeatureMatrix,
+    tokens_windows: FeatureMatrix,
+    escort: FeatureMatrix,
+    hist_enc: HistogramEncoder,
+    freq_enc: FreqImageEncoder,
+    r2d2_enc: R2d2Encoder,
+    bigram_enc: BigramEncoder,
+    token_enc: OpcodeTokenizer,
+    escort_enc: EscortEmbedder,
+}
+
+impl FeatureStore {
+    /// Builds the store single-threaded; see [`FeatureStore::build_with`].
+    pub fn build(caches: &[DisasmCache], config: &StoreConfig) -> Self {
+        Self::build_with(caches, config, &SequentialExecutor)
+    }
+
+    /// Fits all six encoders on `caches` and encodes every sample once,
+    /// fanning each encoding pass through `exec`.
+    pub fn build_with(
+        caches: &[DisasmCache],
+        config: &StoreConfig,
+        exec: &dyn BatchExecutor,
+    ) -> Self {
+        Self::build_fitted_with(caches, caches, config, exec)
+    }
+
+    /// Like [`FeatureStore::build_with`], but fits the encoder lookup
+    /// tables on `fit` (a designated training subset) while still encoding
+    /// every sample in `caches`. This is the leakage-safe variant for
+    /// studies with a privileged hold-out direction — e.g. the temporal
+    /// drift experiment, where vocabularies must not see future months.
+    pub fn build_fitted_with(
+        caches: &[DisasmCache],
+        fit: &[DisasmCache],
+        config: &StoreConfig,
+        exec: &dyn BatchExecutor,
+    ) -> Self {
+        let hist_enc = HistogramEncoder::fit(fit);
+        let freq_enc = FreqImageEncoder::fit(fit, config.image_side);
+        let r2d2_enc = R2d2Encoder::new(config.image_side);
+        let bigram_enc = BigramEncoder::fit(fit, config.bigram_vocab, config.bigram_len);
+        let token_enc = OpcodeTokenizer::new(config.context);
+        let escort_enc = EscortEmbedder::new(config.escort_dim);
+
+        let pack = |encode: &(dyn Fn(&DisasmCache) -> FeatureVec + Sync)| {
+            FeatureMatrix::from_vecs(exec.encode_batch(caches, encode))
+        };
+        let histogram = pack(&|c| FeatureVec::Dense(hist_enc.encode(c)));
+        let freq_image = pack(&|c| FeatureVec::Dense(freq_enc.encode(c)));
+        let r2d2 = pack(&|c| FeatureVec::Dense(r2d2_enc.encode(c)));
+        let bigram = pack(&|c| FeatureVec::Ids(bigram_enc.encode(c)));
+        let tokens_truncate =
+            pack(&|c| FeatureVec::Windows(token_enc.encode(c, SequenceVariant::Truncate)));
+        let tokens_windows =
+            pack(&|c| FeatureVec::Windows(token_enc.encode(c, SequenceVariant::SlidingWindow)));
+        let escort = pack(&|c| FeatureVec::Dense(escort_enc.encode(c)));
+
+        FeatureStore {
+            len: caches.len(),
+            histogram,
+            freq_image,
+            r2d2,
+            bigram,
+            tokens_truncate,
+            tokens_windows,
+            escort,
+            hist_enc,
+            freq_enc,
+            r2d2_enc,
+            bigram_enc,
+            token_enc,
+            escort_enc,
+        }
+    }
+
+    /// Number of samples featurized.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the store holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Opcode-histogram rows (the seven HSCs).
+    pub fn histogram(&self) -> &FeatureMatrix {
+        &self.histogram
+    }
+
+    /// Frequency-image rows (ViT+Freq).
+    pub fn freq_image(&self) -> &FeatureMatrix {
+        &self.freq_image
+    }
+
+    /// RGB-image rows (ViT+R2D2, ECA+EfficientNet).
+    pub fn r2d2(&self) -> &FeatureMatrix {
+        &self.r2d2
+    }
+
+    /// SCSGuard bigram id rows.
+    pub fn bigram(&self) -> &FeatureMatrix {
+        &self.bigram
+    }
+
+    /// α-variant (truncated) token windows (GPT-2a, T5a).
+    pub fn tokens_truncate(&self) -> &FeatureMatrix {
+        &self.tokens_truncate
+    }
+
+    /// β-variant (sliding-window) token windows (GPT-2b, T5b).
+    pub fn tokens_windows(&self) -> &FeatureMatrix {
+        &self.tokens_windows
+    }
+
+    /// ESCORT embedding rows.
+    pub fn escort(&self) -> &FeatureMatrix {
+        &self.escort
+    }
+
+    /// Histogram feature width (dataset vocabulary size).
+    pub fn histogram_width(&self) -> usize {
+        self.hist_enc.vocab_len()
+    }
+
+    /// SCSGuard embedding-table size (bigram vocabulary + PAD/UNK).
+    pub fn bigram_vocab_size(&self) -> usize {
+        self.bigram_enc.vocab_size()
+    }
+
+    /// Language-model vocabulary size (opcode-level, fixed).
+    pub fn token_vocab_size(&self) -> usize {
+        self.token_enc.vocab_size()
+    }
+
+    /// The fitted histogram encoder (for featurizing new contracts against
+    /// the same vocabulary).
+    pub fn histogram_encoder(&self) -> &HistogramEncoder {
+        &self.hist_enc
+    }
+
+    /// Featurizes a contract that is *not* in the store against the fitted
+    /// lookup tables, returning all seven encoding rows in store order:
+    /// histogram, freq-image, R2D2, bigram, α tokens, β tokens, ESCORT.
+    /// This is the serving path — one decode, all encodings.
+    pub fn encode_new(&self, cache: &DisasmCache) -> [FeatureVec; 7] {
+        [
+            FeatureVec::Dense(self.hist_enc.encode(cache)),
+            FeatureVec::Dense(self.freq_enc.encode(cache)),
+            FeatureVec::Dense(self.r2d2_enc.encode(cache)),
+            FeatureVec::Ids(self.bigram_enc.encode(cache)),
+            FeatureVec::Windows(self.token_enc.encode(cache, SequenceVariant::Truncate)),
+            FeatureVec::Windows(self.token_enc.encode(cache, SequenceVariant::SlidingWindow)),
+            FeatureVec::Dense(self.escort_enc.encode(cache)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phishinghook_evm::Bytecode;
+
+    fn caches() -> Vec<DisasmCache> {
+        [
+            vec![0x60, 0x80, 0x60, 0x40, 0x52],
+            vec![0x60, 0x01, 0x60, 0x02, 0x01, 0x00],
+            vec![0x33, 0x31, 0xff],
+        ]
+        .into_iter()
+        .map(|b| DisasmCache::build(&Bytecode::new(b)))
+        .collect()
+    }
+
+    fn small_config() -> StoreConfig {
+        StoreConfig {
+            image_side: 4,
+            context: 8,
+            bigram_vocab: 16,
+            bigram_len: 6,
+            escort_dim: 8,
+        }
+    }
+
+    #[test]
+    fn store_rows_match_individual_encoding() {
+        let caches = caches();
+        let cfg = small_config();
+        let store = FeatureStore::build(&caches, &cfg);
+        assert_eq!(store.len(), 3);
+
+        let hist = HistogramEncoder::fit(&caches);
+        let bigram = BigramEncoder::fit(&caches, cfg.bigram_vocab, cfg.bigram_len);
+        let tok = OpcodeTokenizer::new(cfg.context);
+        for (i, c) in caches.iter().enumerate() {
+            assert_eq!(store.histogram().dense_row(i), &hist.encode(c)[..]);
+            assert_eq!(
+                store.bigram().row(i),
+                FeatureRow::Ids(&bigram.encode(c)[..])
+            );
+            assert_eq!(
+                store.tokens_windows().row(i),
+                FeatureRow::Windows(&tok.encode(c, SequenceVariant::SlidingWindow)[..])
+            );
+        }
+    }
+
+    #[test]
+    fn gather_preserves_index_order() {
+        let store = FeatureStore::build(&caches(), &small_config());
+        let g = store.histogram().gather_dense(&[2, 0]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0], store.histogram().dense_row(2));
+        assert_eq!(g[1], store.histogram().dense_row(0));
+        let ids = store.bigram().gather_ids(&[1]);
+        assert_eq!(FeatureRow::Ids(&ids[0]), store.bigram().row(1));
+        // Flat gather is the concatenation of the row gathers.
+        let flat = store.histogram().gather_dense_flat(&[2, 0]);
+        assert_eq!(flat, g.concat());
+    }
+
+    #[test]
+    fn ragged_windows_round_trip() {
+        let vecs = vec![
+            FeatureVec::Windows(vec![vec![1, 2], vec![3, 4]]),
+            FeatureVec::Windows(vec![vec![5, 6]]),
+        ];
+        let m = FeatureMatrix::from_vecs(vecs);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.width(), None);
+        assert_eq!(m.row(0).len(), 4);
+        let g = m.gather_windows(&[1, 0]);
+        assert_eq!(g[0], vec![vec![5, 6]]);
+        assert_eq!(g[1], vec![vec![1, 2], vec![3, 4]]);
+        assert_eq!(m.scalar_count(), 6);
+    }
+
+    #[test]
+    fn fitted_subset_controls_the_vocabulary() {
+        let caches = caches();
+        let cfg = small_config();
+        // Fit on the first sample only: the histogram vocabulary must be
+        // that sample's opcodes, while all three samples are still encoded.
+        let store =
+            FeatureStore::build_fitted_with(&caches, &caches[..1], &cfg, &SequentialExecutor);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.histogram().rows(), 3);
+        let fit_only = HistogramEncoder::fit(&caches[..1]);
+        assert_eq!(store.histogram_width(), fit_only.vocab_len());
+        let full = FeatureStore::build(&caches, &cfg);
+        assert!(store.histogram_width() < full.histogram_width());
+    }
+
+    #[test]
+    fn encode_new_matches_store_geometry() {
+        let caches = caches();
+        let store = FeatureStore::build(&caches, &small_config());
+        let rows = store.encode_new(&caches[0]);
+        assert_eq!(rows[0].len(), store.histogram_width());
+        assert_eq!(rows[0].as_row(), store.histogram().row(0));
+        assert_eq!(rows[3].as_row(), store.bigram().row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed feature representations")]
+    fn mixed_representations_rejected() {
+        FeatureMatrix::from_vecs(vec![FeatureVec::Dense(vec![1.0]), FeatureVec::Ids(vec![1])]);
+    }
+}

@@ -20,13 +20,18 @@ fn main() {
         ModelKind::Escort,
     ];
 
+    // Decode and featurize the dataset once; every contender's trials
+    // gather index slices of the shared store.
+    let ctx = EvalContext::new(&dataset, &profile);
+    let plan = trial_plan(&dataset, 3, 1, 17);
+
     println!(
         "{:<20} {:>9} {:>9} {:>10} {:>8}",
         "Model", "Acc (%)", "F1", "Precision", "Recall"
     );
     let mut results = Vec::new();
     for kind in contenders {
-        let trials = cross_validate(kind, &dataset, 3, 1, &profile, 17);
+        let trials = cross_validate_on(&ctx, kind, &plan);
         let mean = Metrics::mean(&trials.iter().map(|t| t.metrics).collect::<Vec<_>>());
         println!(
             "{:<20} {:>9.2} {:>9.4} {:>10.4} {:>8.4}",

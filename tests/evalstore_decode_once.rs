@@ -1,0 +1,55 @@
+//! Acceptance test for the decode-once evaluation engine: a full
+//! `EvalProfile::quick()` cross-validation — context build included —
+//! performs exactly one decode per contract, total.
+//!
+//! `decode_count()` is process-global, so exact-delta assertions are only
+//! race-free when nothing else in the process builds caches concurrently.
+//! This file deliberately contains exactly one test (the same convention as
+//! `crates/evm/tests/decode_counter.rs`).
+
+use phishinghook::prelude::*;
+use phishinghook_evm::decode_count;
+
+#[test]
+fn full_quick_cross_validation_is_one_decode_pass() {
+    let corpus = generate_corpus(&CorpusConfig::small(91));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
+    assert!(
+        dataset.len() > 50,
+        "corpus too small for a meaningful check"
+    );
+
+    let before = decode_count();
+    let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+    let after_context = decode_count();
+    assert_eq!(
+        after_context - before,
+        dataset.len() as u64,
+        "context construction must decode once per contract"
+    );
+
+    // Two full CV protocols (3 folds × 2 runs each) over the shared
+    // context: every trial gathers store slices, so the decode counter must
+    // not move at all.
+    let plan = trial_plan(&dataset, 3, 2, 5);
+    let knn = cross_validate_on(&ctx, ModelKind::Knn, &plan);
+    let lr = cross_validate_on(&ctx, ModelKind::LogisticRegression, &plan);
+    assert_eq!(knn.len(), 6);
+    assert_eq!(lr.len(), 6);
+    assert!(knn
+        .iter()
+        .all(|t| (0.0..=1.0).contains(&t.metrics.accuracy)));
+    assert_eq!(
+        decode_count(),
+        after_context,
+        "cross-validation trials must never re-disassemble"
+    );
+
+    // End to end: decodes across context + both CV runs == dataset size.
+    assert_eq!(
+        decode_count() - before,
+        dataset.len() as u64,
+        "one decode per contract across the whole evaluation"
+    );
+}

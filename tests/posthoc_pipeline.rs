@@ -13,15 +13,19 @@ fn pam_structure_matches_the_paper() {
     let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
     let profile = EvalProfile::quick();
 
-    // Three models × 6 trials (2 runs of 3-fold CV) — a scaled-down §IV-E.
-    let mut results = Vec::new();
-    for kind in [
-        ModelKind::RandomForest,
-        ModelKind::Knn,
-        ModelKind::LogisticRegression,
-    ] {
-        results.push((kind, cross_validate(kind, &dataset, 3, 2, &profile, 3)));
-    }
+    // Three models × 6 trials (2 runs of 3-fold CV) — a scaled-down §IV-E,
+    // all sharing one decode+featurize pass through the EvalContext.
+    let ctx = EvalContext::new(&dataset, &profile);
+    let plan = trial_plan(&dataset, 3, 2, 3);
+    let results = evaluate_models(
+        &ctx,
+        &[
+            ModelKind::RandomForest,
+            ModelKind::Knn,
+            ModelKind::LogisticRegression,
+        ],
+        &plan,
+    );
     let report = posthoc_analysis(&results);
 
     // Table III shape: one row per metric, Holm-adjusted p monotone vs raw.
