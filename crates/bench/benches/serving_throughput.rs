@@ -1,0 +1,176 @@
+//! Criterion bench: the persistent serving path. A trained [`Detector`]
+//! scores fresh contracts one at a time (the interactive wallet-guard
+//! shape) and in batches (the screening-queue shape); the batched path
+//! decodes and encodes across the worker pool and hits the model with one
+//! `predict_proba` call, so it must never fall behind per-contract calls.
+//!
+//! Besides the criterion timings, the bench writes a machine-readable
+//! baseline — `BENCH_serve.json` (contracts/sec, single vs. batched) — so
+//! future PRs can regression-check the serving path. Setting
+//! `PHISHINGHOOK_BENCH_SMOKE=1` shrinks the corpus to CI size and the run
+//! fails fast if batched throughput drops below single-contract throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phishinghook::prelude::*;
+use phishinghook_bench::json::Value;
+use phishinghook_evm::Bytecode;
+use phishinghook_synth::{generate_contract, Difficulty, Family};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn smoke_mode() -> bool {
+    std::env::var_os("PHISHINGHOOK_BENCH_SMOKE").is_some()
+}
+
+fn fresh_count() -> usize {
+    if smoke_mode() {
+        64
+    } else {
+        256
+    }
+}
+
+fn timing_samples() -> usize {
+    if smoke_mode() {
+        7
+    } else {
+        10
+    }
+}
+
+/// Smoke runs tolerate a 3% timing-noise band on single-core CI boxes:
+/// batched's structural single-core win is small (fused decode+encode plus
+/// one amortized `predict_proba` call; the pool only pays off with cores),
+/// while any real serving regression — an extra decode or encode pass —
+/// costs tens of percent and still trips the guard. The full run — the one
+/// that writes the committed baseline — is strict.
+fn noise_margin() -> f64 {
+    if smoke_mode() {
+        1.03
+    } else {
+        1.0
+    }
+}
+
+/// Contracts the detector has never seen, synthesized directly.
+fn fresh_contracts(n: usize) -> Vec<Bytecode> {
+    let mut rng = StdRng::seed_from_u64(0x5EE7);
+    (0..n)
+        .map(|i| {
+            generate_contract(
+                Family::ALL[i % Family::ALL.len()],
+                Month(5),
+                &Difficulty::default(),
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+fn trained_detector() -> Detector {
+    let corpus = generate_corpus(&CorpusConfig::small(42));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
+    let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+    Detector::train(&ctx, ModelKind::RandomForest, 7)
+}
+
+/// Interactive shape: one contract per call, as a wallet screens addresses.
+fn single_pass(detector: &Detector, codes: &[Bytecode]) -> f32 {
+    codes.iter().map(|c| detector.score_code(c)).sum()
+}
+
+/// Queue shape: one batched call over the whole backlog.
+fn batched_pass(detector: &Detector, codes: &[Bytecode]) -> f32 {
+    detector.score_codes(codes).iter().sum()
+}
+
+/// Times both passes with interleaved samples (single, batched, single,
+/// batched, …) so clock drift and frequency scaling hit both paths
+/// equally, returning each path's best time and last checksum.
+fn timed_pair(samples: usize, detector: &Detector, codes: &[Bytecode]) -> ((f64, f32), (f64, f32)) {
+    let mut single = (f64::INFINITY, 0.0f32);
+    let mut batched = (f64::INFINITY, 0.0f32);
+    // Warmup: fault in code paths and allocator arenas for both shapes.
+    single_pass(detector, codes);
+    batched_pass(detector, codes);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        single.1 = single_pass(detector, codes);
+        single.0 = single.0.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t1 = Instant::now();
+        batched.1 = batched_pass(detector, codes);
+        batched.0 = batched.0.min(t1.elapsed().as_secs_f64() * 1e3);
+    }
+    (single, batched)
+}
+
+fn write_baseline(detector: &Detector, codes: &[Bytecode]) {
+    let ((single_ms, single_sum), (batched_ms, batched_sum)) =
+        timed_pair(timing_samples(), detector, codes);
+    assert_eq!(
+        single_sum, batched_sum,
+        "batched scores must be identical to per-contract scores"
+    );
+    let single_cps = codes.len() as f64 / (single_ms / 1e3);
+    let batched_cps = codes.len() as f64 / (batched_ms / 1e3);
+    assert!(
+        batched_cps * noise_margin() >= single_cps,
+        "serving regression: batched {batched_cps:.0} contracts/s \
+         vs single {single_cps:.0} contracts/s"
+    );
+    let doc = Value::Obj(vec![
+        ("bench".into(), Value::Str("serving_throughput".into())),
+        ("model".into(), Value::Str(detector.kind().id().into())),
+        ("contracts".into(), Value::Num(codes.len() as f64)),
+        (
+            "trained_on".into(),
+            Value::Num(detector.trained_on() as f64),
+        ),
+        (
+            "workers".into(),
+            Value::Num(phishinghook::par::pool_size(codes.len()) as f64),
+        ),
+        ("single_ms".into(), Value::Num(single_ms)),
+        ("batched_ms".into(), Value::Num(batched_ms)),
+        ("single_contracts_per_sec".into(), Value::Num(single_cps)),
+        ("batched_contracts_per_sec".into(), Value::Num(batched_cps)),
+        ("speedup".into(), Value::Num(single_ms / batched_ms)),
+    ]);
+    // Benches run with the package as cwd; anchor the baseline at the
+    // workspace root. Smoke runs assert but never overwrite the committed
+    // baseline (their corpus is smaller).
+    if !smoke_mode() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        std::fs::write(path, doc.render()).expect("write BENCH_serve.json");
+    }
+    println!(
+        "  baseline: single {single_cps:.0} contracts/s vs batched {batched_cps:.0} contracts/s \
+         ({:.2}x) -> BENCH_serve.json",
+        single_ms / batched_ms
+    );
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let detector = trained_detector();
+    let codes = fresh_contracts(fresh_count());
+
+    let mut group = c.benchmark_group("serving_throughput");
+    group.bench_function("single_contract_calls", |b| {
+        b.iter(|| single_pass(&detector, &codes))
+    });
+    group.bench_function("batched_call", |b| {
+        b.iter(|| batched_pass(&detector, &codes))
+    });
+    group.finish();
+
+    write_baseline(&detector, &codes);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serving
+}
+criterion_main!(benches);

@@ -8,8 +8,9 @@ use phishinghook_bench::{banner, RunScale};
 
 fn eval(dataset: &Dataset, profile: &EvalProfile) -> Metrics {
     let folds = dataset.stratified_folds(3, 3);
-    let (train, test) = dataset.fold_split(&folds, 0);
-    train_and_evaluate(ModelKind::RandomForest, &train, &test, profile, 3).metrics
+    let (train_idx, test_idx) = Dataset::fold_indices(&folds, 0);
+    let ctx = EvalContext::new(dataset, profile);
+    evaluate_trial(&ctx, ModelKind::RandomForest, &train_idx, &test_idx, 3).metrics
 }
 
 fn main() {

@@ -14,12 +14,15 @@
 //! * **BDM** — bytecode disassembly (re-exported from
 //!   [`phishinghook_evm::disasm`]);
 //! * **MEM** ([`mem`]) — training/evaluation of all sixteen models with
-//!   10-fold × 3-run cross-validation and timing;
+//!   10-fold × 3-run cross-validation and timing, dispatched through the
+//!   unified [`Model`](phishinghook_models::Model) trait;
 //! * **PAM** ([`pam`]) — Shapiro–Wilk / Kruskal–Wallis / Dunn post hoc
 //!   statistics;
 //!
-//! plus the paper's dedicated experiments: [`scalability`] (Fig. 5–7),
-//! [`time_resistance`] (Fig. 8), [`shap_analysis`] (Fig. 9),
+//! plus the serving layer ([`detector`]) — persistent trained
+//! [`Detector`]s and [`ModelZoo`]s scoring fresh contracts straight off
+//! `eth_getCode` — and the paper's dedicated experiments: [`scalability`]
+//! (Fig. 5–7), [`time_resistance`] (Fig. 8), [`shap_analysis`] (Fig. 9),
 //! [`opcode_stats`] (Fig. 3) and the Optuna-style [`hypersearch`] (§IV-C).
 //!
 //! # Quickstart
@@ -33,19 +36,26 @@
 //! let (dataset, report) = extract_dataset(&chain, &BemConfig::default());
 //! assert!(report.unique > 0);
 //!
-//! // 2. Train and evaluate the paper's best model (MEM).
+//! // 2. Decode + featurize once, then evaluate the paper's best model on
+//! //    one stratified fold (MEM).
+//! let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
 //! let folds = dataset.stratified_folds(3, 0);
-//! let (train, test) = dataset.fold_split(&folds, 0);
-//! let outcome = train_and_evaluate(
-//!     ModelKind::RandomForest, &train, &test, &EvalProfile::quick(), 0,
-//! );
+//! let (train_idx, test_idx) = Dataset::fold_indices(&folds, 0);
+//! let outcome = evaluate_trial(&ctx, ModelKind::RandomForest, &train_idx, &test_idx, 0);
 //! assert!(outcome.metrics.accuracy > 0.6);
+//!
+//! // 3. Keep a trained artifact and screen a fresh deployment (serving).
+//! let detector = Detector::train(&ctx, ModelKind::RandomForest, 0);
+//! let rpc = RpcProvider::new(&chain);
+//! let p = detector.score_address(&rpc, &chain.records()[0].address).unwrap();
+//! assert!((0.0..=1.0).contains(&p));
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod bem;
 pub mod dataset;
+pub mod detector;
 pub mod evalstore;
 pub mod hypersearch;
 pub mod mem;
@@ -59,14 +69,16 @@ pub mod time_resistance;
 
 pub use bem::{extract_dataset, BemConfig, BemReport, ExtractionStream, StreamStats};
 pub use dataset::{Dataset, Sample};
+pub use detector::{Detector, ModelZoo, Verdict, PHISHING_THRESHOLD};
 pub use evalstore::EvalContext;
 pub use mem::{
     cross_validate, cross_validate_on, cross_validate_on_with, evaluate_models, evaluate_trial,
-    evaluate_trial_with, train_and_evaluate, trial_plan, EvalProfile, ModelCategory, ModelKind,
-    TrialOutcome, TrialSpec,
+    evaluate_trial_with, trial_plan, EvalProfile, ModelCategory, ModelKind, TrialOutcome,
+    TrialSpec,
 };
 pub use metrics::{Confusion, Metrics, METRIC_NAMES};
 pub use pam::{posthoc_analysis, posthoc_over, PosthocReport};
+pub use phishinghook_models::Model;
 pub use scalability::{
     run_scalability, run_scalability_on, ScalabilityStudy, SCALABILITY_MODELS, SPLIT_RATIOS,
 };
@@ -77,11 +89,12 @@ pub use time_resistance::{run_time_resistance, run_time_resistance_on, TimeResis
 pub mod prelude {
     pub use crate::bem::{extract_dataset, BemConfig, BemReport, ExtractionStream};
     pub use crate::dataset::{Dataset, Sample};
+    pub use crate::detector::{Detector, ModelZoo, Verdict};
     pub use crate::evalstore::EvalContext;
     pub use crate::hypersearch::{tune_model, Sampler, Study};
     pub use crate::mem::{
-        cross_validate, cross_validate_on, evaluate_models, evaluate_trial, train_and_evaluate,
-        trial_plan, EvalProfile, ModelCategory, ModelKind, TrialOutcome, TrialSpec,
+        cross_validate, cross_validate_on, evaluate_models, evaluate_trial, trial_plan,
+        EvalProfile, ModelCategory, ModelKind, TrialOutcome, TrialSpec,
     };
     pub use crate::metrics::{Metrics, METRIC_NAMES};
     pub use crate::opcode_stats::{opcode_usage, FIG3_OPCODES};

@@ -11,18 +11,26 @@
 //! matrix itself is sharded across the worker pool with per-trial seeds
 //! fixed up front — parallel results are bit-identical to the sequential
 //! trial order.
+//!
+//! All sixteen kinds dispatch through the unified
+//! [`Model`](phishinghook_models::Model) trait: [`ModelKind::build`] is the
+//! single factory and [`ModelKind::encoding`] names the one
+//! [`Encoding`](phishinghook_features::Encoding) a kind consumes, so a
+//! trial is always *gather rows → build → fit → predict_proba* regardless
+//! of category. The same factory powers the persistent serving layer
+//! ([`Detector`](crate::detector::Detector)).
 
 use crate::dataset::Dataset;
 use crate::evalstore::{store_config, EvalContext};
 use crate::metrics::Metrics;
 use crate::par::parallel_map;
-use phishinghook_linalg::Matrix;
+use phishinghook_features::{Encoding, FittedEncoders};
 use phishinghook_ml::forest::ForestParams;
 use phishinghook_ml::gbdt::BoostParams;
 use phishinghook_ml::tree::TreeParams;
 use phishinghook_ml::{
-    CatBoostClassifier, Classifier, KnnClassifier, LgbmClassifier, LinearSvm, LogisticRegression,
-    RandomForest, XgbClassifier,
+    CatBoostClassifier, KnnClassifier, LgbmClassifier, LinearSvm, LogisticRegression, RandomForest,
+    XgbClassifier,
 };
 use phishinghook_models::eca_net::EcaNetConfig;
 use phishinghook_models::escort::EscortConfig;
@@ -31,7 +39,8 @@ use phishinghook_models::scsguard::ScsGuardConfig;
 use phishinghook_models::t5::T5Config;
 use phishinghook_models::vit::ViTConfig;
 use phishinghook_models::{
-    EcaEfficientNet, EscortNet, Gpt2Classifier, ScsGuard, T5Classifier, TrainConfig, ViT,
+    DenseClassifier, EcaEfficientNet, EscortNet, Gpt2Classifier, Model, ScsGuard, T5Classifier,
+    TrainConfig, ViT,
 };
 use std::time::Instant;
 
@@ -176,6 +185,145 @@ impl ModelKind {
             ModelKind::Escort => ModelCategory::Vulnerability,
         }
     }
+
+    /// The single [`Encoding`] this model consumes. Evaluation gathers
+    /// store rows by this key; serving featurizes fresh contracts under
+    /// exactly this encoding.
+    pub fn encoding(&self) -> Encoding {
+        match self {
+            ModelKind::RandomForest
+            | ModelKind::Knn
+            | ModelKind::Svm
+            | ModelKind::LogisticRegression
+            | ModelKind::Xgboost
+            | ModelKind::Lightgbm
+            | ModelKind::Catboost => Encoding::Histogram,
+            ModelKind::EcaEfficientNet | ModelKind::VitR2d2 => Encoding::R2d2,
+            ModelKind::VitFreq => Encoding::FreqImage,
+            ModelKind::ScsGuard => Encoding::Bigram,
+            ModelKind::Gpt2Alpha | ModelKind::T5Alpha => Encoding::TokensTruncate,
+            ModelKind::Gpt2Beta | ModelKind::T5Beta => Encoding::TokensWindows,
+            ModelKind::Escort => Encoding::Escort,
+        }
+    }
+
+    /// The single model factory: constructs this kind as an untrained
+    /// [`Model`], ready to `fit` on rows of [`ModelKind::encoding`].
+    ///
+    /// `profile` sets the capacity knobs (tree counts, epochs, widths);
+    /// `encoders` supplies the fitted feature geometry the embedding-table
+    /// models must agree with (bigram and token vocabulary sizes) — the
+    /// lookup tables alone, so a serialized serving artifact can rebuild
+    /// its model without a `FeatureStore`; `seed` fixes initialisation and
+    /// shuffling.
+    pub fn build(
+        &self,
+        encoders: &FittedEncoders,
+        profile: &EvalProfile,
+        seed: u64,
+    ) -> Box<dyn Model> {
+        let nn_train = |learning_rate: f32| TrainConfig {
+            epochs: profile.nn_epochs,
+            learning_rate,
+            batch_size: 16,
+            seed,
+        };
+        match self {
+            ModelKind::RandomForest => {
+                Box::new(DenseClassifier::new(Box::new(RandomForest::with_params(
+                    ForestParams {
+                        n_trees: profile.n_trees,
+                        tree: TreeParams {
+                            max_depth: 14,
+                            ..TreeParams::default()
+                        },
+                        subsample: 1.0,
+                    },
+                    seed,
+                ))))
+            }
+            ModelKind::Knn => Box::new(DenseClassifier::new(Box::new(KnnClassifier::new(
+                profile.knn_k,
+            )))),
+            ModelKind::Svm => Box::new(DenseClassifier::new(Box::new(LinearSvm::with_epochs(
+                profile.linear_epochs,
+            )))),
+            ModelKind::LogisticRegression => Box::new(DenseClassifier::new(Box::new(
+                LogisticRegression::with_epochs(profile.linear_epochs / 2),
+            ))),
+            ModelKind::Xgboost => Box::new(DenseClassifier::new(Box::new(XgbClassifier::new(
+                BoostParams {
+                    n_rounds: profile.boost_rounds,
+                    ..BoostParams::default()
+                },
+            )))),
+            ModelKind::Lightgbm => Box::new(DenseClassifier::new(Box::new(LgbmClassifier::new(
+                BoostParams {
+                    n_rounds: profile.boost_rounds,
+                    ..BoostParams::default()
+                },
+                48,
+            )))),
+            ModelKind::Catboost => {
+                Box::new(DenseClassifier::new(Box::new(CatBoostClassifier::new(
+                    BoostParams {
+                        n_rounds: profile.boost_rounds,
+                        max_depth: 5,
+                        ..BoostParams::default()
+                    },
+                    48,
+                ))))
+            }
+            ModelKind::EcaEfficientNet => Box::new(EcaEfficientNet::new(EcaNetConfig {
+                side: profile.image_side,
+                train: nn_train(0.02),
+                ..EcaNetConfig::default()
+            })),
+            ModelKind::VitR2d2 | ModelKind::VitFreq => Box::new(ViT::new(ViTConfig {
+                side: profile.image_side,
+                patch: 8.min(profile.image_side),
+                dim: profile.nn_dim,
+                heads: 4,
+                depth: 2,
+                train: nn_train(0.02),
+            })),
+            ModelKind::ScsGuard => Box::new(ScsGuard::new(ScsGuardConfig {
+                vocab: encoders.bigram_vocab_size(),
+                train: nn_train(0.01),
+                ..ScsGuardConfig::default()
+            })),
+            ModelKind::Gpt2Alpha | ModelKind::Gpt2Beta => {
+                Box::new(Gpt2Classifier::new(Gpt2Config {
+                    vocab: encoders.token_vocab_size(),
+                    context: profile.context,
+                    dim: profile.nn_dim,
+                    heads: 4,
+                    depth: 2,
+                    max_train_windows: 3,
+                    train: nn_train(0.01),
+                }))
+            }
+            ModelKind::T5Alpha | ModelKind::T5Beta => Box::new(T5Classifier::new(T5Config {
+                vocab: encoders.token_vocab_size(),
+                context: profile.context,
+                dim: profile.nn_dim,
+                heads: 4,
+                depth: 2,
+                max_train_windows: 3,
+                train: nn_train(0.01),
+            })),
+            ModelKind::Escort => Box::new(EscortNet::new(EscortConfig {
+                input_dim: profile.escort_dim,
+                train: TrainConfig {
+                    epochs: profile.nn_epochs.max(2),
+                    learning_rate: 0.01,
+                    batch_size: 16,
+                    seed,
+                },
+                ..EscortConfig::default()
+            })),
+        }
+    }
 }
 
 impl std::fmt::Display for ModelKind {
@@ -260,55 +408,6 @@ pub struct TrialOutcome {
     pub infer_seconds: f64,
 }
 
-fn eval_classifier(
-    model: &mut dyn Classifier,
-    x_train: &Matrix,
-    y_train: &[u8],
-    x_test: &Matrix,
-    y_test: &[u8],
-) -> TrialOutcome {
-    let t0 = Instant::now();
-    model.fit(x_train, y_train);
-    let train_seconds = t0.elapsed().as_secs_f64();
-    let t1 = Instant::now();
-    let pred = model.predict(x_test);
-    let infer_seconds = t1.elapsed().as_secs_f64();
-    TrialOutcome {
-        metrics: Metrics::from_predictions(&pred, y_test),
-        train_seconds,
-        infer_seconds,
-    }
-}
-
-/// Trains `kind` on `train` and evaluates on `test`, timing both phases.
-///
-/// Convenience wrapper over the store path: builds a one-shot
-/// [`EvalContext`] over `train` ⧺ `test` (bytecode is refcounted, so the
-/// concatenation is cheap) and runs a single trial on the index split.
-/// Repeated trials over the same data should build the context once and
-/// call [`evaluate_trial`] directly.
-///
-/// # Panics
-///
-/// Panics on an empty or single-class training set (upstream splits are
-/// stratified, so this indicates a caller bug).
-pub fn train_and_evaluate(
-    kind: ModelKind,
-    train: &Dataset,
-    test: &Dataset,
-    profile: &EvalProfile,
-    seed: u64,
-) -> TrialOutcome {
-    assert!(!train.is_empty() && !test.is_empty(), "empty split");
-    let mut samples = train.samples.clone();
-    samples.extend(test.samples.iter().cloned());
-    let joint = Dataset::new(samples);
-    let ctx = EvalContext::new(&joint, profile);
-    let train_idx: Vec<usize> = (0..train.len()).collect();
-    let test_idx: Vec<usize> = (train.len()..joint.len()).collect();
-    evaluate_trial(&ctx, kind, &train_idx, &test_idx, seed)
-}
-
 /// Runs one (model, fold) trial against a shared [`EvalContext`]: gathers
 /// the pre-featurized train/test rows by index, trains `kind`, and times
 /// both phases. No disassembly or featurization happens here.
@@ -333,6 +432,12 @@ pub fn evaluate_trial(
 /// at [`EvalContext::new`] time. This is the hyper-parameter-search entry
 /// point: one store, many capacity configurations.
 ///
+/// Timing note: `train_seconds`/`infer_seconds` cover the trait-dispatched
+/// `fit`/`predict_proba` calls, which *include* materializing the model's
+/// owned inputs from the store's borrowed rows (the pre-trait engine built
+/// those copies outside its timers, so timings shifted up slightly across
+/// the refactor; metrics are unchanged).
+///
 /// # Panics
 ///
 /// Panics on an empty index slice or a feature-geometry mismatch.
@@ -345,207 +450,54 @@ pub fn evaluate_trial_with(
     seed: u64,
 ) -> TrialOutcome {
     assert!(!train_idx.is_empty() && !test_idx.is_empty(), "empty split");
+    let (model, train_seconds) = fit_kind(ctx, kind, train_idx, profile, seed);
+    let y_test = ctx.gather_labels(test_idx);
+    let rows_test = ctx.store().matrix(kind.encoding()).gather_rows(test_idx);
+    let t1 = Instant::now();
+    let probs = model.predict_proba(&rows_test);
+    let infer_seconds = t1.elapsed().as_secs_f64();
+    outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds)
+}
+
+/// The one trait-dispatched training sequence shared by evaluation
+/// ([`evaluate_trial_with`]) and serving ([`Detector`](crate::Detector),
+/// [`ModelZoo`](crate::ModelZoo)): gather store rows for
+/// [`ModelKind::encoding`], build through [`ModelKind::build`], run the
+/// optional pre-training phase, fit. Keeping it in one place is what makes
+/// "serving scores are bit-identical to the eval path" a structural
+/// guarantee rather than a copy-paste discipline. Returns the fitted model
+/// and the wall-clock training seconds.
+///
+/// # Panics
+///
+/// Panics on an empty training set or a feature-geometry mismatch between
+/// `profile` and the context's store.
+pub(crate) fn fit_kind(
+    ctx: &EvalContext,
+    kind: ModelKind,
+    train_idx: &[usize],
+    profile: &EvalProfile,
+    seed: u64,
+) -> (Box<dyn Model>, f64) {
+    assert!(!train_idx.is_empty(), "empty training set");
     assert_eq!(
         store_config(profile),
         store_config(ctx.profile()),
         "profile feature geometry must match the context's store"
     );
-    let y_train = ctx.gather_labels(train_idx);
-    let y_test = ctx.gather_labels(test_idx);
     let store = ctx.store();
-
-    match kind.category() {
-        ModelCategory::Histogram => {
-            let width = store.histogram_width();
-            let x_train = Matrix::from_vec(
-                train_idx.len(),
-                width,
-                store.histogram().gather_dense_flat(train_idx),
-            );
-            let x_test = Matrix::from_vec(
-                test_idx.len(),
-                width,
-                store.histogram().gather_dense_flat(test_idx),
-            );
-            let mut model: Box<dyn Classifier> = match kind {
-                ModelKind::RandomForest => Box::new(RandomForest::with_params(
-                    ForestParams {
-                        n_trees: profile.n_trees,
-                        tree: TreeParams {
-                            max_depth: 14,
-                            ..TreeParams::default()
-                        },
-                        subsample: 1.0,
-                    },
-                    seed,
-                )),
-                ModelKind::Knn => Box::new(KnnClassifier::new(profile.knn_k)),
-                ModelKind::Svm => Box::new(LinearSvm::with_epochs(profile.linear_epochs)),
-                ModelKind::LogisticRegression => {
-                    Box::new(LogisticRegression::with_epochs(profile.linear_epochs / 2))
-                }
-                ModelKind::Xgboost => Box::new(XgbClassifier::new(BoostParams {
-                    n_rounds: profile.boost_rounds,
-                    ..BoostParams::default()
-                })),
-                ModelKind::Lightgbm => Box::new(LgbmClassifier::new(
-                    BoostParams {
-                        n_rounds: profile.boost_rounds,
-                        ..BoostParams::default()
-                    },
-                    48,
-                )),
-                ModelKind::Catboost => Box::new(CatBoostClassifier::new(
-                    BoostParams {
-                        n_rounds: profile.boost_rounds,
-                        max_depth: 5,
-                        ..BoostParams::default()
-                    },
-                    48,
-                )),
-                _ => unreachable!("non-histogram kind in histogram arm"),
-            };
-            eval_classifier(model.as_mut(), &x_train, &y_train, &x_test, &y_test)
-        }
-        ModelCategory::Vision => {
-            let images = match kind {
-                ModelKind::VitFreq => store.freq_image(),
-                _ => store.r2d2(),
-            };
-            let x_train = images.gather_dense(train_idx);
-            let x_test = images.gather_dense(test_idx);
-            let train_cfg = TrainConfig {
-                epochs: profile.nn_epochs,
-                learning_rate: 0.02,
-                batch_size: 16,
-                seed,
-            };
-            match kind {
-                ModelKind::EcaEfficientNet => {
-                    let mut model = EcaEfficientNet::new(EcaNetConfig {
-                        side: profile.image_side,
-                        train: train_cfg,
-                        ..EcaNetConfig::default()
-                    });
-                    let t0 = Instant::now();
-                    model.fit(&x_train, &y_train);
-                    let train_seconds = t0.elapsed().as_secs_f64();
-                    let t1 = Instant::now();
-                    let probs = model.predict_proba(&x_test);
-                    let infer_seconds = t1.elapsed().as_secs_f64();
-                    outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds)
-                }
-                _ => {
-                    let mut model = ViT::new(ViTConfig {
-                        side: profile.image_side,
-                        patch: 8.min(profile.image_side),
-                        dim: profile.nn_dim,
-                        heads: 4,
-                        depth: 2,
-                        train: train_cfg,
-                    });
-                    let t0 = Instant::now();
-                    model.fit(&x_train, &y_train);
-                    let train_seconds = t0.elapsed().as_secs_f64();
-                    let t1 = Instant::now();
-                    let probs = model.predict_proba(&x_test);
-                    let infer_seconds = t1.elapsed().as_secs_f64();
-                    outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds)
-                }
-            }
-        }
-        ModelCategory::Language => {
-            let train_cfg = TrainConfig {
-                epochs: profile.nn_epochs,
-                learning_rate: 0.01,
-                batch_size: 16,
-                seed,
-            };
-            if kind == ModelKind::ScsGuard {
-                let x_train = store.bigram().gather_ids(train_idx);
-                let x_test = store.bigram().gather_ids(test_idx);
-                let mut model = ScsGuard::new(ScsGuardConfig {
-                    vocab: store.bigram_vocab_size(),
-                    train: train_cfg,
-                    ..ScsGuardConfig::default()
-                });
-                let t0 = Instant::now();
-                model.fit(&x_train, &y_train);
-                let train_seconds = t0.elapsed().as_secs_f64();
-                let t1 = Instant::now();
-                let probs = model.predict_proba(&x_test);
-                let infer_seconds = t1.elapsed().as_secs_f64();
-                return outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds);
-            }
-            let tokens = match kind {
-                ModelKind::Gpt2Beta | ModelKind::T5Beta => store.tokens_windows(),
-                _ => store.tokens_truncate(),
-            };
-            let x_train = tokens.gather_windows(train_idx);
-            let x_test = tokens.gather_windows(test_idx);
-            match kind {
-                ModelKind::Gpt2Alpha | ModelKind::Gpt2Beta => {
-                    let mut model = Gpt2Classifier::new(Gpt2Config {
-                        vocab: store.token_vocab_size(),
-                        context: profile.context,
-                        dim: profile.nn_dim,
-                        heads: 4,
-                        depth: 2,
-                        max_train_windows: 3,
-                        train: train_cfg,
-                    });
-                    let t0 = Instant::now();
-                    model.fit(&x_train, &y_train);
-                    let train_seconds = t0.elapsed().as_secs_f64();
-                    let t1 = Instant::now();
-                    let probs = model.predict_proba(&x_test);
-                    let infer_seconds = t1.elapsed().as_secs_f64();
-                    outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds)
-                }
-                _ => {
-                    let mut model = T5Classifier::new(T5Config {
-                        vocab: store.token_vocab_size(),
-                        context: profile.context,
-                        dim: profile.nn_dim,
-                        heads: 4,
-                        depth: 2,
-                        max_train_windows: 3,
-                        train: train_cfg,
-                    });
-                    let t0 = Instant::now();
-                    model.fit(&x_train, &y_train);
-                    let train_seconds = t0.elapsed().as_secs_f64();
-                    let t1 = Instant::now();
-                    let probs = model.predict_proba(&x_test);
-                    let infer_seconds = t1.elapsed().as_secs_f64();
-                    outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds)
-                }
-            }
-        }
-        ModelCategory::Vulnerability => {
-            let x_train = store.escort().gather_dense(train_idx);
-            let x_test = store.escort().gather_dense(test_idx);
-            let vuln = ctx.gather_vuln(train_idx);
-            let mut model = EscortNet::new(EscortConfig {
-                input_dim: profile.escort_dim,
-                train: TrainConfig {
-                    epochs: profile.nn_epochs.max(2),
-                    learning_rate: 0.01,
-                    batch_size: 16,
-                    seed,
-                },
-                ..EscortConfig::default()
-            });
-            let t0 = Instant::now();
-            model.pretrain(&x_train, &vuln);
-            model.fit_transfer(&x_train, &y_train);
-            let train_seconds = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            let probs = model.predict_proba(&x_test);
-            let infer_seconds = t1.elapsed().as_secs_f64();
-            outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds)
-        }
+    let rows = store.matrix(kind.encoding()).gather_rows(train_idx);
+    let labels = ctx.gather_labels(train_idx);
+    let mut model = kind.build(store.encoders(), profile, seed);
+    let aux = model
+        .wants_pretraining()
+        .then(|| ctx.gather_vuln(train_idx));
+    let t0 = Instant::now();
+    if let Some(aux) = &aux {
+        model.pretrain(&rows, aux);
     }
+    model.fit(&rows, &labels);
+    (model, t0.elapsed().as_secs_f64())
 }
 
 fn outcome_from_probs(
@@ -702,21 +654,49 @@ mod tests {
     #[test]
     fn random_forest_beats_chance_on_synthetic_corpus() {
         let data = small_dataset();
+        let ctx = EvalContext::new(&data, &EvalProfile::quick());
         let folds = data.stratified_folds(3, 5);
-        let (train, test) = data.fold_split(&folds, 0);
-        let outcome = train_and_evaluate(
-            ModelKind::RandomForest,
-            &train,
-            &test,
-            &EvalProfile::quick(),
-            3,
-        );
+        let (train_idx, test_idx) = Dataset::fold_indices(&folds, 0);
+        let outcome = evaluate_trial(&ctx, ModelKind::RandomForest, &train_idx, &test_idx, 3);
         assert!(
             outcome.metrics.accuracy > 0.7,
             "RF accuracy = {}",
             outcome.metrics.accuracy
         );
         assert!(outcome.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn every_kind_builds_through_the_factory() {
+        let data = small_dataset();
+        let ctx = EvalContext::new(&data, &EvalProfile::quick());
+        for kind in ModelKind::ALL {
+            let model = kind.build(ctx.store().encoders(), ctx.profile(), 1);
+            // Only ESCORT carries the two-phase transfer protocol.
+            assert_eq!(
+                model.wants_pretraining(),
+                kind == ModelKind::Escort,
+                "{kind}"
+            );
+            // Classical models report 0 parameters; NN kinds report > 0.
+            assert_eq!(
+                model.parameter_count() > 0,
+                kind.category() != ModelCategory::Histogram,
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn encodings_follow_categories() {
+        use phishinghook_features::Encoding;
+        assert_eq!(ModelKind::RandomForest.encoding(), Encoding::Histogram);
+        assert_eq!(ModelKind::VitFreq.encoding(), Encoding::FreqImage);
+        assert_eq!(ModelKind::VitR2d2.encoding(), Encoding::R2d2);
+        assert_eq!(ModelKind::ScsGuard.encoding(), Encoding::Bigram);
+        assert_eq!(ModelKind::Gpt2Alpha.encoding(), Encoding::TokensTruncate);
+        assert_eq!(ModelKind::T5Beta.encoding(), Encoding::TokensWindows);
+        assert_eq!(ModelKind::Escort.encoding(), Encoding::Escort);
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub use featurizer::{FeatureRow, FeatureVec, Featurizer};
 pub use freq_image::FreqImageEncoder;
 pub use histogram::HistogramEncoder;
 pub use image::R2d2Encoder;
-pub use store::{BatchExecutor, FeatureMatrix, FeatureStore, SequentialExecutor, StoreConfig};
+pub use store::{
+    BatchExecutor, Encoding, FeatureMatrix, FeatureStore, FittedEncoders, SequentialExecutor,
+    StoreConfig,
+};
 pub use tokens::{OpcodeTokenizer, SequenceVariant};
 
 // NOTE: the six-encoders-one-decode acceptance test lives in the

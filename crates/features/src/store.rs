@@ -74,6 +74,71 @@ impl Default for StoreConfig {
     }
 }
 
+/// Names one of the seven encodings a [`FeatureStore`] materializes (the
+/// six encoders, with the tokenizer contributing both sequence variants).
+///
+/// The enum is the selection key of the serving path: a model kind maps to
+/// the single encoding it consumes, so scoring a fresh contract pays for
+/// exactly that encoding instead of all seven (token windows dominate the
+/// full pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// Opcode-occurrence histogram (the seven HSCs).
+    Histogram,
+    /// Per-instruction frequency image (ViT+Freq).
+    FreqImage,
+    /// RGB byte image (ViT+R2D2, ECA+EfficientNet).
+    R2d2,
+    /// SCSGuard bigram id sequence.
+    Bigram,
+    /// α-variant truncated token windows (GPT-2a, T5a).
+    TokensTruncate,
+    /// β-variant sliding token windows (GPT-2b, T5b).
+    TokensWindows,
+    /// ESCORT hashed-trigram embedding.
+    Escort,
+}
+
+impl Encoding {
+    /// All seven encodings, in store order (the order
+    /// [`FeatureStore::encode_new`] returns rows in).
+    pub const ALL: [Encoding; 7] = [
+        Encoding::Histogram,
+        Encoding::FreqImage,
+        Encoding::R2d2,
+        Encoding::Bigram,
+        Encoding::TokensTruncate,
+        Encoding::TokensWindows,
+        Encoding::Escort,
+    ];
+
+    /// Position in [`Encoding::ALL`] (and in the `encode_new` row array).
+    pub fn index(self) -> usize {
+        match self {
+            Encoding::Histogram => 0,
+            Encoding::FreqImage => 1,
+            Encoding::R2d2 => 2,
+            Encoding::Bigram => 3,
+            Encoding::TokensTruncate => 4,
+            Encoding::TokensWindows => 5,
+            Encoding::Escort => 6,
+        }
+    }
+
+    /// Short stable name, used in benches and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::Histogram => "histogram",
+            Encoding::FreqImage => "freq_image",
+            Encoding::R2d2 => "r2d2",
+            Encoding::Bigram => "bigram",
+            Encoding::TokensTruncate => "tokens_truncate",
+            Encoding::TokensWindows => "tokens_windows",
+            Encoding::Escort => "escort",
+        }
+    }
+}
+
 /// How a store maps an encoder over a cache batch. The features crate is
 /// dependency-free, so the parallel driver lives upstream (the core crate's
 /// worker pool implements this trait); [`SequentialExecutor`] is the
@@ -220,6 +285,16 @@ impl FeatureMatrix {
         }
     }
 
+    /// Borrowed row views for a fold, in index order — the zero-copy
+    /// gather the trait-dispatched model layer consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Vec<FeatureRow<'_>> {
+        indices.iter().map(|&i| self.row(i)).collect()
+    }
+
     /// Gathers dense rows for a fold, in index order (copies row data —
     /// downstream models need owned contiguous inputs).
     pub fn gather_dense(&self, indices: &[usize]) -> Vec<Vec<f32>> {
@@ -282,6 +357,77 @@ impl FeatureMatrix {
     }
 }
 
+/// The six fitted encoders of one dataset, detached from the column stores.
+///
+/// This is the *serving half* of a [`FeatureStore`]: it carries only the
+/// lookup tables (histogram vocabulary, frequency tables, bigram
+/// vocabulary — kilobytes), not the per-sample feature matrices, so a
+/// trained detector can keep featurizing fresh contracts long after the
+/// training-set encodings are dropped.
+#[derive(Debug, Clone)]
+pub struct FittedEncoders {
+    hist: HistogramEncoder,
+    freq: FreqImageEncoder,
+    r2d2: R2d2Encoder,
+    bigram: BigramEncoder,
+    token: OpcodeTokenizer,
+    escort: EscortEmbedder,
+}
+
+impl FittedEncoders {
+    /// Fits all six encoders on `fit`'s shared caches under `config`'s
+    /// geometry.
+    pub fn fit(fit: &[DisasmCache], config: &StoreConfig) -> Self {
+        FittedEncoders {
+            hist: HistogramEncoder::fit(fit),
+            freq: FreqImageEncoder::fit(fit, config.image_side),
+            r2d2: R2d2Encoder::new(config.image_side),
+            bigram: BigramEncoder::fit(fit, config.bigram_vocab, config.bigram_len),
+            token: OpcodeTokenizer::new(config.context),
+            escort: EscortEmbedder::new(config.escort_dim),
+        }
+    }
+
+    /// Featurizes one contract under a single selected encoding — the
+    /// selective serving path: a single-model detector pays for exactly the
+    /// representation its model consumes, never the full seven-row pass.
+    pub fn encode(&self, cache: &DisasmCache, encoding: Encoding) -> FeatureVec {
+        match encoding {
+            Encoding::Histogram => FeatureVec::Dense(self.hist.encode(cache)),
+            Encoding::FreqImage => FeatureVec::Dense(self.freq.encode(cache)),
+            Encoding::R2d2 => FeatureVec::Dense(self.r2d2.encode(cache)),
+            Encoding::Bigram => FeatureVec::Ids(self.bigram.encode(cache)),
+            Encoding::TokensTruncate => {
+                FeatureVec::Windows(self.token.encode(cache, SequenceVariant::Truncate))
+            }
+            Encoding::TokensWindows => {
+                FeatureVec::Windows(self.token.encode(cache, SequenceVariant::SlidingWindow))
+            }
+            Encoding::Escort => FeatureVec::Dense(self.escort.encode(cache)),
+        }
+    }
+
+    /// All seven encoding rows of one contract, in [`Encoding::ALL`] order.
+    pub fn encode_all(&self, cache: &DisasmCache) -> [FeatureVec; 7] {
+        Encoding::ALL.map(|e| self.encode(cache, e))
+    }
+
+    /// Histogram feature width (dataset vocabulary size).
+    pub fn histogram_width(&self) -> usize {
+        self.hist.vocab_len()
+    }
+
+    /// SCSGuard embedding-table size (bigram vocabulary + PAD/UNK).
+    pub fn bigram_vocab_size(&self) -> usize {
+        self.bigram.vocab_size()
+    }
+
+    /// Language-model vocabulary size (opcode-level, fixed).
+    pub fn token_vocab_size(&self) -> usize {
+        self.token.vocab_size()
+    }
+}
+
 /// All encodings of one dataset, plus the fitted encoders (kept so freshly
 /// observed contracts can be featurized against the same lookup tables).
 #[derive(Debug, Clone)]
@@ -294,12 +440,7 @@ pub struct FeatureStore {
     tokens_truncate: FeatureMatrix,
     tokens_windows: FeatureMatrix,
     escort: FeatureMatrix,
-    hist_enc: HistogramEncoder,
-    freq_enc: FreqImageEncoder,
-    r2d2_enc: R2d2Encoder,
-    bigram_enc: BigramEncoder,
-    token_enc: OpcodeTokenizer,
-    escort_enc: EscortEmbedder,
+    encoders: FittedEncoders,
 }
 
 impl FeatureStore {
@@ -329,25 +470,18 @@ impl FeatureStore {
         config: &StoreConfig,
         exec: &dyn BatchExecutor,
     ) -> Self {
-        let hist_enc = HistogramEncoder::fit(fit);
-        let freq_enc = FreqImageEncoder::fit(fit, config.image_side);
-        let r2d2_enc = R2d2Encoder::new(config.image_side);
-        let bigram_enc = BigramEncoder::fit(fit, config.bigram_vocab, config.bigram_len);
-        let token_enc = OpcodeTokenizer::new(config.context);
-        let escort_enc = EscortEmbedder::new(config.escort_dim);
+        let encoders = FittedEncoders::fit(fit, config);
 
-        let pack = |encode: &(dyn Fn(&DisasmCache) -> FeatureVec + Sync)| {
-            FeatureMatrix::from_vecs(exec.encode_batch(caches, encode))
+        let pack = |encoding: Encoding| {
+            FeatureMatrix::from_vecs(exec.encode_batch(caches, &|c| encoders.encode(c, encoding)))
         };
-        let histogram = pack(&|c| FeatureVec::Dense(hist_enc.encode(c)));
-        let freq_image = pack(&|c| FeatureVec::Dense(freq_enc.encode(c)));
-        let r2d2 = pack(&|c| FeatureVec::Dense(r2d2_enc.encode(c)));
-        let bigram = pack(&|c| FeatureVec::Ids(bigram_enc.encode(c)));
-        let tokens_truncate =
-            pack(&|c| FeatureVec::Windows(token_enc.encode(c, SequenceVariant::Truncate)));
-        let tokens_windows =
-            pack(&|c| FeatureVec::Windows(token_enc.encode(c, SequenceVariant::SlidingWindow)));
-        let escort = pack(&|c| FeatureVec::Dense(escort_enc.encode(c)));
+        let histogram = pack(Encoding::Histogram);
+        let freq_image = pack(Encoding::FreqImage);
+        let r2d2 = pack(Encoding::R2d2);
+        let bigram = pack(Encoding::Bigram);
+        let tokens_truncate = pack(Encoding::TokensTruncate);
+        let tokens_windows = pack(Encoding::TokensWindows);
+        let escort = pack(Encoding::Escort);
 
         FeatureStore {
             len: caches.len(),
@@ -358,12 +492,7 @@ impl FeatureStore {
             tokens_truncate,
             tokens_windows,
             escort,
-            hist_enc,
-            freq_enc,
-            r2d2_enc,
-            bigram_enc,
-            token_enc,
-            escort_enc,
+            encoders,
         }
     }
 
@@ -412,41 +541,61 @@ impl FeatureStore {
         &self.escort
     }
 
+    /// The column store of one encoding, selected by key — the single
+    /// dispatch point the trait-based model layer gathers rows through.
+    pub fn matrix(&self, encoding: Encoding) -> &FeatureMatrix {
+        match encoding {
+            Encoding::Histogram => &self.histogram,
+            Encoding::FreqImage => &self.freq_image,
+            Encoding::R2d2 => &self.r2d2,
+            Encoding::Bigram => &self.bigram,
+            Encoding::TokensTruncate => &self.tokens_truncate,
+            Encoding::TokensWindows => &self.tokens_windows,
+            Encoding::Escort => &self.escort,
+        }
+    }
+
     /// Histogram feature width (dataset vocabulary size).
     pub fn histogram_width(&self) -> usize {
-        self.hist_enc.vocab_len()
+        self.encoders.histogram_width()
     }
 
     /// SCSGuard embedding-table size (bigram vocabulary + PAD/UNK).
     pub fn bigram_vocab_size(&self) -> usize {
-        self.bigram_enc.vocab_size()
+        self.encoders.bigram_vocab_size()
     }
 
     /// Language-model vocabulary size (opcode-level, fixed).
     pub fn token_vocab_size(&self) -> usize {
-        self.token_enc.vocab_size()
+        self.encoders.token_vocab_size()
     }
 
     /// The fitted histogram encoder (for featurizing new contracts against
     /// the same vocabulary).
     pub fn histogram_encoder(&self) -> &HistogramEncoder {
-        &self.hist_enc
+        &self.encoders.hist
+    }
+
+    /// The fitted encoder set — clone this (kilobytes, not the matrices) to
+    /// build a persistent serving artifact that outlives the store.
+    pub fn encoders(&self) -> &FittedEncoders {
+        &self.encoders
+    }
+
+    /// Featurizes a contract that is *not* in the store under a single
+    /// selected encoding — the selective serving path (see
+    /// [`FittedEncoders::encode`]).
+    pub fn encode_one(&self, cache: &DisasmCache, encoding: Encoding) -> FeatureVec {
+        self.encoders.encode(cache, encoding)
     }
 
     /// Featurizes a contract that is *not* in the store against the fitted
     /// lookup tables, returning all seven encoding rows in store order:
     /// histogram, freq-image, R2D2, bigram, α tokens, β tokens, ESCORT.
-    /// This is the serving path — one decode, all encodings.
+    /// This is the full serving pass — one decode, all encodings; use
+    /// [`FeatureStore::encode_one`] when a single model's encoding suffices.
     pub fn encode_new(&self, cache: &DisasmCache) -> [FeatureVec; 7] {
-        [
-            FeatureVec::Dense(self.hist_enc.encode(cache)),
-            FeatureVec::Dense(self.freq_enc.encode(cache)),
-            FeatureVec::Dense(self.r2d2_enc.encode(cache)),
-            FeatureVec::Ids(self.bigram_enc.encode(cache)),
-            FeatureVec::Windows(self.token_enc.encode(cache, SequenceVariant::Truncate)),
-            FeatureVec::Windows(self.token_enc.encode(cache, SequenceVariant::SlidingWindow)),
-            FeatureVec::Dense(self.escort_enc.encode(cache)),
-        ]
+        self.encoders.encode_all(cache)
     }
 }
 
@@ -553,6 +702,51 @@ mod tests {
         assert_eq!(rows[0].len(), store.histogram_width());
         assert_eq!(rows[0].as_row(), store.histogram().row(0));
         assert_eq!(rows[3].as_row(), store.bigram().row(0));
+    }
+
+    #[test]
+    fn selective_encode_matches_the_full_pass() {
+        let caches = caches();
+        let store = FeatureStore::build(&caches, &small_config());
+        let full = store.encode_new(&caches[1]);
+        for encoding in Encoding::ALL {
+            // Each selective row equals the corresponding full-pass row...
+            assert_eq!(
+                store.encode_one(&caches[1], encoding),
+                full[encoding.index()]
+            );
+            // ...and the matrix selected by key is the named accessor's.
+            assert_eq!(
+                store.matrix(encoding).row(1),
+                full[encoding.index()].as_row()
+            );
+        }
+        // The detached encoder set serves the same rows as the store.
+        let encoders = store.encoders().clone();
+        assert_eq!(
+            encoders.encode(&caches[2], Encoding::Histogram),
+            store.encode_one(&caches[2], Encoding::Histogram)
+        );
+        assert_eq!(encoders.histogram_width(), store.histogram_width());
+    }
+
+    #[test]
+    fn encoding_indices_follow_all_order() {
+        for (i, e) in Encoding::ALL.into_iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+        let names: std::collections::HashSet<_> =
+            Encoding::ALL.into_iter().map(Encoding::name).collect();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn gather_rows_borrows_in_index_order() {
+        let store = FeatureStore::build(&caches(), &small_config());
+        let rows = store.histogram().gather_rows(&[2, 0]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], store.histogram().row(2));
+        assert_eq!(rows[1], store.histogram().row(0));
     }
 
     #[test]

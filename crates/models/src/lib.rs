@@ -15,12 +15,19 @@
 //! HuggingFace GPT-2/T5 checkpoints on GPUs; we train the same architectures
 //! at reduced width/depth from scratch on CPU, preserving the inductive
 //! biases the comparison is about.
+//!
+//! All six deep models — and, through the [`DenseClassifier`] adapter, the
+//! classical classifiers of `phishinghook_ml` — implement the unified
+//! [`Model`] trait ([`model`]): one `fit`/`predict_proba` protocol over
+//! borrowed `FeatureRow` views, which is what the evaluation engine and the
+//! serving `Detector` dispatch through.
 
 #![warn(missing_docs)]
 
 pub mod eca_net;
 pub mod escort;
 pub mod gpt2;
+pub mod model;
 pub mod scsguard;
 pub mod t5;
 pub mod trainer;
@@ -29,6 +36,7 @@ pub mod vit;
 pub use eca_net::EcaEfficientNet;
 pub use escort::EscortNet;
 pub use gpt2::Gpt2Classifier;
+pub use model::{DenseClassifier, Model};
 pub use scsguard::ScsGuard;
 pub use t5::T5Classifier;
 pub use trainer::TrainConfig;

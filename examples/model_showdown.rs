@@ -60,4 +60,36 @@ fn main() {
             }
         );
     }
+
+    // Serving: keep all five contenders as one ModelZoo over the same
+    // context and screen a few fresh deployments in a single shared
+    // encoding pass — every model votes, each distinct encoding is
+    // computed once per contract.
+    let zoo = ModelZoo::train(&ctx, &contenders, 17);
+    let fresh: Vec<_> = chain
+        .records()
+        .iter()
+        .rev()
+        .take(4)
+        .map(|r| (r.address, r.bytecode.clone()))
+        .collect();
+    let codes: Vec<_> = fresh.iter().map(|(_, code)| code.clone()).collect();
+
+    println!(
+        "\nmodel zoo: {} models screening fresh contracts",
+        zoo.len()
+    );
+    for ((address, _), verdicts) in fresh.iter().zip(zoo.score_codes(&codes)) {
+        let blocks = verdicts.iter().filter(|v| v.is_phishing()).count();
+        let probs: Vec<String> = verdicts
+            .iter()
+            .map(|v| format!("{} {:.2}", v.kind.id(), v.probability))
+            .collect();
+        println!(
+            "  {address}  {}/{} vote BLOCK   [{}]",
+            blocks,
+            verdicts.len(),
+            probs.join(", ")
+        );
+    }
 }

@@ -16,16 +16,12 @@ fn main() {
         report.scanned, report.flagged, report.unique, report.dataset
     );
 
-    // 2. MEM: one stratified fold, Random Forest on opcode histograms.
+    // 2. MEM: decode + featurize once into a shared context, then evaluate
+    //    Random Forest on one stratified fold.
+    let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
     let folds = dataset.stratified_folds(5, 7);
-    let (train, test) = dataset.fold_split(&folds, 0);
-    let outcome = train_and_evaluate(
-        ModelKind::RandomForest,
-        &train,
-        &test,
-        &EvalProfile::quick(),
-        7,
-    );
+    let (train_idx, test_idx) = Dataset::fold_indices(&folds, 0);
+    let outcome = evaluate_trial(&ctx, ModelKind::RandomForest, &train_idx, &test_idx, 7);
     println!(
         "Random Forest: accuracy {:.2}%  F1 {:.2}%  precision {:.2}%  recall {:.2}%",
         100.0 * outcome.metrics.accuracy,
@@ -36,12 +32,12 @@ fn main() {
     println!(
         "trained in {:.2}s, inference over {} contracts in {:.3}s",
         outcome.train_seconds,
-        test.len(),
+        test_idx.len(),
         outcome.infer_seconds
     );
 
     // 3. BDM: peek at a disassembly, as the paper's pipeline stores it.
-    let sample = &test.samples[0];
+    let sample = &dataset.samples[test_idx[0]];
     let instrs = disassemble_bytecode(&sample.bytecode);
     println!(
         "first contract in the test fold: {} bytes, {} instructions, label {}",

@@ -4,6 +4,11 @@
 //! `eth_getCode` and warns *before* the signature, with no transaction
 //! replay.
 //!
+//! The wallet vendor trains a [`Detector`] once, offline, and ships the
+//! persistent artifact; at signing time each suspect address costs one
+//! `eth_getCode`, one decode and one encoding pass — no re-training, no
+//! re-featurization of the vendor corpus.
+//!
 //! Run with: `cargo run --release --example wallet_guard`
 
 use phishinghook::prelude::*;
@@ -15,10 +20,17 @@ fn main() {
     let chain = SimulatedChain::from_corpus(&corpus);
     let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
 
-    // ...on which the wallet vendor trains its detector once, offline.
-    let folds = dataset.stratified_folds(5, 1);
-    let (train, _) = dataset.fold_split(&folds, 0);
-    let profile = EvalProfile::quick();
+    // ...on which the wallet vendor trains its detector once, offline:
+    // decode + featurize the corpus a single time, fit the paper's best
+    // model, and keep the trained artifact.
+    let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+    let detector = Detector::train(&ctx, ModelKind::RandomForest, 11);
+    println!(
+        "vendor: trained {} on {} contracts in {:.2}s\n",
+        detector.kind(),
+        detector.trained_on(),
+        detector.train_seconds()
+    );
 
     // The user is now prompted to interact with these unknown addresses —
     // pick a few real deployments of each class from the simulated chain.
@@ -31,27 +43,14 @@ fn main() {
         .map(|r| r.address)
         .collect();
 
-    // Train a fresh Random Forest on opcode histograms (what the vendor
-    // would ship) and score each suspect's bytecode.
-    use phishinghook_features::HistogramEncoder;
-    use phishinghook_linalg::Matrix;
-    use phishinghook_ml::{Classifier, RandomForest};
-
-    let train_caches = train.disasm_batch();
-    let encoder = HistogramEncoder::fit(&train_caches);
-    let x_train = Matrix::from_rows(&encoder.encode_batch(&train_caches));
-    let mut model = RandomForest::new(profile.n_trees, 11);
-    model.fit(&x_train, &train.labels());
-
     println!(
         "wallet guard: screening {} contracts before signature\n",
         suspects.len()
     );
     for address in suspects {
-        let code = rpc.eth_get_code(&address).expect("deployed contract");
-        let cache = phishinghook_evm::DisasmCache::build(&code);
-        let features = Matrix::from_rows(&[encoder.encode(&cache)]);
-        let p = model.predict_proba(&features)[0];
+        let p = detector
+            .score_address(&rpc, &address)
+            .expect("deployed contract");
         let truth = chain
             .record(&address)
             .map(|r| r.family.to_string())

@@ -105,18 +105,21 @@ fn cross_validation_stays_reproducible_through_the_parallel_pipeline() {
     let _serialized = counter_guard();
     let dataset = build_dataset(55);
     let profile = EvalProfile::quick();
-    let a = train_and_evaluate(
+    let (train_idx, test_idx) = Dataset::fold_indices(&dataset.stratified_folds(3, 9), 0);
+    // Each trial runs over a freshly built context: the parallel store
+    // construction must featurize identically both times.
+    let a = evaluate_trial(
+        &EvalContext::new(&dataset, &profile),
         ModelKind::LogisticRegression,
-        &dataset.fold_split(&dataset.stratified_folds(3, 9), 0).0,
-        &dataset.fold_split(&dataset.stratified_folds(3, 9), 0).1,
-        &profile,
+        &train_idx,
+        &test_idx,
         4,
     );
-    let b = train_and_evaluate(
+    let b = evaluate_trial(
+        &EvalContext::new(&dataset, &profile),
         ModelKind::LogisticRegression,
-        &dataset.fold_split(&dataset.stratified_folds(3, 9), 0).0,
-        &dataset.fold_split(&dataset.stratified_folds(3, 9), 0).1,
-        &profile,
+        &train_idx,
+        &test_idx,
         4,
     );
     assert_eq!(a.metrics, b.metrics, "same seed, same folds, same metrics");

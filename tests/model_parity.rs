@@ -1,24 +1,26 @@
-//! Smoke parity across all sixteen models: each trains on the synthetic
-//! corpus and produces coherent metrics. Mirrors Table II's qualitative
-//! structure — HSCs strong, ESCORT near chance.
+//! Smoke parity across all sixteen models: each trains through the unified
+//! `Model` trait dispatch on the synthetic corpus and produces coherent
+//! metrics. Mirrors Table II's qualitative structure — HSCs strong, ESCORT
+//! near chance.
 
 use phishinghook::prelude::*;
 
-fn shared_dataset() -> Dataset {
+fn shared_context() -> (Dataset, EvalContext) {
     let corpus = generate_corpus(&CorpusConfig::small(404));
     let chain = SimulatedChain::from_corpus(&corpus);
-    extract_dataset(&chain, &BemConfig::default()).0
+    let dataset = extract_dataset(&chain, &BemConfig::default()).0;
+    let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+    (dataset, ctx)
 }
 
 #[test]
 fn all_sixteen_models_run_and_report_valid_metrics() {
-    let dataset = shared_dataset();
+    let (dataset, ctx) = shared_context();
     let folds = dataset.stratified_folds(3, 5);
-    let (train, test) = dataset.fold_split(&folds, 0);
-    let profile = EvalProfile::quick();
+    let (train_idx, test_idx) = Dataset::fold_indices(&folds, 0);
 
     for kind in ModelKind::ALL {
-        let outcome = train_and_evaluate(kind, &train, &test, &profile, 5);
+        let outcome = evaluate_trial(&ctx, kind, &train_idx, &test_idx, 5);
         let m = outcome.metrics;
         for v in [m.accuracy, m.f1, m.precision, m.recall] {
             assert!((0.0..=1.0).contains(&v), "{kind}: metric out of range");
@@ -37,13 +39,12 @@ fn all_sixteen_models_run_and_report_valid_metrics() {
 #[test]
 fn histogram_classifiers_beat_the_vulnerability_detector() {
     // The paper's headline structural finding: HSCs ≈ 90%+, ESCORT ≈ 56%.
-    let dataset = shared_dataset();
+    let (dataset, ctx) = shared_context();
     let folds = dataset.stratified_folds(3, 9);
-    let (train, test) = dataset.fold_split(&folds, 0);
-    let profile = EvalProfile::quick();
+    let (train_idx, test_idx) = Dataset::fold_indices(&folds, 0);
 
-    let rf = train_and_evaluate(ModelKind::RandomForest, &train, &test, &profile, 9);
-    let escort = train_and_evaluate(ModelKind::Escort, &train, &test, &profile, 9);
+    let rf = evaluate_trial(&ctx, ModelKind::RandomForest, &train_idx, &test_idx, 9);
+    let escort = evaluate_trial(&ctx, ModelKind::Escort, &train_idx, &test_idx, 9);
     assert!(
         rf.metrics.accuracy > escort.metrics.accuracy,
         "RF {} should beat ESCORT {}",
@@ -59,12 +60,11 @@ fn histogram_classifiers_beat_the_vulnerability_detector() {
 
 #[test]
 fn boosting_trio_is_competitive_with_the_forest() {
-    let dataset = shared_dataset();
+    let (dataset, ctx) = shared_context();
     let folds = dataset.stratified_folds(3, 13);
-    let (train, test) = dataset.fold_split(&folds, 0);
-    let profile = EvalProfile::quick();
+    let (train_idx, test_idx) = Dataset::fold_indices(&folds, 0);
     for kind in [ModelKind::Xgboost, ModelKind::Lightgbm, ModelKind::Catboost] {
-        let outcome = train_and_evaluate(kind, &train, &test, &profile, 13);
+        let outcome = evaluate_trial(&ctx, kind, &train_idx, &test_idx, 13);
         assert!(
             outcome.metrics.accuracy > 0.7,
             "{kind}: accuracy {}",

@@ -24,16 +24,20 @@ fn model_evaluation_is_deterministic() {
     let chain = SimulatedChain::from_corpus(&corpus);
     let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
     let folds = dataset.stratified_folds(3, 42);
-    let (train, test) = dataset.fold_split(&folds, 0);
+    let (train_idx, test_idx) = Dataset::fold_indices(&folds, 0);
     let profile = EvalProfile::quick();
+    // Two independently built contexts: featurization and trait-dispatched
+    // training must both be seed-deterministic.
+    let ctx_a = EvalContext::new(&dataset, &profile);
+    let ctx_b = EvalContext::new(&dataset, &profile);
 
     for kind in [
         ModelKind::RandomForest,
         ModelKind::Xgboost,
         ModelKind::ScsGuard,
     ] {
-        let a = train_and_evaluate(kind, &train, &test, &profile, 42);
-        let b = train_and_evaluate(kind, &train, &test, &profile, 42);
+        let a = evaluate_trial(&ctx_a, kind, &train_idx, &test_idx, 42);
+        let b = evaluate_trial(&ctx_b, kind, &train_idx, &test_idx, 42);
         assert_eq!(a.metrics, b.metrics, "{kind} must be seed-deterministic");
     }
 }
