@@ -1,0 +1,80 @@
+//! The typed failure surface of every persistence path.
+
+use std::fmt;
+
+/// Why an artifact could not be written, parsed or applied.
+///
+/// Every decode path in the workspace funnels into this type: a malformed
+/// or truncated artifact surfaces as an `Err` the caller can report, never
+/// as a panic inside the serving process.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// Wrong magic, unsupported format version, or a container-level
+    /// structural violation.
+    Format(String),
+    /// A section's stored checksum disagrees with its payload.
+    Checksum(String),
+    /// A payload is truncated or structurally invalid.
+    Corrupt(String),
+    /// A required section is absent from the container.
+    MissingSection(String),
+    /// Decoded state disagrees with the geometry the receiver expects
+    /// (tensor shapes, matrix layout, model kind, vocabulary sizes).
+    Mismatch(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact i/o error: {e}"),
+            ArtifactError::Format(m) => write!(f, "not a readable artifact: {m}"),
+            ArtifactError::Checksum(m) => write!(f, "artifact checksum mismatch: {m}"),
+            ArtifactError::Corrupt(m) => write!(f, "corrupt artifact payload: {m}"),
+            ArtifactError::MissingSection(m) => write!(f, "artifact section missing: {m}"),
+            ArtifactError::Mismatch(m) => write!(f, "artifact state mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_distinct_and_prefixed() {
+        let variants = [
+            ArtifactError::Format("bad magic".into()),
+            ArtifactError::Checksum("meta".into()),
+            ArtifactError::Corrupt("truncated".into()),
+            ArtifactError::MissingSection("model".into()),
+            ArtifactError::Mismatch("shape".into()),
+        ];
+        let rendered: Vec<String> = variants.iter().map(ToString::to_string).collect();
+        let unique: std::collections::HashSet<_> = rendered.iter().collect();
+        assert_eq!(unique.len(), rendered.len());
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: ArtifactError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, ArtifactError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,82 @@
+//! The versioned binary persistence layer every serializable subsystem
+//! shares: a hand-rolled, dependency-free codec (no serde) with explicit
+//! little-endian byte order, length-prefixed variable-size fields, a
+//! magic + format-version container header and a per-section checksum.
+//!
+//! Three layers:
+//!
+//! * [`ByteWriter`] / [`ByteReader`] — primitive cursors. Writers are
+//!   infallible (they grow a `Vec<u8>`); readers return a typed
+//!   [`ArtifactError`] on truncation instead of panicking, so a corrupt
+//!   artifact can never take down a serving process.
+//! * [`ArtifactWriter`] / [`ArtifactReader`] — the sectioned container:
+//!   `magic ∥ version ∥ n ∥ (name, len, checksum, payload)*`. Section
+//!   payloads are opaque byte blobs; each carries an FNV-1a 64 checksum
+//!   verified at parse time.
+//! * Domain codecs live with their types (`ParamStore` tensors in `nn`,
+//!   fitted encoder tables and the columnar `FeatureMatrix` form in
+//!   `features`, classifier state in `ml`, model state behind the `Model`
+//!   trait in `models`) and compose these primitives.
+//!
+//! # Format stability
+//!
+//! [`FORMAT_VERSION`] names the container layout. A reader accepts exactly
+//! the versions it knows how to decode and rejects everything else with
+//! [`ArtifactError::Format`] — failing loudly at load time is the
+//! compatibility policy (artifacts are cheap to regenerate from a training
+//! run; silently misreading one is not).
+//!
+//! # Examples
+//!
+//! ```
+//! use phishinghook_artifact::{ArtifactReader, ArtifactWriter, ByteReader, ByteWriter};
+//!
+//! # fn main() -> Result<(), phishinghook_artifact::ArtifactError> {
+//! let mut payload = ByteWriter::new();
+//! payload.put_str("random forest");
+//! payload.put_f32_slice(&[0.25, 0.5]);
+//!
+//! let mut artifact = ArtifactWriter::new();
+//! artifact.section("meta", payload.into_bytes());
+//! let bytes = artifact.into_bytes();
+//!
+//! let parsed = ArtifactReader::from_bytes(&bytes)?;
+//! let mut meta = ByteReader::new(parsed.section("meta")?);
+//! assert_eq!(meta.take_str()?, "random forest");
+//! assert_eq!(meta.take_f32_slice()?, vec![0.25, 0.5]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod container;
+pub mod cursor;
+pub mod error;
+
+pub use container::{ArtifactReader, ArtifactWriter, FORMAT_VERSION, MAGIC};
+pub use cursor::{ByteReader, ByteWriter};
+pub use error::ArtifactError;
+
+/// FNV-1a 64-bit hash — the per-section checksum. Not cryptographic; it
+/// guards against truncation and bit rot, not adversaries.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_stable_and_input_sensitive() {
+        assert_eq!(checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(checksum(b"phishinghook"), checksum(b"phishinghook"));
+        assert_ne!(checksum(b"phishinghook"), checksum(b"phishinghooK"));
+    }
+}

@@ -48,13 +48,70 @@
 use crate::evalstore::EvalContext;
 use crate::mem::{fit_kind, EvalProfile, ModelKind};
 use crate::par::parallel_map;
+use phishinghook_artifact::{
+    ArtifactError, ArtifactReader, ArtifactWriter, ByteReader, ByteWriter,
+};
 use phishinghook_chain::{Address, RpcError, RpcProvider};
 use phishinghook_evm::{Bytecode, DisasmCache};
 use phishinghook_features::{Encoding, FeatureRow, FeatureVec, FittedEncoders};
 use phishinghook_models::Model;
+use std::path::Path;
 
 /// Probability at or above which a score is reported as phishing.
 pub const PHISHING_THRESHOLD: f32 = 0.5;
+
+/// Serializes the capacity profile a model was built under (fixed field
+/// order; the on-disk form is width-independent `u64`s).
+fn write_profile(w: &mut ByteWriter, p: &EvalProfile) {
+    for v in [
+        p.image_side,
+        p.nn_epochs,
+        p.nn_dim,
+        p.context,
+        p.bigram_len,
+        p.bigram_vocab,
+        p.n_trees,
+        p.boost_rounds,
+        p.knn_k,
+        p.linear_epochs,
+        p.escort_dim,
+    ] {
+        w.put_usize(v);
+    }
+}
+
+/// Inverse of [`write_profile`].
+fn read_profile(r: &mut ByteReader<'_>) -> Result<EvalProfile, ArtifactError> {
+    Ok(EvalProfile {
+        image_side: r.take_usize()?,
+        nn_epochs: r.take_usize()?,
+        nn_dim: r.take_usize()?,
+        context: r.take_usize()?,
+        bigram_len: r.take_usize()?,
+        bigram_vocab: r.take_usize()?,
+        n_trees: r.take_usize()?,
+        boost_rounds: r.take_usize()?,
+        knn_k: r.take_usize()?,
+        linear_epochs: r.take_usize()?,
+        escort_dim: r.take_usize()?,
+    })
+}
+
+/// Rebuilds a fitted model: the normal [`ModelKind::build`] factory under
+/// the restored encoders/profile/seed, then state import — byte-for-byte
+/// the training-side construction, which is what makes reloaded scores
+/// bit-identical.
+fn rebuild_model(
+    kind: ModelKind,
+    encoders: &FittedEncoders,
+    profile: &EvalProfile,
+    seed: u64,
+    state: &[u8],
+) -> Result<Box<dyn Model>, ArtifactError> {
+    let mut model = kind.build(encoders, profile, seed);
+    model.import_state(state)?;
+    Ok(model)
+}
 
 /// A trained, persistent phishing detector: one fitted [`Model`] plus the
 /// fitted encoder set it was trained under.
@@ -64,6 +121,7 @@ pub struct Detector {
     model: Box<dyn Model>,
     encoders: FittedEncoders,
     profile: EvalProfile,
+    seed: u64,
     train_seconds: f64,
     trained_on: usize,
 }
@@ -129,6 +187,7 @@ impl Detector {
             model,
             encoders: ctx.store().encoders().clone(),
             profile: *profile,
+            seed,
             train_seconds,
             trained_on: train_idx.len(),
         }
@@ -163,6 +222,93 @@ impl Detector {
     /// Number of samples the model was fitted on.
     pub fn trained_on(&self) -> usize {
         self.trained_on
+    }
+
+    /// The training seed (persisted so a reloaded artifact rebuilds its
+    /// model through the identical factory call).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Serializes the detector into its versioned artifact form: a `meta`
+    /// section (kind, seed, profile, provenance), the fitted encoder
+    /// lookup tables, and the model's fitted state — everything a fresh
+    /// process needs to reproduce this detector's scores bit-for-bit, and
+    /// nothing it does not (no training matrices).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = ByteWriter::new();
+        meta.put_str(self.kind.id());
+        meta.put_u64(self.seed);
+        meta.put_usize(self.trained_on);
+        meta.put_f64(self.train_seconds);
+        write_profile(&mut meta, &self.profile);
+
+        let mut artifact = ArtifactWriter::new();
+        artifact.section("meta", meta.into_bytes());
+        artifact.section("encoders", self.encoders.export_state());
+        artifact.section("model", self.model.export_state());
+        artifact.into_bytes()
+    }
+
+    /// Writes the artifact to a file — the "train once, ship" half of the
+    /// two-process workflow (see `examples/train_then_serve.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reconstructs a detector from [`Detector::to_bytes`] bytes.
+    ///
+    /// Cold-start parity guarantee: the model is rebuilt through the same
+    /// [`ModelKind::build`] factory call as training (same restored
+    /// encoders, profile and seed) and its fitted state is imported
+    /// bit-exactly, so the loaded detector's scores equal the training
+    /// process's scores bit-for-bit — enforced for every kind by
+    /// `tests/artifact_roundtrip.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Container-level failures (magic/version/checksum), a model kind
+    /// this build does not know, or model/encoder state that fails to
+    /// validate — a malformed artifact never panics the server.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Detector, ArtifactError> {
+        let artifact = ArtifactReader::from_bytes(bytes)?;
+        let mut meta = ByteReader::new(artifact.section("meta")?);
+        let kind_id = meta.take_str()?;
+        let kind = ModelKind::from_id(&kind_id)
+            .ok_or_else(|| ArtifactError::Mismatch(format!("unknown model kind {kind_id:?}")))?;
+        let seed = meta.take_u64()?;
+        let trained_on = meta.take_usize()?;
+        let train_seconds = meta.take_f64()?;
+        let profile = read_profile(&mut meta)?;
+        meta.expect_exhausted("detector meta")?;
+
+        let encoders = FittedEncoders::import_state(artifact.section("encoders")?)?;
+        let model = rebuild_model(kind, &encoders, &profile, seed, artifact.section("model")?)?;
+        Ok(Detector {
+            kind,
+            encoding: kind.encoding(),
+            model,
+            encoders,
+            profile,
+            seed,
+            train_seconds,
+            trained_on,
+        })
+    }
+
+    /// Reads an artifact file — the cold-start half of the two-process
+    /// workflow.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures plus everything [`Detector::from_bytes`] rejects.
+    pub fn load(path: impl AsRef<Path>) -> Result<Detector, ArtifactError> {
+        Detector::from_bytes(&std::fs::read(path)?)
     }
 
     /// Phishing probability of one already-decoded contract. Pays for
@@ -256,6 +402,7 @@ pub struct ModelZoo {
     models: Vec<(ModelKind, Box<dyn Model>)>,
     encoders: FittedEncoders,
     profile: EvalProfile,
+    seed: u64,
 }
 
 impl std::fmt::Debug for ModelZoo {
@@ -285,7 +432,95 @@ impl ModelZoo {
             models,
             encoders: ctx.store().encoders().clone(),
             profile: *ctx.profile(),
+            seed,
         }
+    }
+
+    /// Serializes the zoo: shared `meta` (seed, profile, kinds) and
+    /// encoder sections plus one `model.<i>` section per trained kind.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = ByteWriter::new();
+        meta.put_u64(self.seed);
+        write_profile(&mut meta, &self.profile);
+        meta.put_u32(self.models.len() as u32);
+        for (kind, _) in &self.models {
+            meta.put_str(kind.id());
+        }
+        let mut artifact = ArtifactWriter::new();
+        artifact.section("meta", meta.into_bytes());
+        artifact.section("encoders", self.encoders.export_state());
+        for (i, (_, model)) in self.models.iter().enumerate() {
+            artifact.section(&format!("model.{i}"), model.export_state());
+        }
+        artifact.into_bytes()
+    }
+
+    /// Writes the zoo artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reconstructs a zoo from [`ModelZoo::to_bytes`] bytes, with the same
+    /// cold-start parity guarantee as [`Detector::from_bytes`]: every
+    /// member's verdicts are bit-identical to the training process's.
+    ///
+    /// # Errors
+    ///
+    /// Container, kind and state-validation failures, typed — never a
+    /// panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ModelZoo, ArtifactError> {
+        let artifact = ArtifactReader::from_bytes(bytes)?;
+        let mut meta = ByteReader::new(artifact.section("meta")?);
+        let seed = meta.take_u64()?;
+        let profile = read_profile(&mut meta)?;
+        // Every kind id is at least its 4-byte length prefix; the bounded
+        // count keeps a crafted meta section from forcing a huge
+        // pre-allocation.
+        let count = meta.take_count_u32(4)?;
+        let mut kinds = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = meta.take_str()?;
+            kinds
+                .push(ModelKind::from_id(&id).ok_or_else(|| {
+                    ArtifactError::Mismatch(format!("unknown model kind {id:?}"))
+                })?);
+        }
+        meta.expect_exhausted("zoo meta")?;
+        if kinds.is_empty() {
+            return Err(ArtifactError::Corrupt("empty model zoo artifact".into()));
+        }
+
+        let encoders = FittedEncoders::import_state(artifact.section("encoders")?)?;
+        let mut models = Vec::with_capacity(count);
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let state = artifact.section(&format!("model.{i}"))?;
+            models.push((kind, rebuild_model(kind, &encoders, &profile, seed, state)?));
+        }
+        Ok(ModelZoo {
+            models,
+            encoders,
+            profile,
+            seed,
+        })
+    }
+
+    /// Reads a zoo artifact file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures plus everything [`ModelZoo::from_bytes`] rejects.
+    pub fn load(path: impl AsRef<Path>) -> Result<ModelZoo, ArtifactError> {
+        ModelZoo::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// The shared training seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The trained kinds, in training order.
@@ -459,5 +694,65 @@ mod tests {
         let (_, dataset) = fixture();
         let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
         Detector::train_on(&ctx, ModelKind::Knn, &[], 0);
+    }
+
+    #[test]
+    fn saved_detector_reloads_with_bit_identical_scores() {
+        let (_, dataset) = fixture();
+        let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+        let detector = Detector::train(&ctx, ModelKind::Xgboost, 11);
+        let caches: Vec<DisasmCache> = ctx.caches().as_slice()[..6].to_vec();
+        let expected = detector.score_batch(&caches);
+
+        let bytes = detector.to_bytes();
+        let reloaded = Detector::from_bytes(&bytes).unwrap();
+        assert_eq!(reloaded.kind(), ModelKind::Xgboost);
+        assert_eq!(reloaded.seed(), 11);
+        assert_eq!(reloaded.trained_on(), detector.trained_on());
+        assert_eq!(reloaded.profile(), detector.profile());
+        assert_eq!(reloaded.score_batch(&caches), expected);
+        // Round trip through a file too.
+        let path = std::env::temp_dir().join(format!("phk_detector_{}.phk", std::process::id()));
+        detector.save(&path).unwrap();
+        assert_eq!(
+            Detector::load(&path).unwrap().score_batch(&caches),
+            expected
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_detector_artifacts_are_typed_errors() {
+        let (_, dataset) = fixture();
+        let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+        let detector = Detector::train(&ctx, ModelKind::Knn, 1);
+        let bytes = detector.to_bytes();
+        // Truncations at every structural boundary fail cleanly.
+        for cut in [0, 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Detector::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // A flipped payload bit is caught by the section checksum.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert!(matches!(
+            Detector::from_bytes(&flipped),
+            Err(ArtifactError::Checksum(_))
+        ));
+    }
+
+    #[test]
+    fn saved_zoo_reloads_with_bit_identical_verdicts() {
+        let (_, dataset) = fixture();
+        let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+        let kinds = [ModelKind::RandomForest, ModelKind::Svm];
+        let zoo = ModelZoo::train(&ctx, &kinds, 9);
+        let caches: Vec<DisasmCache> = ctx.caches().as_slice()[..4].to_vec();
+        let expected = zoo.score_batch(&caches);
+
+        let reloaded = ModelZoo::from_bytes(&zoo.to_bytes()).unwrap();
+        assert_eq!(reloaded.kinds(), kinds.to_vec());
+        assert_eq!(reloaded.seed(), 9);
+        assert_eq!(reloaded.score_batch(&caches), expected);
     }
 }

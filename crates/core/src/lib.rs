@@ -76,8 +76,9 @@ pub use mem::{
     evaluate_trial_with, trial_plan, EvalProfile, ModelCategory, ModelKind, TrialOutcome,
     TrialSpec,
 };
-pub use metrics::{Confusion, Metrics, METRIC_NAMES};
+pub use metrics::{Confusion, Metrics, UnknownMetric, METRIC_NAMES};
 pub use pam::{posthoc_analysis, posthoc_over, PosthocReport};
+pub use phishinghook_artifact::ArtifactError;
 pub use phishinghook_models::Model;
 pub use scalability::{
     run_scalability, run_scalability_on, ScalabilityStudy, SCALABILITY_MODELS, SPLIT_RATIOS,
@@ -104,6 +105,7 @@ pub mod prelude {
     };
     pub use crate::shap_analysis::shap_analysis;
     pub use crate::time_resistance::{run_time_resistance, run_time_resistance_on};
+    pub use phishinghook_artifact::ArtifactError;
     pub use phishinghook_chain::{Explorer, QueryService, RpcProvider, SimulatedChain};
     pub use phishinghook_evm::{disassemble_bytecode, Bytecode};
     pub use phishinghook_synth::{generate_corpus, CorpusConfig, Month};

@@ -1,5 +1,26 @@
 //! Binary-classification metrics: the four columns of Table II.
 
+use std::fmt;
+
+/// A metric name [`Metrics::by_name`] does not recognize.
+///
+/// Carries the offending name so report/CLI layers can surface it; the
+/// valid names are [`METRIC_NAMES`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMetric(pub String);
+
+impl fmt::Display for UnknownMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown metric {:?} (expected one of {METRIC_NAMES:?})",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownMetric {}
+
 /// Confusion matrix of a binary classifier (positive = phishing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Confusion {
@@ -103,16 +124,17 @@ impl Metrics {
     /// Metric value by name (`"accuracy"`, `"f1"`, `"precision"`,
     /// `"recall"`), used by the post hoc analysis to iterate metrics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unknown name.
-    pub fn by_name(&self, name: &str) -> f64 {
+    /// [`UnknownMetric`] on any other name — report layers fed from
+    /// external configuration get a typed rejection, not a panic.
+    pub fn by_name(&self, name: &str) -> Result<f64, UnknownMetric> {
         match name {
-            "accuracy" => self.accuracy,
-            "f1" => self.f1,
-            "precision" => self.precision,
-            "recall" => self.recall,
-            other => panic!("unknown metric {other:?}"),
+            "accuracy" => Ok(self.accuracy),
+            "f1" => Ok(self.f1),
+            "precision" => Ok(self.precision),
+            "recall" => Ok(self.recall),
+            other => Err(UnknownMetric(other.to_string())),
         }
     }
 }
@@ -183,7 +205,16 @@ mod tests {
             recall: 0.4,
         };
         for (name, want) in METRIC_NAMES.iter().zip([0.1, 0.2, 0.3, 0.4]) {
-            assert_eq!(m.by_name(name), want);
+            assert_eq!(m.by_name(name), Ok(want));
         }
+    }
+
+    #[test]
+    fn unknown_metric_is_a_typed_error() {
+        let m = Metrics::default();
+        let err = m.by_name("auc").unwrap_err();
+        assert_eq!(err, UnknownMetric("auc".into()));
+        let rendered = err.to_string();
+        assert!(rendered.contains("auc") && rendered.contains("accuracy"));
     }
 }

@@ -81,7 +81,10 @@ pub fn posthoc_analysis(results: &[(ModelKind, Vec<TrialOutcome>)]) -> PosthocRe
     let mut normality_violations = Vec::new();
     for (kind, trials) in results {
         for metric in METRIC_NAMES {
-            let xs: Vec<f64> = trials.iter().map(|t| t.metrics.by_name(metric)).collect();
+            let xs: Vec<f64> = trials
+                .iter()
+                .map(|t| t.metrics.by_name(metric).expect("METRIC_NAMES entry"))
+                .collect();
             if let Ok(sw) = shapiro_wilk(&xs) {
                 if sw.p_value < 0.05 {
                     normality_violations.push((*kind, metric));
@@ -99,7 +102,12 @@ pub fn posthoc_analysis(results: &[(ModelKind, Vec<TrialOutcome>)]) -> PosthocRe
     for metric in METRIC_NAMES {
         let groups: Vec<Vec<f64>> = results
             .iter()
-            .map(|(_, trials)| trials.iter().map(|t| t.metrics.by_name(metric)).collect())
+            .map(|(_, trials)| {
+                trials
+                    .iter()
+                    .map(|t| t.metrics.by_name(metric).expect("METRIC_NAMES entry"))
+                    .collect()
+            })
             .collect();
         tests.push(kruskal_wallis(&groups).expect("valid KW groups"));
     }
@@ -120,7 +128,12 @@ pub fn posthoc_analysis(results: &[(ModelKind, Vec<TrialOutcome>)]) -> PosthocRe
     for metric in METRIC_NAMES {
         let groups: Vec<Vec<f64>> = results
             .iter()
-            .map(|(_, trials)| trials.iter().map(|t| t.metrics.by_name(metric)).collect())
+            .map(|(_, trials)| {
+                trials
+                    .iter()
+                    .map(|t| t.metrics.by_name(metric).expect("METRIC_NAMES entry"))
+                    .collect()
+            })
             .collect();
         let d = dunn_test(&groups).expect("valid Dunn groups");
         breakdown.push(significance_breakdown(&models, &d, 0.05));

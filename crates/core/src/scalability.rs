@@ -48,7 +48,12 @@ impl ScalabilityStudy {
             .cells
             .iter()
             .filter(|c| c.model == model && (c.ratio - ratio).abs() < 1e-9)
-            .map(|c| c.outcome.metrics.by_name(metric))
+            .map(|c| {
+                c.outcome
+                    .metrics
+                    .by_name(metric)
+                    .expect("valid metric name (see METRIC_NAMES)")
+            })
             .collect();
         xs.iter().sum::<f64>() / xs.len().max(1) as f64
     }
@@ -83,7 +88,12 @@ impl ScalabilityStudy {
                         .filter(|c| c.model == model && (c.ratio - ratio).abs() < 1e-9)
                         .nth(fold)
                         .expect("cell present");
-                    row.push(cell.outcome.metrics.by_name(metric));
+                    row.push(
+                        cell.outcome
+                            .metrics
+                            .by_name(metric)
+                            .expect("valid metric name (see METRIC_NAMES)"),
+                    );
                 }
                 blocks.push(row);
             }
@@ -109,7 +119,12 @@ impl ScalabilityStudy {
             self.cells
                 .iter()
                 .filter(|c| c.model == m)
-                .map(|c| c.outcome.metrics.by_name(metric))
+                .map(|c| {
+                    c.outcome
+                        .metrics
+                        .by_name(metric)
+                        .expect("valid metric name (see METRIC_NAMES)")
+                })
                 .collect()
         };
         cliffs_delta(&collect(a), &collect(b))

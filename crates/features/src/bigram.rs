@@ -11,6 +11,7 @@
 //! The encoder reads the raw bytes of the shared [`DisasmCache`].
 
 use crate::featurizer::{FeatureVec, Featurizer};
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_evm::DisasmCache;
 use std::collections::HashMap;
 
@@ -67,6 +68,61 @@ impl BigramEncoder {
     /// Padded sequence length.
     pub fn max_len(&self) -> usize {
         self.max_len
+    }
+
+    /// Serializes the fitted vocabulary (sorted by chunk, so identical
+    /// encoders serialize identically) plus the padded length.
+    pub fn write_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.max_len);
+        let mut entries: Vec<([u8; 3], u32)> = self.vocab.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        w.put_usize(entries.len());
+        for (chunk, id) in entries {
+            w.put_raw(&chunk);
+            w.put_u32(id);
+        }
+    }
+
+    /// Rebuilds a fitted encoder from [`BigramEncoder::write_state`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Corrupt`] on truncation, a zero length, a reserved
+    /// (PAD/UNK) id, or a duplicate chunk.
+    pub fn read_state(r: &mut ByteReader<'_>) -> Result<Self, ArtifactError> {
+        let max_len = r.take_usize()?;
+        if max_len == 0 {
+            return Err(ArtifactError::Corrupt("max_len must be positive".into()));
+        }
+        // Each entry occupies 7 bytes on the wire; the bounded count
+        // keeps a crafted payload from forcing a huge pre-allocation.
+        let len = r.take_count(7)?;
+        let mut vocab = HashMap::with_capacity(len);
+        // Fitting assigns the contiguous id range [2, len + 2); anything
+        // else would let a reloaded encoder emit ids past the embedding
+        // table a downstream model sizes from `vocab_size()`.
+        let mut seen_ids = vec![false; len];
+        for _ in 0..len {
+            let raw = r.take_raw(3)?;
+            let chunk = [raw[0], raw[1], raw[2]];
+            let id = r.take_u32()?;
+            let rank = (id as usize).wrapping_sub(2);
+            if id < 2 || rank >= len {
+                return Err(ArtifactError::Corrupt(format!(
+                    "bigram id {id} outside the contiguous [2, {}) range",
+                    len + 2
+                )));
+            }
+            if std::mem::replace(&mut seen_ids[rank], true) {
+                return Err(ArtifactError::Corrupt(format!("duplicate bigram id {id}")));
+            }
+            if vocab.insert(chunk, id).is_some() {
+                return Err(ArtifactError::Corrupt(format!(
+                    "duplicate bigram chunk {chunk:02X?}"
+                )));
+            }
+        }
+        Ok(BigramEncoder { vocab, max_len })
     }
 
     /// Encodes one contract as a fixed-length id sequence: truncated at

@@ -9,6 +9,7 @@
 //! bytes of the shared [`DisasmCache`].
 
 use crate::featurizer::{FeatureVec, Featurizer};
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_evm::DisasmCache;
 
 /// Default embedding dimension used by the [`Featurizer`] impl.
@@ -46,6 +47,26 @@ impl EscortEmbedder {
     /// Output dimension.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Serializes the embedder's geometry (hashing is stateless).
+    pub fn write_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.dim);
+    }
+
+    /// Rebuilds an embedder from [`EscortEmbedder::write_state`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Corrupt`] on truncation or a zero dimension.
+    pub fn read_state(r: &mut ByteReader<'_>) -> Result<Self, ArtifactError> {
+        let dim = r.take_usize()?;
+        if dim == 0 {
+            return Err(ArtifactError::Corrupt(
+                "embedding dimension must be positive".into(),
+            ));
+        }
+        Ok(EscortEmbedder { dim })
     }
 
     /// Encodes a contract as a log-scaled hashed trigram count vector.

@@ -15,6 +15,7 @@
 //! allocates nothing but the output image.
 
 use crate::featurizer::{FeatureVec, Featurizer};
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_evm::{DisasmCache, OpId};
 use std::collections::HashMap;
 
@@ -71,6 +72,95 @@ impl FreqImageEncoder {
     /// Always `false`.
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// Serializes the three fitted lookup tables plus the image side.
+    /// Hash-map tables are written in sorted key order so identical
+    /// encoders always serialize to identical bytes.
+    pub fn write_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.side);
+        w.put_f32_slice(&self.mnemonic_freq);
+
+        let mut operands: Vec<(&Vec<u8>, f32)> =
+            self.operand_freq.iter().map(|(k, &v)| (k, v)).collect();
+        operands.sort_by(|a, b| a.0.cmp(b.0));
+        w.put_usize(operands.len());
+        for (key, v) in operands {
+            w.put_bytes(key);
+            w.put_f32(v);
+        }
+
+        // Option<u32> keys sort None first, then by gas value.
+        let mut gas: Vec<(Option<u32>, f32)> =
+            self.gas_freq.iter().map(|(&k, &v)| (k, v)).collect();
+        gas.sort_by_key(|(k, _)| *k);
+        w.put_usize(gas.len());
+        for (key, v) in gas {
+            match key {
+                None => w.put_u8(0),
+                Some(g) => {
+                    w.put_u8(1);
+                    w.put_u32(g);
+                }
+            }
+            w.put_f32(v);
+        }
+    }
+
+    /// Rebuilds a fitted encoder from [`FreqImageEncoder::write_state`]
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Corrupt`] on truncation, a zero side, or a
+    /// mnemonic table that does not cover the opcode id space.
+    pub fn read_state(r: &mut ByteReader<'_>) -> Result<Self, ArtifactError> {
+        let side = r.take_usize()?;
+        if side == 0 {
+            return Err(ArtifactError::Corrupt("image side must be positive".into()));
+        }
+        let mnemonic_freq = r.take_f32_slice()?;
+        if mnemonic_freq.len() != OpId::CARDINALITY {
+            return Err(ArtifactError::Corrupt(format!(
+                "mnemonic table holds {} entries, expected {}",
+                mnemonic_freq.len(),
+                OpId::CARDINALITY
+            )));
+        }
+        let n_ops = r.take_usize()?;
+        let mut operand_freq = HashMap::with_capacity(n_ops.min(1 << 16));
+        for _ in 0..n_ops {
+            let key = r.take_bytes()?.to_vec();
+            let v = r.take_f32()?;
+            if operand_freq.insert(key, v).is_some() {
+                return Err(ArtifactError::Corrupt("duplicate operand table key".into()));
+            }
+        }
+        let n_gas = r.take_usize()?;
+        let mut gas_freq = HashMap::with_capacity(n_gas.min(1 << 16));
+        for _ in 0..n_gas {
+            let key = match r.take_u8()? {
+                0 => None,
+                1 => Some(r.take_u32()?),
+                tag => {
+                    return Err(ArtifactError::Corrupt(format!(
+                        "gas key tag {tag} (expected 0 or 1)"
+                    )))
+                }
+            };
+            let v = r.take_f32()?;
+            if gas_freq.insert(key, v).is_some() {
+                return Err(ArtifactError::Corrupt(format!(
+                    "duplicate gas table key {key:?}"
+                )));
+            }
+        }
+        Ok(FreqImageEncoder {
+            side,
+            mnemonic_freq,
+            operand_freq,
+            gas_freq,
+        })
     }
 
     /// Encodes one contract: instruction `k` becomes pixel `k` with channel

@@ -10,6 +10,7 @@
 //! array-indexed count — no string hashing anywhere on the hot path.
 
 use crate::featurizer::{FeatureVec, Featurizer};
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_evm::opcodes::opcode_by_mnemonic;
 use phishinghook_evm::{DisasmCache, OpId};
 
@@ -94,6 +95,43 @@ impl HistogramEncoder {
     /// Encodes a batch into row-major `(n, vocab)` features.
     pub fn encode_batch(&self, batch: &[DisasmCache]) -> Vec<Vec<f32>> {
         batch.iter().map(|c| self.encode(c)).collect()
+    }
+
+    /// Serializes the fitted vocabulary (interned op indices, in
+    /// feature-column order) — the only state this encoder carries.
+    pub fn write_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.vocab.len());
+        for id in &self.vocab {
+            w.put_u16(id.index() as u16);
+        }
+    }
+
+    /// Rebuilds a fitted encoder from [`HistogramEncoder::write_state`]
+    /// bytes; the dense index table is rederived from the vocabulary.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Corrupt`] on truncation, an index no byte interns
+    /// to, or a duplicate vocabulary entry.
+    pub fn read_state(r: &mut ByteReader<'_>) -> Result<Self, ArtifactError> {
+        let len = r.take_usize()?;
+        let mut vocab = Vec::with_capacity(len.min(OpId::CARDINALITY));
+        let mut index = vec![ABSENT; OpId::CARDINALITY];
+        for _ in 0..len {
+            let raw = r.take_u16()? as usize;
+            let id = OpId::from_index(raw).ok_or_else(|| {
+                ArtifactError::Corrupt(format!("op index {raw} is not an internable opcode id"))
+            })?;
+            if index[id.index()] != ABSENT {
+                return Err(ArtifactError::Corrupt(format!(
+                    "duplicate vocabulary entry {}",
+                    id.mnemonic().name()
+                )));
+            }
+            index[id.index()] = vocab.len() as i32;
+            vocab.push(id);
+        }
+        Ok(HistogramEncoder { vocab, index })
     }
 
     /// Feature column of an op id, if in vocabulary.

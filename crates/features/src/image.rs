@@ -14,6 +14,7 @@
 //! [`DisasmCache`]; it needs no disassembly of its own.
 
 use crate::featurizer::{FeatureVec, Featurizer};
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_evm::DisasmCache;
 
 /// Default image side for the CPU-scale reproduction.
@@ -56,6 +57,24 @@ impl R2d2Encoder {
     /// Image side length.
     pub fn side(&self) -> usize {
         self.side
+    }
+
+    /// Serializes the encoder's geometry (pixel mapping is stateless).
+    pub fn write_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.side);
+    }
+
+    /// Rebuilds an encoder from [`R2d2Encoder::write_state`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Corrupt`] on truncation or a zero side.
+    pub fn read_state(r: &mut ByteReader<'_>) -> Result<Self, ArtifactError> {
+        let side = r.take_usize()?;
+        if side == 0 {
+            return Err(ArtifactError::Corrupt("image side must be positive".into()));
+        }
+        Ok(R2d2Encoder { side })
     }
 
     /// Length of the produced feature vector (`3 · side²`).

@@ -44,7 +44,10 @@ use crate::freq_image::FreqImageEncoder;
 use crate::histogram::HistogramEncoder;
 use crate::image::R2d2Encoder;
 use crate::tokens::{OpcodeTokenizer, SequenceVariant};
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_evm::DisasmCache;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 /// Geometry knobs of the six encoders (the feature-relevant subset of the
 /// evaluation profile).
@@ -179,6 +182,63 @@ enum Columns {
         offsets: Vec<usize>,
         windows: Vec<Vec<u32>>,
     },
+    /// A window block spilled to its on-disk columnar form: only the
+    /// offset tables stay resident; window ids are read back per gathered
+    /// row. This is what lets token-window blocks — the largest matrices a
+    /// store holds — leave RAM between trials.
+    SpilledWindows {
+        /// The spill file ([`SPILL_MAGIC`]-headed matrix payload).
+        path: PathBuf,
+        /// `offsets[i]..offsets[i + 1]` = sample `i`'s window range.
+        offsets: Vec<usize>,
+        /// `id_offsets[w]..id_offsets[w + 1]` = window `w`'s id range in
+        /// the file's flat id block.
+        id_offsets: Vec<u64>,
+        /// Byte position of the flat id block inside the file.
+        data_start: u64,
+    },
+}
+
+/// Magic of a standalone spill file: **P**hishing**H**oo**K** **S**pill.
+pub const SPILL_MAGIC: [u8; 4] = *b"PHKS";
+
+/// Spill-file format version (the payload is the [`FeatureMatrix`]
+/// columnar codec, versioned independently of the artifact container).
+pub const SPILL_VERSION: u32 = 1;
+
+/// Rows gathered out of a [`FeatureMatrix`]: borrowed views when the block
+/// is resident, owned window lists freshly read from disk when it is
+/// spilled. Either way, [`GatheredRows::rows`] yields the `FeatureRow`
+/// slice the model layer consumes — callers stay layout-agnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatheredRows<'a> {
+    /// Borrowed views into a resident matrix.
+    Views(Vec<FeatureRow<'a>>),
+    /// Window lists materialized from a spill file.
+    OwnedWindows(Vec<Vec<Vec<u32>>>),
+}
+
+impl GatheredRows<'_> {
+    /// The gathered row views, in gather order.
+    pub fn rows(&self) -> Vec<FeatureRow<'_>> {
+        match self {
+            GatheredRows::Views(v) => v.clone(),
+            GatheredRows::OwnedWindows(ws) => ws.iter().map(|w| FeatureRow::Windows(w)).collect(),
+        }
+    }
+
+    /// Number of gathered rows.
+    pub fn len(&self) -> usize {
+        match self {
+            GatheredRows::Views(v) => v.len(),
+            GatheredRows::OwnedWindows(ws) => ws.len(),
+        }
+    }
+
+    /// `true` when nothing was gathered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// One encoding of every sample, indexed by sample, sliceable by fold.
@@ -253,7 +313,50 @@ impl FeatureMatrix {
     pub fn width(&self) -> Option<usize> {
         match &self.columns {
             Columns::Dense { width, .. } | Columns::Ids { width, .. } => Some(*width),
-            Columns::Windows { .. } => None,
+            Columns::Windows { .. } | Columns::SpilledWindows { .. } => None,
+        }
+    }
+
+    /// `true` when this block lives in its on-disk columnar form and rows
+    /// must be materialized through the gather APIs.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.columns, Columns::SpilledWindows { .. })
+    }
+
+    /// The spill file backing this matrix, when spilled.
+    pub fn spill_path(&self) -> Option<&Path> {
+        match &self.columns {
+            Columns::SpilledWindows { path, .. } => Some(path),
+            _ => None,
+        }
+    }
+
+    fn check_bounds(&self, i: usize) -> Result<(), ArtifactError> {
+        if i < self.rows {
+            Ok(())
+        } else {
+            Err(ArtifactError::Mismatch(format!(
+                "row {i} out of bounds ({} rows)",
+                self.rows
+            )))
+        }
+    }
+
+    /// Borrowed view of sample `i`, or a typed error when `i` is out of
+    /// bounds or the block is spilled (disk rows cannot be borrowed).
+    pub fn try_row(&self, i: usize) -> Result<FeatureRow<'_>, ArtifactError> {
+        self.check_bounds(i)?;
+        match &self.columns {
+            Columns::Dense { width, data } => {
+                Ok(FeatureRow::Dense(&data[i * width..(i + 1) * width]))
+            }
+            Columns::Ids { width, data } => Ok(FeatureRow::Ids(&data[i * width..(i + 1) * width])),
+            Columns::Windows { offsets, windows } => {
+                Ok(FeatureRow::Windows(&windows[offsets[i]..offsets[i + 1]]))
+            }
+            Columns::SpilledWindows { .. } => Err(ArtifactError::Mismatch(
+                "spilled window matrix: rows must be gathered, not borrowed".into(),
+            )),
         }
     }
 
@@ -261,15 +364,16 @@ impl FeatureMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of bounds.
+    /// Panics if `i` is out of bounds or the block is spilled.
     pub fn row(&self, i: usize) -> FeatureRow<'_> {
-        assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
-        match &self.columns {
-            Columns::Dense { width, data } => FeatureRow::Dense(&data[i * width..(i + 1) * width]),
-            Columns::Ids { width, data } => FeatureRow::Ids(&data[i * width..(i + 1) * width]),
-            Columns::Windows { offsets, windows } => {
-                FeatureRow::Windows(&windows[offsets[i]..offsets[i + 1]])
-            }
+        self.try_row(i).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Dense row accessor, or a typed error on the wrong layout.
+    pub fn try_dense_row(&self, i: usize) -> Result<&[f32], ArtifactError> {
+        match self.try_row(i)? {
+            FeatureRow::Dense(r) => Ok(r),
+            _ => Err(ArtifactError::Mismatch("not a dense matrix".into())),
         }
     }
 
@@ -279,10 +383,13 @@ impl FeatureMatrix {
     ///
     /// Panics if the layout is not dense or `i` is out of bounds.
     pub fn dense_row(&self, i: usize) -> &[f32] {
-        match self.row(i) {
-            FeatureRow::Dense(r) => r,
-            _ => panic!("not a dense matrix"),
-        }
+        self.try_dense_row(i).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Borrowed row views for a fold, in index order, or a typed error on
+    /// an out-of-bounds index or a spilled block.
+    pub fn try_gather_rows(&self, indices: &[usize]) -> Result<Vec<FeatureRow<'_>>, ArtifactError> {
+        indices.iter().map(|&i| self.try_row(i)).collect()
     }
 
     /// Borrowed row views for a fold, in index order — the zero-copy
@@ -290,21 +397,66 @@ impl FeatureMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if an index is out of bounds.
+    /// Panics if an index is out of bounds or the block is spilled.
     pub fn gather_rows(&self, indices: &[usize]) -> Vec<FeatureRow<'_>> {
-        indices.iter().map(|&i| self.row(i)).collect()
+        self.try_gather_rows(indices)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Layout-agnostic gather: borrowed views for resident blocks, owned
+    /// window lists read back from disk for spilled blocks. This is the
+    /// one entry point the evaluation engine uses, which is why spilling a
+    /// store requires no changes anywhere above it.
+    pub fn try_gather(&self, indices: &[usize]) -> Result<GatheredRows<'_>, ArtifactError> {
+        match &self.columns {
+            Columns::SpilledWindows { .. } => Ok(GatheredRows::OwnedWindows(
+                self.try_gather_windows(indices)?,
+            )),
+            _ => Ok(GatheredRows::Views(self.try_gather_rows(indices)?)),
+        }
+    }
+
+    /// [`FeatureMatrix::try_gather`] for infallible callers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-bounds index or a spill-file read failure.
+    pub fn gather(&self, indices: &[usize]) -> GatheredRows<'_> {
+        self.try_gather(indices).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Gathers dense rows for a fold, in index order (copies row data),
+    /// or a typed error on the wrong layout.
+    pub fn try_gather_dense(&self, indices: &[usize]) -> Result<Vec<Vec<f32>>, ArtifactError> {
+        indices
+            .iter()
+            .map(|&i| self.try_dense_row(i).map(<[f32]>::to_vec))
+            .collect()
     }
 
     /// Gathers dense rows for a fold, in index order (copies row data —
     /// downstream models need owned contiguous inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is not dense or an index is out of bounds.
     pub fn gather_dense(&self, indices: &[usize]) -> Vec<Vec<f32>> {
-        indices
-            .iter()
-            .map(|&i| match self.row(i) {
-                FeatureRow::Dense(r) => r.to_vec(),
-                _ => panic!("not a dense matrix"),
-            })
-            .collect()
+        self.try_gather_dense(indices)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Gathers dense rows into one row-major flat buffer, or a typed error
+    /// on the wrong layout.
+    pub fn try_gather_dense_flat(&self, indices: &[usize]) -> Result<Vec<f32>, ArtifactError> {
+        let Columns::Dense { width, data } = &self.columns else {
+            return Err(ArtifactError::Mismatch("not a dense matrix".into()));
+        };
+        let mut out = Vec::with_capacity(indices.len() * width);
+        for &i in indices {
+            self.check_bounds(i)?;
+            out.extend_from_slice(&data[i * width..(i + 1) * width]);
+        }
+        Ok(out)
     }
 
     /// Gathers dense rows for a fold into one row-major flat buffer — the
@@ -314,47 +466,423 @@ impl FeatureMatrix {
     ///
     /// Panics if the layout is not dense or an index is out of bounds.
     pub fn gather_dense_flat(&self, indices: &[usize]) -> Vec<f32> {
-        let Columns::Dense { width, data } = &self.columns else {
-            panic!("not a dense matrix");
-        };
-        let mut out = Vec::with_capacity(indices.len() * width);
-        for &i in indices {
-            assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
-            out.extend_from_slice(&data[i * width..(i + 1) * width]);
-        }
-        out
+        self.try_gather_dense_flat(indices)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Gathers id rows for a fold, in index order, or a typed error on the
+    /// wrong layout.
+    pub fn try_gather_ids(&self, indices: &[usize]) -> Result<Vec<Vec<u32>>, ArtifactError> {
+        indices
+            .iter()
+            .map(|&i| match self.try_row(i)? {
+                FeatureRow::Ids(r) => Ok(r.to_vec()),
+                _ => Err(ArtifactError::Mismatch("not an id matrix".into())),
+            })
+            .collect()
     }
 
     /// Gathers id rows for a fold, in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is not ids or an index is out of bounds.
     pub fn gather_ids(&self, indices: &[usize]) -> Vec<Vec<u32>> {
-        indices
-            .iter()
-            .map(|&i| match self.row(i) {
-                FeatureRow::Ids(r) => r.to_vec(),
-                _ => panic!("not an id matrix"),
-            })
-            .collect()
+        self.try_gather_ids(indices)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Gathers per-sample window lists for a fold, in index order. For a
+    /// spilled block this reads exactly the requested rows back from the
+    /// spill file; resident blocks copy out of RAM.
+    pub fn try_gather_windows(
+        &self,
+        indices: &[usize],
+    ) -> Result<Vec<Vec<Vec<u32>>>, ArtifactError> {
+        match &self.columns {
+            Columns::SpilledWindows {
+                path,
+                offsets,
+                id_offsets,
+                data_start,
+            } => {
+                let mut file = std::fs::File::open(path)?;
+                let mut out = Vec::with_capacity(indices.len());
+                for &i in indices {
+                    self.check_bounds(i)?;
+                    let (w0, w1) = (offsets[i], offsets[i + 1]);
+                    let (first, last) = (id_offsets[w0], id_offsets[w1]);
+                    let mut raw = vec![0u8; (last - first) as usize * 4];
+                    file.seek(SeekFrom::Start(data_start + first * 4))?;
+                    file.read_exact(&mut raw)?;
+                    let ids: Vec<u32> = raw
+                        .chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                        .collect();
+                    let row: Vec<Vec<u32>> = (w0..w1)
+                        .map(|w| {
+                            let a = (id_offsets[w] - first) as usize;
+                            let b = (id_offsets[w + 1] - first) as usize;
+                            ids[a..b].to_vec()
+                        })
+                        .collect();
+                    out.push(row);
+                }
+                Ok(out)
+            }
+            _ => indices
+                .iter()
+                .map(|&i| match self.try_row(i)? {
+                    FeatureRow::Windows(w) => Ok(w.to_vec()),
+                    _ => Err(ArtifactError::Mismatch("not a window matrix".into())),
+                })
+                .collect(),
+        }
     }
 
     /// Gathers per-sample window lists for a fold, in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is not windows, an index is out of bounds, or
+    /// a spill-file read fails.
     pub fn gather_windows(&self, indices: &[usize]) -> Vec<Vec<Vec<u32>>> {
-        indices
-            .iter()
-            .map(|&i| match self.row(i) {
-                FeatureRow::Windows(w) => w.to_vec(),
-                _ => panic!("not a window matrix"),
-            })
-            .collect()
+        self.try_gather_windows(indices)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Total scalar count held by the store (diagnostics/benches).
+    /// Total scalar count held by the store (diagnostics/benches). Spilled
+    /// blocks report their on-disk scalar count.
     pub fn scalar_count(&self) -> usize {
         match &self.columns {
             Columns::Dense { data, .. } => data.len(),
             Columns::Ids { data, .. } => data.len(),
             Columns::Windows { windows, .. } => windows.iter().map(Vec::len).sum(),
+            Columns::SpilledWindows { id_offsets, .. } => {
+                id_offsets.last().copied().unwrap_or(0) as usize
+            }
         }
     }
+
+    /// Scalars currently resident in RAM: the whole block unless spilled,
+    /// only the offset tables when spilled.
+    pub fn resident_scalar_count(&self) -> usize {
+        match &self.columns {
+            Columns::SpilledWindows {
+                offsets,
+                id_offsets,
+                ..
+            } => offsets.len() + id_offsets.len() * 2,
+            _ => self.scalar_count(),
+        }
+    }
+
+    /// Serializes the matrix in its on-disk columnar form — the same
+    /// layout [`FeatureMatrix::spill_to`] writes, so an embedded artifact
+    /// section and a standalone spill file share one codec.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Mismatch`] when the block is already spilled (its
+    /// bytes are the spill file; re-encode by gathering).
+    pub fn write_state(&self, w: &mut ByteWriter) -> Result<(), ArtifactError> {
+        w.put_usize(self.rows);
+        match &self.columns {
+            Columns::Dense { width, data } => {
+                w.put_u8(0);
+                w.put_usize(*width);
+                w.put_f32_slice(data);
+            }
+            Columns::Ids { width, data } => {
+                w.put_u8(1);
+                w.put_usize(*width);
+                w.put_u32_slice(data);
+            }
+            Columns::Windows { offsets, windows } => {
+                let id_offsets = window_id_offsets(windows);
+                write_windows_header(w, offsets, &id_offsets);
+                for win in windows {
+                    for &id in win {
+                        w.put_u32(id);
+                    }
+                }
+            }
+            Columns::SpilledWindows { .. } => {
+                return Err(ArtifactError::Mismatch(
+                    "matrix is spilled; its on-disk form is the spill file itself".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a matrix from its on-disk columnar form into RAM.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Corrupt`] on truncation, an unknown layout tag, or
+    /// inconsistent offset tables.
+    pub fn read_state(r: &mut ByteReader<'_>) -> Result<Self, ArtifactError> {
+        let rows = r.take_usize()?;
+        let tag = r.take_u8()?;
+        let columns = match tag {
+            0 => {
+                let width = r.take_usize()?;
+                let data = r.take_f32_slice()?;
+                if data.len() != rows * width {
+                    return Err(ArtifactError::Corrupt(format!(
+                        "dense block holds {} values for {rows}x{width}",
+                        data.len()
+                    )));
+                }
+                Columns::Dense { width, data }
+            }
+            1 => {
+                let width = r.take_usize()?;
+                let data = r.take_u32_slice()?;
+                if data.len() != rows * width {
+                    return Err(ArtifactError::Corrupt(format!(
+                        "id block holds {} values for {rows}x{width}",
+                        data.len()
+                    )));
+                }
+                Columns::Ids { width, data }
+            }
+            2 => {
+                let offsets64 = r.take_u64_slice()?;
+                let id_offsets = r.take_u64_slice()?;
+                let total = r.take_usize()?;
+                // Every id occupies 4 payload bytes; bounding the total
+                // keeps crafted offset tables from forcing huge
+                // per-window pre-allocations below.
+                if total.checked_mul(4).is_none_or(|b| b > r.remaining()) {
+                    return Err(ArtifactError::Corrupt(format!(
+                        "window block claims {total} ids beyond the payload"
+                    )));
+                }
+                let (offsets, n_windows) =
+                    validate_window_offsets(rows, &offsets64, &id_offsets, total as u64)?;
+                let mut windows = Vec::with_capacity(n_windows);
+                for w in 0..n_windows {
+                    let len = (id_offsets[w + 1] - id_offsets[w]) as usize;
+                    let mut win = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        win.push(r.take_u32()?);
+                    }
+                    windows.push(win);
+                }
+                Columns::Windows { offsets, windows }
+            }
+            other => {
+                return Err(ArtifactError::Corrupt(format!(
+                    "unknown matrix layout tag {other}"
+                )))
+            }
+        };
+        Ok(FeatureMatrix { rows, columns })
+    }
+
+    /// Writes a windows-layout matrix to `path` in its on-disk columnar
+    /// form and returns the spilled handle: offset tables resident, window
+    /// ids on disk, gathered lazily per trial.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Mismatch`] for non-window layouts (dense and id
+    /// blocks are small; spilling them is not supported), plus any I/O
+    /// failure.
+    pub fn spill_to(&self, path: impl AsRef<Path>) -> Result<FeatureMatrix, ArtifactError> {
+        let Columns::Windows { offsets, windows } = &self.columns else {
+            return Err(ArtifactError::Mismatch(
+                "only window blocks spill to disk".into(),
+            ));
+        };
+        let path = path.as_ref().to_path_buf();
+        let id_offsets = window_id_offsets(windows);
+
+        // The header is tiny (offset tables); only it is materialized.
+        // The id block — the part worth spilling — streams window by
+        // window, so spilling never doubles the block's RAM footprint.
+        let mut header = ByteWriter::new();
+        header.put_raw(&SPILL_MAGIC);
+        header.put_u32(SPILL_VERSION);
+        header.put_usize(self.rows);
+        write_windows_header(&mut header, offsets, &id_offsets);
+        let data_start = header.len() as u64;
+        debug_assert_eq!(
+            data_start,
+            spill_data_start(offsets.len(), id_offsets.len())
+        );
+        let file = std::fs::File::create(&path)?;
+        let mut out = std::io::BufWriter::new(file);
+        out.write_all(header.as_bytes())?;
+        for win in windows {
+            for &id in win {
+                out.write_all(&id.to_le_bytes())?;
+            }
+        }
+        out.into_inner().map_err(|e| e.into_error())?.sync_data()?;
+
+        Ok(FeatureMatrix {
+            rows: self.rows,
+            columns: Columns::SpilledWindows {
+                path,
+                offsets: offsets.clone(),
+                id_offsets,
+                data_start,
+            },
+        })
+    }
+
+    /// Opens an existing spill file as a spilled matrix, reading only the
+    /// offset tables — the cross-process form of [`FeatureMatrix::spill_to`].
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Format`] on a bad magic/version,
+    /// [`ArtifactError::Corrupt`] on a non-window payload or inconsistent
+    /// offsets, plus any I/O failure.
+    pub fn open_spilled(path: impl AsRef<Path>) -> Result<FeatureMatrix, ArtifactError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = std::fs::File::open(&path)?;
+        let mut fixed = [0u8; 4 + 4 + 8 + 1];
+        file.read_exact(&mut fixed)?;
+        if fixed[..4] != SPILL_MAGIC {
+            return Err(ArtifactError::Format(format!(
+                "bad spill magic {:02X?}, expected {SPILL_MAGIC:02X?} (\"PHKS\")",
+                &fixed[..4]
+            )));
+        }
+        let version = u32::from_le_bytes(fixed[4..8].try_into().unwrap());
+        if version != SPILL_VERSION {
+            return Err(ArtifactError::Format(format!(
+                "spill version {version} not supported (reader knows {SPILL_VERSION})"
+            )));
+        }
+        let rows = u64::from_le_bytes(fixed[8..16].try_into().unwrap()) as usize;
+        if fixed[16] != 2 {
+            return Err(ArtifactError::Corrupt(format!(
+                "spill file holds layout tag {}, expected windows (2)",
+                fixed[16]
+            )));
+        }
+        let offsets64 = read_u64_slice_from(&mut file)?;
+        let id_offsets = read_u64_slice_from(&mut file)?;
+        let mut total_raw = [0u8; 8];
+        file.read_exact(&mut total_raw)?;
+        let total = u64::from_le_bytes(total_raw);
+        let (offsets, _) = validate_window_offsets(rows, &offsets64, &id_offsets, total)?;
+        let data_start = spill_data_start(offsets64.len(), id_offsets.len());
+        // Checked arithmetic: a crafted total must fail here with a typed
+        // error, not wrap the expected length (release) or panic (debug)
+        // and mis-validate the file.
+        let expected_len = total
+            .checked_mul(4)
+            .and_then(|b| b.checked_add(data_start))
+            .ok_or_else(|| {
+                ArtifactError::Corrupt(format!("spill file claims an absurd id count {total}"))
+            })?;
+        if file.metadata()?.len() != expected_len {
+            return Err(ArtifactError::Corrupt(format!(
+                "spill file is {} bytes, layout requires {expected_len}",
+                file.metadata()?.len()
+            )));
+        }
+        Ok(FeatureMatrix {
+            rows,
+            columns: Columns::SpilledWindows {
+                path,
+                offsets,
+                id_offsets,
+                data_start,
+            },
+        })
+    }
+}
+
+/// Cumulative per-window id counts (`id_offsets[w]..id_offsets[w + 1]` =
+/// window `w`'s id range), the second offset table of the windows layout.
+fn window_id_offsets(windows: &[Vec<u32>]) -> Vec<u64> {
+    let mut id_offsets = Vec::with_capacity(windows.len() + 1);
+    let mut total = 0u64;
+    id_offsets.push(0);
+    for win in windows {
+        total += win.len() as u64;
+        id_offsets.push(total);
+    }
+    id_offsets
+}
+
+/// The windows-layout wire prefix shared by the embedded codec
+/// ([`FeatureMatrix::write_state`]) and the streaming spill writer: layout
+/// tag, row-offset table, id-offset table, total id count. The flat `u32`
+/// id block follows immediately.
+fn write_windows_header(w: &mut ByteWriter, offsets: &[usize], id_offsets: &[u64]) {
+    w.put_u8(2);
+    let offsets64: Vec<u64> = offsets.iter().map(|&o| o as u64).collect();
+    w.put_u64_slice(&offsets64);
+    w.put_u64_slice(id_offsets);
+    w.put_usize(id_offsets.last().copied().unwrap_or(0) as usize);
+}
+
+/// Byte position of the flat id block inside a spill file, derived from
+/// the single place that knows the prefix layout: magic + version + rows +
+/// [`write_windows_header`]'s tag, two count-prefixed `u64` tables and the
+/// id-count field.
+fn spill_data_start(n_row_offsets: usize, n_id_offsets: usize) -> u64 {
+    (4 + 4) + (8 + 1) + (8 + 8 * n_row_offsets as u64) + (8 + 8 * n_id_offsets as u64) + 8
+}
+
+/// Checks the two window offset tables against each other: monotone,
+/// zero-based, mutually consistent, covering `total` ids.
+fn validate_window_offsets(
+    rows: usize,
+    offsets64: &[u64],
+    id_offsets: &[u64],
+    total: u64,
+) -> Result<(Vec<usize>, usize), ArtifactError> {
+    if offsets64.len() != rows + 1 || offsets64.first() != Some(&0) {
+        return Err(ArtifactError::Corrupt(format!(
+            "window offset table holds {} entries for {rows} rows",
+            offsets64.len()
+        )));
+    }
+    if offsets64.windows(2).any(|p| p[0] > p[1]) {
+        return Err(ArtifactError::Corrupt(
+            "window offsets are not monotone".into(),
+        ));
+    }
+    let n_windows = *offsets64.last().unwrap() as usize;
+    if id_offsets.len() != n_windows + 1
+        || id_offsets.first() != Some(&0)
+        || id_offsets.windows(2).any(|p| p[0] > p[1])
+        || *id_offsets.last().unwrap() != total
+    {
+        return Err(ArtifactError::Corrupt(format!(
+            "id offset table holds {} entries for {n_windows} windows ({total} ids)",
+            id_offsets.len()
+        )));
+    }
+    Ok((offsets64.iter().map(|&o| o as usize).collect(), n_windows))
+}
+
+/// Reads one `u64`-count-prefixed `u64` slice straight from a file.
+fn read_u64_slice_from(file: &mut std::fs::File) -> Result<Vec<u64>, ArtifactError> {
+    let mut raw = [0u8; 8];
+    file.read_exact(&mut raw)?;
+    let len = u64::from_le_bytes(raw) as usize;
+    let cap = file.metadata()?.len() as usize / 8;
+    if len > cap {
+        return Err(ArtifactError::Corrupt(format!(
+            "offset table claims {len} entries in a {cap}-word file"
+        )));
+    }
+    let mut bytes = vec![0u8; len * 8];
+    file.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
 }
 
 /// The six fitted encoders of one dataset, detached from the column stores.
@@ -426,6 +954,64 @@ impl FittedEncoders {
     pub fn token_vocab_size(&self) -> usize {
         self.token.vocab_size()
     }
+
+    /// Serializes all six fitted lookup tables — the serving half of a
+    /// store, kilobytes — as one opaque blob for the artifact layer.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.hist.write_state(&mut w);
+        self.freq.write_state(&mut w);
+        self.r2d2.write_state(&mut w);
+        self.bigram.write_state(&mut w);
+        self.token.write_state(&mut w);
+        self.escort.write_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuilds the fitted encoder set from [`FittedEncoders::export_state`]
+    /// bytes. A detector reloaded through this path featurizes fresh
+    /// contracts against exactly the lookup tables it was trained under.
+    ///
+    /// # Errors
+    ///
+    /// Any per-encoder decode failure, plus
+    /// [`ArtifactError::Corrupt`] on trailing bytes.
+    pub fn import_state(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let mut r = ByteReader::new(bytes);
+        let encoders = FittedEncoders {
+            hist: HistogramEncoder::read_state(&mut r)?,
+            freq: FreqImageEncoder::read_state(&mut r)?,
+            r2d2: R2d2Encoder::read_state(&mut r)?,
+            bigram: BigramEncoder::read_state(&mut r)?,
+            token: OpcodeTokenizer::read_state(&mut r)?,
+            escort: EscortEmbedder::read_state(&mut r)?,
+        };
+        r.expect_exhausted("fitted encoder tables")?;
+        Ok(encoders)
+    }
+}
+
+/// Where and when a [`FeatureStore`] spills window blocks to their
+/// on-disk columnar form during the build.
+#[derive(Debug, Clone)]
+pub struct SpillConfig {
+    /// Directory the spill files are written into (one file per spilled
+    /// encoding, named `<encoding>.phkspill`). The caller owns the
+    /// directory's lifetime; dropping the store does not delete files.
+    pub dir: PathBuf,
+    /// Blocks whose scalar payload is at least this many bytes are
+    /// spilled. `0` spills every window block (useful in tests).
+    pub threshold_bytes: usize,
+}
+
+impl SpillConfig {
+    /// Spills every window block into `dir`.
+    pub fn all(dir: impl Into<PathBuf>) -> Self {
+        SpillConfig {
+            dir: dir.into(),
+            threshold_bytes: 0,
+        }
+    }
 }
 
 /// All encodings of one dataset, plus the fitted encoders (kept so freshly
@@ -494,6 +1080,49 @@ impl FeatureStore {
             escort,
             encoders,
         }
+    }
+
+    /// Like [`FeatureStore::build_fitted_with`], but spills window blocks
+    /// (the token encodings — the largest matrices a store holds) whose
+    /// payload crosses `spill.threshold_bytes` to their on-disk columnar
+    /// form during the build. Trials gather spilled rows lazily through
+    /// [`FeatureMatrix::gather`], so corpora larger than RAM evaluate with
+    /// no layout changes anywhere above the store.
+    ///
+    /// # Errors
+    ///
+    /// Any spill-file I/O failure, as [`ArtifactError::Io`].
+    pub fn build_spilled_with(
+        caches: &[DisasmCache],
+        fit: &[DisasmCache],
+        config: &StoreConfig,
+        exec: &dyn BatchExecutor,
+        spill: &SpillConfig,
+    ) -> Result<Self, ArtifactError> {
+        let mut store = Self::build_fitted_with(caches, fit, config, exec);
+        std::fs::create_dir_all(&spill.dir)?;
+        for encoding in [Encoding::TokensTruncate, Encoding::TokensWindows] {
+            let matrix = store.matrix(encoding);
+            if matrix.scalar_count() * 4 < spill.threshold_bytes {
+                continue;
+            }
+            let path = spill.dir.join(format!("{}.phkspill", encoding.name()));
+            let spilled = matrix.spill_to(path)?;
+            match encoding {
+                Encoding::TokensTruncate => store.tokens_truncate = spilled,
+                Encoding::TokensWindows => store.tokens_windows = spilled,
+                _ => unreachable!(),
+            }
+        }
+        Ok(store)
+    }
+
+    /// The encodings currently living in their on-disk spilled form.
+    pub fn spilled_encodings(&self) -> Vec<Encoding> {
+        Encoding::ALL
+            .into_iter()
+            .filter(|&e| self.matrix(e).is_spilled())
+            .collect()
     }
 
     /// Number of samples featurized.
@@ -753,5 +1382,199 @@ mod tests {
     #[should_panic(expected = "mixed feature representations")]
     fn mixed_representations_rejected() {
         FeatureMatrix::from_vecs(vec![FeatureVec::Dense(vec![1.0]), FeatureVec::Ids(vec![1])]);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("phk_store_tests")
+            .join(format!("{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn matrix_codec_round_trips_all_layouts() {
+        let store = FeatureStore::build(&caches(), &small_config());
+        for encoding in Encoding::ALL {
+            let m = store.matrix(encoding);
+            let mut w = ByteWriter::new();
+            m.write_state(&mut w).unwrap();
+            let mut r = ByteReader::new(w.as_bytes());
+            let back = FeatureMatrix::read_state(&mut r).unwrap();
+            r.expect_exhausted("matrix").unwrap();
+            assert_eq!(&back, m, "{encoding:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_matrix_payload_is_an_error() {
+        let store = FeatureStore::build(&caches(), &small_config());
+        let mut w = ByteWriter::new();
+        store.histogram().write_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..bytes.len() - 3]);
+        assert!(FeatureMatrix::read_state(&mut r).is_err());
+        // Unknown layout tag.
+        let mut bad = ByteWriter::new();
+        bad.put_usize(1);
+        bad.put_u8(9);
+        let bytes = bad.into_bytes();
+        assert!(matches!(
+            FeatureMatrix::read_state(&mut ByteReader::new(&bytes)),
+            Err(ArtifactError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn spilled_windows_gather_identically_and_lazily() {
+        let caches = caches();
+        let cfg = small_config();
+        let store = FeatureStore::build(&caches, &cfg);
+        let dir = temp_dir("spill_gather");
+        for encoding in [Encoding::TokensTruncate, Encoding::TokensWindows] {
+            let resident = store.matrix(encoding);
+            let spilled = resident
+                .spill_to(dir.join(format!("{}.phkspill", encoding.name())))
+                .unwrap();
+            assert!(spilled.is_spilled() && !resident.is_spilled());
+            assert_eq!(spilled.rows(), resident.rows());
+            assert_eq!(spilled.width(), None);
+            assert_eq!(spilled.scalar_count(), resident.scalar_count());
+            assert!(spilled.resident_scalar_count() < spilled.scalar_count() * 2);
+            let idx = [2usize, 0, 1];
+            assert_eq!(
+                spilled.gather_windows(&idx),
+                resident.gather_windows(&idx),
+                "{encoding:?}: spilled gather must be bit-identical"
+            );
+            // The layout-agnostic gather agrees row-for-row.
+            let a = spilled.gather(&idx);
+            let b = resident.gather(&idx);
+            assert_eq!(a.rows(), b.rows());
+            // Borrowed access is a typed error, not a panic.
+            assert!(matches!(
+                spilled.try_row(0),
+                Err(ArtifactError::Mismatch(_))
+            ));
+            // Reopening the spill file from a "fresh process" matches too.
+            let reopened = FeatureMatrix::open_spilled(spilled.spill_path().unwrap()).unwrap();
+            assert_eq!(reopened.gather_windows(&idx), resident.gather_windows(&idx));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_spill_writer_matches_the_embedded_codec() {
+        // spill_to streams the id block instead of materializing the
+        // serialized form; the bytes it produces must stay identical to
+        // magic + version + write_state, or spilled gathers would read
+        // from the wrong offsets.
+        let store = FeatureStore::build(&caches(), &small_config());
+        let dir = temp_dir("spill_sync");
+        let matrix = store.tokens_windows();
+        let path = dir.join("sync.phkspill");
+        matrix.spill_to(&path).unwrap();
+        let mut expected = ByteWriter::new();
+        expected.put_raw(&SPILL_MAGIC);
+        expected.put_u32(SPILL_VERSION);
+        matrix.write_state(&mut expected).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), expected.into_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_spilled_store_evaluates_like_the_resident_store() {
+        let caches = caches();
+        let cfg = small_config();
+        let resident = FeatureStore::build(&caches, &cfg);
+        let dir = temp_dir("spill_build");
+        let spilled = FeatureStore::build_spilled_with(
+            &caches,
+            &caches,
+            &cfg,
+            &SequentialExecutor,
+            &SpillConfig::all(&dir),
+        )
+        .unwrap();
+        assert_eq!(
+            spilled.spilled_encodings(),
+            vec![Encoding::TokensTruncate, Encoding::TokensWindows]
+        );
+        let idx: Vec<usize> = (0..caches.len()).collect();
+        for encoding in Encoding::ALL {
+            assert_eq!(
+                spilled.matrix(encoding).gather(&idx).rows(),
+                resident.matrix(encoding).gather(&idx).rows(),
+                "{encoding:?}"
+            );
+        }
+        // A large threshold spills nothing.
+        let none = FeatureStore::build_spilled_with(
+            &caches,
+            &caches,
+            &cfg,
+            &SequentialExecutor,
+            &SpillConfig {
+                dir: dir.clone(),
+                threshold_bytes: usize::MAX,
+            },
+        )
+        .unwrap();
+        assert!(none.spilled_encodings().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn try_accessors_return_typed_errors() {
+        let store = FeatureStore::build(&caches(), &small_config());
+        let hist = store.histogram();
+        assert!(hist.try_row(0).is_ok());
+        assert!(matches!(hist.try_row(999), Err(ArtifactError::Mismatch(_))));
+        assert!(matches!(
+            hist.try_gather_ids(&[0]),
+            Err(ArtifactError::Mismatch(_))
+        ));
+        assert!(matches!(
+            store.bigram().try_dense_row(0),
+            Err(ArtifactError::Mismatch(_))
+        ));
+        assert!(matches!(
+            store.bigram().try_gather_dense_flat(&[0]),
+            Err(ArtifactError::Mismatch(_))
+        ));
+        assert!(matches!(
+            store.escort().try_gather_windows(&[0]),
+            Err(ArtifactError::Mismatch(_))
+        ));
+        // The Ok sides agree with the panicking accessors.
+        assert_eq!(hist.try_dense_row(1).unwrap(), hist.dense_row(1));
+        assert_eq!(
+            store.bigram().try_gather_ids(&[1, 0]).unwrap(),
+            store.bigram().gather_ids(&[1, 0])
+        );
+    }
+
+    #[test]
+    fn fitted_encoders_round_trip_serves_identical_rows() {
+        let caches = caches();
+        let store = FeatureStore::build(&caches, &small_config());
+        let blob = store.encoders().export_state();
+        let restored = FittedEncoders::import_state(&blob).unwrap();
+        for encoding in Encoding::ALL {
+            for cache in &caches {
+                assert_eq!(
+                    restored.encode(cache, encoding),
+                    store.encoders().encode(cache, encoding),
+                    "{encoding:?}"
+                );
+            }
+        }
+        assert_eq!(restored.histogram_width(), store.histogram_width());
+        assert_eq!(restored.bigram_vocab_size(), store.bigram_vocab_size());
+        assert_eq!(restored.token_vocab_size(), store.token_vocab_size());
+        // Serialization is canonical: re-export reproduces the bytes.
+        assert_eq!(restored.export_state(), blob);
+        // Truncation is a typed error.
+        assert!(FittedEncoders::import_state(&blob[..blob.len() - 1]).is_err());
     }
 }

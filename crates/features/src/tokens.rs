@@ -15,6 +15,7 @@
 //!   a sliding window".
 
 use crate::featurizer::{FeatureVec, Featurizer};
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_evm::{DisasmCache, OpId};
 
 /// Padding token id.
@@ -62,6 +63,25 @@ impl OpcodeTokenizer {
     /// Vocabulary size (PAD + UNK + one id per possible opcode byte).
     pub fn vocab_size(&self) -> usize {
         BASE as usize + 256
+    }
+
+    /// Serializes the tokenizer's geometry (the context length — opcode
+    /// tokenization itself is stateless).
+    pub fn write_state(&self, w: &mut ByteWriter) {
+        w.put_usize(self.context);
+    }
+
+    /// Rebuilds a tokenizer from [`OpcodeTokenizer::write_state`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Corrupt`] on truncation or a zero context.
+    pub fn read_state(r: &mut ByteReader<'_>) -> Result<Self, ArtifactError> {
+        let context = r.take_usize()?;
+        if context == 0 {
+            return Err(ArtifactError::Corrupt("context must be positive".into()));
+        }
+        Ok(OpcodeTokenizer { context })
     }
 
     /// Token id of one interned op.

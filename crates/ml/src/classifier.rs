@@ -1,5 +1,6 @@
 //! The common binary-classifier interface.
 
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_linalg::Matrix;
 
 /// A binary classifier over dense feature matrices.
@@ -38,6 +39,58 @@ pub trait Classifier: Send + Sync {
             .map(|p| u8::from(p >= 0.5))
             .collect()
     }
+
+    /// Serializes the *fitted* state (trees, weights, stored neighbours) as
+    /// an opaque byte blob. Hyper-parameters are excluded: an importer
+    /// reconstructs the classifier through its normal constructor and then
+    /// restores fitted state, so configuration lives in exactly one place.
+    fn export_state(&self) -> Vec<u8>;
+
+    /// Restores fitted state from an [`Classifier::export_state`] blob into
+    /// a same-configured instance, after which `predict_proba` is
+    /// bit-identical to the exporter's.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Corrupt`] on a truncated or malformed blob,
+    /// [`ArtifactError::Mismatch`] when the blob disagrees with this
+    /// instance's configuration.
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError>;
+}
+
+/// Reads a `u32` element count and bounds it by the bytes actually left
+/// (each element occupies at least `min_elem_bytes` on the wire), so a
+/// crafted artifact cannot drive an absurd pre-allocation before the
+/// first element read has a chance to fail.
+pub(crate) fn checked_u32_count(
+    r: &mut ByteReader<'_>,
+    min_elem_bytes: usize,
+    what: &str,
+) -> Result<usize, ArtifactError> {
+    r.take_count_u32(min_elem_bytes)
+        .map_err(|e| ArtifactError::Corrupt(format!("{what}: {e}")))
+}
+
+/// Serializes a dense matrix (rows, cols, bit-exact data) — the shared
+/// helper for classifiers whose fitted state embeds one.
+pub(crate) fn write_matrix(w: &mut ByteWriter, m: &Matrix) {
+    w.put_usize(m.rows());
+    w.put_usize(m.cols());
+    w.put_f32_slice(m.as_slice());
+}
+
+/// Inverse of [`write_matrix`].
+pub(crate) fn read_matrix(r: &mut ByteReader<'_>) -> Result<Matrix, ArtifactError> {
+    let rows = r.take_usize()?;
+    let cols = r.take_usize()?;
+    let data = r.take_f32_slice()?;
+    if data.len() != rows * cols {
+        return Err(ArtifactError::Corrupt(format!(
+            "matrix payload holds {} values for a {rows}x{cols} shape",
+            data.len()
+        )));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
 }
 
 /// Validates the `(x, y)` pair every `fit` implementation receives.
@@ -62,6 +115,124 @@ pub(crate) fn positive_rate(y: &[u8]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{
+        CatBoostClassifier, DecisionTree, KnnClassifier, LgbmClassifier, LinearSvm,
+        LogisticRegression, RandomForest, XgbClassifier,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(n: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let label = (i % 2) as u8;
+            let c = if label == 1 { 1.5 } else { -1.5 };
+            rows.push(vec![
+                c + rng.gen_range(-1.0f32..1.0),
+                c + rng.gen_range(-1.0f32..1.0),
+            ]);
+            y.push(label);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    /// Every classical classifier's fitted state survives export → import
+    /// into a same-configured fresh instance with bit-identical
+    /// probabilities — the ml half of the cold-start parity guarantee.
+    #[test]
+    fn all_classical_classifiers_round_trip_bit_exactly() {
+        type Factory = Box<dyn Fn() -> Box<dyn Classifier>>;
+        let (x, y) = blobs(60, 17);
+        let fresh: Vec<(&str, Factory)> = vec![
+            ("tree", Box::new(|| Box::new(DecisionTree::default()))),
+            ("forest", Box::new(|| Box::new(RandomForest::new(12, 3)))),
+            ("knn", Box::new(|| Box::new(KnnClassifier::new(3)))),
+            (
+                "logistic",
+                Box::new(|| Box::new(LogisticRegression::with_epochs(60))),
+            ),
+            ("svm", Box::new(|| Box::new(LinearSvm::with_epochs(60)))),
+            ("xgboost", Box::new(|| Box::new(XgbClassifier::default()))),
+            ("lightgbm", Box::new(|| Box::new(LgbmClassifier::default()))),
+            (
+                "catboost",
+                Box::new(|| Box::new(CatBoostClassifier::default())),
+            ),
+        ];
+        for (name, build) in fresh {
+            let mut trained = build();
+            trained.fit(&x, &y);
+            let blob = trained.export_state();
+            let mut restored = build();
+            restored.import_state(&blob).unwrap();
+            assert_eq!(
+                restored.predict_proba(&x),
+                trained.predict_proba(&x),
+                "{name}: restored probabilities must be bit-identical"
+            );
+            // And the restored state re-exports to the same bytes.
+            assert_eq!(restored.export_state(), blob, "{name}: unstable export");
+        }
+    }
+
+    #[test]
+    fn corrupt_classifier_state_is_an_error() {
+        let (x, y) = blobs(20, 5);
+        let mut forest = RandomForest::new(4, 0);
+        forest.fit(&x, &y);
+        let blob = forest.export_state();
+        let mut fresh = RandomForest::new(4, 0);
+        assert!(fresh.import_state(&blob[..blob.len() / 2]).is_err());
+        // A failed import leaves the instance unfitted, not half-loaded.
+        let mut garbage = blob.clone();
+        garbage[0] = 0xFF; // absurd tree count
+        assert!(fresh.import_state(&garbage).is_err());
+    }
+
+    #[test]
+    fn lying_counts_are_rejected_before_allocation() {
+        // A crafted payload claiming u32::MAX elements must fail on the
+        // count check, not abort the process allocating gigabytes.
+        let mut lying = ByteWriter::new();
+        lying.put_u32(u32::MAX);
+        let bytes = lying.into_bytes();
+        let mut tree = DecisionTree::default();
+        assert!(matches!(
+            tree.import_state(&bytes),
+            Err(ArtifactError::Corrupt(_))
+        ));
+        let mut forest = RandomForest::new(2, 0);
+        assert!(forest.import_state(&bytes).is_err());
+        let mut prefixed = ByteWriter::new();
+        prefixed.put_f32(0.0); // base_score
+        prefixed.put_u32(u32::MAX);
+        let bytes = prefixed.into_bytes();
+        let mut xgb = XgbClassifier::default();
+        assert!(xgb.import_state(&bytes).is_err());
+        let mut lgbm = LgbmClassifier::default();
+        assert!(lgbm.import_state(&bytes).is_err());
+        let mut cat = CatBoostClassifier::default();
+        assert!(cat.import_state(&bytes).is_err());
+    }
+
+    #[test]
+    fn implausible_oblivious_depth_is_rejected() {
+        // 64 feature tests would overflow the leaves shift; the decoder
+        // must reject the depth before computing 1 << len.
+        let mut w = ByteWriter::new();
+        w.put_f32(0.0); // base_score
+        w.put_u32(1); // one tree
+        w.put_u32_slice(&vec![0u32; 64]); // features
+        w.put_f32_slice(&vec![0.0f32; 64]); // thresholds
+        w.put_f32_slice(&[0.0]); // leaves
+        let mut cat = CatBoostClassifier::default();
+        assert!(matches!(
+            cat.import_state(&w.into_bytes()),
+            Err(ArtifactError::Corrupt(_))
+        ));
+    }
 
     #[test]
     fn positive_rate_basics() {

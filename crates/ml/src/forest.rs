@@ -3,8 +3,9 @@
 //! The paper's best model overall (93.63% accuracy on Table II), and the one
 //! analysed with SHAP in Fig. 9.
 
-use crate::classifier::{validate_fit_inputs, Classifier};
-use crate::tree::{DecisionTree, TreeParams};
+use crate::classifier::{checked_u32_count, validate_fit_inputs, Classifier};
+use crate::tree::{read_nodes, write_nodes, DecisionTree, TreeParams};
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -126,6 +127,28 @@ impl Classifier for RandomForest {
             *p /= k;
         }
         probs
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.trees.len() as u32);
+        for tree in &self.trees {
+            write_nodes(&mut w, tree.nodes());
+        }
+        w.into_bytes()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        let mut r = ByteReader::new(bytes);
+        // Each serialized tree is at least its 4-byte node count.
+        let count = checked_u32_count(&mut r, 4, "forest tree list")?;
+        let mut trees = Vec::with_capacity(count);
+        for _ in 0..count {
+            trees.push(DecisionTree::from_nodes(read_nodes(&mut r)?));
+        }
+        r.expect_exhausted("random forest state")?;
+        self.trees = trees;
+        Ok(())
     }
 }
 

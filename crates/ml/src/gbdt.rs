@@ -8,11 +8,76 @@
 //! Newton formulas `gain = ½ [G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ`
 //! and `w = −G/(H+λ)`.
 
-use crate::classifier::{positive_rate, validate_fit_inputs, Classifier};
+use crate::classifier::{checked_u32_count, positive_rate, validate_fit_inputs, Classifier};
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_linalg::Matrix;
 
 fn sigmoid(z: f32) -> f32 {
     1.0 / (1.0 + (-z).exp())
+}
+
+// ---------------------------------------------------------------------------
+// Fitted-state codec shared by the three boosters
+// ---------------------------------------------------------------------------
+
+/// Serializes one binary split node (XGBoost and LightGBM share the layout).
+fn write_split_node(
+    w: &mut ByteWriter,
+    feature: u32,
+    threshold: f32,
+    left: u32,
+    right: u32,
+    weight: f32,
+    is_leaf: bool,
+) {
+    w.put_u32(feature);
+    w.put_f32(threshold);
+    w.put_u32(left);
+    w.put_u32(right);
+    w.put_f32(weight);
+    w.put_u8(u8::from(is_leaf));
+}
+
+/// Decoded form of [`write_split_node`].
+type SplitNode = (u32, f32, u32, u32, f32, bool);
+
+fn read_split_nodes(r: &mut ByteReader<'_>) -> Result<Vec<SplitNode>, ArtifactError> {
+    // 21 bytes per node on the wire; bounding the count by the payload
+    // keeps a crafted artifact from forcing a huge pre-allocation.
+    let count = checked_u32_count(r, 21, "boosted tree node arena")?;
+    if count == 0 {
+        // Boosting always emits at least a root leaf; an empty arena
+        // would panic the first predict_row.
+        return Err(ArtifactError::Corrupt(
+            "empty boosted tree node arena".into(),
+        ));
+    }
+    let mut nodes = Vec::with_capacity(count);
+    for _ in 0..count {
+        nodes.push((
+            r.take_u32()?,
+            r.take_f32()?,
+            r.take_u32()?,
+            r.take_u32()?,
+            r.take_f32()?,
+            r.take_u8()? != 0,
+        ));
+    }
+    for (i, n) in nodes.iter().enumerate() {
+        // As in the CART arena: children sit strictly deeper, which bounds
+        // indices and rules out traversal cycles in a corrupted artifact.
+        if !n.5
+            && (n.2 as usize >= count
+                || n.3 as usize >= count
+                || n.2 as usize <= i
+                || n.3 as usize <= i)
+        {
+            return Err(ArtifactError::Corrupt(format!(
+                "boosted tree node {i} has invalid children in a {count}-node arena"
+            )));
+        }
+    }
+    Ok(nodes)
 }
 
 /// Shared boosting hyper-parameters.
@@ -100,6 +165,50 @@ impl BinnedData {
     fn threshold(&self, f: usize, b: usize) -> f32 {
         self.uppers[f][b]
     }
+}
+
+/// Outer codec shared by the two binary-split boosters: base score, tree
+/// count, then one node arena per tree. Parameterized by per-node
+/// accessors so XGBoost's and LightGBM's structurally identical (but
+/// distinct) node types share one wire format by construction.
+fn export_split_forest<T, N>(
+    base_score: f32,
+    trees: &[T],
+    nodes: impl Fn(&T) -> &[N],
+    split: impl Fn(&N) -> SplitNode,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_f32(base_score);
+    w.put_u32(trees.len() as u32);
+    for tree in trees {
+        let arena = nodes(tree);
+        w.put_u32(arena.len() as u32);
+        for n in arena {
+            let (feature, threshold, left, right, weight, is_leaf) = split(n);
+            write_split_node(&mut w, feature, threshold, left, right, weight, is_leaf);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Inverse of [`export_split_forest`].
+fn import_split_forest<T, N>(
+    bytes: &[u8],
+    what: &str,
+    make_node: impl Fn(SplitNode) -> N,
+    make_tree: impl Fn(Vec<N>) -> T,
+) -> Result<(f32, Vec<T>), ArtifactError> {
+    let mut r = ByteReader::new(bytes);
+    let base_score = r.take_f32()?;
+    // Each serialized tree is at least its 4-byte node count.
+    let count = checked_u32_count(&mut r, 4, what)?;
+    let mut trees = Vec::with_capacity(count);
+    for _ in 0..count {
+        let arena = read_split_nodes(&mut r)?;
+        trees.push(make_tree(arena.into_iter().map(&make_node).collect()));
+    }
+    r.expect_exhausted(what)?;
+    Ok((base_score, trees))
 }
 
 // ---------------------------------------------------------------------------
@@ -312,6 +421,34 @@ impl Classifier for XgbClassifier {
                 sigmoid(score)
             })
             .collect()
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        export_split_forest(
+            self.base_score,
+            &self.trees,
+            |t| t.nodes.as_slice(),
+            |n| (n.feature, n.threshold, n.left, n.right, n.weight, n.is_leaf),
+        )
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        let (base_score, trees) = import_split_forest(
+            bytes,
+            "xgboost state",
+            |(feature, threshold, left, right, weight, is_leaf)| XgbNode {
+                feature,
+                threshold,
+                left,
+                right,
+                weight,
+                is_leaf,
+            },
+            |nodes| XgbTree { nodes },
+        )?;
+        self.base_score = base_score;
+        self.trees = trees;
+        Ok(())
     }
 }
 
@@ -578,6 +715,34 @@ impl Classifier for LgbmClassifier {
             })
             .collect()
     }
+
+    fn export_state(&self) -> Vec<u8> {
+        export_split_forest(
+            self.base_score,
+            &self.trees,
+            |t| t.nodes.as_slice(),
+            |n| (n.feature, n.threshold, n.left, n.right, n.weight, n.is_leaf),
+        )
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        let (base_score, trees) = import_split_forest(
+            bytes,
+            "lightgbm state",
+            |(feature, threshold, left, right, weight, is_leaf)| LgbmNode {
+                feature,
+                threshold,
+                left,
+                right,
+                weight,
+                is_leaf,
+            },
+            |nodes| LgbmTree { nodes },
+        )?;
+        self.base_score = base_score;
+        self.trees = trees;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -771,6 +936,57 @@ impl Classifier for CatBoostClassifier {
                 sigmoid(score)
             })
             .collect()
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_f32(self.base_score);
+        w.put_u32(self.trees.len() as u32);
+        for tree in &self.trees {
+            w.put_u32_slice(&tree.features);
+            w.put_f32_slice(&tree.thresholds);
+            w.put_f32_slice(&tree.leaves);
+        }
+        w.into_bytes()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        let mut r = ByteReader::new(bytes);
+        let base_score = r.take_f32()?;
+        // Each serialized oblivious tree is at least three 8-byte counts.
+        let count = checked_u32_count(&mut r, 24, "oblivious tree list")?;
+        let mut trees = Vec::with_capacity(count);
+        for i in 0..count {
+            let features = r.take_u32_slice()?;
+            let thresholds = r.take_f32_slice()?;
+            let leaves = r.take_f32_slice()?;
+            // Depth bound first: it caps the 1 << len below (a 64+-test
+            // tree would overflow the shift) and no sane oblivious tree
+            // exceeds it (training depth is single digits).
+            if features.len() > 32 {
+                return Err(ArtifactError::Corrupt(format!(
+                    "oblivious tree {i}: implausible depth {}",
+                    features.len()
+                )));
+            }
+            if thresholds.len() != features.len() || leaves.len() != 1usize << features.len() {
+                return Err(ArtifactError::Corrupt(format!(
+                    "oblivious tree {i}: {} tests, {} thresholds, {} leaves",
+                    features.len(),
+                    thresholds.len(),
+                    leaves.len()
+                )));
+            }
+            trees.push(ObliviousTree {
+                features,
+                thresholds,
+                leaves,
+            });
+        }
+        r.expect_exhausted("catboost state")?;
+        self.base_score = base_score;
+        self.trees = trees;
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! Brute-force k-nearest-neighbours classifier.
 
-use crate::classifier::{validate_fit_inputs, Classifier};
+use crate::classifier::{read_matrix, validate_fit_inputs, write_matrix, Classifier};
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_linalg::Matrix;
 use rayon::prelude::*;
 
@@ -81,6 +82,35 @@ impl Classifier for KnnClassifier {
             .into_par_iter()
             .map(|r| self.vote(x.row(r)))
             .collect()
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        write_matrix(&mut w, &self.x);
+        w.put_bytes(&self.y);
+        w.into_bytes()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        let mut r = ByteReader::new(bytes);
+        let x = read_matrix(&mut r)?;
+        let y = r.take_bytes()?.to_vec();
+        r.expect_exhausted("k-NN state")?;
+        if x.rows() != y.len() {
+            return Err(ArtifactError::Corrupt(format!(
+                "k-NN state holds {} rows but {} labels",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if y.is_empty() {
+            // Fitting rejects empty training sets; an empty neighbour set
+            // would panic the first vote.
+            return Err(ArtifactError::Corrupt("empty k-NN training set".into()));
+        }
+        self.x = x;
+        self.y = y;
+        Ok(())
     }
 }
 

@@ -6,10 +6,44 @@
 //! touching the input representation.
 
 use crate::classifier::{validate_fit_inputs, Classifier};
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_linalg::Matrix;
 
 fn sigmoid(z: f32) -> f32 {
     1.0 / (1.0 + (-z).exp())
+}
+
+/// Serializes the fitted `Option<LinearModel>` both linear classifiers own.
+fn export_linear(model: &Option<LinearModel>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match model {
+        None => w.put_u8(0),
+        Some(m) => {
+            w.put_u8(1);
+            w.put_f32_slice(&m.weights);
+            w.put_f32(m.bias);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Inverse of [`export_linear`].
+fn import_linear(bytes: &[u8]) -> Result<Option<LinearModel>, ArtifactError> {
+    let mut r = ByteReader::new(bytes);
+    let model = match r.take_u8()? {
+        0 => None,
+        1 => Some(LinearModel {
+            weights: r.take_f32_slice()?,
+            bias: r.take_f32()?,
+        }),
+        tag => {
+            return Err(ArtifactError::Corrupt(format!(
+                "linear model tag {tag} (expected 0 or 1)"
+            )))
+        }
+    };
+    r.expect_exhausted("linear model state")?;
+    Ok(model)
 }
 
 /// Shared Adam-based trainer for linear decision functions.
@@ -146,6 +180,15 @@ impl Classifier for LogisticRegression {
             .map(|r| sigmoid(model.score(x.row(r))))
             .collect()
     }
+
+    fn export_state(&self) -> Vec<u8> {
+        export_linear(&self.model)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        self.model = import_linear(bytes)?;
+        Ok(())
+    }
 }
 
 /// Linear soft-margin SVM trained on the hinge loss. `predict_proba` maps
@@ -220,6 +263,15 @@ impl Classifier for LinearSvm {
         (0..x.rows())
             .map(|r| sigmoid(model.score(x.row(r))))
             .collect()
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        export_linear(&self.model)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        self.model = import_linear(bytes)?;
+        Ok(())
     }
 }
 

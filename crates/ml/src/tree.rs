@@ -1,7 +1,8 @@
 //! CART decision trees (Gini impurity) — the building block of the Random
 //! Forest and the subject of the TreeSHAP analysis.
 
-use crate::classifier::{positive_rate, validate_fit_inputs, Classifier};
+use crate::classifier::{checked_u32_count, positive_rate, validate_fit_inputs, Classifier};
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use phishinghook_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -86,6 +87,16 @@ impl DecisionTree {
     /// The fitted node arena (empty before `fit`). Index 0 is the root.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
+    }
+
+    /// Rehydrates a fitted tree from a decoded node arena (persistence
+    /// path; construction hyper-parameters are irrelevant for prediction).
+    pub(crate) fn from_nodes(nodes: Vec<Node>) -> DecisionTree {
+        DecisionTree {
+            params: TreeParams::default(),
+            seed: 0,
+            nodes,
+        }
     }
 
     /// Probability of class 1 for a single sample.
@@ -241,6 +252,60 @@ impl DecisionTree {
     }
 }
 
+/// Serializes one fitted node arena (shared by the tree and the forest).
+pub(crate) fn write_nodes(w: &mut ByteWriter, nodes: &[Node]) {
+    w.put_u32(nodes.len() as u32);
+    for n in nodes {
+        w.put_u32(n.feature);
+        w.put_f32(n.threshold);
+        w.put_u32(n.left);
+        w.put_u32(n.right);
+        w.put_f32(n.value);
+        w.put_f32(n.cover);
+        w.put_u8(u8::from(n.is_leaf));
+    }
+}
+
+/// Inverse of [`write_nodes`], validating child indices so a decoded arena
+/// can never send `predict_row` out of bounds.
+pub(crate) fn read_nodes(r: &mut ByteReader<'_>) -> Result<Vec<Node>, ArtifactError> {
+    // 25 bytes per node on the wire; bounding the count by the payload
+    // keeps a crafted artifact from forcing a huge pre-allocation.
+    let count = checked_u32_count(r, 25, "tree node arena")?;
+    if count == 0 {
+        // Fitting always produces at least a root leaf; an empty arena
+        // would panic the first predict_row.
+        return Err(ArtifactError::Corrupt("empty tree node arena".into()));
+    }
+    let mut nodes = Vec::with_capacity(count);
+    for _ in 0..count {
+        nodes.push(Node {
+            feature: r.take_u32()?,
+            threshold: r.take_f32()?,
+            left: r.take_u32()?,
+            right: r.take_u32()?,
+            value: r.take_f32()?,
+            cover: r.take_f32()?,
+            is_leaf: r.take_u8()? != 0,
+        });
+    }
+    for (i, n) in nodes.iter().enumerate() {
+        // Children sit strictly deeper in the arena (construction order),
+        // which both bounds the indices and rules out traversal cycles.
+        if !n.is_leaf
+            && (n.left as usize >= count
+                || n.right as usize >= count
+                || n.left as usize <= i
+                || n.right as usize <= i)
+        {
+            return Err(ArtifactError::Corrupt(format!(
+                "tree node {i} has invalid children in a {count}-node arena"
+            )));
+        }
+    }
+    Ok(nodes)
+}
+
 /// Gini impurity of a node with `pos` positives out of `n`.
 fn gini(pos: f32, n: f32) -> f32 {
     if n <= 0.0 {
@@ -272,6 +337,20 @@ impl Classifier for DecisionTree {
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
         assert!(!self.nodes.is_empty(), "predict before fit");
         (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        write_nodes(&mut w, &self.nodes);
+        w.into_bytes()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        let mut r = ByteReader::new(bytes);
+        let nodes = read_nodes(&mut r)?;
+        r.expect_exhausted("decision tree state")?;
+        self.nodes = nodes;
+        Ok(())
     }
 }
 

@@ -168,6 +168,47 @@ impl EscortNet {
     pub fn parameter_count(&self) -> usize {
         self.store.scalar_count()
     }
+
+    /// Serializes the fitted parameter tensors plus whether the phishing
+    /// transfer branch has been attached.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = phishinghook_artifact::ByteWriter::new();
+        w.put_u8(u8::from(self.phishing_head.is_some()));
+        w.put_bytes(&self.store.export_tensors());
+        w.into_bytes()
+    }
+
+    /// Restores state exported from a same-configured model. When the
+    /// exporter had been through [`EscortNet::fit_transfer`], the phishing
+    /// branch is attached here first (same structural path as training),
+    /// then every tensor — trunk, vulnerability branches, transfer head —
+    /// is overwritten with the exported values.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Mismatch`] on a structural disagreement (e.g. the
+    /// artifact has no transfer head but this model does), plus tensor
+    /// shape/count mismatches from the parameter store.
+    pub fn import_state(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(), phishinghook_artifact::ArtifactError> {
+        use phishinghook_artifact::{ArtifactError, ByteReader};
+        let mut r = ByteReader::new(bytes);
+        let has_head = r.take_u8()? != 0;
+        let tensors = r.take_bytes()?.to_vec();
+        r.expect_exhausted("escort state")?;
+        if !has_head && self.phishing_head.is_some() {
+            return Err(ArtifactError::Mismatch(
+                "artifact carries no phishing head but the model has one".into(),
+            ));
+        }
+        if has_head && self.phishing_head.is_none() {
+            let head = Linear::new(&mut self.store, self.config.trunk2, 1, &mut self.rng);
+            self.phishing_head = Some(head);
+        }
+        self.store.import_tensors(&tensors)
+    }
 }
 
 #[cfg(test)]

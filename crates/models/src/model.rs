@@ -33,6 +33,7 @@
 //! ```
 
 use crate::{EcaEfficientNet, EscortNet, Gpt2Classifier, ScsGuard, T5Classifier, ViT};
+use phishinghook_artifact::ArtifactError;
 use phishinghook_features::FeatureRow;
 use phishinghook_linalg::Matrix;
 use phishinghook_ml::Classifier;
@@ -81,6 +82,25 @@ pub trait Model: Send + Sync {
             .map(|p| u8::from(p >= 0.5))
             .collect()
     }
+
+    /// Serializes the fitted state (parameter tensors for the deep models,
+    /// trees/weights/neighbours for the classical ones) as an opaque blob.
+    /// Configuration is *not* included — the persistence layer rebuilds a
+    /// model through its normal factory and then restores state, so every
+    /// hyper-parameter lives in exactly one place.
+    fn export_state(&self) -> Vec<u8>;
+
+    /// Restores fitted state from a [`Model::export_state`] blob into a
+    /// same-configured instance, after which `predict_proba` is
+    /// bit-identical to the exporter's — the per-model contract behind the
+    /// cold-start parity guarantee.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Corrupt`] on a malformed blob,
+    /// [`ArtifactError::Mismatch`] when the blob disagrees with this
+    /// instance's configuration.
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError>;
 }
 
 /// Gathers dense rows into owned vectors.
@@ -172,6 +192,14 @@ impl Model for DenseClassifier {
     fn parameter_count(&self) -> usize {
         0
     }
+
+    fn export_state(&self) -> Vec<u8> {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        self.inner.import_state(bytes)
+    }
 }
 
 impl Model for ViT {
@@ -185,6 +213,14 @@ impl Model for ViT {
 
     fn parameter_count(&self) -> usize {
         ViT::parameter_count(self)
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        ViT::export_state(self)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        ViT::import_state(self, bytes)
     }
 }
 
@@ -200,6 +236,14 @@ impl Model for EcaEfficientNet {
     fn parameter_count(&self) -> usize {
         EcaEfficientNet::parameter_count(self)
     }
+
+    fn export_state(&self) -> Vec<u8> {
+        EcaEfficientNet::export_state(self)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        EcaEfficientNet::import_state(self, bytes)
+    }
 }
 
 impl Model for ScsGuard {
@@ -213,6 +257,14 @@ impl Model for ScsGuard {
 
     fn parameter_count(&self) -> usize {
         ScsGuard::parameter_count(self)
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        ScsGuard::export_state(self)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        ScsGuard::import_state(self, bytes)
     }
 }
 
@@ -228,6 +280,14 @@ impl Model for Gpt2Classifier {
     fn parameter_count(&self) -> usize {
         Gpt2Classifier::parameter_count(self)
     }
+
+    fn export_state(&self) -> Vec<u8> {
+        Gpt2Classifier::export_state(self)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        Gpt2Classifier::import_state(self, bytes)
+    }
 }
 
 impl Model for T5Classifier {
@@ -242,6 +302,14 @@ impl Model for T5Classifier {
     fn parameter_count(&self) -> usize {
         T5Classifier::parameter_count(self)
     }
+
+    fn export_state(&self) -> Vec<u8> {
+        T5Classifier::export_state(self)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        T5Classifier::import_state(self, bytes)
+    }
 }
 
 impl Model for EscortNet {
@@ -255,6 +323,14 @@ impl Model for EscortNet {
 
     fn parameter_count(&self) -> usize {
         EscortNet::parameter_count(self)
+    }
+
+    fn export_state(&self) -> Vec<u8> {
+        EscortNet::export_state(self)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        EscortNet::import_state(self, bytes)
     }
 
     fn pretrain(&mut self, rows: &[FeatureRow<'_>], aux: &[Vec<u8>]) {
@@ -316,6 +392,46 @@ mod tests {
         via_trait.fit(&rows, &labels);
         assert_eq!(via_trait.predict_proba(&rows), direct_probs);
         assert!(via_trait.parameter_count() > 0);
+    }
+
+    #[test]
+    fn trait_state_round_trips_bit_exactly() {
+        // One classical adapter and one deep model through the trait.
+        let data: Vec<Vec<f32>> = (0..16).map(|i| vec![(i % 2) as f32, 1.0]).collect();
+        let labels: Vec<u8> = (0..16).map(|i| (i % 2) as u8).collect();
+        let rows = dense(&data);
+        let mut trained: Box<dyn Model> = Box::new(DenseClassifier::new(Box::new(
+            LogisticRegression::with_epochs(80),
+        )));
+        trained.fit(&rows, &labels);
+        let mut fresh: Box<dyn Model> = Box::new(DenseClassifier::new(Box::new(
+            LogisticRegression::with_epochs(80),
+        )));
+        fresh.import_state(&trained.export_state()).unwrap();
+        assert_eq!(fresh.predict_proba(&rows), trained.predict_proba(&rows));
+
+        let xs: Vec<Vec<u32>> = (0..10).map(|i| vec![(i % 3) as u32; 6]).collect();
+        let id_labels: Vec<u8> = (0..10).map(|i| u8::from(i % 3 == 0)).collect();
+        let cfg = ScsGuardConfig {
+            vocab: 8,
+            train: TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            },
+            ..ScsGuardConfig::default()
+        };
+        let id_rows_owned: Vec<FeatureRow<'_>> = xs.iter().map(|v| FeatureRow::Ids(v)).collect();
+        let mut deep: Box<dyn Model> = Box::new(ScsGuard::new(cfg));
+        deep.fit(&id_rows_owned, &id_labels);
+        let mut deep_fresh: Box<dyn Model> = Box::new(ScsGuard::new(cfg));
+        deep_fresh.import_state(&deep.export_state()).unwrap();
+        assert_eq!(
+            deep_fresh.predict_proba(&id_rows_owned),
+            deep.predict_proba(&id_rows_owned)
+        );
+
+        // Cross-model state is rejected, not silently absorbed.
+        assert!(deep_fresh.import_state(&trained.export_state()).is_err());
     }
 
     #[test]

@@ -135,6 +135,24 @@ impl ScsGuard {
     pub fn parameter_count(&self) -> usize {
         self.store.scalar_count()
     }
+
+    /// Serializes the fitted parameter tensors (flat, bit-exact).
+    pub fn export_state(&self) -> Vec<u8> {
+        self.store.export_tensors()
+    }
+
+    /// Restores parameters exported from a same-configured model, after
+    /// which predictions are bit-identical to the exporter's.
+    ///
+    /// # Errors
+    ///
+    /// See [`phishinghook_nn::ParamStore::import_tensors`].
+    pub fn import_state(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(), phishinghook_artifact::ArtifactError> {
+        self.store.import_tensors(bytes)
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,27 @@ mod proptests {
             prop_assert!(store.value(w).data().iter().all(|v| v.is_finite()));
         }
 
+        /// Any randomly shaped, randomly valued parameter store survives
+        /// the flat tensor export/import round trip bit-exactly.
+        #[test]
+        fn param_export_round_trips(seed in 0u64..500, n_tensors in 1usize..5) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut store = ParamStore::new();
+            let mut twin = ParamStore::new();
+            for k in 0..n_tensors {
+                let shape = [1 + (seed as usize + k) % 4, 1 + k];
+                store.param(Tensor::random(&shape, 3.0, &mut rng));
+                twin.param(Tensor::zeros(&shape));
+            }
+            twin.import_tensors(&store.export_tensors()).unwrap();
+            for i in 0..store.len() {
+                let id = ParamId(i);
+                let a: Vec<u32> = store.value(id).data().iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = twin.value(id).data().iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(a, b);
+            }
+        }
+
         /// Softmax rows of any 2-D input sum to one.
         #[test]
         fn softmax_rows_sum_to_one(rows in 1usize..6, cols in 1usize..6, seed in 0u64..100) {

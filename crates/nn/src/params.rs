@@ -1,6 +1,7 @@
 //! Trainable-parameter storage with an Adam optimizer.
 
 use crate::tensor::Tensor;
+use phishinghook_artifact::{ArtifactError, ByteReader, ByteWriter};
 use rand::Rng;
 
 /// Handle to one parameter tensor inside a [`ParamStore`].
@@ -134,6 +135,86 @@ impl ParamStore {
         }
     }
 
+    /// Serializes every parameter tensor as a flat `(shape, f32 data)`
+    /// list — the bit-exact export the persistence layer embeds in model
+    /// artifacts. Optimizer state (gradients, Adam moments, step count) is
+    /// deliberately excluded: a reloaded model scores, it does not resume
+    /// training mid-batch.
+    pub fn export_tensors(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.values.len() as u32);
+        for t in &self.values {
+            w.put_u32(t.shape().len() as u32);
+            for &d in t.shape() {
+                w.put_usize(d);
+            }
+            w.put_f32_slice(t.data());
+        }
+        w.into_bytes()
+    }
+
+    /// Restores parameter values from [`ParamStore::export_tensors`] bytes
+    /// into a structurally identical store (same tensor count and shapes —
+    /// the store a freshly built model of the same configuration owns).
+    /// Gradients and Adam state are reset, as on a fresh store.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Mismatch`] when the tensor count or any shape
+    /// disagrees with this store, [`ArtifactError::Corrupt`] on a
+    /// truncated or malformed payload.
+    pub fn import_tensors(&mut self, bytes: &[u8]) -> Result<(), ArtifactError> {
+        let mut r = ByteReader::new(bytes);
+        let count = r.take_u32()? as usize;
+        if count != self.values.len() {
+            return Err(ArtifactError::Mismatch(format!(
+                "parameter store holds {} tensors, artifact holds {count}",
+                self.values.len()
+            )));
+        }
+        let mut incoming = Vec::with_capacity(count);
+        for i in 0..count {
+            // Each dimension occupies 8 bytes; the bounded count keeps a
+            // crafted payload from forcing a huge pre-allocation.
+            let rank = r
+                .take_count_u32(8)
+                .map_err(|e| ArtifactError::Corrupt(format!("tensor {i} rank: {e}")))?;
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(r.take_usize()?);
+            }
+            let data = r.take_f32_slice()?;
+            if data.len() != shape.iter().product::<usize>() {
+                return Err(ArtifactError::Corrupt(format!(
+                    "tensor {i}: {} values for shape {shape:?}",
+                    data.len()
+                )));
+            }
+            if shape != self.values[i].shape() {
+                return Err(ArtifactError::Mismatch(format!(
+                    "tensor {i}: artifact shape {shape:?} vs store shape {:?}",
+                    self.values[i].shape()
+                )));
+            }
+            incoming.push(Tensor::from_vec(&shape, data));
+        }
+        r.expect_exhausted("parameter tensors")?;
+        // All validated; commit atomically.
+        for (slot, t) in self.values.iter_mut().zip(incoming) {
+            *slot = t;
+        }
+        for g in self
+            .grads
+            .iter_mut()
+            .chain(&mut self.adam_m)
+            .chain(&mut self.adam_v)
+        {
+            g.data_mut().fill(0.0);
+        }
+        self.step = 0;
+        Ok(())
+    }
+
     /// Freezes a parameter by zeroing its future updates: gradient is still
     /// accumulated but `adam_step_masked` skips the listed ids (used by
     /// ESCORT's transfer-learning phase).
@@ -187,6 +268,59 @@ mod tests {
         store.accumulate_grad(a, &Tensor::scalar(5.0));
         store.zero_grads();
         assert_eq!(store.grad(a).item(), 0.0);
+    }
+
+    #[test]
+    fn tensor_export_round_trips_bit_exactly() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let a = store.he(&[3, 4], 3, &mut rng);
+        let b = store.zeros(&[5]);
+        store.accumulate_grad(b, &Tensor::from_vec(&[5], vec![1.0; 5]));
+        store.adam_step(0.1, 1);
+        let exported = store.export_tensors();
+
+        // A structurally identical store with different values.
+        let mut fresh = ParamStore::new();
+        fresh.he(&[3, 4], 3, &mut rng);
+        fresh.zeros(&[5]);
+        fresh.import_tensors(&exported).unwrap();
+        assert_eq!(fresh.value(a).data(), store.value(a).data());
+        assert_eq!(fresh.value(b).data(), store.value(b).data());
+        // Optimizer state resets on import.
+        assert_eq!(fresh.grad(b).data(), &[0.0; 5]);
+    }
+
+    #[test]
+    fn import_rejects_shape_and_count_mismatches() {
+        use phishinghook_artifact::ArtifactError;
+        let mut store = ParamStore::new();
+        store.zeros(&[2, 2]);
+        let exported = store.export_tensors();
+
+        let mut wrong_count = ParamStore::new();
+        wrong_count.zeros(&[2, 2]);
+        wrong_count.zeros(&[1]);
+        assert!(matches!(
+            wrong_count.import_tensors(&exported),
+            Err(ArtifactError::Mismatch(_))
+        ));
+
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.zeros(&[4]);
+        assert!(matches!(
+            wrong_shape.import_tensors(&exported),
+            Err(ArtifactError::Mismatch(_))
+        ));
+
+        let mut same = ParamStore::new();
+        same.zeros(&[2, 2]);
+        assert!(matches!(
+            same.import_tensors(&exported[..exported.len() - 2]),
+            Err(ArtifactError::Corrupt(_))
+        ));
     }
 
     #[test]

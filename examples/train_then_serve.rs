@@ -1,0 +1,148 @@
+//! The two-process persistence workflow, end to end:
+//!
+//! ```bash
+//! # Process 1: train on the synthetic chain, save the artifact and the
+//! # reference scores it produces on a deterministic screening batch.
+//! cargo run --release --example train_then_serve -- train /tmp/detector.phk /tmp/scores.phk
+//!
+//! # Process 2 (fresh process, no training state): reload the artifact,
+//! # score the same batch, and verify bit-identical results.
+//! cargo run --release --example train_then_serve -- serve /tmp/detector.phk /tmp/scores.phk
+//! ```
+//!
+//! With no arguments both phases run in sequence through a temp
+//! directory — the same flow, one command. CI runs the two-command form
+//! so the parity check crosses a real process boundary.
+
+use phishinghook::prelude::*;
+use phishinghook_artifact::{ArtifactReader, ArtifactWriter, ByteReader, ByteWriter};
+use phishinghook_evm::Bytecode;
+use phishinghook_synth::{generate_contract, Difficulty, Family};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const TRAIN_SEED: u64 = 7;
+const SCREEN_SEED: u64 = 0xC01D;
+const SCREEN_COUNT: usize = 48;
+
+/// The screening batch both processes regenerate independently: fresh
+/// deployments the detector never saw during training, derived from a
+/// fixed seed so "process 2" needs nothing but the two artifact files.
+fn screening_batch() -> Vec<Bytecode> {
+    let mut rng = StdRng::seed_from_u64(SCREEN_SEED);
+    (0..SCREEN_COUNT)
+        .map(|i| {
+            generate_contract(
+                Family::ALL[i % Family::ALL.len()],
+                Month(6),
+                &Difficulty::default(),
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+fn train(artifact_path: &str, scores_path: &str) {
+    let t0 = Instant::now();
+    let corpus = generate_corpus(&CorpusConfig::small(1337));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
+    let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+    let detector = Detector::train(&ctx, ModelKind::RandomForest, TRAIN_SEED);
+    println!(
+        "[train] {} on {} contracts in {:.2}s",
+        detector.kind(),
+        detector.trained_on(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    detector.save(artifact_path).expect("write artifact");
+    let size = std::fs::metadata(artifact_path)
+        .expect("stat artifact")
+        .len();
+    println!("[train] artifact -> {artifact_path} ({size} bytes)");
+
+    let scores = detector.score_codes(&screening_batch());
+    let mut payload = ByteWriter::new();
+    payload.put_str(detector.kind().id());
+    payload.put_f32_slice(&scores);
+    let mut scores_artifact = ArtifactWriter::new();
+    scores_artifact.section("scores", payload.into_bytes());
+    scores_artifact
+        .write_file(scores_path)
+        .expect("write scores");
+    println!("[train] {} reference scores -> {scores_path}", scores.len());
+}
+
+fn serve(artifact_path: &str, scores_path: &str) {
+    let t0 = Instant::now();
+    let detector = match Detector::load(artifact_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("[serve] failed to load artifact: {e}");
+            std::process::exit(1);
+        }
+    };
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "[serve] loaded {} ({} params, trained on {}) in {load_ms:.1} ms — no retraining",
+        detector.kind(),
+        detector.parameter_count(),
+        detector.trained_on()
+    );
+
+    let scores = detector.score_codes(&screening_batch());
+
+    let reference_bytes = std::fs::read(scores_path).expect("read scores file");
+    let reference = ArtifactReader::from_bytes(&reference_bytes).expect("parse scores artifact");
+    let mut payload = ByteReader::new(reference.section("scores").expect("scores section"));
+    let trained_kind = payload.take_str().expect("kind id");
+    let expected = payload.take_f32_slice().expect("score list");
+    assert_eq!(
+        trained_kind,
+        detector.kind().id(),
+        "artifact/model kind mismatch"
+    );
+
+    let mismatches: Vec<usize> = (0..expected.len().max(scores.len()))
+        .filter(|&i| scores.get(i).map(|s| s.to_bits()) != expected.get(i).map(|e| e.to_bits()))
+        .collect();
+    if mismatches.is_empty() {
+        println!(
+            "[serve] {} scores match the training process bit-for-bit ✓",
+            scores.len()
+        );
+    } else {
+        eprintln!(
+            "[serve] PARITY FAILURE: {} of {} scores differ (first at index {})",
+            mismatches.len(),
+            expected.len(),
+            mismatches[0]
+        );
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, artifact, scores] if cmd == "train" => train(artifact, scores),
+        [cmd, artifact, scores] if cmd == "serve" => serve(artifact, scores),
+        [] => {
+            let dir = std::env::temp_dir().join(format!("phk_demo_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("temp dir");
+            let artifact = dir.join("detector.phk");
+            let scores = dir.join("scores.phk");
+            train(artifact.to_str().unwrap(), scores.to_str().unwrap());
+            serve(artifact.to_str().unwrap(), scores.to_str().unwrap());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        _ => {
+            eprintln!(
+                "usage: train_then_serve [train <artifact> <scores> | serve <artifact> <scores>]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
