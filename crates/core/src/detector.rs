@@ -13,7 +13,7 @@
 //!
 //! * [`Detector::score_cache`] / [`Detector::score_batch`] — score decoded
 //!   contracts; batches featurize across the worker pool and hit the model
-//!   with one batched `predict_proba` call;
+//!   with one amortized `predict_proba_batch` call;
 //! * [`Detector::score_code`] / [`Detector::score_codes`] — decode **exactly
 //!   once** per contract, then score;
 //! * [`Detector::score_address`] — the full wallet-guard loop: `eth_getCode`
@@ -320,7 +320,7 @@ impl Detector {
 
     /// Phishing probabilities for a batch of already-decoded contracts, in
     /// input order: encoding fans across the worker pool, then the model
-    /// sees one batched `predict_proba` call.
+    /// sees one amortized `predict_proba_batch` call.
     pub fn score_batch(&self, caches: &[DisasmCache]) -> Vec<f32> {
         if caches.is_empty() {
             return Vec::new();
@@ -328,7 +328,7 @@ impl Detector {
         let encoded: Vec<FeatureVec> =
             parallel_map(caches, |c| self.encoders.encode(c, self.encoding));
         let rows: Vec<FeatureRow<'_>> = encoded.iter().map(FeatureVec::as_row).collect();
-        self.model.predict_proba(&rows)
+        self.model.predict_proba_batch(&rows)
     }
 
     /// Scores raw bytecode: decodes it exactly once, then scores.
@@ -353,7 +353,7 @@ impl Detector {
             self.encoders.encode(&DisasmCache::build(c), self.encoding)
         });
         let rows: Vec<FeatureRow<'_>> = encoded.iter().map(FeatureVec::as_row).collect();
-        self.model.predict_proba(&rows)
+        self.model.predict_proba_batch(&rows)
     }
 
     /// The wallet-guard loop: fetch the deployed bytecode over the
@@ -564,8 +564,8 @@ impl ModelZoo {
 
     /// Per-contract verdicts for a batch of decoded contracts, in input
     /// order. Each distinct encoding is featurized once per contract
-    /// (across the worker pool) and every model sees one batched
-    /// `predict_proba` call.
+    /// (across the worker pool) and every model sees one
+    /// `predict_proba_batch` call.
     pub fn score_batch(&self, caches: &[DisasmCache]) -> Vec<Vec<Verdict>> {
         if caches.is_empty() {
             return Vec::new();
@@ -581,7 +581,7 @@ impl ModelZoo {
             let vecs = encoded[encoding.index()]
                 .get_or_insert_with(|| parallel_map(caches, |c| self.encoders.encode(c, encoding)));
             let rows: Vec<FeatureRow<'_>> = vecs.iter().map(FeatureVec::as_row).collect();
-            for (i, p) in model.predict_proba(&rows).into_iter().enumerate() {
+            for (i, p) in model.predict_proba_batch(&rows).into_iter().enumerate() {
                 out[i].push(Verdict {
                     kind: *kind,
                     probability: p,

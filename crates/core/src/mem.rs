@@ -457,7 +457,10 @@ pub fn evaluate_trial_with(
     let gathered = ctx.store().matrix(kind.encoding()).gather(test_idx);
     let rows_test = gathered.rows();
     let t1 = Instant::now();
-    let probs = model.predict_proba(&rows_test);
+    // Batched inference path; bit-identical to row-wise `predict_proba`
+    // for every kind (asserted by tests/batched_parity.rs), so metrics are
+    // unaffected while the deep models amortize one tape per mini-batch.
+    let probs = model.predict_proba_batch(&rows_test);
     let infer_seconds = t1.elapsed().as_secs_f64();
     outcome_from_probs(&probs, &y_test, train_seconds, infer_seconds)
 }

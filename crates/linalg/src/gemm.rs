@@ -1,0 +1,347 @@
+//! Blocked dense kernels over raw `f32` slices.
+//!
+//! These are the shared compute primitives under both [`Matrix`] and the
+//! autodiff tape in `phishinghook-nn`: a cache-blocked GEMM with packed
+//! B-panels, a tiled transpose, and 4-way unrolled `dot`/`axpy` inner
+//! loops. Keeping them slice-shaped (no owning type) lets both layers call
+//! straight into one kernel and lets callers reuse output storage across
+//! calls (`matmul_into` / `transpose_into`).
+//!
+//! **Accumulation-order contract:** for every output element, products are
+//! accumulated in strictly increasing `k` order, independent of blocking —
+//! so `C[i][j]` is bit-identical whether the row arrived alone (a GEMV-
+//! shaped call) or inside a larger batch. The batched training/inference
+//! paths rely on this for their bit-parity guarantees.
+//!
+//! [`Matrix`]: crate::Matrix
+
+use std::cell::RefCell;
+
+/// k-dimension block: one packed B-panel spans `KC` rows of B.
+const KC: usize = 256;
+/// n-dimension block: columns per packed B-panel.
+const NC: usize = 128;
+/// Transpose tile side.
+const TC: usize = 32;
+/// Below this `k·n` footprint (f32s) the direct loop beats packing.
+const SMALL_B: usize = 16 * 1024;
+
+thread_local! {
+    /// Per-thread packing arena so steady-state GEMMs never allocate.
+    static PACK_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `out[..n] += alpha * x[..n]`, 4-way unrolled.
+///
+/// Element-wise, so the unroll cannot change any result bit.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn axpy(alpha: f32, x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "axpy length mismatch");
+    let chunks = x.len() / 4;
+    let (x4, xt) = x.split_at(chunks * 4);
+    let (o4, ot) = out.split_at_mut(chunks * 4);
+    for (xc, oc) in x4.chunks_exact(4).zip(o4.chunks_exact_mut(4)) {
+        oc[0] += alpha * xc[0];
+        oc[1] += alpha * xc[1];
+        oc[2] += alpha * xc[2];
+        oc[3] += alpha * xc[3];
+    }
+    for (o, &v) in ot.iter_mut().zip(xt) {
+        *o += alpha * v;
+    }
+}
+
+/// Dot product with four independent accumulators (final reduction
+/// `(s0 + s1) + (s2 + s3)`), unrolled 4-way.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let chunks = a.len() / 4;
+    let (a4, at) = a.split_at(chunks * 4);
+    let (b4, bt) = b.split_at(chunks * 4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (ac, bc) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        s0 += ac[0] * bc[0];
+        s1 += ac[1] * bc[1];
+        s2 += ac[2] * bc[2];
+        s3 += ac[3] * bc[3];
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in at.iter().zip(bt) {
+        tail += x * y;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// The register-blocked inner kernel: multiplies the `k0..k0+kc` columns
+/// of `m` rows of `A` (row stride `lda`) by a contiguous `kc × nc` B-panel
+/// into the `j0..j0+nc` columns of `m` output rows (row stride `ldo`),
+/// accumulating in place.
+///
+/// Output rows are processed **four at a time**, so each loaded B element
+/// feeds four accumulating rows — the batch dimension is what pays for the
+/// register blocking, which is why one batched `(B, d)` GEMM beats `B`
+/// separate GEMV calls on identical FLOPs. Per output element the `kk`
+/// order is strictly increasing, and the tail-row path accumulates in the
+/// same order, so every row's bits are independent of how many rows ride
+/// alongside it.
+#[allow(clippy::too_many_arguments)]
+fn block_kernel(
+    m: usize,
+    kc: usize,
+    nc: usize,
+    a: &[f32],
+    lda: usize,
+    k0: usize,
+    panel: &[f32],
+    out: &mut [f32],
+    ldo: usize,
+    j0: usize,
+) {
+    let mut i = 0;
+    let mut rest = out;
+    while i + 4 <= m {
+        let (block, tail) = rest.split_at_mut(4 * ldo);
+        rest = tail;
+        let (r0, b1) = block.split_at_mut(ldo);
+        let (r1, b2) = b1.split_at_mut(ldo);
+        let (r2, r3) = b2.split_at_mut(ldo);
+        let r0 = &mut r0[j0..j0 + nc];
+        let r1 = &mut r1[j0..j0 + nc];
+        let r2 = &mut r2[j0..j0 + nc];
+        let r3 = &mut r3[j0..j0 + nc];
+        for kk in 0..kc {
+            let brow = &panel[kk * nc..kk * nc + nc];
+            let a0 = a[i * lda + k0 + kk];
+            let a1 = a[(i + 1) * lda + k0 + kk];
+            let a2 = a[(i + 2) * lda + k0 + kk];
+            let a3 = a[(i + 3) * lda + k0 + kk];
+            for j in 0..nc {
+                let bv = brow[j];
+                r0[j] += a0 * bv;
+                r1[j] += a1 * bv;
+                r2[j] += a2 * bv;
+                r3[j] += a3 * bv;
+            }
+        }
+        i += 4;
+    }
+    for (ti, row) in rest.chunks_exact_mut(ldo).enumerate() {
+        let ri = i + ti;
+        let out_row = &mut row[j0..j0 + nc];
+        for kk in 0..kc {
+            axpy(
+                a[ri * lda + k0 + kk],
+                &panel[kk * nc..kk * nc + nc],
+                out_row,
+            );
+        }
+    }
+}
+
+/// `out = A · B` for row-major `A (m×k)`, `B (k×n)`, `out (m×n)`.
+///
+/// `out` is fully overwritten (no read of its prior contents). Small
+/// products feed B straight into the register-blocked kernel; larger ones
+/// block over `k` and `n` with the current B-panel packed contiguously
+/// into a per-thread arena, so the inner loops stream cache-resident
+/// memory regardless of `n`'s stride. The dense path has no per-element
+/// zero test: a uniformly-predictable inner loop beats skipping the
+/// occasional zero, and adding a `±0.0` product never changes a finite
+/// accumulation bit.
+///
+/// **Accumulation-order contract:** panels advance n-major then k-major
+/// and the kernel walks `kk` upward, so for every output element the
+/// products arrive in strictly increasing `k` order regardless of shape —
+/// `C[i][j]` is bit-identical whether row `i` is multiplied alone or
+/// inside a batch.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with its `(m, k, n)` shape.
+pub fn matmul_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul lhs shape mismatch");
+    assert_eq!(b.len(), k * n, "matmul rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "matmul out shape mismatch");
+    out.fill(0.0);
+    // Degenerate shapes: nothing to accumulate (and the kernel's row
+    // chunking cannot take a zero stride).
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if k * n <= SMALL_B {
+        // B is already one contiguous k×n panel.
+        block_kernel(m, k, n, a, k, 0, b, out, n, 0);
+        return;
+    }
+    PACK_BUF.with(|cell| {
+        let mut pack = cell.borrow_mut();
+        let mut j0 = 0;
+        while j0 < n {
+            let nc = NC.min(n - j0);
+            let mut k0 = 0;
+            while k0 < k {
+                let kc = KC.min(k - k0);
+                // Pack B[k0..k0+kc, j0..j0+nc] row-contiguously.
+                pack.clear();
+                pack.reserve(kc * nc);
+                for kk in 0..kc {
+                    pack.extend_from_slice(&b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + nc]);
+                }
+                block_kernel(m, kc, nc, a, k, k0, &pack, out, n, j0);
+                k0 += kc;
+            }
+            j0 += nc;
+        }
+    });
+}
+
+/// `out = Aᵀ` for row-major `A (rows×cols)`, `out (cols×rows)`, written in
+/// `TC×TC` tiles so both the read and the write stay within a few cache
+/// lines per step. `out` is fully overwritten.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the shape.
+pub fn transpose_into(rows: usize, cols: usize, a: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), rows * cols, "transpose input shape mismatch");
+    assert_eq!(out.len(), rows * cols, "transpose output shape mismatch");
+    let mut r0 = 0;
+    while r0 < rows {
+        let rt = TC.min(rows - r0);
+        let mut c0 = 0;
+        while c0 < cols {
+            let ct = TC.min(cols - c0);
+            for r in r0..r0 + rt {
+                for c in c0..c0 + ct {
+                    out[c * rows + r] = a[r * cols + c];
+                }
+            }
+            c0 += ct;
+        }
+        r0 += rt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0f32..=1.0)).collect()
+    }
+
+    fn reference_matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Shapes straddling the packing threshold and block boundaries.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (16, 64, 1),
+            (2, 300, 200),
+            (5, 513, 131),
+        ] {
+            let a = random_vec(m * k, &mut rng);
+            let b = random_vec(k * n, &mut rng);
+            let mut out = vec![f32::NAN; m * n];
+            matmul_into(m, k, n, &a, &b, &mut out);
+            let want = reference_matmul(m, k, n, &a, &b);
+            let got_bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn row_in_batch_matches_row_alone_bitwise() {
+        // The contract the batched NN paths rely on: a sample's output row
+        // is invariant to the batch it rides in.
+        let mut rng = StdRng::seed_from_u64(11);
+        let (b_rows, k, n) = (9usize, 310usize, 150usize);
+        let a = random_vec(b_rows * k, &mut rng);
+        let w = random_vec(k * n, &mut rng);
+        let mut batched = vec![0.0f32; b_rows * n];
+        matmul_into(b_rows, k, n, &a, &w, &mut batched);
+        for i in 0..b_rows {
+            let mut solo = vec![0.0f32; n];
+            matmul_into(1, k, n, &a[i * k..(i + 1) * k], &w, &mut solo);
+            assert_eq!(
+                solo.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                batched[i * n..(i + 1) * n]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn transpose_tiles_cover_ragged_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(r, c) in &[(1usize, 1usize), (33, 65), (32, 32), (100, 7)] {
+            let a = random_vec(r * c, &mut rng);
+            let mut out = vec![0.0f32; r * c];
+            transpose_into(r, c, &a, &mut out);
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(out[j * r + i], a[i * c + j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_dot_and_axpy_handle_tails() {
+        for len in 0..9usize {
+            let a: Vec<f32> = (0..len).map(|i| i as f32 + 1.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| 2.0 * i as f32 - 3.0).collect();
+            let want: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert_eq!(dot(&a, &b), want, "len {len}");
+            let mut out = vec![1.0f32; len];
+            axpy(0.5, &a, &mut out);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, 1.0 + 0.5 * a[i]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul out shape mismatch")]
+    fn matmul_into_checks_out_shape() {
+        matmul_into(2, 2, 2, &[0.0; 4], &[0.0; 4], &mut [0.0; 3]);
+    }
+
+    #[test]
+    fn degenerate_shapes_are_empty_or_zero() {
+        // Zero-column, zero-row and zero-inner products must not panic.
+        matmul_into(2, 3, 0, &[1.0; 6], &[], &mut []);
+        matmul_into(0, 3, 2, &[], &[1.0; 6], &mut []);
+        let mut out = [f32::NAN; 4];
+        matmul_into(2, 0, 2, &[], &[], &mut out);
+        assert_eq!(out, [0.0; 4]);
+    }
+}

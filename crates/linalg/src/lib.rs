@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod gemm;
 pub mod matrix;
 pub mod vecops;
 

@@ -142,46 +142,67 @@ impl Matrix {
         self.data
     }
 
-    /// Matrix product `self * rhs`.
-    ///
-    /// Uses a cache-friendly ikj loop; adequate for the model sizes in this
-    /// reproduction.
+    /// Matrix product `self * rhs` through the blocked
+    /// [`gemm::matmul_into`](crate::gemm::matmul_into) kernel.
     ///
     /// # Panics
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product written into caller-owned storage: `out = self * rhs`.
+    /// `out` must already have shape `(self.rows, rhs.cols)`; its prior
+    /// contents are overwritten. Reusing one output matrix across calls
+    /// keeps hot loops allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree or `out` has the wrong shape.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "matmul output shape mismatch"
+        );
+        crate::gemm::matmul_into(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+    }
+
+    /// Transposed copy (tiled; see [`gemm::transpose_into`](crate::gemm::transpose_into)).
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
         out
     }
 
-    /// Transposed copy.
-    pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[(c, r)] = self[(r, c)];
-            }
-        }
-        out
+    /// Transpose written into caller-owned storage of shape
+    /// `(self.cols, self.rows)`; prior contents are overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has the wrong shape.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, self.rows),
+            "transpose output shape mismatch"
+        );
+        crate::gemm::transpose_into(self.rows, self.cols, &self.data, &mut out.data);
     }
 
     /// Element-wise in-place map.
@@ -191,16 +212,14 @@ impl Matrix {
         }
     }
 
-    /// `self += alpha * other`, element-wise.
+    /// `self += alpha * other`, element-wise (4-way unrolled kernel).
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        crate::gemm::axpy(alpha, &other.data, &mut self.data);
     }
 
     /// Sum of all elements.

@@ -1,6 +1,7 @@
 //! Free functions over `f32` slices used throughout the ML pipeline.
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices (the 4-way unrolled
+/// [`gemm`](crate::gemm) kernel).
 ///
 /// # Panics
 ///
@@ -12,8 +13,7 @@
 /// assert_eq!(phishinghook_linalg::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
 /// ```
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    crate::gemm::dot(a, b)
 }
 
 /// Euclidean norm.

@@ -8,7 +8,9 @@
 //! classifier, mirroring the "modified EfficientNet-B0 backbone" of the
 //! original at reduced width/depth.
 
-use crate::trainer::{predict_binary, train_binary, TrainConfig};
+use crate::trainer::{
+    predict_binary, predict_binary_batch, train_binary, TrainConfig, PREDICT_BATCH,
+};
 use phishinghook_nn::{Linear, ParamId, ParamStore, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -249,22 +251,46 @@ impl EcaEfficientNet {
         );
         let cfg = self.config.train;
         let mut store = std::mem::take(&mut self.store);
-        train_binary(&mut store, images, y, &cfg, &[], |t, s, img: &Vec<f32>| {
-            let x = t.input(Tensor::from_vec(&[3, side, side], img.clone()));
-            let h = stem.forward(t, s, x);
-            let h = stem_norm.forward(t, s, h);
-            let h = t.silu(h);
-            let h = block1.forward(t, s, h);
-            let h = block2.forward(t, s, h);
-            let pooled = t.global_avg_pool(h);
-            head.forward(t, s, pooled)
-        });
+        // The (c, h, w) convolution ops are per-image, so each sample is
+        // its own subgraph; the batch shares one tape and one backward.
+        train_binary(
+            &mut store,
+            images,
+            y,
+            &cfg,
+            &[],
+            |t, s, batch: &[&Vec<f32>]| {
+                let logits: Vec<Var> = batch
+                    .iter()
+                    .map(|img| {
+                        let x = t.input(Tensor::from_vec(&[3, side, side], (*img).clone()));
+                        let h = stem.forward(t, s, x);
+                        let h = stem_norm.forward(t, s, h);
+                        let h = t.silu(h);
+                        let h = block1.forward(t, s, h);
+                        let h = block2.forward(t, s, h);
+                        let pooled = t.global_avg_pool(h);
+                        head.forward(t, s, pooled)
+                    })
+                    .collect();
+                t.stack_rows(&logits)
+            },
+        );
         self.store = store;
     }
 
     /// Phishing probability per image.
     pub fn predict_proba(&self, images: &[Vec<f32>]) -> Vec<f32> {
         predict_binary(&self.store, images, |t, s, img| self.logit(t, s, img))
+    }
+
+    /// Batched phishing probabilities over one arena-reused tape,
+    /// bit-identical to [`EcaEfficientNet::predict_proba`].
+    pub fn predict_proba_batch(&self, images: &[Vec<f32>]) -> Vec<f32> {
+        predict_binary_batch(&self.store, images, PREDICT_BATCH, |t, s, batch| {
+            let logits: Vec<Var> = batch.iter().map(|img| self.logit(t, s, img)).collect();
+            t.stack_rows(&logits)
+        })
     }
 
     /// Total trainable scalar parameters.

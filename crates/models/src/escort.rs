@@ -10,7 +10,9 @@
 //! social-engineering signals; this reproduction keeps that two-phase
 //! protocol so the failure mode is reproduced honestly, not hard-coded.
 
-use crate::trainer::{predict_binary, train_binary, TrainConfig};
+use crate::trainer::{
+    batch_input, predict_binary, predict_binary_batch, train_binary, TrainConfig, PREDICT_BATCH,
+};
 use phishinghook_nn::{Linear, ParamId, ParamStore, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -106,6 +108,25 @@ impl EscortNet {
         t.relu(h)
     }
 
+    /// The genuinely batched trunk: the whole mini-batch rides one `(B, d)`
+    /// activation through the dense layers, so each weight matrix is read
+    /// once per batch instead of once per sample. Row `i` of the output is
+    /// bit-identical to [`EscortNet::features`] on sample `i` alone (the
+    /// GEMM kernel's fixed per-row accumulation order).
+    fn features_batch(
+        trunk1: Linear,
+        trunk2: Linear,
+        t: &mut Tape,
+        s: &ParamStore,
+        xs: &[&Vec<f32>],
+    ) -> Var {
+        let xv = batch_input(t, xs);
+        let h = trunk1.forward(t, s, xv);
+        let h = t.relu(h);
+        let h = trunk2.forward(t, s, h);
+        t.relu(h)
+    }
+
     /// Phase 1: multi-label pre-training of trunk + vulnerability branches.
     /// `vuln_labels[i]` holds one 0/1 label per branch for sample `i`.
     ///
@@ -126,10 +147,17 @@ impl EscortNet {
                 })
                 .collect();
             let mut store = std::mem::take(&mut self.store);
-            train_binary(&mut store, xs, &labels, &cfg, &[], |t, s, x: &Vec<f32>| {
-                let f = Self::features(trunk1, trunk2, t, s, x);
-                head.forward(t, s, f)
-            });
+            train_binary(
+                &mut store,
+                xs,
+                &labels,
+                &cfg,
+                &[],
+                |t, s, batch: &[&Vec<f32>]| {
+                    let f = Self::features_batch(trunk1, trunk2, t, s, batch);
+                    head.forward(t, s, f)
+                },
+            );
             self.store = store;
         }
     }
@@ -143,10 +171,17 @@ impl EscortNet {
         let frozen = self.trunk_params.clone();
         let cfg = self.config.train;
         let mut store = std::mem::take(&mut self.store);
-        train_binary(&mut store, xs, y, &cfg, &frozen, |t, s, x: &Vec<f32>| {
-            let f = Self::features(trunk1, trunk2, t, s, x);
-            head.forward(t, s, f)
-        });
+        train_binary(
+            &mut store,
+            xs,
+            y,
+            &cfg,
+            &frozen,
+            |t, s, batch: &[&Vec<f32>]| {
+                let f = Self::features_batch(trunk1, trunk2, t, s, batch);
+                head.forward(t, s, f)
+            },
+        );
         self.store = store;
     }
 
@@ -160,6 +195,21 @@ impl EscortNet {
         let (trunk1, trunk2) = (self.trunk1, self.trunk2);
         predict_binary(&self.store, xs, |t, s, x: &Vec<f32>| {
             let f = Self::features(trunk1, trunk2, t, s, x);
+            head.forward(t, s, f)
+        })
+    }
+
+    /// Batched phishing probabilities: `(B, d)` mini-batches through one
+    /// arena-reused tape, bit-identical to [`EscortNet::predict_proba`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`EscortNet::fit_transfer`].
+    pub fn predict_proba_batch(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        let head = self.phishing_head.expect("predict before fit_transfer");
+        let (trunk1, trunk2) = (self.trunk1, self.trunk2);
+        predict_binary_batch(&self.store, xs, PREDICT_BATCH, |t, s, batch| {
+            let f = Self::features_batch(trunk1, trunk2, t, s, batch);
             head.forward(t, s, f)
         })
     }

@@ -7,7 +7,9 @@
 //! on every window (each carrying its contract's label, as chunked
 //! fine-tuning does) and `predict_proba` averages window probabilities.
 
-use crate::trainer::{train_binary, TrainConfig};
+use crate::trainer::{
+    aggregate_window_probs, predict_binary_batch, train_binary, TrainConfig, PREDICT_BATCH,
+};
 use phishinghook_nn::{
     LayerNorm, Linear, ParamId, ParamStore, Tape, Tensor, TransformerBlock, Var,
 };
@@ -112,10 +114,25 @@ impl Gpt2Classifier {
     }
 
     fn window_logit(&self, t: &mut Tape, s: &ParamStore, window: &[u32]) -> Var {
-        let ids: Vec<u32> = window.iter().copied().take(self.config.context).collect();
         let table = t.param(s, self.token_embed);
-        let e = t.embedding(table, &ids);
         let pos_full = t.param(s, self.pos_embed);
+        self.window_logit_with(t, s, table, pos_full, window)
+    }
+
+    /// [`Gpt2Classifier::window_logit`] over pre-recorded embedding-table
+    /// and positional leaves, so a batched tape copies each table once per
+    /// mini-batch instead of once per window (gradients accumulate through
+    /// the shared leaf identically).
+    fn window_logit_with(
+        &self,
+        t: &mut Tape,
+        s: &ParamStore,
+        table: Var,
+        pos_full: Var,
+        window: &[u32],
+    ) -> Var {
+        let ids: Vec<u32> = window.iter().copied().take(self.config.context).collect();
+        let e = t.embedding(table, &ids);
         let pos = if ids.len() == self.config.context {
             pos_full
         } else {
@@ -150,25 +167,43 @@ impl Gpt2Classifier {
         let (context, dim) = (self.config.context, self.config.dim);
         let cfg = self.config.train;
         let mut store = std::mem::take(&mut self.store);
-        train_binary(&mut store, &flat, &flat_y, &cfg, &[], |t, s, window| {
-            let ids: Vec<u32> = window.iter().copied().take(context).collect();
-            let table = t.param(s, token_embed);
-            let e = t.embedding(table, &ids);
-            let pos_full = t.param(s, pos_embed);
-            let pos = if ids.len() == context {
-                pos_full
-            } else {
-                let data = t.value(pos_full).data()[..ids.len() * dim].to_vec();
-                t.input(Tensor::from_vec(&[ids.len(), dim], data))
-            };
-            let mut x = t.add(e, pos);
-            for block in &blocks {
-                x = block.forward(t, s, x, true);
-            }
-            let x = norm.forward(t, s, x);
-            let pooled = t.mean_rows(x);
-            head.forward(t, s, pooled)
-        });
+        // Batching is over the window dimension: every window in the
+        // mini-batch records its causal-attention subgraph on the shared
+        // tape, and the stacked window logits take one backward pass.
+        train_binary(
+            &mut store,
+            &flat,
+            &flat_y,
+            &cfg,
+            &[],
+            |t, s, batch: &[&Vec<u32>]| {
+                // One embedding/positional leaf per batch, shared by every
+                // window subgraph.
+                let table = t.param(s, token_embed);
+                let pos_full = t.param(s, pos_embed);
+                let logits: Vec<Var> = batch
+                    .iter()
+                    .map(|window| {
+                        let ids: Vec<u32> = window.iter().copied().take(context).collect();
+                        let e = t.embedding(table, &ids);
+                        let pos = if ids.len() == context {
+                            pos_full
+                        } else {
+                            let data = t.value(pos_full).data()[..ids.len() * dim].to_vec();
+                            t.input(Tensor::from_vec(&[ids.len(), dim], data))
+                        };
+                        let mut x = t.add(e, pos);
+                        for block in &blocks {
+                            x = block.forward(t, s, x, true);
+                        }
+                        let x = norm.forward(t, s, x);
+                        let pooled = t.mean_rows(x);
+                        head.forward(t, s, pooled)
+                    })
+                    .collect();
+                t.stack_rows(&logits)
+            },
+        );
         self.store = store;
     }
 
@@ -190,6 +225,24 @@ impl Gpt2Classifier {
                 sum / windows.len() as f32
             })
             .collect()
+    }
+
+    /// Batched contract probabilities: all windows of all contracts are
+    /// flattened, scored in window mini-batches over one arena-reused tape,
+    /// then averaged back per contract in window order — bit-identical to
+    /// [`Gpt2Classifier::predict_proba`].
+    pub fn predict_proba_batch(&self, xs: &[Vec<Vec<u32>>]) -> Vec<f32> {
+        let flat: Vec<&Vec<u32>> = xs.iter().flatten().collect();
+        let probs = predict_binary_batch(&self.store, &flat, PREDICT_BATCH, |t, s, batch| {
+            let table = t.param(s, self.token_embed);
+            let pos_full = t.param(s, self.pos_embed);
+            let logits: Vec<Var> = batch
+                .iter()
+                .map(|w| self.window_logit_with(t, s, table, pos_full, w))
+                .collect();
+            t.stack_rows(&logits)
+        });
+        aggregate_window_probs(xs, &probs)
     }
 
     /// Total trainable scalar parameters.

@@ -58,6 +58,17 @@ pub trait Model: Send + Sync {
     /// Probability of class 1 for each row.
     fn predict_proba(&self, rows: &[FeatureRow<'_>]) -> Vec<f32>;
 
+    /// Batched probability of class 1 for each row — the amortized serving
+    /// and evaluation entry point. The default delegates to
+    /// [`Model::predict_proba`] (the classical classifiers already consume
+    /// a whole design matrix per call); the six deep models override it
+    /// with one-tape-per-mini-batch inference whose results are
+    /// **bit-identical** to the row-wise path, so routing a caller through
+    /// this method never changes a score.
+    fn predict_proba_batch(&self, rows: &[FeatureRow<'_>]) -> Vec<f32> {
+        self.predict_proba(rows)
+    }
+
     /// Total trainable scalar parameters. Classical (non-gradient) models
     /// report 0: tree and neighbor counts are not comparable to network
     /// parameter counts.
@@ -211,6 +222,10 @@ impl Model for ViT {
         ViT::predict_proba(self, &dense_rows(rows))
     }
 
+    fn predict_proba_batch(&self, rows: &[FeatureRow<'_>]) -> Vec<f32> {
+        ViT::predict_proba_batch(self, &dense_rows(rows))
+    }
+
     fn parameter_count(&self) -> usize {
         ViT::parameter_count(self)
     }
@@ -231,6 +246,10 @@ impl Model for EcaEfficientNet {
 
     fn predict_proba(&self, rows: &[FeatureRow<'_>]) -> Vec<f32> {
         EcaEfficientNet::predict_proba(self, &dense_rows(rows))
+    }
+
+    fn predict_proba_batch(&self, rows: &[FeatureRow<'_>]) -> Vec<f32> {
+        EcaEfficientNet::predict_proba_batch(self, &dense_rows(rows))
     }
 
     fn parameter_count(&self) -> usize {
@@ -255,6 +274,10 @@ impl Model for ScsGuard {
         ScsGuard::predict_proba(self, &id_rows(rows))
     }
 
+    fn predict_proba_batch(&self, rows: &[FeatureRow<'_>]) -> Vec<f32> {
+        ScsGuard::predict_proba_batch(self, &id_rows(rows))
+    }
+
     fn parameter_count(&self) -> usize {
         ScsGuard::parameter_count(self)
     }
@@ -275,6 +298,10 @@ impl Model for Gpt2Classifier {
 
     fn predict_proba(&self, rows: &[FeatureRow<'_>]) -> Vec<f32> {
         Gpt2Classifier::predict_proba(self, &window_rows(rows))
+    }
+
+    fn predict_proba_batch(&self, rows: &[FeatureRow<'_>]) -> Vec<f32> {
+        Gpt2Classifier::predict_proba_batch(self, &window_rows(rows))
     }
 
     fn parameter_count(&self) -> usize {
@@ -299,6 +326,10 @@ impl Model for T5Classifier {
         T5Classifier::predict_proba(self, &window_rows(rows))
     }
 
+    fn predict_proba_batch(&self, rows: &[FeatureRow<'_>]) -> Vec<f32> {
+        T5Classifier::predict_proba_batch(self, &window_rows(rows))
+    }
+
     fn parameter_count(&self) -> usize {
         T5Classifier::parameter_count(self)
     }
@@ -319,6 +350,10 @@ impl Model for EscortNet {
 
     fn predict_proba(&self, rows: &[FeatureRow<'_>]) -> Vec<f32> {
         EscortNet::predict_proba(self, &dense_rows(rows))
+    }
+
+    fn predict_proba_batch(&self, rows: &[FeatureRow<'_>]) -> Vec<f32> {
+        EscortNet::predict_proba_batch(self, &dense_rows(rows))
     }
 
     fn parameter_count(&self) -> usize {

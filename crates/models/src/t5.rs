@@ -7,7 +7,9 @@
 //! (sliding window) data policies follow the same contract as
 //! [`crate::Gpt2Classifier`].
 
-use crate::trainer::{train_binary, TrainConfig};
+use crate::trainer::{
+    aggregate_window_probs, predict_binary_batch, train_binary, TrainConfig, PREDICT_BATCH,
+};
 use phishinghook_nn::{
     LayerNorm, Linear, MultiHeadAttention, ParamId, ParamStore, Tape, Tensor, TransformerBlock, Var,
 };
@@ -114,10 +116,26 @@ impl T5Classifier {
     }
 
     fn window_logit(&self, t: &mut Tape, s: &ParamStore, window: &[u32]) -> Var {
-        let ids: Vec<u32> = window.iter().copied().take(self.config.context).collect();
         let table = t.param(s, self.token_embed);
-        let e = t.embedding(table, &ids);
         let pos_full = t.param(s, self.pos_embed);
+        let q = t.param(s, self.dec_query);
+        self.window_logit_with(t, s, table, pos_full, q, window)
+    }
+
+    /// [`T5Classifier::window_logit`] over pre-recorded embedding-table,
+    /// positional and decoder-query leaves, so a batched tape copies each
+    /// once per mini-batch instead of once per window.
+    fn window_logit_with(
+        &self,
+        t: &mut Tape,
+        s: &ParamStore,
+        table: Var,
+        pos_full: Var,
+        q: Var,
+        window: &[u32],
+    ) -> Var {
+        let ids: Vec<u32> = window.iter().copied().take(self.config.context).collect();
+        let e = t.embedding(table, &ids);
         let pos = if ids.len() == self.config.context {
             pos_full
         } else {
@@ -129,7 +147,6 @@ impl T5Classifier {
             x = block.forward(t, s, x, false);
         }
         // Single decoding step: learned query cross-attends over the memory.
-        let q = t.param(s, self.dec_query);
         let ctx = self.cross_attn.forward_cross(t, s, q, x);
         let ctx = t.add(q, ctx);
         let ctx = self.dec_norm.forward(t, s, ctx);
@@ -155,27 +172,43 @@ impl T5Classifier {
         let (context, dim) = (self.config.context, self.config.dim);
         let cfg = self.config.train;
         let mut store = std::mem::take(&mut self.store);
-        train_binary(&mut store, &flat, &flat_y, &cfg, &[], |t, s, window| {
-            let ids: Vec<u32> = window.iter().copied().take(context).collect();
-            let table = t.param(s, token_embed);
-            let e = t.embedding(table, &ids);
-            let pos_full = t.param(s, pos_embed);
-            let pos = if ids.len() == context {
-                pos_full
-            } else {
-                let data = t.value(pos_full).data()[..ids.len() * dim].to_vec();
-                t.input(Tensor::from_vec(&[ids.len(), dim], data))
-            };
-            let mut x = t.add(e, pos);
-            for block in &encoder {
-                x = block.forward(t, s, x, false);
-            }
-            let q = t.param(s, dec_query);
-            let ctx = cross.forward_cross(t, s, q, x);
-            let ctx = t.add(q, ctx);
-            let ctx = norm.forward(t, s, ctx);
-            head.forward(t, s, ctx)
-        });
+        // Batching is over the window dimension, as in the GPT-2 trainer.
+        train_binary(
+            &mut store,
+            &flat,
+            &flat_y,
+            &cfg,
+            &[],
+            |t, s, batch: &[&Vec<u32>]| {
+                // One embedding/positional/query leaf per batch, shared by
+                // every window subgraph.
+                let table = t.param(s, token_embed);
+                let pos_full = t.param(s, pos_embed);
+                let q = t.param(s, dec_query);
+                let logits: Vec<Var> = batch
+                    .iter()
+                    .map(|window| {
+                        let ids: Vec<u32> = window.iter().copied().take(context).collect();
+                        let e = t.embedding(table, &ids);
+                        let pos = if ids.len() == context {
+                            pos_full
+                        } else {
+                            let data = t.value(pos_full).data()[..ids.len() * dim].to_vec();
+                            t.input(Tensor::from_vec(&[ids.len(), dim], data))
+                        };
+                        let mut x = t.add(e, pos);
+                        for block in &encoder {
+                            x = block.forward(t, s, x, false);
+                        }
+                        let ctx = cross.forward_cross(t, s, q, x);
+                        let ctx = t.add(q, ctx);
+                        let ctx = norm.forward(t, s, ctx);
+                        head.forward(t, s, ctx)
+                    })
+                    .collect();
+                t.stack_rows(&logits)
+            },
+        );
         self.store = store;
     }
 
@@ -196,6 +229,24 @@ impl T5Classifier {
                 sum / windows.len() as f32
             })
             .collect()
+    }
+
+    /// Batched contract probabilities over flattened windows (one
+    /// arena-reused tape, window mini-batches), bit-identical to
+    /// [`T5Classifier::predict_proba`].
+    pub fn predict_proba_batch(&self, xs: &[Vec<Vec<u32>>]) -> Vec<f32> {
+        let flat: Vec<&Vec<u32>> = xs.iter().flatten().collect();
+        let probs = predict_binary_batch(&self.store, &flat, PREDICT_BATCH, |t, s, batch| {
+            let table = t.param(s, self.token_embed);
+            let pos_full = t.param(s, self.pos_embed);
+            let q = t.param(s, self.dec_query);
+            let logits: Vec<Var> = batch
+                .iter()
+                .map(|w| self.window_logit_with(t, s, table, pos_full, q, w))
+                .collect();
+            t.stack_rows(&logits)
+        });
+        aggregate_window_probs(xs, &probs)
     }
 
     /// Total trainable scalar parameters.

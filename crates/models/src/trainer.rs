@@ -1,10 +1,28 @@
-//! Shared training loop for the deep models: shuffled mini-batches,
-//! per-sample tapes, Adam updates, optional frozen parameters.
+//! Shared training loop for the deep models: shuffled mini-batches, **one
+//! tape per batch**, Adam updates, optional frozen parameters.
+//!
+//! The batched loop records the whole mini-batch on a single reused
+//! [`Tape`] (arena-recycled via [`Tape::reset`]): the model's `logit_fn`
+//! consumes the batch at once — a `(B, d)` matmul for the dense models, a
+//! per-sample subgraph stacked with [`Tape::stack_rows`] for the sequence
+//! and vision models — and one [`Tape::bce_with_logits_batch`] node reduces
+//! to the mean loss, so each batch pays exactly one backward pass.
+//!
+//! **Accumulation-order note:** the batched backward accumulates parameter
+//! gradients in reverse node order across the whole batch, a fixed but
+//! *different* order than the retired per-sample-tape loop (which summed
+//! sample gradients in chunk order). Runs are bit-reproducible per seed;
+//! they are not bit-comparable to pre-batching checkpoints.
+//! [`train_binary_per_sample`] keeps the old loop alive as the measured
+//! baseline of the `nn_throughput` bench.
 
-use phishinghook_nn::{ParamId, ParamStore, Tape, Var};
+use phishinghook_nn::{ParamId, ParamStore, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// Default inference mini-batch for the batched predict path.
+pub const PREDICT_BATCH: usize = 64;
 
 /// Training hyper-parameters shared by all deep models.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -13,7 +31,7 @@ pub struct TrainConfig {
     pub epochs: usize,
     /// Adam learning rate.
     pub learning_rate: f32,
-    /// Mini-batch size (gradients are averaged per batch).
+    /// Mini-batch size (the loss is averaged per batch).
     pub batch_size: usize,
     /// Shuffle / initialisation seed.
     pub seed: u64,
@@ -30,10 +48,73 @@ impl Default for TrainConfig {
     }
 }
 
-/// Runs the standard loop: for each epoch, shuffle, and for each mini-batch
-/// accumulate per-sample BCE gradients through `logit_fn`, then take one
-/// (optionally masked) Adam step. Returns the mean loss of the final epoch.
+/// Runs the batched loop: for each epoch, shuffle, and for each mini-batch
+/// record ONE tape through `logit_fn` (which must return a `(B, 1)` logit
+/// column for the `B` samples it is handed), reduce with mean
+/// binary-cross-entropy, backward once, and take one (optionally masked)
+/// Adam step. Returns the mean loss of the final epoch.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs, or when `logit_fn` returns a
+/// logit count that disagrees with the batch size.
 pub fn train_binary<S>(
+    store: &mut ParamStore,
+    samples: &[S],
+    labels: &[u8],
+    config: &TrainConfig,
+    frozen: &[ParamId],
+    mut logit_fn: impl FnMut(&mut Tape, &ParamStore, &[&S]) -> Var,
+) -> f32 {
+    assert_eq!(samples.len(), labels.len(), "sample/label mismatch");
+    assert!(!samples.is_empty(), "cannot train on an empty set");
+    let bs = config.batch_size.max(1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut tape = Tape::new();
+    let mut batch: Vec<&S> = Vec::with_capacity(bs);
+    let mut targets: Vec<f32> = Vec::with_capacity(bs);
+    let mut epoch_loss = 0.0f32;
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        epoch_loss = 0.0;
+        for chunk in order.chunks(bs) {
+            batch.clear();
+            targets.clear();
+            for &i in chunk {
+                batch.push(&samples[i]);
+                targets.push(labels[i] as f32);
+            }
+            tape.reset();
+            let z = logit_fn(&mut tape, store, &batch);
+            assert_eq!(
+                tape.value(z).len(),
+                chunk.len(),
+                "batched logit_fn must return one logit per sample"
+            );
+            let loss = tape.bce_with_logits_batch(z, &targets);
+            epoch_loss += tape.value(loss).item() * chunk.len() as f32;
+            store.zero_grads();
+            tape.backward(loss, store);
+            // The mean loss already carries the 1/B factor, so the Adam
+            // step sees the batch-averaged gradient directly.
+            if frozen.is_empty() {
+                store.adam_step(config.learning_rate, 1);
+            } else {
+                store.adam_step_masked(config.learning_rate, 1, frozen);
+            }
+        }
+        epoch_loss /= samples.len() as f32;
+    }
+    epoch_loss
+}
+
+/// The retired per-sample-tape loop: a fresh [`Tape`] and a full
+/// forward/backward per sample, gradients summed across the chunk, one
+/// Adam step per mini-batch. Kept as the measured baseline the
+/// `nn_throughput` bench compares [`train_binary`] against — not used by
+/// any model.
+pub fn train_binary_per_sample<S>(
     store: &mut ParamStore,
     samples: &[S],
     labels: &[u8],
@@ -69,7 +150,53 @@ pub fn train_binary<S>(
     epoch_loss
 }
 
-/// Computes `σ(logit)` per sample through a forward-only tape.
+/// Flattens a gathered mini-batch of equal-width dense samples into one
+/// `(B, d)` input tensor on the tape — the entry point of every truly
+/// batched dense forward (ESCORT's trunk, the `nn_throughput` bench).
+///
+/// # Panics
+///
+/// Panics on an empty batch or ragged sample widths.
+pub fn batch_input(tape: &mut Tape, batch: &[&Vec<f32>]) -> Var {
+    assert!(!batch.is_empty(), "cannot batch zero samples");
+    let d = batch[0].len();
+    let mut data = Vec::with_capacity(batch.len() * d);
+    for x in batch {
+        assert_eq!(x.len(), d, "ragged batch rows");
+        data.extend_from_slice(x);
+    }
+    tape.input(Tensor::from_vec(&[batch.len(), d], data))
+}
+
+/// Averages flat per-window probabilities back to per-contract scores:
+/// `probs` holds one probability per window of `xs`, flattened in contract
+/// order, and each contract's score is the mean of its windows' entries in
+/// window order (a contract with no windows scores the 0.5 prior). Shared
+/// by the GPT-2 and T5 batched predictors so the window-to-contract
+/// aggregation contract lives in exactly one place.
+///
+/// # Panics
+///
+/// Panics if `probs` is shorter than the total window count.
+pub fn aggregate_window_probs(xs: &[Vec<Vec<u32>>], probs: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut cursor = probs.iter();
+    for windows in xs {
+        if windows.is_empty() {
+            out.push(0.5);
+            continue;
+        }
+        let mut sum = 0.0f32;
+        for _ in windows {
+            sum += cursor.next().expect("window/prob alignment");
+        }
+        out.push(sum / windows.len() as f32);
+    }
+    out
+}
+
+/// Computes `σ(logit)` per sample through a forward-only tape — the
+/// row-wise reference path the batched predictor must match bit-for-bit.
 pub fn predict_binary<S>(
     store: &ParamStore,
     samples: &[S],
@@ -86,6 +213,47 @@ pub fn predict_binary<S>(
         .collect()
 }
 
+/// Batched inference: chunks `samples` into `batch_size` groups, records
+/// each group on one arena-reused tape through the batched `logit_fn`
+/// (`(B, 1)` logits out), and applies the sigmoid per row. Because every
+/// kernel fixes its per-row accumulation order, the result is bit-identical
+/// to [`predict_binary`] with the matching per-sample closure, for any
+/// batch size.
+///
+/// # Panics
+///
+/// Panics when `logit_fn` returns a logit count that disagrees with the
+/// chunk size.
+pub fn predict_binary_batch<S>(
+    store: &ParamStore,
+    samples: &[S],
+    batch_size: usize,
+    mut logit_fn: impl FnMut(&mut Tape, &ParamStore, &[&S]) -> Var,
+) -> Vec<f32> {
+    let bs = batch_size.max(1);
+    let mut tape = Tape::new();
+    let mut batch: Vec<&S> = Vec::with_capacity(bs);
+    let mut out = Vec::with_capacity(samples.len());
+    for chunk in samples.chunks(bs) {
+        batch.clear();
+        batch.extend(chunk.iter());
+        tape.reset();
+        let z = logit_fn(&mut tape, store, &batch);
+        assert_eq!(
+            tape.value(z).len(),
+            chunk.len(),
+            "batched logit_fn must return one logit per sample"
+        );
+        out.extend(
+            tape.value(z)
+                .data()
+                .iter()
+                .map(|&v| 1.0 / (1.0 + (-v).exp())),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,7 +262,7 @@ mod tests {
     #[test]
     fn trains_a_linear_probe() {
         let mut store = ParamStore::new();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let lin = Linear::new(&mut store, 2, 1, &mut rng);
         let samples: Vec<Vec<f32>> = (0..100)
             .map(|i| vec![(i % 2) as f32, 1.0 - (i % 2) as f32])
@@ -105,8 +273,8 @@ mod tests {
             learning_rate: 0.05,
             ..Default::default()
         };
-        let loss = train_binary(&mut store, &samples, &labels, &cfg, &[], |t, s, x| {
-            let xv = t.input(Tensor::from_vec(&[1, 2], x.clone()));
+        let loss = train_binary(&mut store, &samples, &labels, &cfg, &[], |t, s, batch| {
+            let xv = batch_input(t, batch);
             lin.forward(t, s, xv)
         });
         assert!(loss < 0.1, "loss = {loss}");
@@ -120,6 +288,72 @@ mod tests {
             .filter(|(p, &l)| (**p >= 0.5) == (l == 1))
             .count();
         assert!(acc >= 98);
+    }
+
+    #[test]
+    fn batched_predict_matches_rowwise_bitwise() {
+        let mut store = ParamStore::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let lin = Linear::new(&mut store, 3, 1, &mut rng);
+        let samples: Vec<Vec<f32>> = (0..37)
+            .map(|i| vec![i as f32 * 0.1, 1.0 - i as f32 * 0.05, (i % 3) as f32])
+            .collect();
+        let rowwise = predict_binary(&store, &samples, |t, s, x| {
+            let xv = t.input(Tensor::from_vec(&[1, 3], x.clone()));
+            lin.forward(t, s, xv)
+        });
+        // Odd batch size that does not divide the sample count: the final
+        // ragged chunk exercises the partial-batch path.
+        for bs in [1usize, 5, 64] {
+            let batched = predict_binary_batch(&store, &samples, bs, |t, s, batch| {
+                let xv = batch_input(t, batch);
+                lin.forward(t, s, xv)
+            });
+            assert_eq!(
+                batched.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                rowwise.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "batch size {bs}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_and_per_sample_loops_both_learn() {
+        // Same task, both loops: the batched trainer's gradient
+        // accumulation order differs, its learning outcome must not.
+        let samples: Vec<Vec<f32>> = (0..60)
+            .map(|i| vec![(i % 2) as f32, 1.0 - (i % 2) as f32])
+            .collect();
+        let labels: Vec<u8> = (0..60).map(|i| (i % 2) as u8).collect();
+        let cfg = TrainConfig {
+            epochs: 25,
+            learning_rate: 0.05,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut store_b = ParamStore::new();
+        let lin_b = Linear::new(&mut store_b, 2, 1, &mut rng);
+        let batched_loss =
+            train_binary(&mut store_b, &samples, &labels, &cfg, &[], |t, s, batch| {
+                let xv = batch_input(t, batch);
+                lin_b.forward(t, s, xv)
+            });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut store_p = ParamStore::new();
+        let lin_p = Linear::new(&mut store_p, 2, 1, &mut rng);
+        let per_sample_loss = train_binary_per_sample(
+            &mut store_p,
+            &samples,
+            &labels,
+            &cfg,
+            &[],
+            |t, s, x: &Vec<f32>| {
+                let xv = t.input(Tensor::from_vec(&[1, 2], x.clone()));
+                lin_p.forward(t, s, xv)
+            },
+        );
+        assert!(batched_loss < 0.1, "batched loss = {batched_loss}");
+        assert!(per_sample_loss < 0.1, "per-sample loss = {per_sample_loss}");
     }
 
     #[test]

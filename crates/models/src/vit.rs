@@ -6,7 +6,9 @@
 //! blocks, classification head on the class token — at CPU scale
 //! (32×32 images, patch 8, small width), trained from scratch.
 
-use crate::trainer::{predict_binary, train_binary, TrainConfig};
+use crate::trainer::{
+    predict_binary, predict_binary_batch, train_binary, TrainConfig, PREDICT_BATCH,
+};
 use phishinghook_nn::{
     LayerNorm, Linear, ParamId, ParamStore, Tape, Tensor, TransformerBlock, Var,
 };
@@ -113,11 +115,25 @@ impl ViT {
     }
 
     fn logit(&self, tape: &mut Tape, store: &ParamStore, image: &[f32]) -> Var {
+        let cls = tape.param(store, self.cls_token);
+        let pos = tape.param(store, self.pos_embed);
+        self.logit_with(tape, store, cls, pos, image)
+    }
+
+    /// [`ViT::logit`] over pre-recorded class-token and positional leaves,
+    /// so a batched tape copies each once per mini-batch instead of once
+    /// per image.
+    fn logit_with(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        cls: Var,
+        pos: Var,
+        image: &[f32],
+    ) -> Var {
         let patches = tape.input(self.patchify(image));
         let tokens = self.patch_proj.forward(tape, store, patches);
-        let cls = tape.param(store, self.cls_token);
         let seq = tape.concat_rows(cls, tokens);
-        let pos = tape.param(store, self.pos_embed);
         let mut x = tape.add(seq, pos);
         for block in &self.blocks {
             x = block.forward(tape, store, x, false);
@@ -128,6 +144,10 @@ impl ViT {
     }
 
     /// Trains on channel-first image vectors (`3 · side²` floats each).
+    /// Each image's token sequence is its own subgraph (attention is
+    /// quadratic in sequence length, so samples are not concatenated); the
+    /// mini-batch shares one tape and stacks its class logits for a single
+    /// backward pass.
     pub fn fit(&mut self, images: &[Vec<f32>], y: &[u8]) {
         // Copy the layer handles so the closure does not borrow `self`.
         let (side, patch) = (self.config.side, self.config.patch);
@@ -137,26 +157,55 @@ impl ViT {
         let (norm, head) = (self.final_norm, self.head);
         let cfg = self.config.train;
         let mut store = std::mem::take(&mut self.store);
-        train_binary(&mut store, images, y, &cfg, &[], |t, s, img| {
-            let patches = t.input(patchify(img));
-            let tokens = proj.forward(t, s, patches);
-            let cls = t.param(s, cls_id);
-            let seq = t.concat_rows(cls, tokens);
-            let pos = t.param(s, pos_id);
-            let mut x = t.add(seq, pos);
-            for block in &blocks {
-                x = block.forward(t, s, x, false);
-            }
-            let x = norm.forward(t, s, x);
-            let cls_out = t.row_at(x, 0);
-            head.forward(t, s, cls_out)
-        });
+        train_binary(
+            &mut store,
+            images,
+            y,
+            &cfg,
+            &[],
+            |t, s, batch: &[&Vec<f32>]| {
+                // One class-token/positional leaf per batch, shared by
+                // every image subgraph.
+                let cls = t.param(s, cls_id);
+                let pos = t.param(s, pos_id);
+                let logits: Vec<Var> = batch
+                    .iter()
+                    .map(|img| {
+                        let patches = t.input(patchify(img));
+                        let tokens = proj.forward(t, s, patches);
+                        let seq = t.concat_rows(cls, tokens);
+                        let mut x = t.add(seq, pos);
+                        for block in &blocks {
+                            x = block.forward(t, s, x, false);
+                        }
+                        let x = norm.forward(t, s, x);
+                        let cls_out = t.row_at(x, 0);
+                        head.forward(t, s, cls_out)
+                    })
+                    .collect();
+                t.stack_rows(&logits)
+            },
+        );
         self.store = store;
     }
 
     /// Phishing probability per image.
     pub fn predict_proba(&self, images: &[Vec<f32>]) -> Vec<f32> {
         predict_binary(&self.store, images, |t, s, img| self.logit(t, s, img))
+    }
+
+    /// Batched phishing probabilities over one arena-reused tape,
+    /// bit-identical to [`ViT::predict_proba`].
+    pub fn predict_proba_batch(&self, images: &[Vec<f32>]) -> Vec<f32> {
+        predict_binary_batch(&self.store, images, PREDICT_BATCH, |t, s, batch| {
+            let cls = t.param(s, self.cls_token);
+            let pos = t.param(s, self.pos_embed);
+            let logits: Vec<Var> = batch
+                .iter()
+                .map(|img| self.logit_with(t, s, cls, pos, img))
+                .collect();
+            t.stack_rows(&logits)
+        })
     }
 
     /// Total trainable scalar parameters.

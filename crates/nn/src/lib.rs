@@ -6,7 +6,12 @@
 //! the six models need — dense algebra and attention for the transformers
 //! (ViT, GPT-2, T5), a GRU for SCSGuard, and small (grouped) convolutions
 //! with ECA channel attention for the EfficientNet-style CNN — with gradient
-//! correctness validated against finite differences.
+//! correctness validated against finite differences. Matrix products run
+//! on the blocked `phishinghook_linalg::gemm` kernels and the tape
+//! recycles its value buffers across mini-batches (`Tape::reset`), so the
+//! batched training loop in `phishinghook-models` re-records each batch's
+//! forward pass without touching the allocator (backward gradient buffers
+//! are still allocated per batch).
 //!
 //! # Examples
 //!

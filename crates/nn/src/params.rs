@@ -10,7 +10,8 @@ pub struct ParamId(pub(crate) usize);
 
 /// Owns every trainable tensor of a model plus its gradient and Adam state.
 ///
-/// Training loop shape: build a fresh tape per sample, call
+/// Training loop shape: record one tape per mini-batch (reusing it via
+/// [`Tape::reset`](crate::tape::Tape::reset)), call
 /// [`Tape::backward`](crate::tape::Tape::backward) (which accumulates into
 /// the store's gradients), then [`ParamStore::adam_step`] once per
 /// mini-batch.

@@ -1,16 +1,24 @@
 //! Reverse-mode automatic differentiation on a linear tape.
 //!
-//! Each training step builds a fresh [`Tape`], records operations, and calls
+//! Each mini-batch records its computation on a [`Tape`] and calls
 //! [`Tape::backward`], which accumulates parameter gradients into the
-//! [`ParamStore`]. The op set is exactly what the paper's six deep models
-//! need: dense algebra, attention (matmul/transpose/softmax), normalization,
-//! embeddings, small convolutions and the ECA channel-attention pieces.
+//! [`ParamStore`]; [`Tape::reset`] then recycles the node arena *and*
+//! every value buffer, so a tape reused across batches stops allocating
+//! once shapes stabilize. Dense algebra runs on the blocked
+//! [`gemm`](phishinghook_linalg::gemm) kernels, whose fixed per-row
+//! accumulation order makes a batched `(B, d)` forward bit-identical to
+//! `B` row-wise passes. The op set is exactly what the paper's six deep
+//! models need: dense algebra, attention (matmul/transpose/softmax),
+//! normalization, embeddings, small convolutions, the ECA
+//! channel-attention pieces, and the batched loss head
+//! ([`Tape::stack_rows`] + [`Tape::bce_with_logits_batch`]).
 //!
 //! Gradient correctness is validated against central finite differences in
 //! the test module — every op is covered by at least one composite check.
 
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
+use phishinghook_linalg::gemm;
 
 /// Handle to a node (intermediate value) on a tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,9 +57,14 @@ enum Op {
     ConcatRows(Var, Var),
     ConcatCols(Var, Var),
     RowAt(Var, usize),
+    StackRows(Vec<Var>),
     BceWithLogit {
         logit: Var,
         target: f32,
+    },
+    BceWithLogitsBatch {
+        logits: Var,
+        targets: Vec<f32>,
     },
     Conv2d {
         x: Var,
@@ -105,12 +118,61 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Recycled `f32` buffers harvested by [`Tape::reset`]; ops draw from
+    /// here before touching the allocator, so a tape reused across
+    /// mini-batches reaches a steady state with zero value allocations.
+    pool: Vec<Vec<f32>>,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape::default()
+    }
+
+    /// Clears the recorded graph while keeping the node arena *and* every
+    /// value buffer for reuse: buffers are harvested in reverse creation
+    /// order, so the next identically-shaped recording pops them back in
+    /// creation order with no reallocation. A reused tape's *forward*
+    /// passes stop allocating value buffers once shapes stabilize
+    /// ([`Tape::backward`] still allocates its gradient buffers per run);
+    /// this is the arena behind one-tape-per-mini-batch training.
+    pub fn reset(&mut self) {
+        let Tape { nodes, pool } = self;
+        for node in nodes.drain(..).rev() {
+            if let Some(aux) = node.aux {
+                pool.push(aux.into_data());
+            }
+            pool.push(node.value.into_data());
+        }
+    }
+
+    /// A zero-filled buffer of length `n`, recycled from the arena when
+    /// possible — for ops that *accumulate* into their output.
+    fn grab(&mut self, n: usize) -> Vec<f32> {
+        let mut v = self.pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(n, 0.0);
+        v
+    }
+
+    /// A length-`n` buffer whose contents are unspecified (stale values
+    /// from a previous node are possible) — only for ops that fully
+    /// overwrite every element, which skips the redundant zero-fill
+    /// `grab` would pay before the kernel overwrites it again.
+    fn grab_dirty(&mut self, n: usize) -> Vec<f32> {
+        let mut v = self.pool.pop().unwrap_or_default();
+        v.resize(n, 0.0);
+        v
+    }
+
+    /// An empty buffer with capacity for `n` elements, recycled from the
+    /// arena when possible.
+    fn grab_empty(&mut self, n: usize) -> Vec<f32> {
+        let mut v = self.pool.pop().unwrap_or_default();
+        v.clear();
+        v.reserve(n);
+        v
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
@@ -139,7 +201,11 @@ impl Tape {
 
     /// Records a parameter leaf (its gradient flows into the store).
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        let v = self.push(store.value(id).clone(), Op::Leaf);
+        let src = store.value(id);
+        let shape = src.shape().to_vec();
+        let mut data = self.grab_empty(src.len());
+        data.extend_from_slice(src.data());
+        let v = self.push(Tensor::from_vec(&shape, data), Op::Leaf);
         self.nodes[v.0].param = Some(id);
         v
     }
@@ -150,97 +216,83 @@ impl Tape {
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(ta.shape(), tb.shape(), "add shape mismatch");
-        let data = ta
-            .data()
-            .iter()
-            .zip(tb.data())
-            .map(|(x, y)| x + y)
-            .collect();
-        let t = Tensor::from_vec(ta.shape(), data);
-        self.push(t, Op::Add(a, b))
+        let shape = ta.shape().to_vec();
+        let mut data = self.grab_empty(shape.iter().product());
+        {
+            let (ta, tb) = (self.nodes[a.0].value.data(), self.nodes[b.0].value.data());
+            data.extend(ta.iter().zip(tb).map(|(x, y)| x + y));
+        }
+        self.push(Tensor::from_vec(&shape, data), Op::Add(a, b))
     }
 
     /// Elementwise product (same shape).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(ta.shape(), tb.shape(), "mul shape mismatch");
-        let data = ta
-            .data()
-            .iter()
-            .zip(tb.data())
-            .map(|(x, y)| x * y)
-            .collect();
-        let t = Tensor::from_vec(ta.shape(), data);
-        self.push(t, Op::Mul(a, b))
+        let shape = ta.shape().to_vec();
+        let mut data = self.grab_empty(shape.iter().product());
+        {
+            let (ta, tb) = (self.nodes[a.0].value.data(), self.nodes[b.0].value.data());
+            data.extend(ta.iter().zip(tb).map(|(x, y)| x * y));
+        }
+        self.push(Tensor::from_vec(&shape, data), Op::Mul(a, b))
     }
 
     /// Multiplies by a constant.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let ta = &self.nodes[a.0].value;
-        let data = ta.data().iter().map(|x| x * c).collect();
-        let t = Tensor::from_vec(ta.shape(), data);
+        let t = self.map(a, |x| x * c);
         self.push(t, Op::Scale(a, c))
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let ta = &self.nodes[a.0].value;
-        let data = ta.data().iter().map(|x| x + c).collect();
-        let t = Tensor::from_vec(ta.shape(), data);
+        let t = self.map(a, |x| x + c);
         self.push(t, Op::AddScalar(a, c))
     }
 
     // -- dense algebra ----------------------------------------------------
 
-    /// 2-D matrix product.
+    /// 2-D matrix product through the blocked
+    /// [`gemm`](phishinghook_linalg::gemm) kernel. Per output element the
+    /// accumulation order is fixed (increasing `k`), so a row's result is
+    /// bit-identical whether it is multiplied alone or inside a batch —
+    /// the foundation of the batched-vs-rowwise parity guarantee.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let (m, k) = self.nodes[a.0].value.dims2();
         let (k2, n) = self.nodes[b.0].value.dims2();
         assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        {
-            let ta = self.nodes[a.0].value.data();
-            let tb = self.nodes[b.0].value.data();
-            for i in 0..m {
-                for kk in 0..k {
-                    let av = ta[i * k + kk];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &tb[kk * n..(kk + 1) * n];
-                    let orow = &mut out[i * n..(i + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
+        let mut out = self.grab_dirty(m * n);
+        gemm::matmul_into(
+            m,
+            k,
+            n,
+            self.nodes[a.0].value.data(),
+            self.nodes[b.0].value.data(),
+            &mut out,
+        );
         self.push(Tensor::from_vec(&[m, n], out), Op::MatMul(a, b))
     }
 
-    /// 2-D transpose.
+    /// 2-D transpose (tiled kernel, pooled output buffer).
     pub fn transpose(&mut self, a: Var) -> Var {
         let (m, n) = self.nodes[a.0].value.dims2();
-        let ta = self.nodes[a.0].value.data();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = ta[i * n + j];
-            }
-        }
+        let mut out = self.grab_dirty(m * n);
+        gemm::transpose_into(m, n, self.nodes[a.0].value.data(), &mut out);
         self.push(Tensor::from_vec(&[n, m], out), Op::Transpose(a))
     }
 
-    /// Adds a `(d)` bias to every row of an `(l, d)` matrix.
+    /// Adds a `(d)` bias to every row of an `(l, d)` matrix (row
+    /// broadcast — the batched dense layers lean on this for `(B, d)`
+    /// activations).
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
         let (l, d) = self.nodes[x.0].value.dims2();
         assert_eq!(self.nodes[bias.0].value.len(), d, "bias width mismatch");
-        let tx = self.nodes[x.0].value.data();
-        let tb = self.nodes[bias.0].value.data();
-        let mut out = vec![0.0f32; l * d];
-        for i in 0..l {
-            for j in 0..d {
-                out[i * d + j] = tx[i * d + j] + tb[j];
+        let mut out = self.grab_empty(l * d);
+        {
+            let tx = self.nodes[x.0].value.data();
+            let tb = self.nodes[bias.0].value.data();
+            for row in tx.chunks_exact(d) {
+                out.extend(row.iter().zip(tb).map(|(x, b)| x + b));
             }
         }
         self.push(Tensor::from_vec(&[l, d], out), Op::AddBias { x, bias })
@@ -257,9 +309,38 @@ impl Tape {
         let (la, da) = self.nodes[a.0].value.dims2();
         let (lb, db) = self.nodes[b.0].value.dims2();
         assert_eq!(da, db, "concat_rows width mismatch");
-        let mut data = self.nodes[a.0].value.data().to_vec();
+        let mut data = self.grab_empty((la + lb) * da);
+        data.extend_from_slice(self.nodes[a.0].value.data());
         data.extend_from_slice(self.nodes[b.0].value.data());
         self.push(Tensor::from_vec(&[la + lb, da], data), Op::ConcatRows(a, b))
+    }
+
+    /// Vertical concatenation of any number of equal-width matrices — the
+    /// batched trainer stacks per-sample `(1, 1)` logits into the `(B, 1)`
+    /// logit column with one node instead of a pairwise concat chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty part list or mismatched widths.
+    pub fn stack_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "stack_rows of no parts");
+        let (_, d) = self.nodes[parts[0].0].value.dims2();
+        let total: usize = parts
+            .iter()
+            .map(|p| {
+                let (l, dp) = self.nodes[p.0].value.dims2();
+                assert_eq!(dp, d, "stack_rows width mismatch");
+                l
+            })
+            .sum();
+        let mut data = self.grab_empty(total * d);
+        for p in parts {
+            data.extend_from_slice(self.nodes[p.0].value.data());
+        }
+        self.push(
+            Tensor::from_vec(&[total, d], data),
+            Op::StackRows(parts.to_vec()),
+        )
     }
 
     /// Horizontal concatenation of `(l, da)` and `(l, db)`.
@@ -267,7 +348,7 @@ impl Tape {
         let (la, da) = self.nodes[a.0].value.dims2();
         let (lb, db) = self.nodes[b.0].value.dims2();
         assert_eq!(la, lb, "concat_cols height mismatch");
-        let mut data = Vec::with_capacity(la * (da + db));
+        let mut data = self.grab_empty(la * (da + db));
         for i in 0..la {
             data.extend_from_slice(&self.nodes[a.0].value.data()[i * da..(i + 1) * da]);
             data.extend_from_slice(&self.nodes[b.0].value.data()[i * db..(i + 1) * db]);
@@ -279,19 +360,18 @@ impl Tape {
     pub fn row_at(&mut self, x: Var, idx: usize) -> Var {
         let (l, d) = self.nodes[x.0].value.dims2();
         assert!(idx < l, "row index out of range");
-        let data = self.nodes[x.0].value.data()[idx * d..(idx + 1) * d].to_vec();
+        let mut data = self.grab_empty(d);
+        data.extend_from_slice(&self.nodes[x.0].value.data()[idx * d..(idx + 1) * d]);
         self.push(Tensor::from_vec(&[1, d], data), Op::RowAt(x, idx))
     }
 
     /// Mean over rows: `(l, d)` → `(1, d)`.
     pub fn mean_rows(&mut self, x: Var) -> Var {
         let (l, d) = self.nodes[x.0].value.dims2();
+        let mut out = self.grab(d);
         let tx = self.nodes[x.0].value.data();
-        let mut out = vec![0.0f32; d];
-        for i in 0..l {
-            for j in 0..d {
-                out[j] += tx[i * d + j];
-            }
+        for row in tx.chunks_exact(d) {
+            gemm::axpy(1.0, row, &mut out);
         }
         for v in &mut out {
             *v /= l as f32;
@@ -331,9 +411,11 @@ impl Tape {
         self.push(t, Op::Tanh(a))
     }
 
-    fn map(&self, a: Var, f: impl Fn(f32) -> f32) -> Tensor {
-        let ta = &self.nodes[a.0].value;
-        Tensor::from_vec(ta.shape(), ta.data().iter().map(|&x| f(x)).collect())
+    fn map(&mut self, a: Var, f: impl Fn(f32) -> f32) -> Tensor {
+        let shape = self.nodes[a.0].value.shape().to_vec();
+        let mut data = self.grab_empty(shape.iter().product());
+        data.extend(self.nodes[a.0].value.data().iter().map(|&x| f(x)));
+        Tensor::from_vec(&shape, data)
     }
 
     // -- normalization / softmax -----------------------------------------
@@ -341,8 +423,8 @@ impl Tape {
     /// Row-wise softmax of an `(l, d)` matrix.
     pub fn softmax_rows(&mut self, a: Var) -> Var {
         let (l, d) = self.nodes[a.0].value.dims2();
+        let mut out = self.grab_dirty(l * d);
         let ta = self.nodes[a.0].value.data();
-        let mut out = vec![0.0f32; l * d];
         for i in 0..l {
             let row = &ta[i * d..(i + 1) * d];
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -363,11 +445,11 @@ impl Tape {
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var) -> Var {
         const EPS: f32 = 1e-5;
         let (l, d) = self.nodes[x.0].value.dims2();
+        let mut out = self.grab_dirty(l * d);
+        let mut xhat = self.grab_dirty(l * d);
         let tx = self.nodes[x.0].value.data();
         let tg = self.nodes[gamma.0].value.data();
         let tb = self.nodes[beta.0].value.data();
-        let mut out = vec![0.0f32; l * d];
-        let mut xhat = vec![0.0f32; l * d];
         for i in 0..l {
             let row = &tx[i * d..(i + 1) * d];
             let mean: f32 = row.iter().sum::<f32>() / d as f32;
@@ -391,8 +473,8 @@ impl Tape {
     /// Gathers rows of a `(v, d)` table: output `(ids.len(), d)`.
     pub fn embedding(&mut self, table: Var, ids: &[u32]) -> Var {
         let (v, d) = self.nodes[table.0].value.dims2();
+        let mut out = self.grab_empty(ids.len() * d);
         let tt = self.nodes[table.0].value.data();
-        let mut out = Vec::with_capacity(ids.len() * d);
         for &id in ids {
             let id = (id as usize).min(v - 1);
             out.extend_from_slice(&tt[id * d..(id + 1) * d]);
@@ -418,6 +500,32 @@ impl Tape {
         self.push(Tensor::scalar(loss), Op::BceWithLogit { logit, target })
     }
 
+    /// Binary cross-entropy over a `(B, 1)` logit column against one 0/1
+    /// target per row, reduced to the **mean** scalar loss — the one-node
+    /// loss head of the batched trainer. The per-sample losses are summed
+    /// in row order and divided by `B` once, so the reduction order is
+    /// fixed regardless of how the batch was assembled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logit count and target count disagree.
+    pub fn bce_with_logits_batch(&mut self, logits: Var, targets: &[f32]) -> Var {
+        let n = self.nodes[logits.0].value.len();
+        assert_eq!(n, targets.len(), "logit/target count mismatch");
+        let zs = self.nodes[logits.0].value.data();
+        let mut sum = 0.0f32;
+        for (&z, &t) in zs.iter().zip(targets) {
+            sum += z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+        }
+        self.push(
+            Tensor::scalar(sum / n as f32),
+            Op::BceWithLogitsBatch {
+                logits,
+                targets: targets.to_vec(),
+            },
+        )
+    }
+
     // -- convolution / CNN pieces ----------------------------------------
 
     /// Grouped 2-D convolution: `x (c, h, w)`, `w (o, c/groups, kh, kw)`,
@@ -441,10 +549,10 @@ impl Tape {
         assert_eq!(o % groups, 0, "conv2d out-channel/group mismatch");
         let oh = (h + 2 * pad - kh) / stride + 1;
         let ow = (wdt + 2 * pad - kw) / stride + 1;
+        let mut out = self.grab_dirty(o * oh * ow);
         let tx = self.nodes[x.0].value.data();
         let tw = self.nodes[w.0].value.data();
         let tb = self.nodes[b.0].value.data();
-        let mut out = vec![0.0f32; o * oh * ow];
         let o_per_g = o / groups;
         for oc in 0..o {
             let g = oc / o_per_g;
@@ -492,11 +600,11 @@ impl Tape {
         let xs = self.nodes[x.0].value.shape().to_vec();
         let (c, h, w) = (xs[0], xs[1], xs[2]);
         let hw = h * w;
+        let mut out = self.grab_dirty(c * hw);
+        let mut xhat = self.grab_dirty(c * hw);
         let tx = self.nodes[x.0].value.data();
         let tg = self.nodes[gamma.0].value.data();
         let tb = self.nodes[beta.0].value.data();
-        let mut out = vec![0.0f32; c * hw];
-        let mut xhat = vec![0.0f32; c * hw];
         for ch in 0..c {
             let plane = &tx[ch * hw..(ch + 1) * hw];
             let mean: f32 = plane.iter().sum::<f32>() / hw as f32;
@@ -534,9 +642,9 @@ impl Tape {
         let k = self.nodes[w.0].value.len();
         assert!(k % 2 == 1, "conv1d_same kernel must be odd");
         let half = k / 2;
+        let mut out = self.grab_dirty(c);
         let tx = self.nodes[x.0].value.data();
         let tw = self.nodes[w.0].value.data();
-        let mut out = vec![0.0f32; c];
         #[allow(clippy::needless_range_loop)] // i indexes out and the conv window
         for i in 0..c {
             let mut acc = 0.0;
@@ -558,9 +666,9 @@ impl Tape {
         let (c, h, w) = (xs[0], xs[1], xs[2]);
         assert_eq!(self.nodes[s.0].value.len(), c, "scale width mismatch");
         let hw = h * w;
+        let mut out = self.grab_dirty(c * hw);
         let tx = self.nodes[x.0].value.data();
         let ts = self.nodes[s.0].value.data();
-        let mut out = vec![0.0f32; c * hw];
         for ch in 0..c {
             for i in 0..hw {
                 out[ch * hw + i] = tx[ch * hw + i] * ts[ch];
@@ -619,33 +727,19 @@ impl Tape {
                 Op::MatMul(a, b) => {
                     let (m, k) = self.nodes[a.0].value.dims2();
                     let (_, nn) = self.nodes[b.0].value.dims2();
-                    let gd = g.data();
-                    let ta = self.nodes[a.0].value.data();
-                    let tb = self.nodes[b.0].value.data();
-                    // dA = dC Bᵀ
-                    let mut ga = vec![0.0f32; m * k];
-                    for i2 in 0..m {
-                        for kk in 0..k {
-                            let mut acc = 0.0;
-                            for j in 0..nn {
-                                acc += gd[i2 * nn + j] * tb[kk * nn + j];
-                            }
-                            ga[i2 * k + kk] = acc;
-                        }
-                    }
-                    // dB = Aᵀ dC
-                    let mut gb = vec![0.0f32; k * nn];
-                    for kk in 0..k {
-                        for i2 in 0..m {
-                            let av = ta[i2 * k + kk];
-                            if av == 0.0 {
-                                continue;
-                            }
-                            for j in 0..nn {
-                                gb[kk * nn + j] += av * gd[i2 * nn + j];
-                            }
-                        }
-                    }
+                    // dA = dC Bᵀ, dB = Aᵀ dC — both through the blocked
+                    // kernel, with the operand transposes staged in pooled
+                    // buffers that go straight back to the arena.
+                    let mut bt = self.grab_dirty(k * nn);
+                    gemm::transpose_into(k, nn, self.nodes[b.0].value.data(), &mut bt);
+                    let mut ga = self.grab_dirty(m * k);
+                    gemm::matmul_into(m, nn, k, g.data(), &bt, &mut ga);
+                    self.pool.push(bt);
+                    let mut at = self.grab_dirty(m * k);
+                    gemm::transpose_into(m, k, self.nodes[a.0].value.data(), &mut at);
+                    let mut gb = self.grab_dirty(k * nn);
+                    gemm::matmul_into(k, m, nn, &at, g.data(), &mut gb);
+                    self.pool.push(at);
                     self.add_grad(&mut grads, a, Tensor::from_vec(&[m, k], ga));
                     self.add_grad(&mut grads, b, Tensor::from_vec(&[k, nn], gb));
                 }
@@ -837,11 +931,34 @@ impl Tape {
                     ga[idx * d..(idx + 1) * d].copy_from_slice(g.data());
                     self.add_grad(&mut grads, a, Tensor::from_vec(&[l, d], ga));
                 }
+                Op::StackRows(parts) => {
+                    let (_, d) = self.nodes[i].value.dims2();
+                    let gd = g.data();
+                    let mut off = 0;
+                    for p in parts {
+                        let (lp, _) = self.nodes[p.0].value.dims2();
+                        let gp = Tensor::from_vec(&[lp, d], gd[off..off + lp * d].to_vec());
+                        off += lp * d;
+                        self.add_grad(&mut grads, p, gp);
+                    }
+                }
                 Op::BceWithLogit { logit, target } => {
                     let z = self.nodes[logit.0].value.data()[0];
                     let dz = (sigmoid_fn(z) - target) * g.data()[0];
                     let ga = Tensor::from_vec(self.nodes[logit.0].value.shape(), vec![dz]);
                     self.add_grad(&mut grads, logit, ga);
+                }
+                Op::BceWithLogitsBatch { logits, targets } => {
+                    let go = g.data()[0];
+                    let zs = self.nodes[logits.0].value.data();
+                    let n = zs.len() as f32;
+                    let data: Vec<f32> = zs
+                        .iter()
+                        .zip(&targets)
+                        .map(|(&z, &t)| (sigmoid_fn(z) - t) / n * go)
+                        .collect();
+                    let shape = self.nodes[logits.0].value.shape().to_vec();
+                    self.add_grad(&mut grads, logits, Tensor::from_vec(&shape, data));
                 }
                 Op::Conv2d {
                     x,
@@ -1290,6 +1407,109 @@ mod tests {
                 4e-2,
             );
         }
+    }
+
+    #[test]
+    fn grad_stack_rows_batched_bce() {
+        // The batched trainer's loss head: per-sample logits stacked into a
+        // (B, 1) column, mean BCE over the batch. The parameter feeds every
+        // sample, so its gradient sums the per-sample contributions.
+        grad_check(
+            &[3, 1],
+            |t, p| {
+                let xs = [
+                    vec![0.3f32, -0.5, 0.9],
+                    vec![-0.2, 0.8, 0.1],
+                    vec![0.7, 0.4, -0.6],
+                    vec![-0.9, 0.2, 0.5],
+                ];
+                let logits: Vec<Var> = xs
+                    .iter()
+                    .map(|x| {
+                        let xv = t.input(Tensor::from_vec(&[1, 3], x.clone()));
+                        t.matmul(xv, p)
+                    })
+                    .collect();
+                let z = t.stack_rows(&logits);
+                t.bce_with_logits_batch(z, &[1.0, 0.0, 1.0, 0.0])
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_batched_bce_over_true_batch() {
+        // The fully-batched dense path: one (B, d) matmul, no stacking.
+        grad_check(
+            &[4, 1],
+            |t, p| {
+                let x = t.input(Tensor::from_vec(
+                    &[3, 4],
+                    vec![
+                        0.1, 0.5, -0.2, 0.8, -0.3, 0.2, 0.9, -0.1, 0.4, -0.7, 0.3, 0.6,
+                    ],
+                ));
+                let z = t.matmul(x, p);
+                t.bce_with_logits_batch(z, &[1.0, 0.0, 1.0])
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn batched_bce_is_the_mean_of_per_sample_losses() {
+        let zs = [0.7f32, -1.2, 0.1];
+        let ts = [1.0f32, 0.0, 1.0];
+        let mut tape = Tape::new();
+        let z = tape.input(Tensor::from_vec(&[3, 1], zs.to_vec()));
+        let batched = tape.bce_with_logits_batch(z, &ts);
+        let mut want = 0.0f32;
+        for (&zv, &tv) in zs.iter().zip(&ts) {
+            let mut t2 = Tape::new();
+            let zi = t2.input(Tensor::from_vec(&[1, 1], vec![zv]));
+            let l = t2.bce_with_logit(zi, tv);
+            want += t2.value(l).item();
+        }
+        assert!((tape.value(batched).item() - want / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_recycles_buffers_and_replays_bit_exactly() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let w = store.param(Tensor::random(&[6, 4], 0.5, &mut rng));
+        let x_data = Tensor::random(&[5, 6], 0.5, &mut rng);
+        let run = |tape: &mut Tape| {
+            let wv = tape.param(&store, w);
+            let x = tape.input(x_data.clone());
+            let h = tape.matmul(x, wv);
+            let h = tape.relu(h);
+            let m = tape.mean_rows(h);
+            tape.value(m).data().to_vec()
+        };
+        let mut tape = Tape::new();
+        let first = run(&mut tape);
+        let nodes_first = tape.nodes.len();
+        for _ in 0..3 {
+            tape.reset();
+            assert!(tape.nodes.is_empty());
+            assert!(!tape.pool.is_empty(), "reset must harvest value buffers");
+            let again = run(&mut tape);
+            assert_eq!(
+                again.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                first.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(tape.nodes.len(), nodes_first);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stack_rows width mismatch")]
+    fn stack_rows_rejects_ragged_widths() {
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::zeros(&[1, 2]));
+        let b = tape.input(Tensor::zeros(&[1, 3]));
+        tape.stack_rows(&[a, b]);
     }
 
     #[test]

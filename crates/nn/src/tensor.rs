@@ -103,6 +103,14 @@ impl Tensor {
         self.data[0]
     }
 
+    /// Consumes the tensor, returning its flat data buffer (used by the
+    /// tape's arena to recycle allocations across [`Tape::reset`] calls).
+    ///
+    /// [`Tape::reset`]: crate::Tape::reset
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Reinterprets the data under a new shape (same element count).
     ///
     /// # Panics

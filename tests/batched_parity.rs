@@ -1,0 +1,51 @@
+//! Batched-vs-row-wise inference parity: for every one of the sixteen
+//! `ModelKind`s, `predict_proba_batch` must be **bit-identical** to the
+//! row-wise `predict_proba` path — on the whole test slice at once and on
+//! one-row calls. This is the contract that lets the evaluation engine and
+//! the serving `Detector` route through the amortized batch path without
+//! changing a single score.
+
+use phishinghook::prelude::*;
+
+#[test]
+fn batched_inference_is_bit_identical_for_all_sixteen_kinds() {
+    let corpus = generate_corpus(&CorpusConfig::small(77));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
+    let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+    let folds = dataset.stratified_folds(3, 8);
+    let (train_idx, test_idx) = Dataset::fold_indices(&folds, 0);
+    let store = ctx.store();
+
+    for kind in ModelKind::ALL {
+        // Train through the same factory + gather sequence as the engine.
+        let train_gathered = store.matrix(kind.encoding()).gather(&train_idx);
+        let train_rows = train_gathered.rows();
+        let labels: Vec<u8> = train_idx.iter().map(|&i| ctx.labels()[i]).collect();
+        let mut model = kind.build(store.encoders(), ctx.profile(), 8);
+        if model.wants_pretraining() {
+            model.pretrain(&train_rows, &ctx.gather_vuln(&train_idx));
+        }
+        model.fit(&train_rows, &labels);
+
+        let test_gathered = store.matrix(kind.encoding()).gather(&test_idx);
+        let test_rows = test_gathered.rows();
+        let rowwise = model.predict_proba(&test_rows);
+        let batched = model.predict_proba_batch(&test_rows);
+        assert_eq!(
+            rowwise.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            batched.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            "{kind}: batched probabilities must be bit-identical"
+        );
+        // One-row calls agree too: a sample's score is invariant to the
+        // batch it rides in.
+        for (i, probe) in test_rows.iter().take(4).enumerate() {
+            let solo = model.predict_proba_batch(std::slice::from_ref(probe));
+            assert_eq!(
+                solo[0].to_bits(),
+                rowwise[i].to_bits(),
+                "{kind}: row {i} changed under solo batching"
+            );
+        }
+    }
+}
