@@ -8,9 +8,10 @@
 //!
 //! Besides the criterion timings, the bench writes `BENCH_nn.json`
 //! (train/predict samples-per-sec, per-sample vs. batched) and enforces
-//! the speedup floor: batched training must be ≥3× per-sample on the full
-//! run, ≥1.5× under `PHISHINGHOOK_BENCH_SMOKE=1` (single-core CI noise
-//! band) — a batched-path regression fails the build.
+//! the speedup floors: batched training must be ≥3× per-sample and
+//! batched inference ≥5× row-wise on the full run (≥1.5× / ≥2× under
+//! `PHISHINGHOOK_BENCH_SMOKE=1`, the single-core CI noise band) — a
+//! batched-path regression fails the build.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use phishinghook_bench::json::Value;
@@ -52,6 +53,18 @@ fn train_floor() -> f64 {
         1.5
     } else {
         3.0
+    }
+}
+
+/// The asserted floor on batched-vs-rowwise inference throughput, added
+/// with the SIMD GEMM tiers (PR 6): measured ≈12× on the 1-core AVX-512
+/// CI box (≈8.7× pre-SIMD), floored well below to absorb shared-box
+/// noise while still catching a fall back to row-wise tapes.
+fn predict_floor() -> f64 {
+    if smoke_mode() {
+        2.0
+    } else {
+        5.0
     }
 }
 
@@ -221,6 +234,12 @@ fn write_baseline(xs: &[Vec<f32>], ys: &[u8]) {
         "batched-training regression: {train_speedup:.2}x per-sample \
          (floor {:.1}x)",
         train_floor()
+    );
+    assert!(
+        predict_speedup >= predict_floor(),
+        "batched-inference regression: {predict_speedup:.2}x row-wise \
+         (floor {:.1}x)",
+        predict_floor()
     );
 
     let doc = Value::Obj(vec![

@@ -7,22 +7,20 @@
 //! order, so a parallel pass produces byte-identical features to the
 //! sequential one and CV folds stay reproducible.
 //!
+//! Worker counts come from the workspace-wide policy in
+//! [`phishinghook_linalg::par`] (the bottom of the crate graph), so the
+//! `PHISHINGHOOK_THREADS` override pins this pool and the GEMM
+//! row-sharding together.
+//!
 //! No external dependencies: this is plain `std::thread::scope`.
 
-use std::num::NonZeroUsize;
+pub use phishinghook_linalg::par::MAX_WORKERS;
 
-/// Upper bound on pool size; beyond this the per-thread chunks get too
-/// small for the spawn cost to pay off on featurization workloads.
-const MAX_WORKERS: usize = 32;
-
-/// Number of workers used for a batch of `n` items.
+/// Number of workers used for a batch of `n` items — the shared policy
+/// from [`phishinghook_linalg::par::pool_size`] (hardware parallelism, the
+/// `PHISHINGHOOK_THREADS` override, [`MAX_WORKERS`] and `n` itself).
 pub fn pool_size(n: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(MAX_WORKERS)
-        .min(n)
-        .max(1)
+    phishinghook_linalg::par::pool_size(n)
 }
 
 /// Maps `f` over `items` on a fixed-size scoped-thread pool, returning
@@ -30,6 +28,13 @@ pub fn pool_size(n: usize) -> usize {
 ///
 /// Falls back to a plain sequential map for empty/small inputs or
 /// single-core hosts.
+///
+/// # Panics
+///
+/// If `f` panics on some item, the panic is re-raised on the caller with a
+/// message naming the worker and its item range plus the original payload,
+/// so a failing featurization/training closure reports which chunk died
+/// instead of a bare `JoinHandle::join` abort.
 pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -48,8 +53,22 @@ where
             .chunks(chunk)
             .map(|slice| scope.spawn(move || slice.iter().map(f).collect::<Vec<U>>()))
             .collect();
-        for h in handles {
-            parts.push(h.join().expect("featurization worker panicked"));
+        for (w, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(part) => parts.push(part),
+                Err(payload) => {
+                    // Lift the payload out of the opaque Box so the caller
+                    // sees the original message alongside the chunk bounds.
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                        .unwrap_or("<non-string panic payload>");
+                    let lo = w * chunk;
+                    let hi = (lo + chunk).min(items.len());
+                    panic!("parallel_map worker {w} (items {lo}..{hi}) panicked: {msg}");
+                }
+            }
         }
     });
     let mut out = Vec::with_capacity(items.len());
@@ -87,5 +106,26 @@ mod tests {
         assert!(pool_size(0) >= 1);
         assert!(pool_size(1_000_000) <= MAX_WORKERS);
         assert!(pool_size(2) <= 2);
+    }
+
+    #[test]
+    fn worker_panic_reports_chunk() {
+        // Force the parallel path even on single-core CI boxes by pinning
+        // the item that dies; the rethrown message must carry the payload.
+        let items: Vec<u32> = (0..100).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, |&x| {
+                assert!(x != 63, "item {x} exploded");
+                x
+            })
+        })
+        .expect_err("map over a panicking closure must panic");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        // On single-core hosts the sequential fallback re-raises the raw
+        // payload instead; both must mention the exploding item.
+        assert!(msg.contains("item 63 exploded"), "got: {msg}");
+        if pool_size(items.len()) > 1 {
+            assert!(msg.contains("parallel_map worker"), "got: {msg}");
+        }
     }
 }

@@ -21,6 +21,7 @@
 
 pub mod gemm;
 pub mod matrix;
+pub mod par;
 pub mod vecops;
 
 pub use matrix::Matrix;

@@ -1,0 +1,67 @@
+//! Worker-count policy shared by every thread pool in the workspace.
+//!
+//! The GEMM row-sharding in [`gemm`](crate::gemm) and the pipeline worker
+//! pool in `phishinghook-core` both size their scoped-thread fan-out
+//! through [`pool_size`], so one `PHISHINGHOOK_THREADS` override pins every
+//! pool at once — benches use it to compare pinned worker counts, and CI
+//! uses it to take deterministic single-thread timings on shared boxes.
+//! The policy lives here (the bottom of the crate graph) rather than in
+//! `core` so `linalg` can consult it without a dependency cycle;
+//! `core::par` delegates to this module.
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Upper bound on any pool size; beyond this the per-thread work items get
+/// too small for the spawn cost to pay off on our workloads.
+pub const MAX_WORKERS: usize = 32;
+
+/// The `PHISHINGHOOK_THREADS` override, read once per process: `Some(n)`
+/// (clamped to `1..=MAX_WORKERS`) when the variable holds a positive
+/// integer, `None` when unset or unparsable.
+pub fn configured_threads() -> Option<usize> {
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("PHISHINGHOOK_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .map(|n| n.min(MAX_WORKERS))
+    })
+}
+
+/// Number of workers used for a batch of `n` items: the
+/// `PHISHINGHOOK_THREADS` override when set, otherwise the hardware
+/// parallelism — both capped by [`MAX_WORKERS`] and by `n` itself.
+pub fn pool_size(n: usize) -> usize {
+    configured_threads()
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .min(MAX_WORKERS)
+        .min(n)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_bounded() {
+        assert!(pool_size(0) >= 1);
+        assert!(pool_size(1_000_000) <= MAX_WORKERS);
+        assert!(pool_size(2) <= 2);
+    }
+
+    #[test]
+    fn override_is_clamped() {
+        // The env read is process-cached, so only assert the invariant that
+        // holds whichever way the variable was set when the cache filled.
+        if let Some(n) = configured_threads() {
+            assert!((1..=MAX_WORKERS).contains(&n));
+        }
+    }
+}

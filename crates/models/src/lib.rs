@@ -39,5 +39,5 @@ pub use gpt2::Gpt2Classifier;
 pub use model::{DenseClassifier, Model};
 pub use scsguard::ScsGuard;
 pub use t5::T5Classifier;
-pub use trainer::TrainConfig;
+pub use trainer::{TrainConfig, TRAIN_SHARD};
 pub use vit::ViT;

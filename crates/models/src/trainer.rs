@@ -1,28 +1,48 @@
-//! Shared training loop for the deep models: shuffled mini-batches, **one
-//! tape per batch**, Adam updates, optional frozen parameters.
+//! Shared training loop for the deep models: shuffled mini-batches,
+//! data-parallel **shards** of each batch across the worker pool, Adam
+//! updates, optional frozen parameters.
 //!
-//! The batched loop records the whole mini-batch on a single reused
-//! [`Tape`] (arena-recycled via [`Tape::reset`]): the model's `logit_fn`
-//! consumes the batch at once — a `(B, d)` matmul for the dense models, a
-//! per-sample subgraph stacked with [`Tape::stack_rows`] for the sequence
-//! and vision models — and one [`Tape::bce_with_logits_batch`] node reduces
-//! to the mean loss, so each batch pays exactly one backward pass.
+//! Each mini-batch is cut into fixed-width shards of [`TRAIN_SHARD`]
+//! samples. Every shard records its forward on its own arena-reused
+//! [`Tape`] (the model's `logit_fn` consumes the shard at once — a
+//! `(B, d)` matmul for the dense models, a per-sample subgraph stacked
+//! with [`Tape::stack_rows`] for the sequence and vision models), reduces
+//! with [`Tape::bce_with_logits_batch_scaled`] using the *full* batch size
+//! as denominator, and differentiates into a private
+//! [`GradBuffer`](phishinghook_nn::GradBuffer) — so shard losses and
+//! gradients sum to exactly the whole-batch mean loss and its gradient.
+//! Shards run on scoped worker threads, but the reduction is a
+//! **fixed-order fold**: the caller's thread adds the shard buffers into
+//! the store in shard-index order before the single Adam step. Because the
+//! shard width is a constant (never derived from the worker count), the
+//! fitted parameters are bit-identical at every pool size — including the
+//! sequential fallback — and reproducible per seed.
 //!
-//! **Accumulation-order note:** the batched backward accumulates parameter
-//! gradients in reverse node order across the whole batch, a fixed but
-//! *different* order than the retired per-sample-tape loop (which summed
-//! sample gradients in chunk order). Runs are bit-reproducible per seed;
-//! they are not bit-comparable to pre-batching checkpoints.
-//! [`train_binary_per_sample`] keeps the old loop alive as the measured
+//! **Accumulation-order note:** sharded reduction accumulates parameter
+//! gradients shard by shard, a fixed but *different* order than both the
+//! retired per-sample-tape loop and the PR-5 whole-batch tape. Runs are
+//! bit-reproducible per seed (and per worker count); they are not
+//! bit-comparable to pre-sharding checkpoints.
+//! [`train_binary_per_sample`] keeps the oldest loop alive as the measured
 //! baseline of the `nn_throughput` bench.
 
-use phishinghook_nn::{ParamId, ParamStore, Tape, Tensor, Var};
+use phishinghook_linalg::par;
+use phishinghook_nn::{GradBuffer, ParamId, ParamStore, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Default inference mini-batch for the batched predict path.
 pub const PREDICT_BATCH: usize = 64;
+
+/// Fixed data-parallel shard width inside a training mini-batch. A
+/// constant — never derived from the worker count — so the shard
+/// boundaries, loss scaling and gradient-reduction order are identical
+/// whether the shards run on one thread or many. Sized to the default
+/// [`TrainConfig::batch_size`]: a default-sized batch records one tape
+/// (no sharding overhead on single-core hosts), larger batches fan out
+/// across the pool in 16-sample shards.
+pub const TRAIN_SHARD: usize = 16;
 
 /// Training hyper-parameters shared by all deep models.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,30 +68,78 @@ impl Default for TrainConfig {
     }
 }
 
-/// Runs the batched loop: for each epoch, shuffle, and for each mini-batch
-/// record ONE tape through `logit_fn` (which must return a `(B, 1)` logit
-/// column for the `B` samples it is handed), reduce with mean
-/// binary-cross-entropy, backward once, and take one (optionally masked)
-/// Adam step. Returns the mean loss of the final epoch.
+/// Runs the sharded batched loop with the worker count picked by the
+/// shared pool policy (hardware parallelism, capped by
+/// `PHISHINGHOOK_THREADS`): for each epoch, shuffle, and for each
+/// mini-batch fan the [`TRAIN_SHARD`]-wide shards across the pool, fold
+/// the shard gradients in shard order, and take one (optionally masked)
+/// Adam step. `logit_fn` must return a `(B, 1)` logit column for the `B`
+/// samples it is handed — it sees one *shard* per call. Returns the mean
+/// loss of the final epoch. The fitted parameters are bit-identical at
+/// every worker count (see [`train_binary_sharded`]).
 ///
 /// # Panics
 ///
 /// Panics on empty or mismatched inputs, or when `logit_fn` returns a
-/// logit count that disagrees with the batch size.
-pub fn train_binary<S>(
+/// logit count that disagrees with the shard size.
+pub fn train_binary<S: Sync>(
     store: &mut ParamStore,
     samples: &[S],
     labels: &[u8],
     config: &TrainConfig,
     frozen: &[ParamId],
-    mut logit_fn: impl FnMut(&mut Tape, &ParamStore, &[&S]) -> Var,
+    logit_fn: impl Fn(&mut Tape, &ParamStore, &[&S]) -> Var + Sync,
+) -> f32 {
+    train_binary_sharded(store, samples, labels, config, frozen, 0, logit_fn)
+}
+
+/// Per-shard training state, reused across every batch and epoch of one
+/// training run so the tape arenas and gradient buffers reach a zero-
+/// allocation steady state.
+struct ShardSlot {
+    tape: Tape,
+    buf: GradBuffer,
+    loss: f32,
+}
+
+/// [`train_binary`] with an explicit worker cap (`0` = the shared pool
+/// policy, `1` = sequential) — the seam the determinism tests and benches
+/// pin.
+///
+/// Worker-count invariance holds by construction: shard boundaries are
+/// multiples of the constant [`TRAIN_SHARD`], each shard differentiates
+/// into its own [`GradBuffer`] (threads never touch the store), and the
+/// caller's thread folds the buffers into the store **in shard-index
+/// order** before the Adam step. The worker count only decides which
+/// thread computes a shard, never what is computed or in what order it is
+/// reduced, so the fitted parameters are bit-identical for every cap.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs, or when `logit_fn` returns a
+/// logit count that disagrees with the shard size.
+pub fn train_binary_sharded<S: Sync>(
+    store: &mut ParamStore,
+    samples: &[S],
+    labels: &[u8],
+    config: &TrainConfig,
+    frozen: &[ParamId],
+    max_workers: usize,
+    logit_fn: impl Fn(&mut Tape, &ParamStore, &[&S]) -> Var + Sync,
 ) -> f32 {
     assert_eq!(samples.len(), labels.len(), "sample/label mismatch");
     assert!(!samples.is_empty(), "cannot train on an empty set");
     let bs = config.batch_size.max(1);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..samples.len()).collect();
-    let mut tape = Tape::new();
+    let max_shards = bs.div_ceil(TRAIN_SHARD);
+    let mut slots: Vec<ShardSlot> = (0..max_shards)
+        .map(|_| ShardSlot {
+            tape: Tape::new(),
+            buf: store.grad_buffer(),
+            loss: 0.0,
+        })
+        .collect();
     let mut batch: Vec<&S> = Vec::with_capacity(bs);
     let mut targets: Vec<f32> = Vec::with_capacity(bs);
     let mut epoch_loss = 0.0f32;
@@ -85,19 +153,63 @@ pub fn train_binary<S>(
                 batch.push(&samples[i]);
                 targets.push(labels[i] as f32);
             }
-            tape.reset();
-            let z = logit_fn(&mut tape, store, &batch);
-            assert_eq!(
-                tape.value(z).len(),
-                chunk.len(),
-                "batched logit_fn must return one logit per sample"
-            );
-            let loss = tape.bce_with_logits_batch(z, &targets);
-            epoch_loss += tape.value(loss).item() * chunk.len() as f32;
+            let n_shards = chunk.len().div_ceil(TRAIN_SHARD);
+            let batch_len = chunk.len();
+            {
+                // Shared refs only — the closure runs on worker threads.
+                let (batch, targets, store, logit_fn) = (&batch, &targets, &*store, &logit_fn);
+                let run_shard = move |s: usize, slot: &mut ShardSlot| {
+                    let lo = s * TRAIN_SHARD;
+                    let hi = (lo + TRAIN_SHARD).min(batch_len);
+                    slot.tape.reset();
+                    slot.buf.zero();
+                    let z = logit_fn(&mut slot.tape, store, &batch[lo..hi]);
+                    assert_eq!(
+                        slot.tape.value(z).len(),
+                        hi - lo,
+                        "batched logit_fn must return one logit per sample"
+                    );
+                    // Denominator = the FULL batch size, so shard losses
+                    // and gradients sum to the whole-batch mean.
+                    let loss =
+                        slot.tape
+                            .bce_with_logits_batch_scaled(z, &targets[lo..hi], batch_len);
+                    slot.loss = slot.tape.value(loss).item();
+                    slot.tape.backward_into(loss, &mut slot.buf);
+                };
+                let workers = match max_workers {
+                    0 => par::pool_size(n_shards),
+                    w => w.min(n_shards).max(1),
+                };
+                let active = &mut slots[..n_shards];
+                if workers <= 1 {
+                    for (s, slot) in active.iter_mut().enumerate() {
+                        run_shard(s, slot);
+                    }
+                } else {
+                    let per = n_shards.div_ceil(workers);
+                    std::thread::scope(|scope| {
+                        for (w, group) in active.chunks_mut(per).enumerate() {
+                            let run_shard = &run_shard;
+                            scope.spawn(move || {
+                                for (k, slot) in group.iter_mut().enumerate() {
+                                    run_shard(w * per + k, slot);
+                                }
+                            });
+                        }
+                    });
+                }
+            }
+            // Fixed-order reduction on this thread: shard gradients fold
+            // into the store in shard-index order, then one Adam step —
+            // the mean loss's 1/B factor is already in the shard scaling.
             store.zero_grads();
-            tape.backward(loss, store);
-            // The mean loss already carries the 1/B factor, so the Adam
-            // step sees the batch-averaged gradient directly.
+            let mut batch_loss = 0.0f32;
+            for slot in &slots[..n_shards] {
+                store.add_grad_buffer(&slot.buf);
+                batch_loss += slot.loss;
+            }
+            epoch_loss += batch_loss * chunk.len() as f32;
             if frozen.is_empty() {
                 store.adam_step(config.learning_rate, 1);
             } else {
@@ -354,6 +466,47 @@ mod tests {
         );
         assert!(batched_loss < 0.1, "batched loss = {batched_loss}");
         assert!(per_sample_loss < 0.1, "per-sample loss = {per_sample_loss}");
+    }
+
+    #[test]
+    fn sharded_training_is_worker_count_invariant() {
+        // 50 samples at batch 48 → one 3-shard batch plus a ragged
+        // 2-sample one; the fitted parameters (bytes of export_tensors)
+        // must be bit-identical for every worker cap, including the auto
+        // policy.
+        let samples: Vec<Vec<f32>> = (0..50)
+            .map(|i| vec![(i % 2) as f32, 1.0 - (i % 2) as f32, (i % 5) as f32 * 0.25])
+            .collect();
+        let labels: Vec<u8> = (0..50).map(|i| (i % 2) as u8).collect();
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 48,
+            ..Default::default()
+        };
+        let fit = |workers: usize| -> (Vec<u8>, f32) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+            let mut store = ParamStore::new();
+            let lin = Linear::new(&mut store, 3, 1, &mut rng);
+            let loss = train_binary_sharded(
+                &mut store,
+                &samples,
+                &labels,
+                &cfg,
+                &[],
+                workers,
+                |t, s, batch| {
+                    let xv = batch_input(t, batch);
+                    lin.forward(t, s, xv)
+                },
+            );
+            (store.export_tensors(), loss)
+        };
+        let (params_1, loss_1) = fit(1);
+        for workers in [2usize, 3, 5, 0] {
+            let (params_w, loss_w) = fit(workers);
+            assert_eq!(params_w, params_1, "workers {workers}");
+            assert_eq!(loss_w.to_bits(), loss_1.to_bits(), "workers {workers}");
+        }
     }
 
     #[test]

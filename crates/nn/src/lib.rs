@@ -43,7 +43,7 @@ pub mod tape;
 pub mod tensor;
 
 pub use layers::{Gru, LayerNorm, Linear, MultiHeadAttention, TransformerBlock};
-pub use params::{ParamId, ParamStore};
+pub use params::{GradBuffer, ParamId, ParamStore};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;
 

@@ -89,6 +89,39 @@ impl ParamStore {
         }
     }
 
+    /// A detached gradient accumulator mirroring this store's tensor
+    /// shapes, zero-initialised. The data-parallel trainer hands one to
+    /// each shard's [`Tape::backward_into`](crate::tape::Tape::backward_into)
+    /// so workers never touch the store, then folds the buffers back with
+    /// [`ParamStore::add_grad_buffer`] in a fixed shard order.
+    pub fn grad_buffer(&self) -> GradBuffer {
+        GradBuffer {
+            grads: self
+                .values
+                .iter()
+                .map(|t| Tensor::zeros(t.shape()))
+                .collect(),
+        }
+    }
+
+    /// Adds every tensor of `buf` into the stored gradients. The trainer
+    /// calls this once per shard **in shard-index order**, so the reduction
+    /// order — and therefore every fitted bit — is fixed regardless of how
+    /// many workers computed the buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` was built from a differently-shaped store.
+    pub fn add_grad_buffer(&mut self, buf: &GradBuffer) {
+        assert_eq!(buf.grads.len(), self.grads.len(), "grad buffer mismatch");
+        for (acc, g) in self.grads.iter_mut().zip(&buf.grads) {
+            assert_eq!(acc.shape(), g.shape(), "grad buffer shape mismatch");
+            for (a, b) in acc.data_mut().iter_mut().zip(g.data()) {
+                *a += b;
+            }
+        }
+    }
+
     /// Zeroes all gradients (start of a mini-batch).
     pub fn zero_grads(&mut self) {
         for g in &mut self.grads {
@@ -228,6 +261,35 @@ impl ParamStore {
         self.adam_step(lr, batch);
         for (id, v) in saved {
             self.values[id.0] = v;
+        }
+    }
+}
+
+/// Gradients detached from any [`ParamStore`]: one zero-initialised tensor
+/// per parameter, in store order. Produced by [`ParamStore::grad_buffer`],
+/// filled by [`Tape::backward_into`](crate::tape::Tape::backward_into),
+/// folded back with [`ParamStore::add_grad_buffer`]. This is the per-shard
+/// sink that lets mini-batch shards run on worker threads while the
+/// gradient *reduction* stays a fixed-order fold on the caller's thread.
+#[derive(Debug, Default)]
+pub struct GradBuffer {
+    grads: Vec<Tensor>,
+}
+
+impl GradBuffer {
+    /// Zeroes every tensor (start of the next shard, reusing the buffer).
+    pub fn zero(&mut self) {
+        for g in &mut self.grads {
+            g.data_mut().fill(0.0);
+        }
+    }
+
+    /// Adds `g` into the buffered gradient (called by the tape).
+    pub(crate) fn accumulate(&mut self, id: ParamId, g: &Tensor) {
+        let acc = &mut self.grads[id.0];
+        debug_assert_eq!(acc.shape(), g.shape());
+        for (a, b) in acc.data_mut().iter_mut().zip(g.data()) {
+            *a += b;
         }
     }
 }

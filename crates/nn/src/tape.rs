@@ -16,7 +16,7 @@
 //! Gradient correctness is validated against central finite differences in
 //! the test module — every op is covered by at least one composite check.
 
-use crate::params::{ParamId, ParamStore};
+use crate::params::{GradBuffer, ParamId, ParamStore};
 use crate::tensor::Tensor;
 use phishinghook_linalg::gemm;
 
@@ -65,6 +65,7 @@ enum Op {
     BceWithLogitsBatch {
         logits: Var,
         targets: Vec<f32>,
+        denom: f32,
     },
     Conv2d {
         x: Var,
@@ -510,18 +511,43 @@ impl Tape {
     ///
     /// Panics if the logit count and target count disagree.
     pub fn bce_with_logits_batch(&mut self, logits: Var, targets: &[f32]) -> Var {
+        self.bce_with_logits_batch_scaled(logits, targets, targets.len())
+    }
+
+    /// [`Tape::bce_with_logits_batch`] with an explicit mean denominator:
+    /// the node's value is `Σ per-sample loss / denom` and each logit's
+    /// gradient is `(σ(z) − t)/denom`. The data-parallel trainer records
+    /// one of these per **shard** with `denom = B` (the full mini-batch
+    /// size), so shard losses and gradients sum to exactly the whole-batch
+    /// mean — same optimization semantics, shard by shard. With
+    /// `denom == targets.len()` this is bit-identical to the plain batch
+    /// loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logit count and target count disagree, or `denom`
+    /// is zero.
+    pub fn bce_with_logits_batch_scaled(
+        &mut self,
+        logits: Var,
+        targets: &[f32],
+        denom: usize,
+    ) -> Var {
         let n = self.nodes[logits.0].value.len();
         assert_eq!(n, targets.len(), "logit/target count mismatch");
+        assert!(denom > 0, "bce denominator must be positive");
+        let denom = denom as f32;
         let zs = self.nodes[logits.0].value.data();
         let mut sum = 0.0f32;
         for (&z, &t) in zs.iter().zip(targets) {
             sum += z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
         }
         self.push(
-            Tensor::scalar(sum / n as f32),
+            Tensor::scalar(sum / denom),
             Op::BceWithLogitsBatch {
                 logits,
                 targets: targets.to_vec(),
+                denom,
             },
         )
     }
@@ -689,6 +715,25 @@ impl Tape {
     ///
     /// Panics if `loss` is not scalar-like.
     pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        self.backward_impl(loss, &mut |id, g| store.accumulate_grad(id, g));
+    }
+
+    /// [`Tape::backward`] into a detached [`GradBuffer`] instead of the
+    /// store — the per-shard sink of the data-parallel trainer: worker
+    /// threads differentiate their shard into a private buffer and the
+    /// caller folds the buffers into the store in shard order, keeping the
+    /// gradient reduction order (and so every fitted bit) independent of
+    /// the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not scalar-like or `buf` came from a
+    /// differently-shaped store.
+    pub fn backward_into(&mut self, loss: Var, buf: &mut GradBuffer) {
+        self.backward_impl(loss, &mut |id, g| buf.accumulate(id, g));
+    }
+
+    fn backward_impl(&mut self, loss: Var, sink: &mut dyn FnMut(ParamId, &Tensor)) {
         assert_eq!(self.nodes[loss.0].value.len(), 1, "loss must be scalar");
         let n = self.nodes.len();
         let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
@@ -699,9 +744,9 @@ impl Tape {
 
         for i in (0..n).rev() {
             let Some(g) = grads[i].take() else { continue };
-            // Accumulate into the parameter store for leaves.
+            // Hand leaf gradients to the sink (store or shard buffer).
             if let Some(pid) = self.nodes[i].param {
-                store.accumulate_grad(pid, &g);
+                sink(pid, &g);
             }
             let op = self.nodes[i].op.clone();
             match op {
@@ -948,14 +993,17 @@ impl Tape {
                     let ga = Tensor::from_vec(self.nodes[logit.0].value.shape(), vec![dz]);
                     self.add_grad(&mut grads, logit, ga);
                 }
-                Op::BceWithLogitsBatch { logits, targets } => {
+                Op::BceWithLogitsBatch {
+                    logits,
+                    targets,
+                    denom,
+                } => {
                     let go = g.data()[0];
                     let zs = self.nodes[logits.0].value.data();
-                    let n = zs.len() as f32;
                     let data: Vec<f32> = zs
                         .iter()
                         .zip(&targets)
-                        .map(|(&z, &t)| (sigmoid_fn(z) - t) / n * go)
+                        .map(|(&z, &t)| (sigmoid_fn(z) - t) / denom * go)
                         .collect();
                     let shape = self.nodes[logits.0].value.shape().to_vec();
                     self.add_grad(&mut grads, logits, Tensor::from_vec(&shape, data));
@@ -1519,6 +1567,102 @@ mod tests {
         let l = tape.bce_with_logit(z, 1.0);
         let want = -(sigmoid_fn(0.7f32)).ln();
         assert!((tape.value(l).item() - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_into_buffer_matches_store_bitwise() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut store = ParamStore::new();
+        let w = store.param(Tensor::random(&[4, 3], 0.6, &mut rng));
+        let b = store.param(Tensor::zeros(&[3]));
+        let x_data = Tensor::random(&[5, 4], 0.6, &mut rng);
+        let record = |t: &mut Tape, store: &ParamStore| {
+            let wv = t.param(store, w);
+            let bv = t.param(store, b);
+            let x = t.input(x_data.clone());
+            let h = t.matmul(x, wv);
+            let h = t.add_bias(h, bv);
+            let h = t.relu(h);
+            let m = t.mean_rows(h);
+            let w2 = t.input(Tensor::from_vec(&[3, 1], vec![0.4, -0.7, 0.2]));
+            let z = t.matmul(m, w2);
+            t.bce_with_logit(z, 1.0)
+        };
+
+        let mut tape = Tape::new();
+        let loss = record(&mut tape, &store);
+        store.zero_grads();
+        tape.backward(loss, &mut store);
+
+        let mut buf = store.grad_buffer();
+        let mut tape2 = Tape::new();
+        let loss2 = record(&mut tape2, &store);
+        tape2.backward_into(loss2, &mut buf);
+
+        let mut via_buffer = {
+            let mut s = ParamStore::new();
+            s.param(store.value(w).clone());
+            s.param(store.value(b).clone());
+            s
+        };
+        via_buffer.add_grad_buffer(&buf);
+        for id in [w, b] {
+            let direct: Vec<u32> = store.grad(id).data().iter().map(|v| v.to_bits()).collect();
+            let buffered: Vec<u32> = via_buffer
+                .grad(id)
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(direct, buffered);
+        }
+    }
+
+    #[test]
+    fn scaled_batch_bce_shards_sum_to_the_whole_batch() {
+        // Per-shard losses with denom = B must sum to the whole-batch mean
+        // loss, and per-logit grads must be (σ(z) − t)/B exactly — the
+        // invariant the data-parallel trainer is built on.
+        let zs = [0.7f32, -1.2, 0.1, 2.3, -0.4];
+        let ts = [1.0f32, 0.0, 1.0, 0.0, 1.0];
+        let mut whole = Tape::new();
+        let z = whole.input(Tensor::from_vec(&[5, 1], zs.to_vec()));
+        let l = whole.bce_with_logits_batch(z, &ts);
+        let want = whole.value(l).item();
+
+        let mut got = 0.0f32;
+        for (zc, tc) in zs.chunks(2).zip(ts.chunks(2)) {
+            let mut t = Tape::new();
+            let zv = t.input(Tensor::from_vec(&[zc.len(), 1], zc.to_vec()));
+            let l = t.bce_with_logits_batch_scaled(zv, tc, zs.len());
+            got += t.value(l).item();
+        }
+        assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+
+        // And with denom == n the scaled node is the plain batch loss.
+        let mut t = Tape::new();
+        let zv = t.input(Tensor::from_vec(&[5, 1], zs.to_vec()));
+        let l2 = t.bce_with_logits_batch_scaled(zv, &ts, ts.len());
+        assert_eq!(t.value(l2).item().to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn grad_scaled_batched_bce() {
+        grad_check(
+            &[4, 1],
+            |t, p| {
+                let x = t.input(Tensor::from_vec(
+                    &[2, 4],
+                    vec![0.1, 0.5, -0.2, 0.8, -0.3, 0.2, 0.9, -0.1],
+                ));
+                let z = t.matmul(x, p);
+                // A shard of 2 inside a notional batch of 8, times 4 so
+                // the finite-difference loss is the full-batch mean.
+                let l = t.bce_with_logits_batch_scaled(z, &[1.0, 0.0], 8);
+                t.scale(l, 4.0)
+            },
+            2e-2,
+        );
     }
 
     #[test]
