@@ -140,6 +140,14 @@ impl<'a> ArtifactReader<'a> {
         self.sections.iter().map(|(n, _)| n.as_str()).collect()
     }
 
+    /// Consumes the reader into its `(name, payload)` list, in container
+    /// order — the seam the owning container
+    /// ([`OwnedArtifact`](crate::OwnedArtifact)) converts into byte ranges
+    /// so both parse paths share one validation implementation.
+    pub fn into_sections(self) -> Vec<(String, &'a [u8])> {
+        self.sections
+    }
+
     /// A required section's payload.
     ///
     /// # Errors

@@ -12,7 +12,9 @@
 //! * [`ArtifactWriter`] / [`ArtifactReader`] — the sectioned container:
 //!   `magic ∥ version ∥ n ∥ (name, len, checksum, payload)*`. Section
 //!   payloads are opaque byte blobs; each carries an FNV-1a 64 checksum
-//!   verified at parse time.
+//!   verified at parse time. [`OwnedArtifact`] is the owning variant for
+//!   long-lived holders: one `Arc`-shared buffer, sections as zero-copy
+//!   slices into it, `Clone` without copying a byte.
 //! * Domain codecs live with their types (`ParamStore` tensors in `nn`,
 //!   fitted encoder tables and the columnar `FeatureMatrix` form in
 //!   `features`, classifier state in `ml`, model state behind the `Model`
@@ -53,10 +55,12 @@
 pub mod container;
 pub mod cursor;
 pub mod error;
+pub mod owned;
 
 pub use container::{ArtifactReader, ArtifactWriter, FORMAT_VERSION, MAGIC};
 pub use cursor::{ByteReader, ByteWriter};
 pub use error::ArtifactError;
+pub use owned::OwnedArtifact;
 
 /// FNV-1a 64-bit hash — the per-section checksum. Not cryptographic; it
 /// guards against truncation and bit rot, not adversaries.

@@ -1,0 +1,296 @@
+//! Criterion bench + fleet harness: end-to-end serving latency through
+//! the dynamic micro-batching queue.
+//!
+//! A fleet of K synthetic clients hammers an in-process
+//! [`MicroBatcher`] over a warm ESCORT detector — the deep model whose
+//! batched `(B, d)` inference is the amortization the queue exists to
+//! harvest. Each client submits its contracts one at a time (the
+//! interactive serving shape) and records per-request latency; the
+//! harness sweeps the coalescing ceiling over batch tiers {1, 8, 32,
+//! max} and reports p50/p99 latency plus contracts/sec per tier against
+//! a no-queue serial baseline (`score_code` per contract, the naive
+//! server shape).
+//!
+//! The committed baseline lands in `BENCH_latency.json` (full runs
+//! only). Both modes assert the tentpole's reason to exist: with
+//! coalescing on (`max_batch > 1`) the queue must beat the *serial
+//! serving loop* — the same queue pinned to `max_batch = 1`, i.e. one
+//! model call per request — by ≥2× in full runs and ≥1.2× in
+//! single-core `PHISHINGHOOK_BENCH_SMOKE=1` runs. Both sides pay the
+//! identical per-request queue tax, so the delta is purely what
+//! micro-batching recovers: amortized wakeups plus the batched `(B, d)`
+//! NN inference. Scores stay bit-identical to the direct path
+//! throughout (every client asserts its own).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phishinghook::prelude::*;
+use phishinghook_bench::json::Value;
+use phishinghook_evm::Bytecode;
+use phishinghook_serve::queue::DEFAULT_MAX_BATCH;
+use phishinghook_serve::{MicroBatcher, QueueConfig};
+use phishinghook_synth::{generate_contract, Difficulty, Family};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn smoke_mode() -> bool {
+    std::env::var_os("PHISHINGHOOK_BENCH_SMOKE").is_some()
+}
+
+/// Concurrent synthetic clients.
+fn clients() -> usize {
+    if smoke_mode() {
+        16
+    } else {
+        32
+    }
+}
+
+/// Requests each client sends, one at a time.
+fn per_client() -> usize {
+    if smoke_mode() {
+        4
+    } else {
+        8
+    }
+}
+
+/// Coalescing ceilings swept by the harness.
+const TIERS: [usize; 4] = [1, 8, 32, DEFAULT_MAX_BATCH];
+
+/// Micro-batched throughput over the serial (batch=1) serving loop. The
+/// full floor is the tentpole's headline claim; the smoke floor
+/// tolerates a small-corpus single-core CI box where batches stay
+/// shallow.
+fn speedup_floor() -> f64 {
+    if smoke_mode() {
+        1.2
+    } else {
+        2.0
+    }
+}
+
+fn fresh_contracts(n: usize) -> Vec<Bytecode> {
+    let mut rng = StdRng::seed_from_u64(0x1A7E);
+    (0..n)
+        .map(|i| {
+            generate_contract(
+                Family::ALL[i % Family::ALL.len()],
+                Month(5),
+                &Difficulty::default(),
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+fn trained_detector(kind: ModelKind) -> Detector {
+    let corpus = generate_corpus(&CorpusConfig::small(42));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
+    let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+    Detector::train(&ctx, kind, 7)
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+struct FleetRun {
+    latencies_us: Vec<f64>,
+    elapsed_s: f64,
+    batches: u64,
+    max_batch_seen: usize,
+}
+
+/// K clients, each submitting its own slice of `contracts` sequentially
+/// through one queue capped at `max_batch`; every client asserts its
+/// scores against the precomputed direct scores.
+fn run_fleet(
+    detector: &Arc<Detector>,
+    contracts: &[Bytecode],
+    expected: &[f32],
+    k: usize,
+    max_batch: usize,
+) -> FleetRun {
+    // A short coalescing window: when `max_batch` exceeds what K blocked
+    // clients can ever queue at once, the worker's wait for batch-mates
+    // times out every cycle, so the window is pure overhead for the
+    // deeper tiers (a real server tunes PHISHINGHOOK_BATCH_WAIT_US the
+    // same way).
+    let queue = MicroBatcher::start(
+        Arc::clone(detector),
+        QueueConfig {
+            max_batch,
+            batch_wait: Duration::from_micros(50),
+            capacity: 1024,
+            workers: 1,
+        },
+    );
+    let per = contracts.len() / k;
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let queue = &queue;
+        let handles: Vec<_> = (0..k)
+            .map(|client| {
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(per);
+                    for i in client * per..(client + 1) * per {
+                        let t = Instant::now();
+                        let p = queue.submit(contracts[i].clone()).expect("queue accepts");
+                        lat.push(t.elapsed().as_secs_f64() * 1e6);
+                        assert_eq!(
+                            p, expected[i],
+                            "queue-coalesced score must be bit-identical to score_code"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let stats = queue.stats();
+    queue.shutdown();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    FleetRun {
+        latencies_us: latencies,
+        elapsed_s,
+        batches: stats.batches,
+        max_batch_seen: stats.max_batch_seen,
+    }
+}
+
+fn tier_record(tier: usize, n: usize, run: &FleetRun) -> Value {
+    Value::Obj(vec![
+        ("max_batch".into(), Value::Num(tier as f64)),
+        ("contracts".into(), Value::Num(n as f64)),
+        (
+            "contracts_per_sec".into(),
+            Value::Num(n as f64 / run.elapsed_s),
+        ),
+        (
+            "p50_us".into(),
+            Value::Num(percentile(&run.latencies_us, 0.50)),
+        ),
+        (
+            "p99_us".into(),
+            Value::Num(percentile(&run.latencies_us, 0.99)),
+        ),
+        ("batches".into(), Value::Num(run.batches as f64)),
+        (
+            "max_batch_seen".into(),
+            Value::Num(run.max_batch_seen as f64),
+        ),
+    ])
+}
+
+fn run_harness(escort: &Arc<Detector>, contracts: &[Bytecode]) {
+    let n = contracts.len();
+    let k = clients();
+    // Ground truth (and warmup for the model's caches/arenas).
+    let expected = escort.score_codes(contracts);
+
+    // Warm the fleet machinery itself (threads, channels, first-touch
+    // pages) so tier timings compare batching, not startup order.
+    run_fleet(escort, contracts, &expected, k, 1);
+
+    let mut tier_records = Vec::new();
+    let mut serial_cps = 0.0f64; // tier 1: the unbatched serving loop
+    let mut best = (0usize, 0.0f64); // best micro-batched (tier, cps)
+    for tier in TIERS {
+        let run = run_fleet(escort, contracts, &expected, k, tier);
+        let cps = n as f64 / run.elapsed_s;
+        println!(
+            "  max_batch={tier}: {cps:.0} contracts/s, p50 {:.0}us p99 {:.0}us \
+             ({} batches, deepest {})",
+            percentile(&run.latencies_us, 0.50),
+            percentile(&run.latencies_us, 0.99),
+            run.batches,
+            run.max_batch_seen,
+        );
+        if tier == 1 {
+            serial_cps = cps;
+            assert_eq!(run.max_batch_seen, 1, "tier 1 must not coalesce");
+        } else {
+            assert!(
+                run.max_batch_seen > 1,
+                "tier {tier} must actually coalesce (deepest batch was 1)"
+            );
+            if cps > best.1 {
+                best = (tier, cps);
+            }
+        }
+        tier_records.push(tier_record(tier, n, &run));
+    }
+
+    let (best_tier, best_cps) = best;
+    let speedup = best_cps / serial_cps;
+    println!(
+        "  serial (batch=1) {serial_cps:.0} contracts/s -> micro-batched {best_cps:.0} \
+         contracts/s at max_batch={best_tier} ({speedup:.2}x, floor {:.2}x)",
+        speedup_floor()
+    );
+    assert!(
+        speedup >= speedup_floor(),
+        "micro-batching regression: best tier (max_batch={best_tier}) {best_cps:.0} \
+         contracts/s vs the serial batch=1 loop {serial_cps:.0} contracts/s \
+         ({speedup:.2}x, floor {:.2}x)",
+        speedup_floor()
+    );
+
+    // Smoke runs assert but never overwrite the committed baseline.
+    if !smoke_mode() {
+        let doc = Value::Obj(vec![
+            ("bench".into(), Value::Str("latency_serving".into())),
+            ("model".into(), Value::Str(escort.kind().id().into())),
+            ("clients".into(), Value::Num(k as f64)),
+            ("contracts".into(), Value::Num(n as f64)),
+            ("serial_contracts_per_sec".into(), Value::Num(serial_cps)),
+            ("best_tier".into(), Value::Num(best_tier as f64)),
+            (
+                "micro_batched_contracts_per_sec".into(),
+                Value::Num(best_cps),
+            ),
+            ("micro_batched_speedup".into(), Value::Num(speedup)),
+            ("asserted_floor".into(), Value::Num(speedup_floor())),
+            ("tiers".into(), Value::Arr(tier_records)),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_latency.json");
+        std::fs::write(path, doc.render()).expect("write BENCH_latency.json");
+    }
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let escort = Arc::new(trained_detector(ModelKind::Escort));
+    let contracts = fresh_contracts(clients() * per_client());
+
+    // Criterion's view: the queue's overhead on a lone request (no
+    // batch-mates, so this is pure queue tax + batch_wait) next to the
+    // direct call it wraps.
+    let queue = MicroBatcher::start(Arc::clone(&escort), QueueConfig::default());
+    let mut group = c.benchmark_group("latency_serving");
+    group.bench_function("escort_direct_score_code", |b| {
+        b.iter(|| escort.score_code(&contracts[0]))
+    });
+    group.bench_function("escort_solo_submit_via_queue", |b| {
+        b.iter(|| queue.submit(contracts[0].clone()).unwrap())
+    });
+    group.finish();
+    queue.shutdown();
+
+    run_harness(&escort, &contracts);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_latency
+}
+criterion_main!(benches);

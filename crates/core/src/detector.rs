@@ -49,7 +49,7 @@ use crate::evalstore::EvalContext;
 use crate::mem::{fit_kind, EvalProfile, ModelKind};
 use crate::par::parallel_map;
 use phishinghook_artifact::{
-    ArtifactError, ArtifactReader, ArtifactWriter, ByteReader, ByteWriter,
+    ArtifactError, ArtifactReader, ArtifactWriter, ByteReader, ByteWriter, OwnedArtifact,
 };
 use phishinghook_chain::{Address, RpcError, RpcProvider};
 use phishinghook_evm::{Bytecode, DisasmCache};
@@ -277,7 +277,38 @@ impl Detector {
     /// validate — a malformed artifact never panics the server.
     pub fn from_bytes(bytes: &[u8]) -> Result<Detector, ArtifactError> {
         let artifact = ArtifactReader::from_bytes(bytes)?;
-        let mut meta = ByteReader::new(artifact.section("meta")?);
+        Detector::decode(
+            artifact.section("meta")?,
+            artifact.section("encoders")?,
+            artifact.section("model")?,
+        )
+    }
+
+    /// Reconstructs a detector from a shared [`OwnedArtifact`] — the
+    /// serving-pool load path. The artifact's buffer is read in place
+    /// (sections are slices into the one shared allocation, never an
+    /// intermediate copy) and can go on serving other holders afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Detector::from_bytes`] rejects.
+    pub fn from_artifact(artifact: &OwnedArtifact) -> Result<Detector, ArtifactError> {
+        Detector::decode(
+            artifact.section("meta")?,
+            artifact.section("encoders")?,
+            artifact.section("model")?,
+        )
+    }
+
+    /// The shared decode tail of [`Detector::from_bytes`] and
+    /// [`Detector::from_artifact`]: both hand in borrowed section slices,
+    /// so the two load paths cannot drift.
+    fn decode(
+        meta_bytes: &[u8],
+        encoder_bytes: &[u8],
+        model_bytes: &[u8],
+    ) -> Result<Detector, ArtifactError> {
+        let mut meta = ByteReader::new(meta_bytes);
         let kind_id = meta.take_str()?;
         let kind = ModelKind::from_id(&kind_id)
             .ok_or_else(|| ArtifactError::Mismatch(format!("unknown model kind {kind_id:?}")))?;
@@ -287,8 +318,8 @@ impl Detector {
         let profile = read_profile(&mut meta)?;
         meta.expect_exhausted("detector meta")?;
 
-        let encoders = FittedEncoders::import_state(artifact.section("encoders")?)?;
-        let model = rebuild_model(kind, &encoders, &profile, seed, artifact.section("model")?)?;
+        let encoders = FittedEncoders::import_state(encoder_bytes)?;
+        let model = rebuild_model(kind, &encoders, &profile, seed, model_bytes)?;
         Ok(Detector {
             kind,
             encoding: kind.encoding(),
@@ -302,13 +333,17 @@ impl Detector {
     }
 
     /// Reads an artifact file — the cold-start half of the two-process
-    /// workflow.
+    /// workflow. Routed through [`OwnedArtifact::open`]: the file is read
+    /// into one buffer and decoded in place, and a caller that wants to
+    /// build several holders from the same file (a warm detector pool)
+    /// opens the [`OwnedArtifact`] once and shares it instead of paying
+    /// one read + parse per holder.
     ///
     /// # Errors
     ///
     /// I/O failures plus everything [`Detector::from_bytes`] rejects.
     pub fn load(path: impl AsRef<Path>) -> Result<Detector, ArtifactError> {
-        Detector::from_bytes(&std::fs::read(path)?)
+        Detector::from_artifact(&OwnedArtifact::open(path)?)
     }
 
     /// Phishing probability of one already-decoded contract. Pays for
@@ -475,7 +510,34 @@ impl ModelZoo {
     /// panic.
     pub fn from_bytes(bytes: &[u8]) -> Result<ModelZoo, ArtifactError> {
         let artifact = ArtifactReader::from_bytes(bytes)?;
-        let mut meta = ByteReader::new(artifact.section("meta")?);
+        ModelZoo::decode(
+            artifact.section("meta")?,
+            artifact.section("encoders")?,
+            |i| artifact.section(&format!("model.{i}")),
+        )
+    }
+
+    /// Reconstructs a zoo from a shared [`OwnedArtifact`] — see
+    /// [`Detector::from_artifact`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ModelZoo::from_bytes`] rejects.
+    pub fn from_artifact(artifact: &OwnedArtifact) -> Result<ModelZoo, ArtifactError> {
+        ModelZoo::decode(
+            artifact.section("meta")?,
+            artifact.section("encoders")?,
+            |i| artifact.section(&format!("model.{i}")),
+        )
+    }
+
+    /// The shared decode tail of both zoo load paths.
+    fn decode<'a>(
+        meta_bytes: &[u8],
+        encoder_bytes: &[u8],
+        model_section: impl Fn(usize) -> Result<&'a [u8], ArtifactError>,
+    ) -> Result<ModelZoo, ArtifactError> {
+        let mut meta = ByteReader::new(meta_bytes);
         let seed = meta.take_u64()?;
         let profile = read_profile(&mut meta)?;
         // Every kind id is at least its 4-byte length prefix; the bounded
@@ -495,10 +557,10 @@ impl ModelZoo {
             return Err(ArtifactError::Corrupt("empty model zoo artifact".into()));
         }
 
-        let encoders = FittedEncoders::import_state(artifact.section("encoders")?)?;
+        let encoders = FittedEncoders::import_state(encoder_bytes)?;
         let mut models = Vec::with_capacity(count);
         for (i, kind) in kinds.into_iter().enumerate() {
-            let state = artifact.section(&format!("model.{i}"))?;
+            let state = model_section(i)?;
             models.push((kind, rebuild_model(kind, &encoders, &profile, seed, state)?));
         }
         Ok(ModelZoo {
@@ -515,7 +577,7 @@ impl ModelZoo {
     ///
     /// I/O failures plus everything [`ModelZoo::from_bytes`] rejects.
     pub fn load(path: impl AsRef<Path>) -> Result<ModelZoo, ArtifactError> {
-        ModelZoo::from_bytes(&std::fs::read(path)?)
+        ModelZoo::from_artifact(&OwnedArtifact::open(path)?)
     }
 
     /// The shared training seed.
@@ -596,6 +658,50 @@ impl ModelZoo {
     pub fn score_codes(&self, codes: &[Bytecode]) -> Vec<Vec<Verdict>> {
         let caches: Vec<DisasmCache> = parallel_map(codes, DisasmCache::build);
         self.score_batch(&caches)
+    }
+}
+
+/// The batched scoring seam a serving tier coalesces requests into: one
+/// call, `codes.len()` outputs, in input order.
+///
+/// Both serving artifacts implement it — a [`Detector`] yields one
+/// probability per contract, a [`ModelZoo`] one [`Verdict`] per model per
+/// contract — so a micro-batching queue can be generic over "warm scorer
+/// shared by a worker pool" without caring which it holds. The contract
+/// that makes coalescing safe is **bit-identity**: a contract's output
+/// must not depend on its batch-mates (`score_many(&[a, b])[0] ==
+/// score_many(&[a])[0]`, guaranteed by `predict_proba_batch` and asserted
+/// in `tests/detector_serving.rs` / `tests/batched_parity.rs`).
+pub trait CodeScorer: Send + Sync {
+    /// Per-contract output.
+    type Output: Send + 'static;
+
+    /// Scores a batch of raw bytecodes in input order, decoding each
+    /// exactly once.
+    fn score_many(&self, codes: &[Bytecode]) -> Vec<Self::Output>;
+}
+
+impl CodeScorer for Detector {
+    type Output = f32;
+
+    fn score_many(&self, codes: &[Bytecode]) -> Vec<f32> {
+        self.score_codes(codes)
+    }
+}
+
+impl CodeScorer for ModelZoo {
+    type Output = Vec<Verdict>;
+
+    fn score_many(&self, codes: &[Bytecode]) -> Vec<Vec<Verdict>> {
+        self.score_codes(codes)
+    }
+}
+
+impl<S: CodeScorer + ?Sized> CodeScorer for std::sync::Arc<S> {
+    type Output = S::Output;
+
+    fn score_many(&self, codes: &[Bytecode]) -> Vec<S::Output> {
+        (**self).score_many(codes)
     }
 }
 
@@ -719,6 +825,28 @@ mod tests {
             expected
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn one_owned_artifact_serves_multiple_decodes_from_one_buffer() {
+        let (_, dataset) = fixture();
+        let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+        let detector = Detector::train(&ctx, ModelKind::Svm, 13);
+        let caches: Vec<DisasmCache> = ctx.caches().as_slice()[..4].to_vec();
+        let expected = detector.score_batch(&caches);
+
+        let artifact = OwnedArtifact::from_vec(detector.to_bytes()).unwrap();
+        // Two holders decode from the same parsed buffer — no re-read, no
+        // re-parse, identical scores.
+        let a = Detector::from_artifact(&artifact).unwrap();
+        let b = Detector::from_artifact(&artifact).unwrap();
+        assert_eq!(
+            artifact.buffer_refs(),
+            1,
+            "decoding must not copy the buffer"
+        );
+        assert_eq!(a.score_batch(&caches), expected);
+        assert_eq!(b.score_batch(&caches), expected);
     }
 
     #[test]

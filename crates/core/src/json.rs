@@ -1,0 +1,340 @@
+//! Dependency-free JSON encoding/decoding.
+//!
+//! The offline build has no `serde`, so every JSON surface in the
+//! workspace — the bench baselines (`BENCH_*.json`, `table2.json`,
+//! `fig5_study.json`) and the serving tier's request/response bodies —
+//! goes through this one module: a generic [`Value`] tree with a
+//! depth-capped recursive-descent parser. It started life inside the
+//! bench crate and was promoted here when the HTTP serving tier
+//! (`phishinghook-serve`) became a second consumer; the bench crate
+//! re-exports it and keeps only its domain-typed helpers.
+//!
+//! The parser is total: any malformed input, trailing garbage, or
+//! pathological nesting returns `None` — it never panics and its work is
+//! bounded by the input length, which is what lets the serving tier run it
+//! on untrusted request bodies (behind the HTTP layer's length caps).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Numeric accessor.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object-field accessor.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Compact JSON rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Value::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Maximum container nesting depth the parser accepts. The recursive
+/// descent uses one stack frame per nesting level, so an unbounded depth
+/// would let a pathologically nested document overflow the stack; beyond
+/// this limit [`parse`] returns `None` like any other malformed input. The
+/// documents the workspace exchanges nest three or four levels deep.
+pub const MAX_DEPTH: usize = 128;
+
+/// Parses a JSON document. Returns `None` on any syntax error, trailing
+/// garbage, or nesting deeper than [`MAX_DEPTH`].
+pub fn parse(input: &str) -> Option<Value> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Option<Value> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'n' => parse_lit(b, pos, "null", Value::Null),
+        b't' => parse_lit(b, pos, "true", Value::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", Value::Bool(false)),
+        b'"' => parse_string(b, pos).map(Value::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Value::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return None;
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos, depth + 1)?));
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Value::Obj(fields));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        _ => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Option<Value> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match *b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match *b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar.
+                let s = std::str::from_utf8(&b[*pos..]).ok()?;
+                let c = s.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Option<Value> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    if *pos == start {
+        return None;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(Value::Num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let text = r#"{"a":[1,2.5,-3e2],"b":"x\"y","c":null,"d":true}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\"y"));
+        let again = parse(&v.render()).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_none());
+        assert!(parse("[1,]").is_none());
+        assert!(parse("123 456").is_none());
+        assert!(parse("").is_none());
+    }
+
+    #[test]
+    fn f32_probabilities_survive_a_round_trip_bit_exactly() {
+        // The serving tier ships f32 scores as JSON numbers: f32 → f64 is
+        // exact, Display prints the shortest round-trip decimal, and the
+        // reparse restores the same f64, so the f32 cast back is bit-exact.
+        for p in [0.0f32, 1.0, 0.5, 0.12345678, f32::MIN_POSITIVE, 0.9999999] {
+            let rendered = Value::Num(p as f64).render();
+            let back = parse(&rendered).unwrap().as_f64().unwrap() as f32;
+            assert_eq!(back.to_bits(), p.to_bits(), "{p} via {rendered}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // Far deeper than any artifact, and deep enough to overflow the
+        // stack without the cap.
+        let deep = "[".repeat(200_000);
+        assert!(parse(&deep).is_none());
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(parse(&deep_obj).is_none());
+        // A document at a reasonable depth still parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_some());
+        // One past the limit fails cleanly.
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&over).is_none());
+    }
+}

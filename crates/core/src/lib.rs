@@ -58,6 +58,7 @@ pub mod dataset;
 pub mod detector;
 pub mod evalstore;
 pub mod hypersearch;
+pub mod json;
 pub mod mem;
 pub mod metrics;
 pub mod opcode_stats;
@@ -69,7 +70,7 @@ pub mod time_resistance;
 
 pub use bem::{extract_dataset, BemConfig, BemReport, ExtractionStream, StreamStats};
 pub use dataset::{Dataset, Sample};
-pub use detector::{Detector, ModelZoo, Verdict, PHISHING_THRESHOLD};
+pub use detector::{CodeScorer, Detector, ModelZoo, Verdict, PHISHING_THRESHOLD};
 pub use evalstore::EvalContext;
 pub use mem::{
     cross_validate, cross_validate_on, cross_validate_on_with, evaluate_models, evaluate_trial,
@@ -90,7 +91,7 @@ pub use time_resistance::{run_time_resistance, run_time_resistance_on, TimeResis
 pub mod prelude {
     pub use crate::bem::{extract_dataset, BemConfig, BemReport, ExtractionStream};
     pub use crate::dataset::{Dataset, Sample};
-    pub use crate::detector::{Detector, ModelZoo, Verdict};
+    pub use crate::detector::{CodeScorer, Detector, ModelZoo, Verdict};
     pub use crate::evalstore::EvalContext;
     pub use crate::hypersearch::{tune_model, Sampler, Study};
     pub use crate::mem::{

@@ -1,0 +1,70 @@
+//! `phishinghook-served <artifact.phk> [bind-addr]`
+//!
+//! Loads a saved detector artifact once (single read, zero-copy section
+//! slices) and serves it over HTTP with the micro-batching queue. The
+//! queue knobs come from the environment:
+//!
+//! * `PHISHINGHOOK_MAX_BATCH` — jobs coalesced per model call (default 64)
+//! * `PHISHINGHOOK_BATCH_WAIT_US` — max coalescing wait (default 200)
+//! * `PHISHINGHOOK_QUEUE_CAP` — queue bound; overflow answers 429 (default 1024)
+//! * `PHISHINGHOOK_SERVE_WORKERS` — warm worker pool size (default: available cores)
+
+use phishinghook::Detector;
+use phishinghook_artifact::OwnedArtifact;
+use phishinghook_serve::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: phishinghook-served <artifact.phk> [bind-addr]");
+        return ExitCode::from(2);
+    };
+    let bind = args.next().unwrap_or_else(|| "127.0.0.1:7877".to_string());
+
+    let artifact = match OwnedArtifact::open(&path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("phishinghook-served: cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let detector = match Detector::from_artifact(&artifact) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("phishinghook-served: cannot decode {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let kind = detector.kind();
+
+    let cfg = ServerConfig::from_env();
+    let server = match Server::start(Arc::new(detector), bind.as_str(), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("phishinghook-served: cannot bind {bind}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "phishinghook-served: {} ({}) listening on http://{}",
+        kind.name(),
+        kind.id(),
+        server.local_addr()
+    );
+    println!(
+        "  max_batch={} batch_wait={}us queue_cap={} workers={}",
+        cfg.queue.max_batch,
+        cfg.queue.batch_wait.as_micros(),
+        cfg.queue.capacity,
+        cfg.queue.workers
+    );
+    println!("  POST /predict {{\"bytecode\":\"0x…\"}} | POST /predict_batch {{\"contracts\":[…]}} | GET /healthz");
+
+    // Serve until killed; the acceptor and workers own their threads.
+    loop {
+        std::thread::park();
+    }
+}

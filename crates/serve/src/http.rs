@@ -1,0 +1,406 @@
+//! A length-capped HTTP/1.1 request parser and response writer.
+//!
+//! This is deliberately a *small* HTTP: exactly what the serving endpoints
+//! need (request line, headers, `Content-Length` bodies, keep-alive), with
+//! every dimension bounded — request-line bytes, header count, header
+//! block bytes, body bytes — so an adversarial or broken client can cost
+//! at most [`Limits`] worth of memory and one read timeout of patience.
+//! Anything outside the caps or the grammar is a typed [`HttpError`] that
+//! maps to a 4xx/5xx response; the parser itself never panics, and on
+//! finite input it never loops (every iteration consumes at least one
+//! byte), which the proptests in `tests/http_malformed.rs` hammer on.
+
+use std::io::{BufRead, Write};
+
+/// Parser caps. The defaults are generous for JSON scoring requests (a
+/// 24 KB contract hex-encodes to 48 KB and change) while keeping worst-case
+/// per-connection memory small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Longest accepted request line (method + target + version).
+    pub max_request_line: usize,
+    /// Most headers per request.
+    pub max_headers: usize,
+    /// Total bytes across all header lines.
+    pub max_header_bytes: usize,
+    /// Largest accepted `Content-Length`.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 4096,
+            max_headers: 64,
+            max_header_bytes: 8192,
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// One parsed request. Header names are lowercased at parse time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, verbatim (`/predict`).
+    pub target: String,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes (empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be parsed. [`HttpError::status`] maps each
+/// variant to the response the connection handler writes back.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending any byte — the
+    /// normal end of a keep-alive session, not an error to respond to.
+    Closed,
+    /// The stream ended or failed mid-request (truncation, reset, read
+    /// timeout).
+    Truncated,
+    /// Malformed or over-long request line.
+    BadRequestLine,
+    /// A header line without a colon, or header-name bytes outside the
+    /// token alphabet.
+    BadHeader,
+    /// More headers, or more header bytes, than [`Limits`] allows.
+    HeadersTooLarge,
+    /// `Content-Length` missing on a method that requires a body.
+    LengthRequired,
+    /// `Content-Length` present but not a plain decimal integer.
+    BadContentLength,
+    /// Declared body length beyond [`Limits::max_body`].
+    BodyTooLarge,
+    /// `Transfer-Encoding` bodies are not served here.
+    UnsupportedTransferEncoding,
+    /// An HTTP version other than 1.0/1.1.
+    UnsupportedVersion,
+}
+
+impl HttpError {
+    /// The `(status, reason)` to answer with, or `None` when the
+    /// connection should simply be dropped ([`HttpError::Closed`]).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Closed => None,
+            HttpError::Truncated => Some((400, "Bad Request")),
+            HttpError::BadRequestLine => Some((400, "Bad Request")),
+            HttpError::BadHeader => Some((400, "Bad Request")),
+            HttpError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
+            HttpError::LengthRequired => Some((411, "Length Required")),
+            HttpError::BadContentLength => Some((400, "Bad Request")),
+            HttpError::BodyTooLarge => Some((413, "Payload Too Large")),
+            HttpError::UnsupportedTransferEncoding => Some((501, "Not Implemented")),
+            HttpError::UnsupportedVersion => Some((505, "HTTP Version Not Supported")),
+        }
+    }
+
+    /// Human-readable detail for the JSON error body.
+    pub fn detail(&self) -> &'static str {
+        match self {
+            HttpError::Closed => "connection closed",
+            HttpError::Truncated => "request truncated",
+            HttpError::BadRequestLine => "malformed request line",
+            HttpError::BadHeader => "malformed header",
+            HttpError::HeadersTooLarge => "too many header bytes",
+            HttpError::LengthRequired => "Content-Length required",
+            HttpError::BadContentLength => "unparsable Content-Length",
+            HttpError::BodyTooLarge => "body exceeds the configured cap",
+            HttpError::UnsupportedTransferEncoding => "Transfer-Encoding not supported",
+            HttpError::UnsupportedVersion => "only HTTP/1.0 and HTTP/1.1 are served",
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line (CR stripped) of at most `cap` bytes.
+/// Returns `Ok(None)` on a clean EOF before the first byte; a line that
+/// hits `cap` without a terminator is `over_cap`; EOF or an I/O error
+/// mid-line is `Truncated`.
+fn read_line_capped(
+    r: &mut impl BufRead,
+    cap: usize,
+    over_cap: fn() -> HttpError,
+) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = match r.fill_buf() {
+            Ok(b) => b,
+            Err(_) => return Err(HttpError::Truncated),
+        };
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(HttpError::Truncated)
+            };
+        }
+        let (take, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (buf.len(), false),
+        };
+        if line.len() + take > cap + 2 {
+            // +2 tolerates the CRLF itself on an exactly-cap-long line.
+            return Err(over_cap());
+        }
+        line.extend_from_slice(&buf[..take]);
+        r.consume(take);
+        if done {
+            while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+                line.pop();
+            }
+            // Header text is ASCII in practice; anything else is rejected
+            // rather than lossily decoded.
+            return String::from_utf8(line).map(Some).map_err(|_| over_cap());
+        }
+    }
+}
+
+/// Reads and validates one request.
+///
+/// # Errors
+///
+/// A typed [`HttpError`] for every malformed, truncated, or over-limit
+/// input — by construction this function cannot panic, and on a finite
+/// (or timing-out) stream it cannot hang.
+pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Request, HttpError> {
+    // Request line. An empty line before it is tolerated once (robust
+    // against clients that end the previous body with a stray CRLF).
+    let mut first = read_line_capped(r, limits.max_request_line, || HttpError::BadRequestLine)?
+        .ok_or(HttpError::Closed)?;
+    if first.is_empty() {
+        first = read_line_capped(r, limits.max_request_line, || HttpError::BadRequestLine)?
+            .ok_or(HttpError::Closed)?;
+    }
+    let mut parts = first.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => {
+            (m.to_string(), t.to_string(), v)
+        }
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::UnsupportedVersion);
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequestLine);
+    }
+
+    // Headers.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let line = read_line_capped(r, limits.max_header_bytes, || HttpError::HeadersTooLarge)?
+            .ok_or(HttpError::Truncated)?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if headers.len() >= limits.max_headers || header_bytes > limits.max_header_bytes {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.is_empty() || name.bytes().any(|b| !b.is_ascii_graphic() || b == b':') {
+            return Err(HttpError::BadHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method,
+        target,
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+
+    // Body: POST (and any other method that declares a length) carries
+    // exactly Content-Length bytes.
+    let declared = match request.header("content-length") {
+        Some(v) => {
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) || v.len() > 12 {
+                return Err(HttpError::BadContentLength);
+            }
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadContentLength)?
+        }
+        None if request.method == "POST" || request.method == "PUT" => {
+            return Err(HttpError::LengthRequired)
+        }
+        None => 0,
+    };
+    if declared > limits.max_body {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let mut request = request;
+    if declared > 0 {
+        let mut body = vec![0u8; declared];
+        r.read_exact(&mut body).map_err(|_| HttpError::Truncated)?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Writes one response with the standard serving headers. `extra` headers
+/// (e.g. `Retry-After`) are emitted verbatim.
+///
+/// # Errors
+///
+/// Any underlying socket write failure.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(if close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(input: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(input.to_vec()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse(b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/predict");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"hello");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_a_bodyless_get_and_connection_close() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_an_error_response() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_4xx() {
+        let cases: Vec<(&[u8], u16)> = vec![
+            (b"nonsense\r\n\r\n", 400),
+            (b"GET\r\n\r\n", 400),
+            (b"GET /x HTTP/2.0\r\n\r\n", 505),
+            (b"POST /p HTTP/1.1\r\nNoColonHere\r\n\r\n", 400),
+            (b"POST /p HTTP/1.1\r\n\r\n", 411),
+            (b"POST /p HTTP/1.1\r\nContent-Length: -4\r\n\r\n", 400),
+            (b"POST /p HTTP/1.1\r\nContent-Length: 9e9\r\n\r\n", 400),
+            (b"POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort", 400),
+            (
+                b"POST /p HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+        ];
+        for (input, want) in cases {
+            let err = parse(input).expect_err("must reject");
+            let (status, _) = err.status().expect("must map to a response");
+            assert_eq!(
+                status,
+                want,
+                "input {:?} -> {err:?}",
+                String::from_utf8_lossy(input)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_dimensions_are_capped() {
+        let tiny = Limits {
+            max_request_line: 32,
+            max_headers: 2,
+            max_header_bytes: 64,
+            max_body: 16,
+        };
+        let parse_tiny = |input: &[u8]| read_request(&mut Cursor::new(input.to_vec()), &tiny);
+
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100));
+        assert!(matches!(
+            parse_tiny(long_line.as_bytes()),
+            Err(HttpError::BadRequestLine)
+        ));
+
+        let many_headers = b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n";
+        assert!(matches!(
+            parse_tiny(many_headers),
+            Err(HttpError::HeadersTooLarge)
+        ));
+
+        let big_body = b"POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+        assert!(matches!(parse_tiny(big_body), Err(HttpError::BodyTooLarge)));
+    }
+
+    #[test]
+    fn response_writer_emits_well_formed_http() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "Too Many Requests",
+            &[("Retry-After", "1".to_string())],
+            br#"{"error":"queue full"}"#,
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"queue full\"}"));
+    }
+}

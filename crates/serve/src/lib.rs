@@ -1,0 +1,43 @@
+//! # phishinghook-serve — the zero-copy serving tier
+//!
+//! Turns a saved `.phk` artifact into a network service without adding a
+//! single dependency: the HTTP/1.1 front is `std::net`, the JSON codec is
+//! [`phishinghook::json`], and the hot path is a **dynamic micro-batching
+//! queue** ([`queue::MicroBatcher`]) that coalesces concurrent requests
+//! into one batched model call.
+//!
+//! The pipeline, end to end:
+//!
+//! ```text
+//!  TCP conns ──► http::read_request (length-capped parse)
+//!                      │ Bytecode
+//!                      ▼
+//!             queue::MicroBatcher (bounded; full ⇒ 429 + Retry-After)
+//!                      │ up to PHISHINGHOOK_MAX_BATCH jobs / wake,
+//!                      │ time-boxed by PHISHINGHOOK_BATCH_WAIT_US
+//!                      ▼
+//!         warm worker pool ──► CodeScorer::score_many (one batched call)
+//!                      │           (all workers share one Arc'd detector
+//!                      ▼            decoded from one OwnedArtifact buffer)
+//!             per-request reply slots ──► http::write_response
+//! ```
+//!
+//! Because the core models' batched inference is bit-identical to their
+//! row-wise inference (an invariant the test suite pins down), the
+//! coalescing is *invisible* in the scores — only in the throughput.
+//!
+//! Knobs (all env-overridable, see [`queue::QueueConfig::from_env`]):
+//! `PHISHINGHOOK_MAX_BATCH`, `PHISHINGHOOK_BATCH_WAIT_US`,
+//! `PHISHINGHOOK_QUEUE_CAP`, `PHISHINGHOOK_SERVE_WORKERS`.
+//!
+//! The `phishinghook-served` binary wraps [`server::Server`] around an
+//! artifact path; [`server::Server::start`] is the embeddable form used
+//! by the tests, benches, and the `serve_and_query` example.
+
+pub mod http;
+pub mod queue;
+pub mod server;
+
+pub use http::{Limits, Request};
+pub use queue::{MicroBatcher, QueueConfig, QueueStats, SubmitError};
+pub use server::{Server, ServerConfig};

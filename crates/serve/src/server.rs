@@ -1,0 +1,391 @@
+//! The HTTP front: `std::net` acceptor + connection handlers feeding the
+//! micro-batching queue.
+//!
+//! Endpoints (all JSON over HTTP/1.1, keep-alive):
+//!
+//! * `POST /predict` — `{"bytecode":"0x…"}` → one phishing probability.
+//!   The request rides the queue, so concurrent callers are coalesced
+//!   into one batched model call without ever waiting more than the
+//!   configured `batch_wait`.
+//! * `POST /predict_batch` — `{"contracts":["0x…", …]}` → probabilities
+//!   in input order, admitted to the queue atomically.
+//! * `GET /healthz` — liveness plus the live queue knobs.
+//!
+//! Failure semantics are part of the API: a full queue answers `429 Too
+//! Many Requests` with a `Retry-After` hint (never a hang, never a
+//! dropped connection), malformed requests get 4xxs from the length-capped
+//! parser, and [`Server::shutdown`] stops accepting, finishes in-flight
+//! exchanges, and drains every queued job before returning.
+
+use crate::http::{read_request, write_response, Limits};
+use crate::queue::{MicroBatcher, QueueConfig, SubmitError};
+use phishinghook::json::Value;
+use phishinghook::Detector;
+use phishinghook_evm::Bytecode;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Everything the server needs beyond the queue knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Micro-batching queue configuration.
+    pub queue: QueueConfig,
+    /// HTTP parser caps.
+    pub limits: Limits,
+    /// Per-connection read timeout; an idle keep-alive connection is
+    /// closed after this long, which also bounds how long shutdown waits.
+    pub read_timeout: Duration,
+    /// Most contracts accepted in one `/predict_batch` request.
+    pub max_request_contracts: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue: QueueConfig::default(),
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(10),
+            max_request_contracts: 256,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Defaults with the `PHISHINGHOOK_*` queue knobs applied.
+    pub fn from_env() -> Self {
+        ServerConfig {
+            queue: QueueConfig::from_env(),
+            ..ServerConfig::default()
+        }
+    }
+}
+
+struct Inner {
+    detector: Arc<Detector>,
+    queue: MicroBatcher<Arc<Detector>>,
+    limits: Limits,
+    read_timeout: Duration,
+    max_request_contracts: usize,
+    stop: AtomicBool,
+}
+
+/// A running serving tier: acceptor thread, connection handlers, and the
+/// warm worker pool behind one shared detector.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `detector` behind the micro-batching queue. The detector
+    /// is shared: every queue worker and every request scores through
+    /// this one loaded artifact.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures.
+    pub fn start(
+        detector: Arc<Detector>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            queue: MicroBatcher::start(Arc::clone(&detector), cfg.queue),
+            detector,
+            limits: cfg.limits,
+            read_timeout: cfg.read_timeout,
+            max_request_contracts: cfg.max_request_contracts,
+            stop: AtomicBool::new(false),
+        });
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("phk-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if inner.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let inner = Arc::clone(&inner);
+                        let handle = std::thread::Builder::new()
+                            .name("phk-conn".into())
+                            .spawn(move || handle_connection(stream, &inner));
+                        if let Ok(handle) = handle {
+                            let mut held = conns.lock().unwrap();
+                            // Reap finished handlers so a long-lived server
+                            // doesn't accumulate join handles.
+                            held.retain(|h| !h.is_finished());
+                            held.push(handle);
+                        }
+                    }
+                })?
+        };
+        Ok(Server {
+            inner,
+            addr: local,
+            acceptor: Some(acceptor),
+            conns,
+        })
+    }
+
+    /// The bound address (the ephemeral port when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live queue statistics (see
+    /// [`QueueStats`](crate::queue::QueueStats)).
+    pub fn queue_stats(&self) -> crate::queue::QueueStats {
+        self.inner.queue.stats()
+    }
+
+    /// Stops accepting connections, lets in-flight exchanges finish, and
+    /// drains every queued job before returning.
+    pub fn shutdown(mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() so the acceptor observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Connection handlers exit at their next request boundary (or
+        // read timeout); their queued jobs are still scored because the
+        // queue drains on drop below.
+        let handles: Vec<_> = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        // Dropping the last strong queue holder closes it and joins the
+        // workers after the drain (MicroBatcher::drop).
+    }
+}
+
+/// JSON error body.
+fn err_body(msg: &str) -> Vec<u8> {
+    Value::Obj(vec![("error".into(), Value::Str(msg.into()))])
+        .render()
+        .into_bytes()
+}
+
+/// One response, ready to write.
+struct Reply {
+    status: u16,
+    reason: &'static str,
+    extra: Vec<(&'static str, String)>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn ok(body: Vec<u8>) -> Reply {
+        Reply {
+            status: 200,
+            reason: "OK",
+            extra: Vec::new(),
+            body,
+        }
+    }
+
+    fn error(status: u16, reason: &'static str, msg: &str) -> Reply {
+        Reply {
+            status,
+            reason,
+            extra: Vec::new(),
+            body: err_body(msg),
+        }
+    }
+}
+
+fn submit_error_reply(e: SubmitError) -> Reply {
+    match e {
+        SubmitError::QueueFull { capacity } => {
+            let mut reply = Reply::error(
+                429,
+                "Too Many Requests",
+                &format!("scoring queue full ({capacity} jobs queued); retry shortly"),
+            );
+            // The queue turns over within a batch_wait or two; 1 s is the
+            // coarsest honest hint HTTP's integer Retry-After can carry.
+            reply.extra.push(("Retry-After", "1".to_string()));
+            reply
+        }
+        SubmitError::Closed => Reply::error(503, "Service Unavailable", "server is shutting down"),
+        SubmitError::WorkerLost => {
+            Reply::error(500, "Internal Server Error", "scoring worker lost")
+        }
+    }
+}
+
+/// Pulls `"0x…"` hex strings out of a JSON array field.
+fn parse_contracts(v: &Value, field: &str, cap: usize) -> Result<Vec<Bytecode>, Reply> {
+    let arr = v
+        .get(field)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| Reply::error(400, "Bad Request", &format!("missing {field:?} array")))?;
+    if arr.is_empty() {
+        return Err(Reply::error(400, "Bad Request", "empty contract list"));
+    }
+    if arr.len() > cap {
+        return Err(Reply::error(
+            413,
+            "Payload Too Large",
+            &format!("at most {cap} contracts per request"),
+        ));
+    }
+    arr.iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            let hex = entry.as_str().ok_or_else(|| {
+                Reply::error(400, "Bad Request", &format!("contract {i} is not a string"))
+            })?;
+            Bytecode::from_hex(hex)
+                .map_err(|e| Reply::error(400, "Bad Request", &format!("contract {i}: {e}")))
+        })
+        .collect()
+}
+
+fn score_to_json(kind_id: &str, probability: f32) -> Value {
+    Value::Obj(vec![
+        ("model".into(), Value::Str(kind_id.into())),
+        ("probability".into(), Value::Num(probability as f64)),
+        (
+            "phishing".into(),
+            Value::Bool(probability >= phishinghook::PHISHING_THRESHOLD),
+        ),
+    ])
+}
+
+fn route(inner: &Inner, method: &str, target: &str, body: &[u8]) -> Reply {
+    match (method, target) {
+        ("GET", "/healthz") => {
+            let cfg = inner.queue.config();
+            Reply::ok(
+                Value::Obj(vec![
+                    ("status".into(), Value::Str("ok".into())),
+                    (
+                        "model".into(),
+                        Value::Str(inner.detector.kind().id().into()),
+                    ),
+                    ("queue_depth".into(), Value::Num(inner.queue.depth() as f64)),
+                    ("max_batch".into(), Value::Num(cfg.max_batch as f64)),
+                    ("workers".into(), Value::Num(cfg.workers as f64)),
+                ])
+                .render()
+                .into_bytes(),
+            )
+        }
+        ("POST", "/predict") | ("POST", "/predict_batch") => {
+            let Ok(text) = std::str::from_utf8(body) else {
+                return Reply::error(400, "Bad Request", "body is not UTF-8");
+            };
+            let Some(doc) = phishinghook::json::parse(text) else {
+                return Reply::error(400, "Bad Request", "body is not valid JSON");
+            };
+            let kind_id = inner.detector.kind().id();
+            if target == "/predict" {
+                let Some(hex) = doc.get("bytecode").and_then(Value::as_str) else {
+                    return Reply::error(400, "Bad Request", "missing \"bytecode\" field");
+                };
+                let code = match Bytecode::from_hex(hex) {
+                    Ok(c) => c,
+                    Err(e) => return Reply::error(400, "Bad Request", &format!("bytecode: {e}")),
+                };
+                match inner.queue.submit(code) {
+                    Ok(p) => Reply::ok(score_to_json(kind_id, p).render().into_bytes()),
+                    Err(e) => submit_error_reply(e),
+                }
+            } else {
+                let codes = match parse_contracts(&doc, "contracts", inner.max_request_contracts) {
+                    Ok(c) => c,
+                    Err(reply) => return reply,
+                };
+                match inner.queue.submit_many(codes) {
+                    Ok(probs) => Reply::ok(
+                        Value::Obj(vec![
+                            ("model".into(), Value::Str(kind_id.into())),
+                            (
+                                "probabilities".into(),
+                                Value::Arr(probs.iter().map(|&p| Value::Num(p as f64)).collect()),
+                            ),
+                            (
+                                "phishing".into(),
+                                Value::Arr(
+                                    probs
+                                        .iter()
+                                        .map(|&p| {
+                                            Value::Bool(p >= phishinghook::PHISHING_THRESHOLD)
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                        .render()
+                        .into_bytes(),
+                    ),
+                    Err(e) => submit_error_reply(e),
+                }
+            }
+        }
+        (_, "/predict") | (_, "/predict_batch") | (_, "/healthz") => {
+            Reply::error(405, "Method Not Allowed", "unsupported method")
+        }
+        _ => Reply::error(404, "Not Found", "unknown endpoint"),
+    }
+}
+
+fn handle_connection(stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_read_timeout(Some(inner.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    loop {
+        match read_request(&mut reader, &inner.limits) {
+            Ok(request) => {
+                let reply = route(inner, &request.method, &request.target, &request.body);
+                let close = request.wants_close() || inner.stop.load(Ordering::SeqCst);
+                if write_response(
+                    &mut write_half,
+                    reply.status,
+                    reply.reason,
+                    &reply.extra,
+                    &reply.body,
+                    close,
+                )
+                .is_err()
+                    || close
+                {
+                    return;
+                }
+            }
+            Err(e) => {
+                // Parse failures get their mapped status (then the
+                // connection closes — framing is unreliable after a bad
+                // request); a clean EOF or timeout just closes.
+                if let Some((status, reason)) = e.status() {
+                    let _ = write_response(
+                        &mut write_half,
+                        status,
+                        reason,
+                        &[],
+                        &err_body(e.detail()),
+                        true,
+                    );
+                }
+                return;
+            }
+        }
+    }
+}

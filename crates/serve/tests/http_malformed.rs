@@ -1,0 +1,128 @@
+//! Property tests for the HTTP parser's failure envelope: whatever bytes
+//! arrive — random garbage, truncated real requests, single-byte
+//! corruptions, oversized declarations — `read_request` must return a
+//! typed result without panicking, and every error must map to a 4xx/5xx
+//! response (or a silent close), never an `Ok` built from a damaged
+//! request.
+
+use phishinghook_serve::http::{read_request, HttpError, Limits};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn parse(input: &[u8], limits: &Limits) -> Result<phishinghook_serve::Request, HttpError> {
+    read_request(&mut Cursor::new(input.to_vec()), limits)
+}
+
+/// A canonical valid request whose every prefix/corruption the properties
+/// chew on.
+fn valid_request(body_len: usize) -> Vec<u8> {
+    let body: String = (0..body_len)
+        .map(|i| char::from(b'a' + (i % 26) as u8))
+        .collect();
+    format!(
+        "POST /predict HTTP/1.1\r\nHost: unit.test\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+/// An error either maps to a 4xx/5xx client response or is a silent
+/// close; both are acceptable terminal states, a panic or hang is not.
+fn well_mapped(err: &HttpError) {
+    if let Some((status, _)) = err.status() {
+        assert!(
+            (400..=599).contains(&status),
+            "{err:?} mapped outside the error status range: {status}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: the parser returns (no panic, no hang — the
+    /// input is finite and every loop consumes) and errors stay typed.
+    #[test]
+    fn random_bytes_never_panic(input in vec(any::<u8>(), 0..2048)) {
+        if let Err(e) = parse(&input, &Limits::default()) {
+            well_mapped(&e);
+        }
+    }
+
+    /// Every strict prefix of a valid request is an error — never a
+    /// fabricated `Ok` — and the full request still parses.
+    #[test]
+    fn truncations_are_rejected(body_len in 0usize..200, frac in 0.0f64..1.0) {
+        let full = valid_request(body_len);
+        let cut = ((full.len() as f64) * frac) as usize;
+        match parse(&full[..cut], &Limits::default()) {
+            Ok(_) => panic!("accepted a request truncated to {cut}/{} bytes", full.len()),
+            Err(HttpError::Closed) => assert_eq!(cut, 0, "Closed is only for empty input"),
+            Err(e) => well_mapped(&e),
+        }
+        let req = parse(&full, &Limits::default()).expect("the untruncated request is valid");
+        assert_eq!(req.body.len(), body_len);
+    }
+
+    /// One flipped byte anywhere in a valid request: the parser either
+    /// still produces a structurally sound request (the flip landed in a
+    /// tolerant spot, e.g. the body or a header value) or a well-mapped
+    /// error. It must never produce a request that misreports its body.
+    #[test]
+    fn single_byte_corruption_is_contained(
+        body_len in 1usize..100,
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = valid_request(body_len);
+        let pos = (((bytes.len() - 1) as f64) * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        match parse(&bytes, &Limits::default()) {
+            // Still parsable: the declared and delivered body must agree.
+            Ok(req) => assert_eq!(
+                req.header("content-length").and_then(|v| v.parse::<usize>().ok()),
+                Some(req.body.len()),
+                "corruption at byte {pos} produced an inconsistent request"
+            ),
+            Err(e) => well_mapped(&e),
+        }
+    }
+
+    /// Declared body sizes beyond the cap are refused up front (413 from
+    /// the declaration alone — the parser must not try to read or
+    /// allocate the body), no matter how large the number gets.
+    #[test]
+    fn oversized_declarations_are_refused(excess in 1u64..u64::MAX / 2) {
+        let limits = Limits { max_body: 1024, ..Limits::default() };
+        let declared = 1024u64.saturating_add(excess);
+        let input = format!(
+            "POST /predict HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n"
+        );
+        let err = parse(input.as_bytes(), &limits).expect_err("must refuse");
+        let (status, _) = err.status().expect("declaration errors answer the client");
+        // In-range integers over the cap are 413; absurd ones overflow the
+        // 12-digit guard and read as unparsable (400). Both are 4xx.
+        assert!(status == 413 || status == 400, "got {status} for {declared}");
+    }
+
+    /// Header floods hit the caps, not the allocator: many headers or a
+    /// huge header block must produce 431 under tiny limits.
+    #[test]
+    fn header_floods_hit_the_caps(n_headers in 3usize..40, value_len in 1usize..64) {
+        let limits = Limits {
+            max_headers: 2,
+            max_header_bytes: 128,
+            ..Limits::default()
+        };
+        let mut input = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..n_headers {
+            input.push_str(&format!("X-Flood-{i}: {}\r\n", "v".repeat(value_len)));
+        }
+        input.push_str("\r\n");
+        let err = parse(input.as_bytes(), &limits).expect_err("must refuse the flood");
+        assert!(matches!(err, HttpError::HeadersTooLarge), "got {err:?}");
+        assert_eq!(err.status(), Some((431, "Request Header Fields Too Large")));
+    }
+}

@@ -1,0 +1,209 @@
+//! Queue semantics under contention: coalescing is observable in batch
+//! sizes (but invisible in results), a full queue fails fast, a closing
+//! queue rejects new work yet drains everything already admitted.
+
+use phishinghook::CodeScorer;
+use phishinghook_evm::Bytecode;
+use phishinghook_serve::{MicroBatcher, QueueConfig, SubmitError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scores a contract as its first byte, records every batch size, and
+/// holds each `score_many` call at a gate until the test opens it —
+/// which lets a test pin the worker mid-batch and control exactly what
+/// has accumulated in the queue before the next drain.
+struct GatedScorer {
+    open: Mutex<bool>,
+    cv: Condvar,
+    batches: Mutex<Vec<usize>>,
+    entered: AtomicUsize,
+}
+
+impl GatedScorer {
+    fn new(open: bool) -> GatedScorer {
+        GatedScorer {
+            open: Mutex::new(open),
+            cv: Condvar::new(),
+            batches: Mutex::new(Vec::new()),
+            entered: AtomicUsize::new(0),
+        }
+    }
+
+    fn open_gate(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    /// Spin until `n` `score_many` calls have started (i.e. a worker is
+    /// parked at the gate), or panic after a generous timeout.
+    fn await_entered(&self, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.entered.load(Ordering::SeqCst) < n {
+            assert!(Instant::now() < deadline, "worker never reached the gate");
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl CodeScorer for GatedScorer {
+    type Output = f32;
+
+    fn score_many(&self, codes: &[Bytecode]) -> Vec<f32> {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+        drop(open);
+        self.batches.lock().unwrap().push(codes.len());
+        codes
+            .iter()
+            .map(|c| f32::from(c.as_bytes().first().copied().unwrap_or(0)))
+            .collect()
+    }
+}
+
+fn code(b: u8) -> Bytecode {
+    Bytecode::new(vec![b, 0x00])
+}
+
+/// Spin until the queue holds exactly `n` jobs.
+fn await_depth<S: CodeScorer + 'static>(batcher: &MicroBatcher<S>, n: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while batcher.depth() != n {
+        assert!(Instant::now() < deadline, "queue never reached depth {n}");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn concurrent_submitters_coalesce_into_one_batch() {
+    // Worker 1 takes the first job and parks at the gate; seven more
+    // submitters pile up behind it. When the gate opens, the second
+    // drain must take all seven in ONE score_many call — and every
+    // submitter still gets its own score.
+    let cfg = QueueConfig {
+        max_batch: 8,
+        batch_wait: Duration::from_micros(50),
+        capacity: 64,
+        workers: 1,
+    };
+    let batcher = MicroBatcher::start(GatedScorer::new(false), cfg);
+    let q = &batcher;
+    std::thread::scope(|s| {
+        let first = s.spawn(move || q.submit(code(0)));
+        q.scorer().await_entered(1); // worker holds job 0 at the gate
+        let rest: Vec<_> = (1u8..8)
+            .map(|b| s.spawn(move || (b, q.submit(code(b)))))
+            .collect();
+        await_depth(&batcher, 7);
+        batcher.scorer().open_gate();
+        assert_eq!(first.join().unwrap(), Ok(0.0));
+        for h in rest {
+            let (b, got) = h.join().unwrap();
+            assert_eq!(
+                got,
+                Ok(f32::from(b)),
+                "submitter {b} got someone else's score"
+            );
+        }
+    });
+    let batches = batcher.scorer().batches.lock().unwrap().clone();
+    assert_eq!(
+        batches,
+        vec![1, 7],
+        "seven waiting jobs must coalesce into one batched call"
+    );
+    let stats = batcher.stats();
+    assert_eq!(
+        (stats.batches, stats.scored, stats.max_batch_seen),
+        (2, 8, 7)
+    );
+    batcher.shutdown();
+}
+
+#[test]
+fn full_queue_fails_fast_and_recovers() {
+    let cfg = QueueConfig {
+        max_batch: 4,
+        batch_wait: Duration::from_micros(50),
+        capacity: 2,
+        workers: 1,
+    };
+    let batcher = MicroBatcher::start(GatedScorer::new(false), cfg);
+    let q = &batcher;
+    std::thread::scope(|s| {
+        let held = s.spawn(move || q.submit(code(9)));
+        q.scorer().await_entered(1); // worker busy, queue empty again
+        let queued: Vec<_> = (1u8..=2)
+            .map(|b| s.spawn(move || q.submit(code(b))))
+            .collect();
+        await_depth(&batcher, 2);
+
+        // Admission control: overflow is an explicit, immediate error...
+        assert_eq!(
+            batcher.submit(code(7)),
+            Err(SubmitError::QueueFull { capacity: 2 })
+        );
+        // ...and batch admission is atomic: no partial enqueue.
+        assert_eq!(
+            batcher.submit_many(vec![code(7), code(8)]),
+            Err(SubmitError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(batcher.depth(), 2, "rejected jobs must not occupy slots");
+
+        // Nothing admitted was lost: once the worker resumes, every
+        // accepted job resolves.
+        batcher.scorer().open_gate();
+        assert_eq!(held.join().unwrap(), Ok(9.0));
+        for (b, h) in (1u8..=2).zip(queued) {
+            assert_eq!(h.join().unwrap(), Ok(f32::from(b)));
+        }
+    });
+    // Queue turned over: new work is accepted again.
+    assert_eq!(batcher.submit(code(5)), Ok(5.0));
+    batcher.shutdown();
+}
+
+#[test]
+fn shutdown_rejects_new_work_but_drains_admitted_jobs() {
+    let cfg = QueueConfig {
+        max_batch: 4,
+        batch_wait: Duration::from_micros(50),
+        capacity: 64,
+        workers: 1,
+    };
+    let batcher = MicroBatcher::start(GatedScorer::new(false), cfg);
+    let q = &batcher;
+    let (queued, late) = std::thread::scope(|s| {
+        let held = s.spawn(move || q.submit(code(1)));
+        q.scorer().await_entered(1);
+        let queued: Vec<_> = (2u8..=4)
+            .map(|b| s.spawn(move || q.submit(code(b))))
+            .collect();
+        await_depth(&batcher, 3);
+
+        // Close while three jobs are queued and one is in flight: the
+        // gate opens only afterwards, so the drain provably runs with
+        // the queue already closed.
+        let closer = s.spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            q.scorer().open_gate();
+        });
+
+        q.close();
+        let late = q.submit(code(9));
+        closer.join().unwrap();
+        let results: Vec<_> = queued.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(held.join().unwrap(), Ok(1.0));
+        (results, late)
+    });
+    // New work after close is refused outright...
+    assert_eq!(late, Err(SubmitError::Closed));
+    // ...but every job admitted before close still got its exact score.
+    assert_eq!(queued, vec![Ok(2.0), Ok(3.0), Ok(4.0)]);
+    let stats = batcher.stats();
+    assert_eq!(stats.scored, 4, "drain must score all admitted jobs");
+    batcher.shutdown();
+}

@@ -9,6 +9,7 @@
 
 use phishinghook::prelude::*;
 use phishinghook_evm::{decode_count, Bytecode, DisasmCache};
+use phishinghook_serve::{MicroBatcher, QueueConfig};
 use phishinghook_synth::{generate_contract, Difficulty, Family};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -117,4 +118,68 @@ fn serving_matches_the_eval_path_and_decodes_each_contract_once() {
         assert_eq!(per_model[0].kind, ModelKind::RandomForest);
         assert_eq!(per_model[0].probability, scores[i]);
     }
+
+    // --- Micro-batched serving is invisible in the scores. ---
+    // The serving tier's queue coalesces concurrent requests into one
+    // `score_codes` call; because batched inference is bit-identical to
+    // row-wise inference, queue-coalesced scores must equal the direct
+    // scores computed above — and pay the same one-decode-per-contract.
+    let cfg = QueueConfig {
+        max_batch: 5, // not a divisor of 12: exercises a ragged final batch
+        batch_wait: std::time::Duration::from_micros(500),
+        capacity: 64,
+        workers: 2,
+    };
+    let batcher = MicroBatcher::start(std::sync::Arc::new(detector), cfg);
+    let before = decode_count();
+    let queued = batcher
+        .submit_many(fresh.clone())
+        .expect("queue accepts the batch");
+    assert_eq!(
+        queued, scores,
+        "queue-coalesced scores must be bit-identical to direct scoring"
+    );
+    assert_eq!(
+        decode_count() - before,
+        fresh.len() as u64,
+        "micro-batching adds no extra decodes"
+    );
+
+    // Concurrent solo submissions coalesce into shared batches; every
+    // caller still sees its own exact score.
+    let stats_before = batcher.stats();
+    let before = decode_count();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = fresh
+            .iter()
+            .zip(&scores)
+            .map(|(code, &want)| {
+                let batcher = &batcher;
+                s.spawn(move || {
+                    let got = batcher
+                        .submit(code.clone())
+                        .expect("queue accepts a solo job");
+                    assert_eq!(got, want, "coalesced solo score must match direct scoring");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    assert_eq!(decode_count() - before, fresh.len() as u64);
+    let stats = batcher.stats();
+    assert_eq!(stats.scored - stats_before.scored, fresh.len() as u64);
+    batcher.shutdown();
+
+    // The whole zoo behind the queue: same Verdict tree as direct scoring.
+    let zoo_batcher = MicroBatcher::start(zoo, QueueConfig { workers: 1, ..cfg });
+    let queued_verdicts = zoo_batcher
+        .submit_many(fresh.clone())
+        .expect("queue accepts the zoo batch");
+    assert_eq!(
+        queued_verdicts, verdicts,
+        "every model kind in the zoo must score bit-identically through the queue"
+    );
+    zoo_batcher.shutdown();
 }
