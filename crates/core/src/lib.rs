@@ -56,6 +56,7 @@
 pub mod bem;
 pub mod dataset;
 pub mod detector;
+pub mod drift;
 pub mod evalstore;
 pub mod hypersearch;
 pub mod json;
@@ -71,6 +72,7 @@ pub mod time_resistance;
 pub use bem::{extract_dataset, BemConfig, BemReport, ExtractionStream, StreamStats};
 pub use dataset::{Dataset, Sample};
 pub use detector::{CodeScorer, Detector, ModelZoo, Verdict, PHISHING_THRESHOLD};
+pub use drift::{DriftConfig, DriftSignal, DriftWatcher, RollingWindow};
 pub use evalstore::EvalContext;
 pub use mem::{
     cross_validate, cross_validate_on, cross_validate_on_with, evaluate_models, evaluate_trial,
@@ -92,6 +94,7 @@ pub mod prelude {
     pub use crate::bem::{extract_dataset, BemConfig, BemReport, ExtractionStream};
     pub use crate::dataset::{Dataset, Sample};
     pub use crate::detector::{CodeScorer, Detector, ModelZoo, Verdict};
+    pub use crate::drift::{DriftConfig, DriftSignal, DriftWatcher};
     pub use crate::evalstore::EvalContext;
     pub use crate::hypersearch::{tune_model, Sampler, Study};
     pub use crate::mem::{

@@ -34,6 +34,7 @@ pub mod cache;
 pub mod disasm;
 pub mod opcodes;
 pub mod opid;
+pub mod stream;
 
 pub use batch::CacheBatch;
 pub use bytecode::{Bytecode, ParseBytecodeError};
@@ -46,6 +47,7 @@ pub use opcodes::{
     SHANGHAI_OPCODE_COUNT,
 };
 pub use opid::OpId;
+pub use stream::{CodeLogCursor, CodeLogError, CodeLogWriter};
 
 #[cfg(test)]
 mod proptests {

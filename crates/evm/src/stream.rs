@@ -1,0 +1,465 @@
+//! Append-only bytecode journal (the "code log") and its resumable scan
+//! cursor — the durable seam of the streaming ingestion pipeline.
+//!
+//! An ingest daemon tails the chain and journals every unique deployed
+//! bytecode it sees, so a restart (or a downstream retrain) can replay
+//! exactly the contracts already observed without re-querying the chain.
+//! The format is deliberately dumb: a fixed header, then length-prefixed
+//! records, each guarded by an FNV-1a checksum. A process killed
+//! mid-append leaves a truncated tail; the cursor reports that as a typed
+//! [`CodeLogError::Truncated`] instead of panicking mid-stream, and a
+//! flipped bit surfaces as [`CodeLogError::Corrupt`] — the reader never
+//! trusts a record the writer did not finish.
+//!
+//! # Examples
+//!
+//! ```
+//! use phishinghook_evm::stream::{CodeLogCursor, CodeLogWriter};
+//! use phishinghook_evm::Bytecode;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let path = std::env::temp_dir().join(format!("phk_codelog_doc_{}.phklog", std::process::id()));
+//! let mut log = CodeLogWriter::create(&path)?;
+//! log.append(&Bytecode::new(vec![0x60, 0x80]))?;
+//! log.sync()?;
+//! let codes: Result<Vec<Bytecode>, _> = CodeLogCursor::open(&path)?.collect();
+//! assert_eq!(codes?.len(), 1);
+//! # std::fs::remove_file(&path).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::Bytecode;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic of a code-log file: **P**hishing**H**oo**K** **L**og.
+pub const CODELOG_MAGIC: [u8; 4] = *b"PHKL";
+
+/// Code-log format version.
+pub const CODELOG_VERSION: u32 = 1;
+
+/// Hard cap on a single record's payload. Deployed EVM bytecode is capped
+/// at 24 KiB on mainnet; anything near this bound is a corrupted length
+/// prefix, and rejecting it keeps a garbage tail from forcing a huge
+/// allocation.
+pub const MAX_RECORD_BYTES: u32 = 1 << 24;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over a byte slice (the same function the artifact layer uses for
+/// section checksums; inlined here so the substrate crate stays leaf-level).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Typed failure of a code-log read.
+#[derive(Debug)]
+pub enum CodeLogError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a code log (bad magic) or an unknown version.
+    Format(String),
+    /// The log ends mid-record at `offset` — the writer was killed
+    /// mid-append. Every record before `offset` is intact.
+    Truncated {
+        /// Byte offset of the record the log ends inside of.
+        offset: u64,
+    },
+    /// A complete record at `offset` fails validation (checksum mismatch
+    /// or an absurd length prefix) — bit rot or a garbage tail.
+    Corrupt {
+        /// Byte offset of the failing record.
+        offset: u64,
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CodeLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeLogError::Io(e) => write!(f, "code log I/O error: {e}"),
+            CodeLogError::Format(msg) => write!(f, "not a code log: {msg}"),
+            CodeLogError::Truncated { offset } => {
+                write!(f, "code log ends mid-record at byte {offset}")
+            }
+            CodeLogError::Corrupt { offset, detail } => {
+                write!(f, "code log record at byte {offset} is corrupt: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodeLogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodeLogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CodeLogError {
+    fn from(e: io::Error) -> Self {
+        CodeLogError::Io(e)
+    }
+}
+
+/// Appends length-prefixed, checksummed bytecode records to a log file.
+#[derive(Debug)]
+pub struct CodeLogWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    records: u64,
+}
+
+impl CodeLogWriter {
+    /// Creates (or truncates) the log at `path` and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, CodeLogError> {
+        let path = path.as_ref().to_path_buf();
+        let mut out = BufWriter::new(File::create(&path)?);
+        out.write_all(&CODELOG_MAGIC)?;
+        out.write_all(&CODELOG_VERSION.to_le_bytes())?;
+        Ok(CodeLogWriter {
+            path,
+            out,
+            records: 0,
+        })
+    }
+
+    /// Appends one bytecode record: `u32` length, `u64` FNV-1a checksum,
+    /// payload.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure, plus a payload over [`MAX_RECORD_BYTES`] (which a
+    /// cursor would refuse to read back).
+    pub fn append(&mut self, code: &Bytecode) -> Result<(), CodeLogError> {
+        let payload = code.as_bytes();
+        if payload.len() as u64 >= MAX_RECORD_BYTES as u64 {
+            return Err(CodeLogError::Corrupt {
+                offset: 0,
+                detail: format!(
+                    "payload of {} bytes exceeds the {MAX_RECORD_BYTES}-byte record cap",
+                    payload.len()
+                ),
+            });
+        }
+        self.out.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.out.write_all(&fnv1a(payload).to_le_bytes())?;
+        self.out.write_all(payload)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records appended through this writer.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes buffered records and syncs the file to disk.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure.
+    pub fn sync(&mut self) -> Result<(), CodeLogError> {
+        self.out.flush()?;
+        self.out.get_ref().sync_data()?;
+        Ok(())
+    }
+}
+
+/// What one fixed-size read against the log produced.
+enum Filled {
+    /// The buffer was filled completely.
+    Full,
+    /// The log ended exactly before this read — a clean end of stream.
+    Empty,
+    /// The log ended inside this read — a truncated tail.
+    Partial,
+}
+
+/// Sequential cursor over a code log, yielding one [`Bytecode`] per
+/// record. A damaged tail yields exactly one typed error and then fuses
+/// (subsequent `next()` calls return `None`) — a stream consumer can drain
+/// with `?` and never panics mid-scan.
+#[derive(Debug)]
+pub struct CodeLogCursor {
+    reader: BufReader<File>,
+    /// Byte offset of the next record.
+    offset: u64,
+    /// Set once an error (or clean EOF) has been yielded.
+    done: bool,
+}
+
+impl CodeLogCursor {
+    /// Opens the log at `path`, validating its header.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeLogError::Format`] on a bad magic or unknown version,
+    /// [`CodeLogError::Truncated`] when the file is shorter than the
+    /// header, plus any I/O failure.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, CodeLogError> {
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut header = [0u8; 8];
+        let mut got = 0;
+        while got < header.len() {
+            match reader.read(&mut header[got..])? {
+                0 => return Err(CodeLogError::Truncated { offset: got as u64 }),
+                n => got += n,
+            }
+        }
+        if header[..4] != CODELOG_MAGIC {
+            return Err(CodeLogError::Format(format!(
+                "bad magic {:02X?}, expected {CODELOG_MAGIC:02X?} (\"PHKL\")",
+                &header[..4]
+            )));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if version != CODELOG_VERSION {
+            return Err(CodeLogError::Format(format!(
+                "code log version {version} not supported (reader knows {CODELOG_VERSION})"
+            )));
+        }
+        Ok(CodeLogCursor {
+            reader,
+            offset: 8,
+            done: false,
+        })
+    }
+
+    /// Reads exactly `buf.len()` bytes, reporting whether the log ended
+    /// before, inside, or after the read.
+    fn fill(&mut self, buf: &mut [u8]) -> Result<Filled, CodeLogError> {
+        let mut got = 0;
+        while got < buf.len() {
+            match self.reader.read(&mut buf[got..])? {
+                0 => {
+                    return Ok(if got == 0 {
+                        Filled::Empty
+                    } else {
+                        Filled::Partial
+                    });
+                }
+                n => got += n,
+            }
+        }
+        Ok(Filled::Full)
+    }
+
+    fn read_record(&mut self) -> Result<Option<Bytecode>, CodeLogError> {
+        let record_start = self.offset;
+        let mut prefix = [0u8; 4 + 8];
+        match self.fill(&mut prefix)? {
+            Filled::Empty => return Ok(None),
+            Filled::Partial => {
+                return Err(CodeLogError::Truncated {
+                    offset: record_start,
+                })
+            }
+            Filled::Full => {}
+        }
+        let len = u32::from_le_bytes(prefix[..4].try_into().unwrap());
+        if len >= MAX_RECORD_BYTES {
+            return Err(CodeLogError::Corrupt {
+                offset: record_start,
+                detail: format!(
+                    "length prefix {len} exceeds the {MAX_RECORD_BYTES}-byte record cap"
+                ),
+            });
+        }
+        let expected = u64::from_le_bytes(prefix[4..12].try_into().unwrap());
+        let mut payload = vec![0u8; len as usize];
+        match self.fill(&mut payload)? {
+            Filled::Full => {}
+            Filled::Empty | Filled::Partial => {
+                return Err(CodeLogError::Truncated {
+                    offset: record_start,
+                })
+            }
+        }
+        let actual = fnv1a(&payload);
+        if actual != expected {
+            return Err(CodeLogError::Corrupt {
+                offset: record_start,
+                detail: format!("checksum {actual:#018x}, record claims {expected:#018x}"),
+            });
+        }
+        self.offset = record_start + 12 + len as u64;
+        Ok(Some(Bytecode::new(payload)))
+    }
+}
+
+impl Iterator for CodeLogCursor {
+    type Item = Result<Bytecode, CodeLogError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(code)) => Some(Ok(code)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("phk_codelog_{tag}_{}.phklog", std::process::id()))
+    }
+
+    fn codes() -> Vec<Bytecode> {
+        vec![
+            Bytecode::new(vec![0x60, 0x80, 0x60, 0x40, 0x52]),
+            Bytecode::new(vec![]),
+            Bytecode::new(vec![0x33, 0x31, 0xff]),
+        ]
+    }
+
+    fn write_log(path: &Path) -> Vec<Bytecode> {
+        let codes = codes();
+        let mut w = CodeLogWriter::create(path).unwrap();
+        for c in &codes {
+            w.append(c).unwrap();
+        }
+        assert_eq!(w.records(), codes.len() as u64);
+        w.sync().unwrap();
+        codes
+    }
+
+    #[test]
+    fn round_trips_in_order() {
+        let path = temp_log("roundtrip");
+        let codes = write_log(&path);
+        let back: Vec<Bytecode> = CodeLogCursor::open(&path)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(back, codes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_a_typed_error_and_fuses() {
+        let path = temp_log("truncated");
+        let codes = write_log(&path);
+        let full = std::fs::read(&path).unwrap();
+        // Chop mid-way through the final record's payload.
+        std::fs::write(&path, &full[..full.len() - 2]).unwrap();
+        let mut cursor = CodeLogCursor::open(&path).unwrap();
+        // Every intact record still reads.
+        for expected in &codes[..codes.len() - 1] {
+            assert_eq!(&cursor.next().unwrap().unwrap(), expected);
+        }
+        // The damaged tail is one typed error, never a panic...
+        assert!(matches!(
+            cursor.next(),
+            Some(Err(CodeLogError::Truncated { .. }))
+        ));
+        // ...after which the cursor fuses.
+        assert!(cursor.next().is_none());
+        // Chopping inside the length prefix itself is also typed.
+        std::fs::write(&path, &full[..full.len() - codes[2].len() - 9]).unwrap();
+        let tail: Vec<_> = CodeLogCursor::open(&path).unwrap().collect();
+        assert!(matches!(
+            tail.last(),
+            Some(Err(CodeLogError::Truncated { .. }))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_tail_is_a_typed_error() {
+        let path = temp_log("garbage");
+        let codes = write_log(&path);
+        // Flip a payload bit in the last record: checksum mismatch.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let results: Vec<_> = CodeLogCursor::open(&path).unwrap().collect();
+        assert_eq!(results.len(), codes.len());
+        assert!(results[..codes.len() - 1].iter().all(Result::is_ok));
+        assert!(matches!(
+            results.last(),
+            Some(Err(CodeLogError::Corrupt { offset, .. })) if *offset > 8
+        ));
+        // An absurd length prefix is rejected before it can allocate.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let tail_record = bytes.len() - codes[2].len() - 12;
+        bytes[tail_record..tail_record + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let results: Vec<_> = CodeLogCursor::open(&path).unwrap().collect();
+        assert!(matches!(
+            results.last(),
+            Some(Err(CodeLogError::Corrupt { .. }))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_format_errors() {
+        let path = temp_log("header");
+        write_log(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            CodeLogCursor::open(&path),
+            Err(CodeLogError::Format(_))
+        ));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'P';
+        bytes[4] = 99;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            CodeLogCursor::open(&path),
+            Err(CodeLogError::Format(_))
+        ));
+        // Shorter than the header: a truncated log, not a panic.
+        std::fs::write(&path, b"PHK").unwrap();
+        assert!(matches!(
+            CodeLogCursor::open(&path),
+            Err(CodeLogError::Truncated { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_log_yields_nothing() {
+        let path = temp_log("empty");
+        CodeLogWriter::create(&path).unwrap().sync().unwrap();
+        assert_eq!(CodeLogCursor::open(&path).unwrap().count(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -61,6 +61,21 @@ impl HistogramEncoder {
         HistogramEncoder { vocab, index }
     }
 
+    /// Folds freshly observed caches into the vocabulary, appending any op
+    /// id not yet seen in first-seen order — exactly the columns a full
+    /// refit on the concatenated fit set would append, so extending is
+    /// equivalent to refitting (existing feature columns never move).
+    pub fn extend_fit(&mut self, new: &[DisasmCache]) {
+        for cache in new {
+            for id in cache.op_ids() {
+                if self.index[id.index()] == ABSENT {
+                    self.index[id.index()] = self.vocab.len() as i32;
+                    self.vocab.push(id);
+                }
+            }
+        }
+    }
+
     /// Number of features (distinct training-set op ids).
     pub fn vocab_len(&self) -> usize {
         self.vocab.len()
@@ -231,6 +246,27 @@ mod tests {
         let unk = enc.feature_index("UNKNOWN_0x0C").unwrap();
         assert_eq!(h[unk], 2.0);
         assert_eq!(enc.vocabulary()[unk], "UNKNOWN_0x0C");
+    }
+
+    #[test]
+    fn extend_fit_equals_full_refit() {
+        let old = vec![cache("0x6080604052")];
+        let new = vec![cache("0x52020202"), cache("0x33ff")];
+        let mut extended = HistogramEncoder::fit(&old);
+        extended.extend_fit(&new);
+        let all: Vec<DisasmCache> = old.iter().chain(new.iter()).cloned().collect();
+        let refit = HistogramEncoder::fit(&all);
+        assert_eq!(extended.vocabulary(), refit.vocabulary());
+        let mut a = phishinghook_artifact::ByteWriter::new();
+        let mut b = phishinghook_artifact::ByteWriter::new();
+        extended.write_state(&mut a);
+        refit.write_state(&mut b);
+        assert_eq!(a.into_bytes(), b.into_bytes());
+        // Existing columns never move: old rows encode identically.
+        assert_eq!(
+            &extended.encode(&old[0])[..2],
+            &HistogramEncoder::fit(&old).encode(&old[0])[..]
+        );
     }
 
     #[test]

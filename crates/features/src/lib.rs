@@ -49,7 +49,7 @@ pub use histogram::HistogramEncoder;
 pub use image::R2d2Encoder;
 pub use store::{
     BatchExecutor, Encoding, FeatureMatrix, FeatureStore, FittedEncoders, GatheredRows,
-    SequentialExecutor, SpillConfig, StoreConfig,
+    SequentialExecutor, SpillConfig, StoreConfig, StreamBudget, StreamReport, StreamingSpillWriter,
 };
 pub use tokens::{OpcodeTokenizer, SequenceVariant};
 

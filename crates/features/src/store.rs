@@ -885,6 +885,167 @@ fn read_u64_slice_from(file: &mut std::fs::File) -> Result<Vec<u64>, ArtifactErr
         .collect())
 }
 
+/// Incremental spill writer: accepts one sample's window list at a time
+/// and produces a spill file **byte-identical** to
+/// [`FeatureMatrix::spill_to`]'s without ever materializing the window
+/// block in RAM.
+///
+/// The spill format puts the offset tables *before* the flat id block, so
+/// a single forward pass cannot write the final file directly (the tables
+/// are only complete at the end). Ids therefore stream into a sidecar
+/// `<path>.data` file as rows arrive — the only resident state is the two
+/// offset tables, which stay resident in the spilled handle anyway — and
+/// [`StreamingSpillWriter::finish`] assembles header + sidecar into the
+/// final file with a bounded copy buffer.
+#[derive(Debug)]
+pub struct StreamingSpillWriter {
+    path: PathBuf,
+    data_path: PathBuf,
+    data: std::io::BufWriter<std::fs::File>,
+    offsets: Vec<usize>,
+    id_offsets: Vec<u64>,
+}
+
+impl StreamingSpillWriter {
+    /// Opens a writer targeting `path`; the sidecar id file is created
+    /// next to it immediately.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating the sidecar, as [`ArtifactError::Io`].
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        let path = path.as_ref().to_path_buf();
+        let mut data_path = path.clone().into_os_string();
+        data_path.push(".data");
+        let data_path = PathBuf::from(data_path);
+        let data = std::io::BufWriter::new(std::fs::File::create(&data_path)?);
+        Ok(StreamingSpillWriter {
+            path,
+            data_path,
+            data,
+            offsets: vec![0],
+            id_offsets: vec![0],
+        })
+    }
+
+    /// Appends one sample's window list; its ids leave RAM immediately.
+    ///
+    /// # Errors
+    ///
+    /// Any sidecar write failure, as [`ArtifactError::Io`].
+    pub fn push_row(&mut self, windows: &[Vec<u32>]) -> Result<(), ArtifactError> {
+        for win in windows {
+            for &id in win {
+                self.data.write_all(&id.to_le_bytes())?;
+            }
+            let prev = *self.id_offsets.last().unwrap();
+            self.id_offsets.push(prev + win.len() as u64);
+        }
+        self.offsets
+            .push(self.offsets.last().unwrap() + windows.len());
+        Ok(())
+    }
+
+    /// Rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Window ids streamed to the sidecar so far.
+    pub fn total_ids(&self) -> u64 {
+        *self.id_offsets.last().unwrap()
+    }
+
+    /// Flushes and closes the sidecar, handing back the writer's parts.
+    fn close_data(self) -> Result<(PathBuf, PathBuf, Vec<usize>, Vec<u64>), ArtifactError> {
+        let StreamingSpillWriter {
+            path,
+            data_path,
+            data,
+            offsets,
+            id_offsets,
+        } = self;
+        data.into_inner().map_err(|e| e.into_error())?;
+        Ok((path, data_path, offsets, id_offsets))
+    }
+
+    /// Assembles the final spill file — header (magic, version, offset
+    /// tables) followed by the streamed id block — removes the sidecar,
+    /// and returns the spilled handle. The file is byte-identical to what
+    /// [`FeatureMatrix::spill_to`] writes for the same rows.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure, as [`ArtifactError::Io`].
+    pub fn finish(self) -> Result<FeatureMatrix, ArtifactError> {
+        let (path, data_path, offsets, id_offsets) = self.close_data()?;
+        let rows = offsets.len() - 1;
+        let mut header = ByteWriter::new();
+        header.put_raw(&SPILL_MAGIC);
+        header.put_u32(SPILL_VERSION);
+        header.put_usize(rows);
+        write_windows_header(&mut header, &offsets, &id_offsets);
+        let data_start = header.len() as u64;
+        debug_assert_eq!(
+            data_start,
+            spill_data_start(offsets.len(), id_offsets.len())
+        );
+        let file = std::fs::File::create(&path)?;
+        let mut out = std::io::BufWriter::new(file);
+        out.write_all(header.as_bytes())?;
+        let mut src = std::fs::File::open(&data_path)?;
+        // io::copy moves the id block through a fixed-size buffer; the
+        // block itself never becomes resident.
+        std::io::copy(&mut src, &mut out)?;
+        out.into_inner().map_err(|e| e.into_error())?.sync_data()?;
+        drop(src);
+        std::fs::remove_file(&data_path)?;
+        Ok(FeatureMatrix {
+            rows,
+            columns: Columns::SpilledWindows {
+                path,
+                offsets,
+                id_offsets,
+                data_start,
+            },
+        })
+    }
+
+    /// Reads the streamed block back into a *resident* windows matrix and
+    /// removes the sidecar — the under-threshold exit, mirroring the batch
+    /// builder's decision to keep small blocks in RAM.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Corrupt`] if the sidecar length disagrees with the
+    /// offset tables, plus any I/O failure.
+    pub fn into_resident(self) -> Result<FeatureMatrix, ArtifactError> {
+        let (_path, data_path, offsets, id_offsets) = self.close_data()?;
+        let rows = offsets.len() - 1;
+        let total = *id_offsets.last().unwrap() as usize;
+        let bytes = std::fs::read(&data_path)?;
+        std::fs::remove_file(&data_path)?;
+        if bytes.len() != total * 4 {
+            return Err(ArtifactError::Corrupt(format!(
+                "spill sidecar holds {} bytes for {total} ids",
+                bytes.len()
+            )));
+        }
+        let ids: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let windows: Vec<Vec<u32>> = id_offsets
+            .windows(2)
+            .map(|p| ids[p[0] as usize..p[1] as usize].to_vec())
+            .collect();
+        Ok(FeatureMatrix {
+            rows,
+            columns: Columns::Windows { offsets, windows },
+        })
+    }
+}
+
 /// The six fitted encoders of one dataset, detached from the column stores.
 ///
 /// This is the *serving half* of a [`FeatureStore`]: it carries only the
@@ -989,6 +1150,42 @@ impl FittedEncoders {
         r.expect_exhausted("fitted encoder tables")?;
         Ok(encoders)
     }
+
+    /// `true` when the table-bearing encoders still hold the raw counts an
+    /// incremental refit needs — i.e. this set was fitted in-process, not
+    /// restored via [`FittedEncoders::import_state`].
+    pub fn can_extend(&self) -> bool {
+        self.freq.can_extend() && self.bigram.can_extend()
+    }
+
+    /// Folds freshly observed contracts into the fitted lookup tables —
+    /// the streaming-ingestion refit path. Equivalent to refitting from
+    /// scratch on the concatenation of the original fit set and every
+    /// batch passed here (asserted byte-for-byte in tests), at O(new)
+    /// instead of O(total) scan cost: the histogram appends unseen opcode
+    /// columns in place, while the frequency and bigram tables merge
+    /// retained raw counts and re-rank. The geometry-only encoders (R2D2,
+    /// tokenizer, ESCORT) carry no dataset state and are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Mismatch`] when the encoders were restored from an
+    /// artifact: artifacts carry only the normalized tables, never the raw
+    /// counts, and serving tables must not silently drift from what the
+    /// model was trained under. Nothing is mutated on error.
+    pub fn extend_fit(&mut self, new: &[DisasmCache]) -> Result<(), ArtifactError> {
+        if !self.can_extend() {
+            return Err(ArtifactError::Mismatch(
+                "encoders restored from an artifact carry no raw counts; refit instead of \
+                 extending"
+                    .into(),
+            ));
+        }
+        self.hist.extend_fit(new);
+        self.freq.extend_fit(new)?;
+        self.bigram.extend_fit(new)?;
+        Ok(())
+    }
 }
 
 /// Where and when a [`FeatureStore`] spills window blocks to their
@@ -1012,6 +1209,31 @@ impl SpillConfig {
             threshold_bytes: 0,
         }
     }
+}
+
+/// RAM budget of a streaming store build
+/// ([`FeatureStore::build_streaming`]).
+#[derive(Debug, Clone)]
+pub struct StreamBudget {
+    /// Spill destination and threshold, exactly as the batch builder
+    /// ([`FeatureStore::build_spilled_with`]) interprets them.
+    pub spill: SpillConfig,
+    /// Hard cap on how many samples' token-window blocks may be resident
+    /// at once during the build: windows are encoded in chunks of at most
+    /// this many rows and streamed to disk before the next chunk is
+    /// encoded. Clamped to at least 1.
+    pub resident_rows: usize,
+}
+
+/// What a streaming build actually did — the observability half of the
+/// RAM-bound contract (tests assert `peak_resident_rows` never exceeds
+/// the configured budget, at any chain length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Most token-window rows resident at any instant during the build.
+    pub peak_resident_rows: usize,
+    /// Encode-and-flush chunks across both token encodings.
+    pub flushes: usize,
 }
 
 /// All encodings of one dataset, plus the fitted encoders (kept so freshly
@@ -1115,6 +1337,92 @@ impl FeatureStore {
             }
         }
         Ok(store)
+    }
+
+    /// Like [`FeatureStore::build_spilled_with`], but **bounded-RAM**: the
+    /// token-window blocks — the only matrices that grow with contract
+    /// size rather than staying O(rows × fixed width) — are encoded in
+    /// chunks of at most `budget.resident_rows` samples and streamed to
+    /// disk through a [`StreamingSpillWriter`] before the next chunk is
+    /// encoded, so peak window residency is `budget.resident_rows` no
+    /// matter how long the chain is. The batch builder, by contrast,
+    /// materializes every window block in full and only then spills.
+    ///
+    /// The resulting store is **bit-identical** to the batch-built one:
+    /// same encoder tables (fitted on `fit` up front), same matrices, and
+    /// — when a block crosses `budget.spill.threshold_bytes` — the same
+    /// spill-file bytes. Blocks under the threshold are read back resident
+    /// at the end, matching the batch builder's keep-in-RAM decision.
+    ///
+    /// Returns the store plus a [`StreamReport`] carrying the observed
+    /// peak residency.
+    ///
+    /// # Errors
+    ///
+    /// Any spill-file I/O failure, as [`ArtifactError::Io`].
+    pub fn build_streaming(
+        caches: &[DisasmCache],
+        fit: &[DisasmCache],
+        config: &StoreConfig,
+        exec: &dyn BatchExecutor,
+        budget: &StreamBudget,
+    ) -> Result<(Self, StreamReport), ArtifactError> {
+        let encoders = FittedEncoders::fit(fit, config);
+        std::fs::create_dir_all(&budget.spill.dir)?;
+        let chunk_rows = budget.resident_rows.max(1);
+        let mut report = StreamReport {
+            peak_resident_rows: 0,
+            flushes: 0,
+        };
+
+        let stream_tokens = |encoding: Encoding,
+                             report: &mut StreamReport|
+         -> Result<FeatureMatrix, ArtifactError> {
+            let path = budget
+                .spill
+                .dir
+                .join(format!("{}.phkspill", encoding.name()));
+            let mut writer = StreamingSpillWriter::create(&path)?;
+            for chunk in caches.chunks(chunk_rows) {
+                let rows = exec.encode_batch(chunk, &|c| encoders.encode(c, encoding));
+                report.peak_resident_rows = report.peak_resident_rows.max(rows.len());
+                report.flushes += 1;
+                for row in &rows {
+                    match row {
+                        FeatureVec::Windows(w) => writer.push_row(w)?,
+                        _ => unreachable!("token encodings produce window rows"),
+                    }
+                }
+            }
+            // Same keep-resident decision as the batch builder: blocks
+            // under the byte threshold stay in RAM.
+            if (writer.total_ids() as usize).saturating_mul(4) < budget.spill.threshold_bytes {
+                writer.into_resident()
+            } else {
+                writer.finish()
+            }
+        };
+        let tokens_truncate = stream_tokens(Encoding::TokensTruncate, &mut report)?;
+        let tokens_windows = stream_tokens(Encoding::TokensWindows, &mut report)?;
+
+        // The five fixed-width encodings are O(rows × width) — kilobytes
+        // per thousand contracts — and stay resident, as in the batch
+        // builder.
+        let pack = |encoding: Encoding| {
+            FeatureMatrix::from_vecs(exec.encode_batch(caches, &|c| encoders.encode(c, encoding)))
+        };
+        let store = FeatureStore {
+            len: caches.len(),
+            histogram: pack(Encoding::Histogram),
+            freq_image: pack(Encoding::FreqImage),
+            r2d2: pack(Encoding::R2d2),
+            bigram: pack(Encoding::Bigram),
+            tokens_truncate,
+            tokens_windows,
+            escort: pack(Encoding::Escort),
+            encoders,
+        };
+        Ok((store, report))
     }
 
     /// The encodings currently living in their on-disk spilled form.
@@ -1522,6 +1830,116 @@ mod tests {
         .unwrap();
         assert!(none.spilled_encodings().is_empty());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_build_is_bit_identical_to_batch_build() {
+        let caches = caches();
+        let cfg = small_config();
+        let batch_dir = temp_dir("stream_batch");
+        let stream_dir = temp_dir("stream_stream");
+        let batch = FeatureStore::build_spilled_with(
+            &caches,
+            &caches,
+            &cfg,
+            &SequentialExecutor,
+            &SpillConfig::all(&batch_dir),
+        )
+        .unwrap();
+        for budget_rows in [1usize, 2, 7] {
+            let (streamed, report) = FeatureStore::build_streaming(
+                &caches,
+                &caches,
+                &cfg,
+                &SequentialExecutor,
+                &StreamBudget {
+                    spill: SpillConfig::all(&stream_dir),
+                    resident_rows: budget_rows,
+                },
+            )
+            .unwrap();
+            assert!(
+                report.peak_resident_rows <= budget_rows,
+                "budget {budget_rows}: peak {}",
+                report.peak_resident_rows
+            );
+            let idx: Vec<usize> = (0..caches.len()).collect();
+            for encoding in Encoding::ALL {
+                assert_eq!(
+                    streamed.matrix(encoding).gather(&idx).rows(),
+                    batch.matrix(encoding).gather(&idx).rows(),
+                    "{encoding:?} (budget {budget_rows})"
+                );
+            }
+            // The spill files themselves are byte-identical to the batch
+            // builder's.
+            for encoding in [Encoding::TokensTruncate, Encoding::TokensWindows] {
+                assert_eq!(
+                    std::fs::read(streamed.matrix(encoding).spill_path().unwrap()).unwrap(),
+                    std::fs::read(batch.matrix(encoding).spill_path().unwrap()).unwrap(),
+                    "{encoding:?} spill bytes (budget {budget_rows})"
+                );
+            }
+            // No sidecar survives a finished build.
+            assert!(std::fs::read_dir(&stream_dir).unwrap().all(|e| !e
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .ends_with(".data")));
+        }
+        // Under-threshold blocks come back resident, matching the batch
+        // builder's keep-in-RAM decision bit-for-bit.
+        let resident = FeatureStore::build(&caches, &cfg);
+        let (kept, _) = FeatureStore::build_streaming(
+            &caches,
+            &caches,
+            &cfg,
+            &SequentialExecutor,
+            &StreamBudget {
+                spill: SpillConfig {
+                    dir: stream_dir.clone(),
+                    threshold_bytes: usize::MAX,
+                },
+                resident_rows: 2,
+            },
+        )
+        .unwrap();
+        assert!(kept.spilled_encodings().is_empty());
+        assert_eq!(kept.tokens_windows(), resident.tokens_windows());
+        assert_eq!(kept.tokens_truncate(), resident.tokens_truncate());
+        std::fs::remove_dir_all(&batch_dir).ok();
+        std::fs::remove_dir_all(&stream_dir).ok();
+    }
+
+    #[test]
+    fn fitted_encoders_extend_equals_refit() {
+        let caches = caches();
+        let cfg = small_config();
+        let mut extended = FittedEncoders::fit(&caches[..1], &cfg);
+        extended.extend_fit(&caches[1..]).unwrap();
+        let refit = FittedEncoders::fit(&caches, &cfg);
+        // Byte-for-byte: the canonical serialization of the extended set
+        // equals a from-scratch refit on the concatenated fit set.
+        assert_eq!(extended.export_state(), refit.export_state());
+        for encoding in Encoding::ALL {
+            for cache in &caches {
+                assert_eq!(
+                    extended.encode(cache, encoding),
+                    refit.encode(cache, encoding),
+                    "{encoding:?}"
+                );
+            }
+        }
+        // Restored sets cannot be extended (no raw counts), and fail
+        // without mutating anything.
+        let blob = refit.export_state();
+        let mut restored = FittedEncoders::import_state(&blob).unwrap();
+        assert!(!restored.can_extend());
+        assert!(matches!(
+            restored.extend_fit(&caches),
+            Err(ArtifactError::Mismatch(_))
+        ));
+        assert_eq!(restored.export_state(), blob);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! `phishinghook-ingestd <work-dir> [seed]`
+//!
+//! Demonstration daemon for the streaming ingestion & online-adaptation
+//! pipeline, end to end on a simulated chain with an injected drift:
+//!
+//! 1. builds a drifted chain ([`DriftScenario`]) and trains the pre-drift
+//!    baseline model on the early months;
+//! 2. publishes it as generation 1 into `<work-dir>/artifacts` and starts
+//!    a live HTTP server on an ephemeral port;
+//! 3. replays the chain in time order, journaling every streamed bytecode
+//!    to the append-only `<work-dir>/ingest.codelog`;
+//! 4. on each drift signal, retrains on the sliding window, republishes
+//!    atomically, and hot-swaps the server to the new generation — then
+//!    proves it by querying `GET /healthz` over TCP.
+
+use phishinghook::drift::DriftConfig;
+use phishinghook::{EvalProfile, PHISHING_THRESHOLD};
+use phishinghook::{ExtractionStream, ModelKind};
+use phishinghook_artifact::publish::ArtifactPublisher;
+use phishinghook_evm::CodeLogWriter;
+use phishinghook_ingest::{baseline_detector, DriftScenario, IngestConfig, OnlinePipeline};
+use phishinghook_serve::{Server, ServerConfig};
+use phishinghook_synth::Month;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One-shot `GET /healthz`, returning the JSON body.
+fn healthz(addr: SocketAddr) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(b"GET /healthz HTTP/1.1\r\nHost: ingestd\r\nConnection: close\r\n\r\n")?;
+    let mut reader = BufReader::new(stream);
+    let mut length = 0usize;
+    let mut line = String::new();
+    // Status line + headers; the body length rides Content-Length.
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.trim_end().split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; length];
+    std::io::Read::read_exact(&mut reader, &mut body)?;
+    Ok(String::from_utf8_lossy(&body).into_owned())
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let Some(work_dir) = args.next() else {
+        eprintln!("usage: phishinghook-ingestd <work-dir> [seed]");
+        std::process::exit(2);
+    };
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let work_dir = std::path::PathBuf::from(work_dir);
+    std::fs::create_dir_all(&work_dir)?;
+
+    // 1. Drifted chain + pre-drift baseline.
+    let scenario = DriftScenario::small(seed);
+    let chain = scenario.build();
+    let profile = EvalProfile::quick();
+    let kind = ModelKind::LogisticRegression;
+    let initial = baseline_detector(&chain, kind, &profile, seed);
+    println!(
+        "phishinghook-ingestd: chain of {} deployments, baseline {} trained on months 0-3",
+        chain.len(),
+        initial.kind().id()
+    );
+
+    // 2. Publish generation 1 and serve it.
+    let mut publisher = ArtifactPublisher::open(work_dir.join("artifacts"))?;
+    let first = publisher.publish(initial.to_bytes())?;
+    let server = Server::start_with_generation(
+        Arc::clone(&initial),
+        first.generation,
+        "127.0.0.1:0",
+        ServerConfig::from_env(),
+    )?;
+    let addr = server.local_addr();
+    println!(
+        "  serving generation {} on http://{addr}  ({})",
+        first.generation,
+        healthz(addr)?
+    );
+
+    // 3. + 4. Replay the chain, journal it, adapt on drift.
+    let mut journal = CodeLogWriter::create(work_dir.join("ingest.codelog"))?;
+    let mut pipeline = OnlinePipeline::new(
+        initial,
+        IngestConfig {
+            drift: DriftConfig {
+                window: 64,
+                brier_margin: 0.15,
+            },
+            retrain_window: 256,
+            kind,
+            profile,
+            seed,
+        },
+    );
+    let stream = ExtractionStream::new(&chain, Month::FIRST, Month::LAST).inspect(|sample| {
+        journal.append(&sample.bytecode).expect("journal append");
+    });
+    let report = pipeline.run(stream, &mut publisher, |event, detector| {
+        server.install(Arc::clone(detector), event.published.generation);
+        println!(
+            "  drift @ sample {} (month {}): Brier {:.3} vs baseline {:.3} → retrained on {} samples, generation {} live",
+            event.signal.position,
+            event.signal.month.0,
+            event.signal.window_brier,
+            event.signal.baseline_brier,
+            event.window_len,
+            event.published.generation,
+        );
+        println!("    healthz: {}", healthz(addr).unwrap_or_default());
+    })?;
+    journal.sync()?;
+
+    println!(
+        "  streamed {} contracts, {} drift signals, {} retrains, live generation {}",
+        report.streamed,
+        report.signals.len(),
+        report.retrains,
+        server.generation()
+    );
+    println!(
+        "  journal: {} records at {}",
+        journal.records(),
+        work_dir.join("ingest.codelog").display()
+    );
+    println!("  serving threshold {PHISHING_THRESHOLD}; draining queue and shutting down");
+    server.shutdown();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("phishinghook-ingestd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

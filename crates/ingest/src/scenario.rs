@@ -1,0 +1,94 @@
+//! Deterministic drift scenarios: a simulated chain whose late months
+//! break the early-month feature↔label relationship, plus the baseline
+//! model trained before the break.
+//!
+//! The injection is a *label shift*: after [`DriftScenario::drift_from`],
+//! freshly generated contracts from the **benign** families are deployed
+//! carrying the explorer's `Phish/Hack` flag — the shape of campaign
+//! rotation, where new scams adopt the idioms of legitimate code. A model
+//! trained on the early months confidently scores them benign, its
+//! rolling Brier score collapses, and the drift watcher fires
+//! deterministically.
+
+use phishinghook::{extract_dataset, BemConfig};
+use phishinghook::{Detector, EvalContext, EvalProfile, ModelKind};
+use phishinghook_chain::{Address, DeploymentRecord, SimulatedChain};
+use phishinghook_synth::{
+    generate_contract, generate_corpus, ContractClass, CorpusConfig, Difficulty, Family, Month,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Nonce offset for injected deployments, far above any corpus nonce.
+const DRIFT_NONCE_BASE: u64 = 1 << 40;
+
+/// A reproducible drifted-chain recipe.
+#[derive(Debug, Clone)]
+pub struct DriftScenario {
+    /// Base corpus deployed first (the calm months).
+    pub corpus: CorpusConfig,
+    /// First month of the injected shift.
+    pub drift_from: Month,
+    /// Injected flagged-but-benign-shaped deployments.
+    pub drift_count: usize,
+    /// Seed for the injected contracts.
+    pub seed: u64,
+}
+
+impl DriftScenario {
+    /// A small, fast scenario for tests and benches.
+    pub fn small(seed: u64) -> Self {
+        DriftScenario {
+            corpus: CorpusConfig::small(seed),
+            drift_from: Month(8),
+            drift_count: 120,
+            seed,
+        }
+    }
+
+    /// Deploys the base corpus, then appends the drift injection so a
+    /// chain replay hits the shift after the calm phase.
+    pub fn build(&self) -> SimulatedChain {
+        let mut chain = SimulatedChain::from_corpus(&generate_corpus(&self.corpus));
+        let benign: Vec<Family> = Family::ALL
+            .iter()
+            .copied()
+            .filter(|f| f.class() == ContractClass::Benign)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD21F7);
+        let span = (Month::LAST.0 - self.drift_from.0) as usize + 1;
+        for i in 0..self.drift_count {
+            let family = benign[i % benign.len()];
+            let month = Month(self.drift_from.0 + (i % span) as u8);
+            let bytecode = generate_contract(family, month, &Difficulty::default(), &mut rng);
+            chain.deploy(DeploymentRecord {
+                address: Address::derived(DRIFT_NONCE_BASE + i as u64),
+                bytecode,
+                month,
+                family,
+                flagged: true,
+            });
+        }
+        chain
+    }
+}
+
+/// Trains the pre-drift baseline the paper's temporal split would keep:
+/// a detector fitted on the chain's training window (months 0–3) only.
+pub fn baseline_detector(
+    chain: &SimulatedChain,
+    kind: ModelKind,
+    profile: &EvalProfile,
+    seed: u64,
+) -> Arc<Detector> {
+    let cfg = BemConfig {
+        from: Month::FIRST,
+        to: Month(3),
+        balance: true,
+        seed,
+    };
+    let (dataset, _) = extract_dataset(chain, &cfg);
+    let ctx = EvalContext::new(&dataset, profile);
+    Arc::new(Detector::train(&ctx, kind, seed))
+}

@@ -37,7 +37,9 @@
 pub mod http;
 pub mod queue;
 pub mod server;
+pub mod swap;
 
 pub use http::{Limits, Request};
 pub use queue::{MicroBatcher, QueueConfig, QueueStats, SubmitError};
 pub use server::{Server, ServerConfig};
+pub use swap::ModelSlot;

@@ -19,6 +19,7 @@
 
 use crate::http::{read_request, write_response, Limits};
 use crate::queue::{MicroBatcher, QueueConfig, SubmitError};
+use crate::swap::ModelSlot;
 use phishinghook::json::Value;
 use phishinghook::Detector;
 use phishinghook_evm::Bytecode;
@@ -64,8 +65,8 @@ impl ServerConfig {
 }
 
 struct Inner {
-    detector: Arc<Detector>,
-    queue: MicroBatcher<Arc<Detector>>,
+    slot: Arc<ModelSlot>,
+    queue: MicroBatcher<Arc<ModelSlot>>,
     limits: Limits,
     read_timeout: Duration,
     max_request_contracts: usize,
@@ -83,9 +84,11 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `detector` behind the micro-batching queue. The detector
-    /// is shared: every queue worker and every request scores through
-    /// this one loaded artifact.
+    /// serving `detector` behind the micro-batching queue as artifact
+    /// generation 0. The detector rides a hot-swappable [`ModelSlot`]:
+    /// every queue worker and every request scores through the slot's
+    /// live model, which [`Server::install`] can replace without a
+    /// restart.
     ///
     /// # Errors
     ///
@@ -95,11 +98,27 @@ impl Server {
         addr: impl ToSocketAddrs,
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
+        Server::start_with_generation(detector, 0, addr, cfg)
+    }
+
+    /// [`Server::start`], declaring the initial artifact generation (as
+    /// assigned by the publish directory the model was loaded from).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures.
+    pub fn start_with_generation(
+        detector: Arc<Detector>,
+        generation: u64,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let slot = Arc::new(ModelSlot::new(detector, generation));
         let inner = Arc::new(Inner {
-            queue: MicroBatcher::start(Arc::clone(&detector), cfg.queue),
-            detector,
+            queue: MicroBatcher::start(Arc::clone(&slot), cfg.queue),
+            slot,
             limits: cfg.limits,
             read_timeout: cfg.read_timeout,
             max_request_contracts: cfg.max_request_contracts,
@@ -148,6 +167,24 @@ impl Server {
     /// [`QueueStats`](crate::queue::QueueStats)).
     pub fn queue_stats(&self) -> crate::queue::QueueStats {
         self.inner.queue.stats()
+    }
+
+    /// Hot-swaps the served model: every batch that starts after this
+    /// call scores on `detector`; batches already in flight finish on the
+    /// previous model and no request is dropped. Returns the generation
+    /// that was replaced.
+    pub fn install(&self, detector: Arc<Detector>, generation: u64) -> u64 {
+        self.inner.slot.install(detector, generation)
+    }
+
+    /// The live artifact generation (also reported by `GET /healthz`).
+    pub fn generation(&self) -> u64 {
+        self.inner.slot.generation()
+    }
+
+    /// A snapshot of the live detector.
+    pub fn detector(&self) -> Arc<Detector> {
+        self.inner.slot.detector()
     }
 
     /// Stops accepting connections, lets in-flight exchanges finish, and
@@ -269,12 +306,15 @@ fn route(inner: &Inner, method: &str, target: &str, body: &[u8]) -> Reply {
     match (method, target) {
         ("GET", "/healthz") => {
             let cfg = inner.queue.config();
+            let (detector, generation) = inner.slot.snapshot();
             Reply::ok(
                 Value::Obj(vec![
                     ("status".into(), Value::Str("ok".into())),
+                    ("model".into(), Value::Str(detector.kind().id().into())),
+                    ("generation".into(), Value::Num(generation as f64)),
                     (
-                        "model".into(),
-                        Value::Str(inner.detector.kind().id().into()),
+                        "uptime_seconds".into(),
+                        Value::Num(inner.slot.uptime().as_secs_f64()),
                     ),
                     ("queue_depth".into(), Value::Num(inner.queue.depth() as f64)),
                     ("max_batch".into(), Value::Num(cfg.max_batch as f64)),
@@ -291,7 +331,7 @@ fn route(inner: &Inner, method: &str, target: &str, body: &[u8]) -> Reply {
             let Some(doc) = phishinghook::json::parse(text) else {
                 return Reply::error(400, "Bad Request", "body is not valid JSON");
             };
-            let kind_id = inner.detector.kind().id();
+            let kind_id = inner.slot.detector().kind().id();
             if target == "/predict" {
                 let Some(hex) = doc.get("bytecode").and_then(Value::as_str) else {
                     return Reply::error(400, "Bad Request", "missing \"bytecode\" field");
