@@ -85,14 +85,6 @@ fn fresh_contracts(n: usize) -> Vec<Bytecode> {
         .collect()
 }
 
-fn trained_detector(kind: ModelKind) -> Detector {
-    let corpus = generate_corpus(&CorpusConfig::small(42));
-    let chain = SimulatedChain::from_corpus(&corpus);
-    let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
-    let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
-    Detector::train(&ctx, kind, 7)
-}
-
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
     sorted_us[idx]
@@ -107,14 +99,20 @@ struct FleetRun {
 
 /// K clients, each submitting its own slice of `contracts` sequentially
 /// through one queue capped at `max_batch`; every client asserts its
-/// scores against the precomputed direct scores.
-fn run_fleet(
-    detector: &Arc<Detector>,
+/// scores against the precomputed direct scores. Generic over the scorer
+/// so the same fleet drives a flat detector (`Output = f32`) and the
+/// two-stage cascade (`Output = CascadeVerdict`).
+fn run_fleet<S>(
+    detector: &Arc<S>,
     contracts: &[Bytecode],
-    expected: &[f32],
+    expected: &[S::Output],
     k: usize,
     max_batch: usize,
-) -> FleetRun {
+) -> FleetRun
+where
+    S: CodeScorer + 'static,
+    S::Output: PartialEq + std::fmt::Debug + Sync,
+{
     // A short coalescing window: when `max_batch` exceeds what K blocked
     // clients can ever queue at once, the worker's wait for batch-mates
     // times out every cycle, so the window is pure overhead for the
@@ -143,7 +141,7 @@ fn run_fleet(
                         lat.push(t.elapsed().as_secs_f64() * 1e6);
                         assert_eq!(
                             p, expected[i],
-                            "queue-coalesced score must be bit-identical to score_code"
+                            "queue-coalesced score must be bit-identical to the direct call"
                         );
                     }
                     lat
@@ -191,7 +189,89 @@ fn tier_record(tier: usize, n: usize, run: &FleetRun) -> Value {
     ])
 }
 
-fn run_harness(escort: &Arc<Detector>, contracts: &[Bytecode]) {
+/// Cascade floor behind the queue: the two-stage cascade fleet vs. the
+/// deep-only fleet at the same coalescing tier. Both sides pay the same
+/// per-request queue tax, so the delta is what the escalation budget
+/// saves; mirrors the `serving_throughput` cascade floors.
+fn cascade_floor() -> f64 {
+    if smoke_mode() {
+        1.5
+    } else {
+        3.0
+    }
+}
+
+/// The cascade through the queue against the deep-only server shape: the
+/// same K-client fleet, the same coalescing tier, the only difference
+/// being that the cascade's screen keeps ~85% of the traffic away from
+/// the deep model. Every cascade reply is still asserted bit-identical
+/// to the direct `score_codes` verdicts.
+fn run_cascade_fleet(
+    cascade: &Arc<CascadeDetector>,
+    deep: &Arc<Detector>,
+    contracts: &[Bytecode],
+) -> Value {
+    let n = contracts.len();
+    let k = clients();
+    let tier = 8; // the best micro-batching tier from the committed baseline
+    let deep_expected = deep.score_codes(contracts);
+    let cascade_expected = cascade.score_codes(contracts);
+    // Warm both fleets, then time.
+    run_fleet(deep, contracts, &deep_expected, k, tier);
+    run_fleet(cascade, contracts, &cascade_expected, k, tier);
+    let deep_run = run_fleet(deep, contracts, &deep_expected, k, tier);
+    let cascade_run = run_fleet(cascade, contracts, &cascade_expected, k, tier);
+    let deep_cps = n as f64 / deep_run.elapsed_s;
+    let cascade_cps = n as f64 / cascade_run.elapsed_s;
+    let speedup = cascade_cps / deep_cps;
+    let escalated = cascade_expected.iter().filter(|v| v.escalated).count();
+    println!(
+        "  cascade {}→{} via queue: deep-only {deep_cps:.0} contracts/s -> cascade \
+         {cascade_cps:.0} contracts/s ({speedup:.2}x, floor {:.2}x, {escalated}/{n} \
+         escalated, p50 {:.0}us p99 {:.0}us)",
+        cascade.screen().kind().id(),
+        cascade.confirm().kind().id(),
+        cascade_floor(),
+        percentile(&cascade_run.latencies_us, 0.50),
+        percentile(&cascade_run.latencies_us, 0.99),
+    );
+    assert!(
+        speedup >= cascade_floor(),
+        "cascade queue regression: {cascade_cps:.0} contracts/s vs deep-only \
+         {deep_cps:.0} contracts/s ({speedup:.2}x, floor {:.2}x)",
+        cascade_floor()
+    );
+    Value::Obj(vec![
+        (
+            "screen".into(),
+            Value::Str(cascade.screen().kind().id().into()),
+        ),
+        (
+            "confirm".into(),
+            Value::Str(cascade.confirm().kind().id().into()),
+        ),
+        ("max_batch".into(), Value::Num(tier as f64)),
+        ("contracts".into(), Value::Num(n as f64)),
+        ("deep_only_contracts_per_sec".into(), Value::Num(deep_cps)),
+        ("cascade_contracts_per_sec".into(), Value::Num(cascade_cps)),
+        ("speedup".into(), Value::Num(speedup)),
+        ("asserted_floor".into(), Value::Num(cascade_floor())),
+        (
+            "escalation_rate".into(),
+            Value::Num(escalated as f64 / n as f64),
+        ),
+        (
+            "p50_us".into(),
+            Value::Num(percentile(&cascade_run.latencies_us, 0.50)),
+        ),
+        (
+            "p99_us".into(),
+            Value::Num(percentile(&cascade_run.latencies_us, 0.99)),
+        ),
+    ])
+}
+
+fn run_harness(escort: &Arc<Detector>, contracts: &[Bytecode]) -> Vec<(String, Value)> {
     let n = contracts.len();
     let k = clients();
     // Ground truth (and warmup for the model's caches/arenas).
@@ -245,30 +325,32 @@ fn run_harness(escort: &Arc<Detector>, contracts: &[Bytecode]) {
         speedup_floor()
     );
 
-    // Smoke runs assert but never overwrite the committed baseline.
-    if !smoke_mode() {
-        let doc = Value::Obj(vec![
-            ("bench".into(), Value::Str("latency_serving".into())),
-            ("model".into(), Value::Str(escort.kind().id().into())),
-            ("clients".into(), Value::Num(k as f64)),
-            ("contracts".into(), Value::Num(n as f64)),
-            ("serial_contracts_per_sec".into(), Value::Num(serial_cps)),
-            ("best_tier".into(), Value::Num(best_tier as f64)),
-            (
-                "micro_batched_contracts_per_sec".into(),
-                Value::Num(best_cps),
-            ),
-            ("micro_batched_speedup".into(), Value::Num(speedup)),
-            ("asserted_floor".into(), Value::Num(speedup_floor())),
-            ("tiers".into(), Value::Arr(tier_records)),
-        ]);
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_latency.json");
-        std::fs::write(path, doc.render()).expect("write BENCH_latency.json");
-    }
+    vec![
+        ("bench".into(), Value::Str("latency_serving".into())),
+        ("model".into(), Value::Str(escort.kind().id().into())),
+        ("clients".into(), Value::Num(k as f64)),
+        ("contracts".into(), Value::Num(n as f64)),
+        ("serial_contracts_per_sec".into(), Value::Num(serial_cps)),
+        ("best_tier".into(), Value::Num(best_tier as f64)),
+        (
+            "micro_batched_contracts_per_sec".into(),
+            Value::Num(best_cps),
+        ),
+        ("micro_batched_speedup".into(), Value::Num(speedup)),
+        ("asserted_floor".into(), Value::Num(speedup_floor())),
+        ("tiers".into(), Value::Arr(tier_records)),
+    ]
+}
+
+fn trained_context() -> EvalContext {
+    let corpus = generate_corpus(&CorpusConfig::small(42));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
+    EvalContext::new(&dataset, &EvalProfile::quick())
 }
 
 fn bench_latency(c: &mut Criterion) {
-    let escort = Arc::new(trained_detector(ModelKind::Escort));
+    let escort = Arc::new(Detector::train(&trained_context(), ModelKind::Escort, 7));
     let contracts = fresh_contracts(clients() * per_client());
 
     // Criterion's view: the queue's overhead on a lone request (no
@@ -285,7 +367,32 @@ fn bench_latency(c: &mut Criterion) {
     group.finish();
     queue.shutdown();
 
-    run_harness(&escort, &contracts);
+    let mut fields = run_harness(&escort, &contracts);
+
+    // The cascade fleet trains two more deep models, so it runs strictly
+    // *after* the escort harness — the harness's timings stay comparable
+    // to earlier baselines instead of absorbing the extra allocator and
+    // cache pressure.
+    let ctx = trained_context();
+    let deep = Arc::new(Detector::train(&ctx, ModelKind::Gpt2Alpha, 7));
+    let cascade = Arc::new(CascadeDetector::train(
+        &ctx,
+        ModelKind::RandomForest,
+        ModelKind::Gpt2Alpha,
+        &CascadeConfig::default(),
+        7,
+    ));
+    drop(ctx);
+    fields.push((
+        "cascade".into(),
+        run_cascade_fleet(&cascade, &deep, &contracts),
+    ));
+
+    // Smoke runs assert but never overwrite the committed baseline.
+    if !smoke_mode() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_latency.json");
+        std::fs::write(path, Value::Obj(fields).render()).expect("write BENCH_latency.json");
+    }
 }
 
 criterion_group! {

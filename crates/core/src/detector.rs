@@ -366,6 +366,23 @@ impl Detector {
         self.model.predict_proba_batch(&rows)
     }
 
+    /// Encodes decoded contracts (by reference, so a cascade can gather an
+    /// escalated subset without cloning op tables) under this detector's
+    /// encoding across the worker pool, without scoring.
+    pub(crate) fn encode_batch(&self, caches: &[&DisasmCache]) -> Vec<FeatureVec> {
+        parallel_map(caches, |c| self.encoders.encode(c, self.encoding))
+    }
+
+    /// Scores already-encoded rows (which must have been produced under
+    /// this detector's encoding) with one batched model call — the other
+    /// half of the cascade's row-reuse path.
+    pub(crate) fn score_rows(&self, rows: &[FeatureRow<'_>]) -> Vec<f32> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        self.model.predict_proba_batch(rows)
+    }
+
     /// Scores raw bytecode: decodes it exactly once, then scores.
     pub fn score_code(&self, code: &Bytecode) -> f32 {
         self.score_cache(&DisasmCache::build(code))

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod bem;
+pub mod cascade;
 pub mod dataset;
 pub mod detector;
 pub mod drift;
@@ -70,6 +71,7 @@ pub mod shap_analysis;
 pub mod time_resistance;
 
 pub use bem::{extract_dataset, BemConfig, BemReport, ExtractionStream, StreamStats};
+pub use cascade::{pick_band, CascadeConfig, CascadeDetector, CascadeVerdict, StageScore};
 pub use dataset::{Dataset, Sample};
 pub use detector::{CodeScorer, Detector, ModelZoo, Verdict, PHISHING_THRESHOLD};
 pub use drift::{DriftConfig, DriftSignal, DriftWatcher, RollingWindow};
@@ -79,7 +81,7 @@ pub use mem::{
     evaluate_trial_with, trial_plan, EvalProfile, ModelCategory, ModelKind, TrialOutcome,
     TrialSpec,
 };
-pub use metrics::{Confusion, Metrics, UnknownMetric, METRIC_NAMES};
+pub use metrics::{auc, Confusion, Metrics, UnknownMetric, METRIC_NAMES};
 pub use pam::{posthoc_analysis, posthoc_over, PosthocReport};
 pub use phishinghook_artifact::ArtifactError;
 pub use phishinghook_models::Model;
@@ -92,6 +94,7 @@ pub use time_resistance::{run_time_resistance, run_time_resistance_on, TimeResis
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use crate::bem::{extract_dataset, BemConfig, BemReport, ExtractionStream};
+    pub use crate::cascade::{CascadeConfig, CascadeDetector, CascadeVerdict, StageScore};
     pub use crate::dataset::{Dataset, Sample};
     pub use crate::detector::{CodeScorer, Detector, ModelZoo, Verdict};
     pub use crate::drift::{DriftConfig, DriftSignal, DriftWatcher};
@@ -101,7 +104,7 @@ pub mod prelude {
         cross_validate, cross_validate_on, evaluate_models, evaluate_trial, trial_plan,
         EvalProfile, ModelCategory, ModelKind, TrialOutcome, TrialSpec,
     };
-    pub use crate::metrics::{Metrics, METRIC_NAMES};
+    pub use crate::metrics::{auc, Metrics, METRIC_NAMES};
     pub use crate::opcode_stats::{opcode_usage, FIG3_OPCODES};
     pub use crate::pam::{posthoc_analysis, posthoc_over};
     pub use crate::scalability::{

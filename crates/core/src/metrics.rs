@@ -142,6 +142,46 @@ impl Metrics {
 /// The metric names in the paper's reporting order.
 pub const METRIC_NAMES: [&str; 4] = ["accuracy", "f1", "precision", "recall"];
 
+/// Area under the ROC curve of `scores` against binary `labels`, via the
+/// rank-statistic identity `AUC = (R₊ − n₊(n₊+1)/2) / (n₊·n₋)` with
+/// tie-averaged ranks — threshold-free, so it compares scorers whose
+/// outputs live on different scales (the cascade acceptance gate).
+///
+/// Degenerate inputs (one class absent, or empty) return 0.5: no ranking
+/// information either way.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn auc(scores: &[f32], labels: &[u8]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "score/label mismatch");
+    let n_pos = labels.iter().filter(|&&y| y == 1).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&i, &j| scores[i].total_cmp(&scores[j]));
+    // Sum of positive-class ranks, averaging ranks within tied runs.
+    let mut rank_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // 1-based ranks i+1 ..= j+1 share the mean rank of the run.
+        let mean_rank = (i + j + 2) as f64 / 2.0;
+        for &k in &order[i..=j] {
+            if labels[k] == 1 {
+                rank_pos += mean_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +247,30 @@ mod tests {
         for (name, want) in METRIC_NAMES.iter().zip([0.1, 0.2, 0.3, 0.4]) {
             assert_eq!(m.by_name(name), Ok(want));
         }
+    }
+
+    #[test]
+    fn auc_matches_hand_computed_values() {
+        // Perfect ranking.
+        assert_eq!(auc(&[0.1, 0.2, 0.8, 0.9], &[0, 0, 1, 1]), 1.0);
+        // Perfectly inverted ranking.
+        assert_eq!(auc(&[0.9, 0.8, 0.2, 0.1], &[0, 0, 1, 1]), 0.0);
+        // One discordant pair out of four: AUC = 3/4.
+        assert_eq!(auc(&[0.1, 0.7, 0.4, 0.9], &[0, 0, 1, 1]), 0.75);
+        // All scores tied: every pair is half-concordant.
+        assert_eq!(auc(&[0.5, 0.5, 0.5, 0.5], &[0, 1, 0, 1]), 0.5);
+        // Degenerate single-class folds carry no ranking information.
+        assert_eq!(auc(&[0.2, 0.8], &[1, 1]), 0.5);
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn auc_is_invariant_under_monotone_transforms() {
+        let scores = [0.11, 0.52, 0.48, 0.93, 0.27, 0.74];
+        let labels = [0, 1, 0, 1, 0, 1];
+        let base = auc(&scores, &labels);
+        let squashed: Vec<f32> = scores.iter().map(|&s| 1.0 / (1.0 + (-s).exp())).collect();
+        assert_eq!(auc(&squashed, &labels), base);
     }
 
     #[test]

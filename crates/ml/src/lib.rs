@@ -21,9 +21,14 @@
 //! All models implement the [`Classifier`] trait: `fit` on a feature
 //! [`Matrix`](phishinghook_linalg::Matrix) with `0/1` labels, then
 //! `predict_proba`/`predict`.
+//!
+//! The crate also hosts [`calibrate`] — hand-rolled Platt/isotonic
+//! probability calibration, the piece that makes heterogeneous model
+//! scores threshold-comparable in the serving cascade.
 
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod classifier;
 pub mod forest;
 pub mod gbdt;
@@ -32,6 +37,7 @@ pub mod linear;
 pub mod shap;
 pub mod tree;
 
+pub use calibrate::{CalibrationMethod, Calibrator, IsotonicRegression, PlattScaling};
 pub use classifier::Classifier;
 pub use forest::RandomForest;
 pub use gbdt::{CatBoostClassifier, LgbmClassifier, XgbClassifier};

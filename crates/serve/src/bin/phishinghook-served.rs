@@ -1,15 +1,19 @@
 //! `phishinghook-served <artifact.phk> [bind-addr]`
 //!
-//! Loads a saved detector artifact once (single read, zero-copy section
-//! slices) and serves it over HTTP with the micro-batching queue. The
-//! queue knobs come from the environment:
+//! Loads a saved artifact once (single read, zero-copy section slices)
+//! and serves it over HTTP with the micro-batching queue. The artifact
+//! type is sniffed from its sections: a container with a `cascade`
+//! section starts the two-stage cascade engine (cheap calibrated screen
+//! → uncertainty-band escalation → deep confirmer), anything else the
+//! flat single-detector engine. The queue knobs come from the
+//! environment:
 //!
 //! * `PHISHINGHOOK_MAX_BATCH` — jobs coalesced per model call (default 64)
 //! * `PHISHINGHOOK_BATCH_WAIT_US` — max coalescing wait (default 200)
 //! * `PHISHINGHOOK_QUEUE_CAP` — queue bound; overflow answers 429 (default 1024)
 //! * `PHISHINGHOOK_SERVE_WORKERS` — warm worker pool size (default: available cores)
 
-use phishinghook::Detector;
+use phishinghook::{CascadeDetector, Detector};
 use phishinghook_artifact::OwnedArtifact;
 use phishinghook_serve::{Server, ServerConfig};
 use std::process::ExitCode;
@@ -30,28 +34,54 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let detector = match Detector::from_artifact(&artifact) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("phishinghook-served: cannot decode {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let kind = detector.kind();
-
     let cfg = ServerConfig::from_env();
-    let server = match Server::start(Arc::new(detector), bind.as_str(), cfg) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("phishinghook-served: cannot bind {bind}: {e}");
-            return ExitCode::FAILURE;
+
+    // Sniff the artifact type: a cascade container carries a "cascade"
+    // section; a flat detector does not.
+    let (server, banner) = if artifact.section("cascade").is_ok() {
+        let cascade = match CascadeDetector::from_artifact(&artifact) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("phishinghook-served: cannot decode {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let banner = format!(
+            "cascade {} → {} (band [{:.3}, {:.3}], budget {:.0}%)",
+            cascade.screen().kind().id(),
+            cascade.confirm().kind().id(),
+            cascade.band().0,
+            cascade.band().1,
+            cascade.escalate_budget() * 100.0
+        );
+        match Server::start_cascade(Arc::new(cascade), bind.as_str(), cfg) {
+            Ok(s) => (s, banner),
+            Err(e) => {
+                eprintln!("phishinghook-served: cannot bind {bind}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let detector = match Detector::from_artifact(&artifact) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("phishinghook-served: cannot decode {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let kind = detector.kind();
+        let banner = format!("{} ({})", kind.name(), kind.id());
+        match Server::start(Arc::new(detector), bind.as_str(), cfg) {
+            Ok(s) => (s, banner),
+            Err(e) => {
+                eprintln!("phishinghook-served: cannot bind {bind}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
     println!(
-        "phishinghook-served: {} ({}) listening on http://{}",
-        kind.name(),
-        kind.id(),
+        "phishinghook-served: {banner} listening on http://{}",
         server.local_addr()
     );
     println!(

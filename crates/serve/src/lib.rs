@@ -30,9 +30,20 @@
 //! `PHISHINGHOOK_MAX_BATCH`, `PHISHINGHOOK_BATCH_WAIT_US`,
 //! `PHISHINGHOOK_QUEUE_CAP`, `PHISHINGHOOK_SERVE_WORKERS`.
 //!
+//! The same front also serves a two-stage **cascade**
+//! ([`server::Server::start_cascade`]): the slot then holds a
+//! [`CascadeDetector`](phishinghook::CascadeDetector) — cheap calibrated
+//! screen, uncertainty-band routing, deep confirmer — behind the very
+//! same queue, and `GET /healthz` reports the screened/escalated routing
+//! counters. Because both stages live in one `Arc`, a hot swap
+//! ([`swap::ModelSlot`], now generic over the scorer) replaces the whole
+//! cascade atomically: no request can pair stages from different
+//! generations.
+//!
 //! The `phishinghook-served` binary wraps [`server::Server`] around an
-//! artifact path; [`server::Server::start`] is the embeddable form used
-//! by the tests, benches, and the `serve_and_query` example.
+//! artifact path (sniffing cascade vs. flat artifacts by section);
+//! [`server::Server::start`] is the embeddable form used by the tests,
+//! benches, and the `serve_and_query` example.
 
 pub mod http;
 pub mod queue;

@@ -21,11 +21,11 @@ use crate::http::{read_request, write_response, Limits};
 use crate::queue::{MicroBatcher, QueueConfig, SubmitError};
 use crate::swap::ModelSlot;
 use phishinghook::json::Value;
-use phishinghook::Detector;
+use phishinghook::{CascadeDetector, CascadeVerdict, Detector};
 use phishinghook_evm::Bytecode;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -64,9 +64,67 @@ impl ServerConfig {
     }
 }
 
+/// Which scorer the server fronts. Both variants share the acceptor, the
+/// HTTP parser and the micro-batching queue machinery; they differ in the
+/// slot's scorer type and the reply shape.
+enum Engine {
+    /// A flat single-model detector.
+    Single {
+        slot: Arc<ModelSlot>,
+        queue: MicroBatcher<Arc<ModelSlot>>,
+    },
+    /// A two-stage cascade. The whole [`CascadeDetector`] (both stages +
+    /// calibrators + band) lives behind one slot, so a hot swap replaces
+    /// the pair atomically, and the serve layer tallies routing counters
+    /// off the returned verdicts (they survive swaps — they belong to the
+    /// server, not any one generation).
+    Cascade {
+        slot: Arc<ModelSlot<CascadeDetector>>,
+        queue: MicroBatcher<Arc<ModelSlot<CascadeDetector>>>,
+        screened: AtomicU64,
+        escalated: AtomicU64,
+    },
+}
+
+impl Engine {
+    fn queue_depth(&self) -> usize {
+        match self {
+            Engine::Single { queue, .. } => queue.depth(),
+            Engine::Cascade { queue, .. } => queue.depth(),
+        }
+    }
+
+    fn queue_config(&self) -> QueueConfig {
+        match self {
+            Engine::Single { queue, .. } => *queue.config(),
+            Engine::Cascade { queue, .. } => *queue.config(),
+        }
+    }
+
+    fn queue_stats(&self) -> crate::queue::QueueStats {
+        match self {
+            Engine::Single { queue, .. } => queue.stats(),
+            Engine::Cascade { queue, .. } => queue.stats(),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        match self {
+            Engine::Single { slot, .. } => slot.generation(),
+            Engine::Cascade { slot, .. } => slot.generation(),
+        }
+    }
+
+    fn uptime(&self) -> Duration {
+        match self {
+            Engine::Single { slot, .. } => slot.uptime(),
+            Engine::Cascade { slot, .. } => slot.uptime(),
+        }
+    }
+}
+
 struct Inner {
-    slot: Arc<ModelSlot>,
-    queue: MicroBatcher<Arc<ModelSlot>>,
+    engine: Engine,
     limits: Limits,
     read_timeout: Duration,
     max_request_contracts: usize,
@@ -113,12 +171,65 @@ impl Server {
         addr: impl ToSocketAddrs,
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
         let slot = Arc::new(ModelSlot::new(detector, generation));
-        let inner = Arc::new(Inner {
+        let engine = Engine::Single {
             queue: MicroBatcher::start(Arc::clone(&slot), cfg.queue),
             slot,
+        };
+        Server::start_engine(engine, addr, cfg)
+    }
+
+    /// Starts a server fronting a two-stage [`CascadeDetector`] instead
+    /// of a flat detector, as artifact generation 0: every request rides
+    /// the same micro-batching queue, stage 1 screens the coalesced
+    /// batch, and only in-band contracts pay the deep confirmer. Replies
+    /// carry the escalated flag, and `GET /healthz` reports the routing
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures.
+    pub fn start_cascade(
+        cascade: Arc<CascadeDetector>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Server::start_cascade_with_generation(cascade, 0, addr, cfg)
+    }
+
+    /// [`Server::start_cascade`], declaring the initial artifact
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures.
+    pub fn start_cascade_with_generation(
+        cascade: Arc<CascadeDetector>,
+        generation: u64,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let slot = Arc::new(ModelSlot::new(cascade, generation));
+        let engine = Engine::Cascade {
+            queue: MicroBatcher::start(Arc::clone(&slot), cfg.queue),
+            slot,
+            screened: AtomicU64::new(0),
+            escalated: AtomicU64::new(0),
+        };
+        Server::start_engine(engine, addr, cfg)
+    }
+
+    /// The shared tail of both start paths: bind, wrap the engine, spawn
+    /// the acceptor.
+    fn start_engine(
+        engine: Engine,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            engine,
             limits: cfg.limits,
             read_timeout: cfg.read_timeout,
             max_request_contracts: cfg.max_request_contracts,
@@ -166,25 +277,90 @@ impl Server {
     /// Live queue statistics (see
     /// [`QueueStats`](crate::queue::QueueStats)).
     pub fn queue_stats(&self) -> crate::queue::QueueStats {
-        self.inner.queue.stats()
+        self.inner.engine.queue_stats()
     }
 
     /// Hot-swaps the served model: every batch that starts after this
     /// call scores on `detector`; batches already in flight finish on the
     /// previous model and no request is dropped. Returns the generation
     /// that was replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server was started with [`Server::start_cascade`]
+    /// — a cascade server swaps whole cascades
+    /// ([`Server::install_cascade`]), never a bare stage.
     pub fn install(&self, detector: Arc<Detector>, generation: u64) -> u64 {
-        self.inner.slot.install(detector, generation)
+        match &self.inner.engine {
+            Engine::Single { slot, .. } => slot.install(detector, generation),
+            Engine::Cascade { .. } => {
+                panic!("install() on a cascade server; use install_cascade()")
+            }
+        }
+    }
+
+    /// Hot-swaps the served cascade — both stages, their calibrators and
+    /// the band move in one atomic install, so no batch can pair an old
+    /// screen with a new confirmer. Returns the replaced generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server was started with [`Server::start`] (a flat
+    /// server swaps detectors via [`Server::install`]).
+    pub fn install_cascade(&self, cascade: Arc<CascadeDetector>, generation: u64) -> u64 {
+        match &self.inner.engine {
+            Engine::Cascade { slot, .. } => slot.install(cascade, generation),
+            Engine::Single { .. } => {
+                panic!("install_cascade() on a flat server; use install()")
+            }
+        }
     }
 
     /// The live artifact generation (also reported by `GET /healthz`).
     pub fn generation(&self) -> u64 {
-        self.inner.slot.generation()
+        self.inner.engine.generation()
     }
 
     /// A snapshot of the live detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cascade server (use [`Server::cascade`]).
     pub fn detector(&self) -> Arc<Detector> {
-        self.inner.slot.detector()
+        match &self.inner.engine {
+            Engine::Single { slot, .. } => slot.detector(),
+            Engine::Cascade { .. } => panic!("detector() on a cascade server; use cascade()"),
+        }
+    }
+
+    /// A snapshot of the live cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a flat server (use [`Server::detector`]).
+    pub fn cascade(&self) -> Arc<CascadeDetector> {
+        match &self.inner.engine {
+            Engine::Cascade { slot, .. } => slot.detector(),
+            Engine::Single { .. } => panic!("cascade() on a flat server; use detector()"),
+        }
+    }
+
+    /// Cumulative cascade routing counters `(screened, escalated)`:
+    /// contracts scored through the cascade since the server started, and
+    /// how many of those were routed to the deep confirmer. Counters
+    /// survive hot swaps. Returns zeros on a flat server.
+    pub fn cascade_counters(&self) -> (u64, u64) {
+        match &self.inner.engine {
+            Engine::Cascade {
+                screened,
+                escalated,
+                ..
+            } => (
+                screened.load(Ordering::Relaxed),
+                escalated.load(Ordering::Relaxed),
+            ),
+            Engine::Single { .. } => (0, 0),
+        }
     }
 
     /// Stops accepting connections, lets in-flight exchanges finish, and
@@ -302,27 +478,87 @@ fn score_to_json(kind_id: &str, probability: f32) -> Value {
     ])
 }
 
+/// One cascade verdict's reply fields (shared by the single and batch
+/// routes): the comparable probability, the escalated flag, and the
+/// thresholded call.
+fn cascade_verdict_fields(v: &CascadeVerdict) -> Vec<(String, Value)> {
+    vec![
+        ("probability".into(), Value::Num(v.probability as f64)),
+        ("escalated".into(), Value::Bool(v.escalated)),
+        ("phishing".into(), Value::Bool(v.is_phishing())),
+    ]
+}
+
+/// Folds a batch of cascade verdicts into the serve-layer routing
+/// counters.
+fn tally_cascade(screened: &AtomicU64, escalated: &AtomicU64, verdicts: &[CascadeVerdict]) {
+    screened.fetch_add(verdicts.len() as u64, Ordering::Relaxed);
+    let up = verdicts.iter().filter(|v| v.escalated).count() as u64;
+    if up > 0 {
+        escalated.fetch_add(up, Ordering::Relaxed);
+    }
+}
+
 fn route(inner: &Inner, method: &str, target: &str, body: &[u8]) -> Reply {
     match (method, target) {
         ("GET", "/healthz") => {
-            let cfg = inner.queue.config();
-            let (detector, generation) = inner.slot.snapshot();
-            Reply::ok(
-                Value::Obj(vec![
-                    ("status".into(), Value::Str("ok".into())),
-                    ("model".into(), Value::Str(detector.kind().id().into())),
-                    ("generation".into(), Value::Num(generation as f64)),
-                    (
-                        "uptime_seconds".into(),
-                        Value::Num(inner.slot.uptime().as_secs_f64()),
-                    ),
-                    ("queue_depth".into(), Value::Num(inner.queue.depth() as f64)),
-                    ("max_batch".into(), Value::Num(cfg.max_batch as f64)),
-                    ("workers".into(), Value::Num(cfg.workers as f64)),
-                ])
-                .render()
-                .into_bytes(),
-            )
+            let cfg = inner.engine.queue_config();
+            let mut fields = vec![
+                ("status".into(), Value::Str("ok".into())),
+                (
+                    "generation".into(),
+                    Value::Num(inner.engine.generation() as f64),
+                ),
+                (
+                    "uptime_seconds".into(),
+                    Value::Num(inner.engine.uptime().as_secs_f64()),
+                ),
+                (
+                    "queue_depth".into(),
+                    Value::Num(inner.engine.queue_depth() as f64),
+                ),
+                ("max_batch".into(), Value::Num(cfg.max_batch as f64)),
+                ("workers".into(), Value::Num(cfg.workers as f64)),
+            ];
+            match &inner.engine {
+                Engine::Single { slot, .. } => {
+                    fields.insert(
+                        1,
+                        (
+                            "model".into(),
+                            Value::Str(slot.detector().kind().id().into()),
+                        ),
+                    );
+                }
+                Engine::Cascade {
+                    slot,
+                    screened,
+                    escalated,
+                    ..
+                } => {
+                    let cascade = slot.detector();
+                    let n = screened.load(Ordering::Relaxed);
+                    let up = escalated.load(Ordering::Relaxed);
+                    fields.insert(1, ("model".into(), Value::Str("cascade".into())));
+                    fields.extend([
+                        (
+                            "screen_model".into(),
+                            Value::Str(cascade.screen().kind().id().into()),
+                        ),
+                        (
+                            "confirm_model".into(),
+                            Value::Str(cascade.confirm().kind().id().into()),
+                        ),
+                        ("cascade_screened".into(), Value::Num(n as f64)),
+                        ("cascade_escalated".into(), Value::Num(up as f64)),
+                        (
+                            "cascade_escalation_rate".into(),
+                            Value::Num(if n == 0 { 0.0 } else { up as f64 / n as f64 }),
+                        ),
+                    ]);
+                }
+            }
+            Reply::ok(Value::Obj(fields).render().into_bytes())
         }
         ("POST", "/predict") | ("POST", "/predict_batch") => {
             let Ok(text) = std::str::from_utf8(body) else {
@@ -331,7 +567,6 @@ fn route(inner: &Inner, method: &str, target: &str, body: &[u8]) -> Reply {
             let Some(doc) = phishinghook::json::parse(text) else {
                 return Reply::error(400, "Bad Request", "body is not valid JSON");
             };
-            let kind_id = inner.slot.detector().kind().id();
             if target == "/predict" {
                 let Some(hex) = doc.get("bytecode").and_then(Value::as_str) else {
                     return Reply::error(400, "Bad Request", "missing \"bytecode\" field");
@@ -340,39 +575,112 @@ fn route(inner: &Inner, method: &str, target: &str, body: &[u8]) -> Reply {
                     Ok(c) => c,
                     Err(e) => return Reply::error(400, "Bad Request", &format!("bytecode: {e}")),
                 };
-                match inner.queue.submit(code) {
-                    Ok(p) => Reply::ok(score_to_json(kind_id, p).render().into_bytes()),
-                    Err(e) => submit_error_reply(e),
+                match &inner.engine {
+                    Engine::Single { slot, queue } => {
+                        let kind_id = slot.detector().kind().id();
+                        match queue.submit(code) {
+                            Ok(p) => Reply::ok(score_to_json(kind_id, p).render().into_bytes()),
+                            Err(e) => submit_error_reply(e),
+                        }
+                    }
+                    Engine::Cascade {
+                        queue,
+                        screened,
+                        escalated,
+                        ..
+                    } => match queue.submit(code) {
+                        Ok(v) => {
+                            tally_cascade(screened, escalated, &[v]);
+                            let mut fields = vec![("model".into(), Value::Str("cascade".into()))];
+                            fields.extend(cascade_verdict_fields(&v));
+                            Reply::ok(Value::Obj(fields).render().into_bytes())
+                        }
+                        Err(e) => submit_error_reply(e),
+                    },
                 }
             } else {
                 let codes = match parse_contracts(&doc, "contracts", inner.max_request_contracts) {
                     Ok(c) => c,
                     Err(reply) => return reply,
                 };
-                match inner.queue.submit_many(codes) {
-                    Ok(probs) => Reply::ok(
-                        Value::Obj(vec![
-                            ("model".into(), Value::Str(kind_id.into())),
-                            (
-                                "probabilities".into(),
-                                Value::Arr(probs.iter().map(|&p| Value::Num(p as f64)).collect()),
+                match &inner.engine {
+                    Engine::Single { slot, queue } => {
+                        let kind_id = slot.detector().kind().id();
+                        match queue.submit_many(codes) {
+                            Ok(probs) => Reply::ok(
+                                Value::Obj(vec![
+                                    ("model".into(), Value::Str(kind_id.into())),
+                                    (
+                                        "probabilities".into(),
+                                        Value::Arr(
+                                            probs.iter().map(|&p| Value::Num(p as f64)).collect(),
+                                        ),
+                                    ),
+                                    (
+                                        "phishing".into(),
+                                        Value::Arr(
+                                            probs
+                                                .iter()
+                                                .map(|&p| {
+                                                    Value::Bool(
+                                                        p >= phishinghook::PHISHING_THRESHOLD,
+                                                    )
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                                .render()
+                                .into_bytes(),
                             ),
-                            (
-                                "phishing".into(),
-                                Value::Arr(
-                                    probs
-                                        .iter()
-                                        .map(|&p| {
-                                            Value::Bool(p >= phishinghook::PHISHING_THRESHOLD)
-                                        })
-                                        .collect(),
-                                ),
-                            ),
-                        ])
-                        .render()
-                        .into_bytes(),
-                    ),
-                    Err(e) => submit_error_reply(e),
+                            Err(e) => submit_error_reply(e),
+                        }
+                    }
+                    Engine::Cascade {
+                        queue,
+                        screened,
+                        escalated,
+                        ..
+                    } => match queue.submit_many(codes) {
+                        Ok(verdicts) => {
+                            tally_cascade(screened, escalated, &verdicts);
+                            Reply::ok(
+                                Value::Obj(vec![
+                                    ("model".into(), Value::Str("cascade".into())),
+                                    (
+                                        "probabilities".into(),
+                                        Value::Arr(
+                                            verdicts
+                                                .iter()
+                                                .map(|v| Value::Num(v.probability as f64))
+                                                .collect(),
+                                        ),
+                                    ),
+                                    (
+                                        "escalated".into(),
+                                        Value::Arr(
+                                            verdicts
+                                                .iter()
+                                                .map(|v| Value::Bool(v.escalated))
+                                                .collect(),
+                                        ),
+                                    ),
+                                    (
+                                        "phishing".into(),
+                                        Value::Arr(
+                                            verdicts
+                                                .iter()
+                                                .map(|v| Value::Bool(v.is_phishing()))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                                .render()
+                                .into_bytes(),
+                            )
+                        }
+                        Err(e) => submit_error_reply(e),
+                    },
                 }
             }
         }

@@ -18,21 +18,28 @@ use phishinghook_evm::Bytecode;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// A swappable, generation-counted detector slot shared by the serving
+/// A swappable, generation-counted scorer slot shared by the serving
 /// queue and the retrain loop.
-pub struct ModelSlot {
+///
+/// Generic over the scorer (defaulting to the flat [`Detector`]), which
+/// is what makes cascade hot swap atomic for free: a
+/// `ModelSlot<CascadeDetector>` holds *both* cascade stages behind one
+/// `Arc`, so an install replaces screen and confirmer in the same swap —
+/// no request can ever observe a stage-1 from one generation paired with
+/// a stage-2 from another.
+pub struct ModelSlot<S: CodeScorer = Detector> {
     /// The live model and its generation, swapped together so a reader
     /// never pairs a new model with an old generation number.
-    live: Mutex<(Arc<Detector>, u64)>,
+    live: Mutex<(Arc<S>, u64)>,
     started: Instant,
 }
 
-impl ModelSlot {
-    /// A slot serving `detector` as artifact generation `generation`
+impl<S: CodeScorer> ModelSlot<S> {
+    /// A slot serving `scorer` as artifact generation `generation`
     /// (use 0 for a model loaded outside any publish directory).
-    pub fn new(detector: Arc<Detector>, generation: u64) -> Self {
+    pub fn new(scorer: Arc<S>, generation: u64) -> Self {
         ModelSlot {
-            live: Mutex::new((detector, generation)),
+            live: Mutex::new((scorer, generation)),
             started: Instant::now(),
         }
     }
@@ -40,13 +47,13 @@ impl ModelSlot {
     /// One consistent `(model, generation)` snapshot. The returned `Arc`
     /// keeps that generation alive for as long as the caller scores with
     /// it, regardless of later installs.
-    pub fn snapshot(&self) -> (Arc<Detector>, u64) {
+    pub fn snapshot(&self) -> (Arc<S>, u64) {
         let live = self.live.lock().unwrap();
         (Arc::clone(&live.0), live.1)
     }
 
-    /// The live detector.
-    pub fn detector(&self) -> Arc<Detector> {
+    /// The live scorer.
+    pub fn detector(&self) -> Arc<S> {
         self.snapshot().0
     }
 
@@ -58,10 +65,10 @@ impl ModelSlot {
     /// Swaps in a new model generation and returns the generation it
     /// replaced. Takes effect for every batch that snapshots after this
     /// call; batches already scoring finish on the old model.
-    pub fn install(&self, detector: Arc<Detector>, generation: u64) -> u64 {
+    pub fn install(&self, scorer: Arc<S>, generation: u64) -> u64 {
         let mut live = self.live.lock().unwrap();
         let previous = live.1;
-        *live = (detector, generation);
+        *live = (scorer, generation);
         previous
     }
 
@@ -71,13 +78,13 @@ impl ModelSlot {
     }
 }
 
-impl CodeScorer for ModelSlot {
-    type Output = f32;
+impl<S: CodeScorer> CodeScorer for ModelSlot<S> {
+    type Output = S::Output;
 
     /// Scores one batch against a single snapshot of the live model: the
     /// swap seam's whole contract is that this `Arc` is read exactly once
     /// per batch.
-    fn score_many(&self, codes: &[Bytecode]) -> Vec<f32> {
+    fn score_many(&self, codes: &[Bytecode]) -> Vec<S::Output> {
         self.detector().score_many(codes)
     }
 }

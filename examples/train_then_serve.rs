@@ -13,6 +13,13 @@
 //! With no arguments both phases run in sequence through a temp
 //! directory — the same flow, one command. CI runs the two-command form
 //! so the parity check crosses a real process boundary.
+//!
+//! Each phase covers *two* artifacts: the flat `RandomForest` detector
+//! and a two-stage cascade (forest screen → ESCORT confirmer, stored as
+//! `<artifact>.cascade`). For the cascade, parity means every verdict's
+//! probability **and** its escalated flag reproduce bit-identically in
+//! the fresh process — both stages, both calibrators, and the band all
+//! round-trip through one `.phk` container.
 
 use phishinghook::prelude::*;
 use phishinghook_artifact::{ArtifactReader, ArtifactWriter, ByteReader, ByteWriter};
@@ -67,8 +74,41 @@ fn train(artifact_path: &str, scores_path: &str) {
     let mut payload = ByteWriter::new();
     payload.put_str(detector.kind().id());
     payload.put_f32_slice(&scores);
+
+    // The cascade rides the same two files: its own artifact alongside
+    // the flat one, its reference verdicts (probability + escalated flag)
+    // in a second section of the scores file.
+    let t1 = Instant::now();
+    let cascade = CascadeDetector::train(
+        &ctx,
+        ModelKind::RandomForest,
+        ModelKind::Escort,
+        &CascadeConfig::default(),
+        TRAIN_SEED,
+    );
+    let cascade_path = format!("{artifact_path}.cascade");
+    cascade.save(&cascade_path).expect("write cascade artifact");
+    let verdicts = cascade.score_codes(&screening_batch());
+    let escalated = verdicts.iter().filter(|v| v.escalated).count();
+    println!(
+        "[train] cascade {} -> {} in {:.2}s ({escalated}/{} escalated) -> {cascade_path}",
+        cascade.screen().kind().id(),
+        cascade.confirm().kind().id(),
+        t1.elapsed().as_secs_f64(),
+        verdicts.len()
+    );
+    let mut cascade_payload = ByteWriter::new();
+    cascade_payload.put_f32_slice(&verdicts.iter().map(|v| v.probability).collect::<Vec<_>>());
+    cascade_payload.put_bytes(
+        &verdicts
+            .iter()
+            .map(|v| v.escalated as u8)
+            .collect::<Vec<_>>(),
+    );
+
     let mut scores_artifact = ArtifactWriter::new();
     scores_artifact.section("scores", payload.into_bytes());
+    scores_artifact.section("cascade_verdicts", cascade_payload.into_bytes());
     scores_artifact
         .write_file(scores_path)
         .expect("write scores");
@@ -119,6 +159,58 @@ fn serve(artifact_path: &str, scores_path: &str) {
             mismatches.len(),
             expected.len(),
             mismatches[0]
+        );
+        std::process::exit(1);
+    }
+
+    // The cascade artifact: both stages, both calibrators and the band
+    // cold-start from one container, and every verdict — probability AND
+    // routing decision — must reproduce bit-identically.
+    let t1 = Instant::now();
+    let cascade_path = format!("{artifact_path}.cascade");
+    let cascade = match CascadeDetector::load(&cascade_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("[serve] failed to load cascade artifact: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "[serve] loaded cascade {} -> {} (band [{:.3}, {:.3}]) in {:.1} ms",
+        cascade.screen().kind().id(),
+        cascade.confirm().kind().id(),
+        cascade.band().0,
+        cascade.band().1,
+        t1.elapsed().as_secs_f64() * 1e3
+    );
+    let verdicts = cascade.score_codes(&screening_batch());
+    let mut cascade_payload = ByteReader::new(
+        reference
+            .section("cascade_verdicts")
+            .expect("cascade_verdicts section"),
+    );
+    let expected_probs = cascade_payload.take_f32_slice().expect("probabilities");
+    let expected_escalated = cascade_payload.take_bytes().expect("escalated flags");
+    let cascade_mismatches: Vec<usize> = (0..verdicts.len().max(expected_probs.len()))
+        .filter(|&i| {
+            verdicts.get(i).map(|v| v.probability.to_bits())
+                != expected_probs.get(i).map(|p| p.to_bits())
+                || verdicts.get(i).map(|v| v.escalated as u8) != expected_escalated.get(i).copied()
+        })
+        .collect();
+    if cascade_mismatches.is_empty() {
+        let escalated = verdicts.iter().filter(|v| v.escalated).count();
+        println!(
+            "[serve] {} cascade verdicts (probability + escalated flag, {escalated} escalated) \
+             match the training process bit-for-bit ✓",
+            verdicts.len()
+        );
+    } else {
+        eprintln!(
+            "[serve] CASCADE PARITY FAILURE: {} of {} verdicts differ (first at index {})",
+            cascade_mismatches.len(),
+            expected_probs.len(),
+            cascade_mismatches[0]
         );
         std::process::exit(1);
     }

@@ -1,0 +1,56 @@
+//! Pins the cascade's decode-once guarantee with the process-global
+//! decode counter: scoring N fresh contracts through a two-stage cascade
+//! — including escalations to a confirmer with a *different* encoding —
+//! moves [`decode_count`] by exactly N. Stage 2 re-encodes escalated
+//! contracts from stage 1's [`DisasmCache`]s; it never re-decodes.
+//!
+//! This file deliberately contains exactly one test (the same convention
+//! as `tests/evalstore_decode_once.rs`): the counter is process-global,
+//! so exact-delta assertions only hold when no sibling test decodes
+//! concurrently in the same binary.
+
+use phishinghook::prelude::*;
+use phishinghook::EvalProfile;
+use phishinghook_evm::{decode_count, Bytecode};
+
+#[test]
+fn cascade_scoring_decodes_each_contract_exactly_once() {
+    let corpus = generate_corpus(&CorpusConfig::small(42));
+    let chain = SimulatedChain::from_corpus(&corpus);
+    let (dataset, _) = extract_dataset(&chain, &BemConfig::default());
+    let ctx = EvalContext::new(&dataset, &EvalProfile::quick());
+    // Forest screens on opcode histograms; ESCORT confirms on its own
+    // encoding — so every escalation exercises the re-encode (not
+    // re-decode) path across encodings.
+    let cascade = CascadeDetector::train(
+        &ctx,
+        ModelKind::RandomForest,
+        ModelKind::Escort,
+        &CascadeConfig::default(),
+        7,
+    );
+
+    let fresh = generate_corpus(&CorpusConfig::small(99));
+    let fresh_chain = SimulatedChain::from_corpus(&fresh);
+    let codes: Vec<Bytecode> = fresh_chain
+        .records()
+        .iter()
+        .take(24)
+        .map(|r| r.bytecode.clone())
+        .collect();
+
+    let before = decode_count();
+    let verdicts = cascade.score_codes(&codes);
+    let after = decode_count();
+
+    assert_eq!(
+        after - before,
+        codes.len() as u64,
+        "cascade must decode each contract exactly once, escalated or not"
+    );
+    let escalations = verdicts.iter().filter(|v| v.escalated).count();
+    assert!(
+        escalations > 0,
+        "no contract escalated; the stage-2 no-decode path was never exercised"
+    );
+}
