@@ -57,12 +57,14 @@ pub mod cursor;
 pub mod error;
 pub mod owned;
 pub mod publish;
+pub mod watch;
 
 pub use container::{ArtifactReader, ArtifactWriter, FORMAT_VERSION, MAGIC};
 pub use cursor::{ByteReader, ByteWriter};
 pub use error::ArtifactError;
 pub use owned::OwnedArtifact;
 pub use publish::{ArtifactPublisher, PublishedArtifact};
+pub use watch::{ArtifactWatcher, ValidArtifact, WatchConfig, WatchOutcome, WatchStats};
 
 /// FNV-1a 64-bit hash — the per-section checksum. Not cryptographic; it
 /// guards against truncation and bit rot, not adversaries.

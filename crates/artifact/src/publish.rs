@@ -85,8 +85,10 @@ impl ArtifactPublisher {
 
     /// Publishes `bytes` as the next generation: writes
     /// `gen-<N>.phk.tmp`, syncs, renames it to `gen-<N>.phk`, then swings
-    /// the `CURRENT` pointer the same way. Readers racing this call see
-    /// either the previous generation or the new one, complete.
+    /// the `CURRENT` pointer the same way, fsyncing the directory after
+    /// each rename so a crash immediately after publish cannot lose or
+    /// tear the pointer. Readers racing this call see either the previous
+    /// generation or the new one, complete.
     ///
     /// # Errors
     ///
@@ -95,8 +97,17 @@ impl ArtifactPublisher {
         let generation = self.next_generation;
         let name = format!("gen-{generation}.phk");
         let path = self.dir.join(&name);
-        write_atomically(&path, &bytes)?;
-        write_atomically(&self.dir.join(CURRENT), name.as_bytes())?;
+        // Injected crash windows: a publisher killed between the temp
+        // write and either rename must leave readers on the previous
+        // complete generation.
+        write_atomically(&path, &bytes, Some("publish.gen_temp"))?;
+        phishinghook_retry::crash_point("publish.gen_renamed");
+        write_atomically(
+            &self.dir.join(CURRENT),
+            name.as_bytes(),
+            Some("publish.current_temp"),
+        )?;
+        sync_dir(&self.dir)?;
         self.next_generation += 1;
         Ok(PublishedArtifact { generation, path })
     }
@@ -138,9 +149,16 @@ fn parse_generation(name: &str) -> Option<u64> {
         .ok()
 }
 
-/// Write-temp + fsync + rename: the all-or-nothing file update both the
-/// artifact files and the `CURRENT` pointer go through.
-fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), ArtifactError> {
+/// Write-temp + fsync + rename (+ directory fsync): the all-or-nothing
+/// file update both the artifact files and the `CURRENT` pointer go
+/// through. `crash_after_temp` names an injected crash window between the
+/// synced temp write and the rename — the torn-publish state the watcher
+/// layer must tolerate.
+fn write_atomically(
+    path: &Path,
+    bytes: &[u8],
+    crash_after_temp: Option<&str>,
+) -> Result<(), ArtifactError> {
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
@@ -148,7 +166,25 @@ fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), ArtifactError> {
     file.write_all(bytes)?;
     file.sync_data()?;
     drop(file);
+    if let Some(point) = crash_after_temp {
+        phishinghook_retry::crash_point(point);
+    }
     fs::rename(&tmp, path)?;
+    sync_dir(path.parent().unwrap_or(Path::new(".")))?;
+    Ok(())
+}
+
+/// Fsyncs a directory so a completed rename survives power loss. A no-op
+/// on platforms where directories cannot be opened for syncing.
+fn sync_dir(dir: &Path) -> Result<(), ArtifactError> {
+    #[cfg(unix)]
+    {
+        fs::File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
     Ok(())
 }
 

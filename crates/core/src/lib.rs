@@ -85,6 +85,7 @@ pub use metrics::{auc, Confusion, Metrics, UnknownMetric, METRIC_NAMES};
 pub use pam::{posthoc_analysis, posthoc_over, PosthocReport};
 pub use phishinghook_artifact::ArtifactError;
 pub use phishinghook_models::Model;
+pub use phishinghook_retry as retry;
 pub use scalability::{
     run_scalability, run_scalability_on, ScalabilityStudy, SCALABILITY_MODELS, SPLIT_RATIOS,
 };

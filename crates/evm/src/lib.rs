@@ -47,7 +47,10 @@ pub use opcodes::{
     SHANGHAI_OPCODE_COUNT,
 };
 pub use opid::OpId;
-pub use stream::{CodeLogCursor, CodeLogError, CodeLogWriter};
+pub use stream::{
+    CodeLogCursor, CodeLogEntry, CodeLogError, CodeLogTailer, CodeLogWriter, RecordMeta,
+    TailConfig, TailEvent,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -4,12 +4,23 @@
 //! An ingest daemon tails the chain and journals every unique deployed
 //! bytecode it sees, so a restart (or a downstream retrain) can replay
 //! exactly the contracts already observed without re-querying the chain.
-//! The format is deliberately dumb: a fixed header, then length-prefixed
-//! records, each guarded by an FNV-1a checksum. A process killed
+//! The format is deliberately dumb: a fixed header carrying a per-log
+//! identity, then length-prefixed records, each guarded by an FNV-1a
+//! checksum over a tagged body (raw bytecode, or bytecode plus a
+//! label/month annotation for downstream retraining). A process killed
 //! mid-append leaves a truncated tail; the cursor reports that as a typed
 //! [`CodeLogError::Truncated`] instead of panicking mid-stream, and a
 //! flipped bit surfaces as [`CodeLogError::Corrupt`] — the reader never
 //! trusts a record the writer did not finish.
+//!
+//! Truncation is *retryable*: a live log legitimately ends mid-record
+//! while a separate scanner process is flushing an append, so a
+//! `Truncated` cursor stays positioned at the last good offset and
+//! [`CodeLogCursor::resume`] re-arms it. Only `Corrupt` (and `Format`)
+//! poison the cursor. [`CodeLogTailer`] packages that loop — follow a
+//! growing log across process boundaries with jittered backoff, detect
+//! rotation through the header identity, and surface a typed
+//! [`CodeLogError::Stalled`] when the writer goes quiet past a deadline.
 //!
 //! # Examples
 //!
@@ -30,35 +41,55 @@
 //! ```
 
 use crate::Bytecode;
+use phishinghook_retry::policy::{Backoff, Clock, RetryPolicy, SystemClock};
 use std::fmt;
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Magic of a code-log file: **P**hishing**H**oo**K** **L**og.
 pub const CODELOG_MAGIC: [u8; 4] = *b"PHKL";
 
-/// Code-log format version.
-pub const CODELOG_VERSION: u32 = 1;
+/// Code-log format version. Version 2 added the per-log identity in the
+/// header (rotation detection) and the tagged record body (label/month
+/// annotations).
+pub const CODELOG_VERSION: u32 = 2;
 
-/// Hard cap on a single record's payload. Deployed EVM bytecode is capped
+/// Size of the v2 header: magic, version, log identity.
+pub const CODELOG_HEADER_BYTES: u64 = 16;
+
+/// Hard cap on a single record's body. Deployed EVM bytecode is capped
 /// at 24 KiB on mainnet; anything near this bound is a corrupted length
 /// prefix, and rejecting it keeps a garbage tail from forcing a huge
 /// allocation.
 pub const MAX_RECORD_BYTES: u32 = 1 << 24;
 
+/// Record body tag: raw bytecode, no annotation.
+const TAG_RAW: u8 = 0;
+/// Record body tag: label byte + month `u16` LE, then bytecode.
+const TAG_LABELED: u8 = 1;
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
-/// FNV-1a over a byte slice (the same function the artifact layer uses for
-/// section checksums; inlined here so the substrate crate stays leaf-level).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over a sequence of byte slices (the same function the artifact
+/// layer uses for section checksums; inlined here so the substrate crate
+/// stays leaf-level). Streaming over parts lets the writer checksum
+/// `tag | meta | payload` without concatenating them first.
+fn fnv1a_parts(parts: &[&[u8]]) -> u64 {
     let mut hash = FNV_OFFSET;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(FNV_PRIME);
+    for part in parts {
+        for &b in *part {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
     }
     hash
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_parts(&[bytes])
 }
 
 /// Typed failure of a code-log read.
@@ -68,19 +99,30 @@ pub enum CodeLogError {
     Io(io::Error),
     /// The file is not a code log (bad magic) or an unknown version.
     Format(String),
-    /// The log ends mid-record at `offset` — the writer was killed
-    /// mid-append. Every record before `offset` is intact.
+    /// The log ends mid-record at `offset` — the writer was killed (or is
+    /// still flushing) mid-append. Every record before `offset` is intact,
+    /// and a cursor that reported this can [`CodeLogCursor::resume`] once
+    /// the writer has caught up.
     Truncated {
         /// Byte offset of the record the log ends inside of.
         offset: u64,
     },
-    /// A complete record at `offset` fails validation (checksum mismatch
-    /// or an absurd length prefix) — bit rot or a garbage tail.
+    /// A complete record at `offset` fails validation (checksum mismatch,
+    /// an absurd length prefix, or an unknown body tag) — bit rot or a
+    /// garbage tail. Fatal: the cursor poisons and will not resume.
     Corrupt {
         /// Byte offset of the failing record.
         offset: u64,
         /// What failed.
         detail: String,
+    },
+    /// A tailing reader waited past its idle deadline without the writer
+    /// making progress.
+    Stalled {
+        /// Byte offset the tail is parked at.
+        offset: u64,
+        /// How long the tail waited without progress.
+        waited: Duration,
     },
 }
 
@@ -95,6 +137,10 @@ impl fmt::Display for CodeLogError {
             CodeLogError::Corrupt { offset, detail } => {
                 write!(f, "code log record at byte {offset} is corrupt: {detail}")
             }
+            CodeLogError::Stalled { offset, waited } => write!(
+                f,
+                "code log writer made no progress past byte {offset} for {waited:?}"
+            ),
         }
     }
 }
@@ -114,42 +160,121 @@ impl From<io::Error> for CodeLogError {
     }
 }
 
+/// The label/month annotation an ingest scanner attaches to a journaled
+/// bytecode so a downstream retrainer can replay supervised samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordMeta {
+    /// Ground-truth label (1 = phishing, 0 = benign).
+    pub label: u8,
+    /// Deployment month index the sample belongs to.
+    pub month: u16,
+}
+
+/// One decoded code-log record: the bytecode plus its optional
+/// supervision annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeLogEntry {
+    /// The journaled bytecode.
+    pub code: Bytecode,
+    /// Label/month annotation, when the writer journaled one.
+    pub meta: Option<RecordMeta>,
+}
+
+fn default_log_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    (nanos ^ ((std::process::id() as u64) << 32)) | 1
+}
+
 /// Appends length-prefixed, checksummed bytecode records to a log file.
 #[derive(Debug)]
 pub struct CodeLogWriter {
     path: PathBuf,
     out: BufWriter<File>,
     records: u64,
+    log_id: u64,
 }
 
 impl CodeLogWriter {
-    /// Creates (or truncates) the log at `path` and writes the header.
+    /// Creates (or truncates) the log at `path` and writes the header,
+    /// stamping a fresh log identity (time ⊕ pid) so readers can detect
+    /// rotation.
     ///
     /// # Errors
     ///
     /// Any I/O failure.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, CodeLogError> {
+        Self::create_with_id(path, default_log_id())
+    }
+
+    /// [`CodeLogWriter::create`] with an explicit log identity, for
+    /// deterministic tests.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure.
+    pub fn create_with_id(path: impl AsRef<Path>, log_id: u64) -> Result<Self, CodeLogError> {
         let path = path.as_ref().to_path_buf();
         let mut out = BufWriter::new(File::create(&path)?);
         out.write_all(&CODELOG_MAGIC)?;
         out.write_all(&CODELOG_VERSION.to_le_bytes())?;
+        out.write_all(&log_id.to_le_bytes())?;
         Ok(CodeLogWriter {
             path,
             out,
             records: 0,
+            log_id,
         })
     }
 
-    /// Appends one bytecode record: `u32` length, `u64` FNV-1a checksum,
-    /// payload.
+    /// Re-opens an existing log for appending: scans to the last intact
+    /// record, truncates any torn tail a previous crash left behind, and
+    /// positions the writer there. [`CodeLogWriter::records`] reports the
+    /// surviving record count.
     ///
     /// # Errors
     ///
-    /// Any I/O failure, plus a payload over [`MAX_RECORD_BYTES`] (which a
-    /// cursor would refuse to read back).
-    pub fn append(&mut self, code: &Bytecode) -> Result<(), CodeLogError> {
-        let payload = code.as_bytes();
-        if payload.len() as u64 >= MAX_RECORD_BYTES as u64 {
+    /// [`CodeLogError::Corrupt`] / [`CodeLogError::Format`] when the
+    /// surviving prefix itself is damaged (resuming would silently
+    /// interleave good records after bad), plus any I/O failure.
+    pub fn resume(path: impl AsRef<Path>) -> Result<Self, CodeLogError> {
+        let path = path.as_ref().to_path_buf();
+        let mut cursor = CodeLogCursor::open(&path)?;
+        let log_id = cursor.log_id();
+        let mut records = 0u64;
+        loop {
+            match cursor.next_entry() {
+                Ok(Some(_)) => records += 1,
+                Ok(None) => break,
+                // A torn tail is exactly what a killed writer leaves;
+                // drop it and append from the last good offset.
+                Err(CodeLogError::Truncated { .. }) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let good = cursor.resume_offset();
+        drop(cursor);
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        file.set_len(good)?;
+        file.sync_data()?;
+        let mut out = BufWriter::new(file);
+        out.seek(SeekFrom::Start(good))?;
+        Ok(CodeLogWriter {
+            path,
+            out,
+            records,
+            log_id,
+        })
+    }
+
+    fn append_body(&mut self, tag: u8, meta: &[u8], payload: &[u8]) -> Result<(), CodeLogError> {
+        let body_len = 1 + meta.len() + payload.len();
+        if body_len as u64 >= MAX_RECORD_BYTES as u64 {
             return Err(CodeLogError::Corrupt {
                 offset: 0,
                 detail: format!(
@@ -158,14 +283,61 @@ impl CodeLogWriter {
                 ),
             });
         }
-        self.out.write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.out.write_all(&fnv1a(payload).to_le_bytes())?;
+        let tag_buf = [tag];
+        let checksum = fnv1a_parts(&[&tag_buf, meta, payload]);
+        // Injected crash window: flush a *torn* record (prefix + partial
+        // payload) to disk, then die without unwinding — the on-disk state
+        // a writer killed mid-append leaves behind.
+        if phishinghook_retry::fault_hit("codelog.torn-append") {
+            let _ = self.out.write_all(&(body_len as u32).to_le_bytes());
+            let _ = self.out.write_all(&checksum.to_le_bytes());
+            let _ = self.out.write_all(&tag_buf);
+            let _ = self.out.write_all(&payload[..payload.len() / 2]);
+            let _ = self.out.flush();
+            let _ = self.out.get_ref().sync_data();
+            eprintln!("fault: tearing code-log append and aborting");
+            std::process::abort();
+        }
+        self.out.write_all(&(body_len as u32).to_le_bytes())?;
+        self.out.write_all(&checksum.to_le_bytes())?;
+        self.out.write_all(&tag_buf)?;
+        self.out.write_all(meta)?;
         self.out.write_all(payload)?;
         self.records += 1;
         Ok(())
     }
 
-    /// Records appended through this writer.
+    /// Appends one raw bytecode record: `u32` body length, `u64` FNV-1a
+    /// checksum, then the tagged body.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure, plus a payload over [`MAX_RECORD_BYTES`] (which a
+    /// cursor would refuse to read back).
+    pub fn append(&mut self, code: &Bytecode) -> Result<(), CodeLogError> {
+        self.append_body(TAG_RAW, &[], code.as_bytes())
+    }
+
+    /// Appends one *labeled* bytecode record carrying the ground-truth
+    /// label and deployment month a downstream retrainer needs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CodeLogWriter::append`].
+    pub fn append_labeled(
+        &mut self,
+        code: &Bytecode,
+        label: u8,
+        month: u16,
+    ) -> Result<(), CodeLogError> {
+        let mut meta = [0u8; 3];
+        meta[0] = label;
+        meta[1..3].copy_from_slice(&month.to_le_bytes());
+        self.append_body(TAG_LABELED, &meta, code.as_bytes())
+    }
+
+    /// Records appended through this writer (including records already in
+    /// the log when it was [`CodeLogWriter::resume`]d).
     pub fn records(&self) -> u64 {
         self.records
     }
@@ -173,6 +345,11 @@ impl CodeLogWriter {
     /// The log file path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// This log's identity (readers use it to detect rotation).
+    pub fn log_id(&self) -> u64 {
+        self.log_id
     }
 
     /// Flushes buffered records and syncs the file to disk.
@@ -198,16 +375,26 @@ enum Filled {
 }
 
 /// Sequential cursor over a code log, yielding one [`Bytecode`] per
-/// record. A damaged tail yields exactly one typed error and then fuses
-/// (subsequent `next()` calls return `None`) — a stream consumer can drain
-/// with `?` and never panics mid-scan.
+/// record via [`Iterator`] (or full [`CodeLogEntry`]s via
+/// [`CodeLogCursor::next_entry`]).
+///
+/// As an iterator, a damaged tail yields exactly one typed error and then
+/// fuses (subsequent `next()` calls return `None`) — a batch consumer can
+/// drain with `?` and never panics mid-scan. The cursor itself is *not*
+/// poisoned by [`CodeLogError::Truncated`]: it stays parked at the last
+/// good offset and [`CodeLogCursor::resume`] re-arms it, which is how a
+/// live tail follows a writer that flushes mid-record. Only
+/// [`CodeLogError::Corrupt`] (and a bad header) poison it for good.
 #[derive(Debug)]
 pub struct CodeLogCursor {
     reader: BufReader<File>,
-    /// Byte offset of the next record.
+    /// Byte offset of the next record (= the last good offset).
     offset: u64,
-    /// Set once an error (or clean EOF) has been yielded.
+    /// Set once the iterator has yielded an error or a clean EOF.
     done: bool,
+    /// Set on `Corrupt`: the log is damaged, resuming is refused.
+    poisoned: bool,
+    log_id: u64,
 }
 
 impl CodeLogCursor {
@@ -220,7 +407,7 @@ impl CodeLogCursor {
     /// header, plus any I/O failure.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, CodeLogError> {
         let mut reader = BufReader::new(File::open(path)?);
-        let mut header = [0u8; 8];
+        let mut header = [0u8; CODELOG_HEADER_BYTES as usize];
         let mut got = 0;
         while got < header.len() {
             match reader.read(&mut header[got..])? {
@@ -240,11 +427,46 @@ impl CodeLogCursor {
                 "code log version {version} not supported (reader knows {CODELOG_VERSION})"
             )));
         }
+        let log_id = u64::from_le_bytes(header[8..16].try_into().unwrap());
         Ok(CodeLogCursor {
             reader,
-            offset: 8,
+            offset: CODELOG_HEADER_BYTES,
             done: false,
+            poisoned: false,
+            log_id,
         })
+    }
+
+    /// The identity stamped in this log's header.
+    pub fn log_id(&self) -> u64 {
+        self.log_id
+    }
+
+    /// The byte offset of the next unread record — where a
+    /// [`CodeLogCursor::resume`] continues from.
+    pub fn resume_offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Re-arms a cursor that hit a truncated tail (or clean EOF): seeks
+    /// back to the last good offset and clears the iterator's fuse, so
+    /// the next read retries the record the writer had not finished.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeLogError::Corrupt`] when the cursor was poisoned by real
+    /// corruption (a damaged log must not be re-read as if healthy), plus
+    /// any I/O failure from the seek.
+    pub fn resume(&mut self) -> Result<(), CodeLogError> {
+        if self.poisoned {
+            return Err(CodeLogError::Corrupt {
+                offset: self.offset,
+                detail: "cursor poisoned by a corrupt record; refusing to resume".into(),
+            });
+        }
+        self.reader.seek(SeekFrom::Start(self.offset))?;
+        self.done = false;
+        Ok(())
     }
 
     /// Reads exactly `buf.len()` bytes, reporting whether the log ended
@@ -266,46 +488,84 @@ impl CodeLogCursor {
         Ok(Filled::Full)
     }
 
-    fn read_record(&mut self) -> Result<Option<Bytecode>, CodeLogError> {
+    fn corrupt(&mut self, offset: u64, detail: String) -> CodeLogError {
+        self.poisoned = true;
+        CodeLogError::Corrupt { offset, detail }
+    }
+
+    /// Reads the next record, or `None` at a clean end of log. Unlike the
+    /// [`Iterator`] impl this never fuses: after a
+    /// [`CodeLogError::Truncated`] the cursor is already re-positioned at
+    /// the last good offset, so a later call (once the writer has caught
+    /// up) retries the same record.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeLogError::Truncated`] on a torn tail (retryable),
+    /// [`CodeLogError::Corrupt`] on checksum/length/tag damage (poisons
+    /// the cursor), plus any I/O failure.
+    pub fn next_entry(&mut self) -> Result<Option<CodeLogEntry>, CodeLogError> {
         let record_start = self.offset;
+        let truncated = |cursor: &mut Self| -> CodeLogError {
+            // Park back at the record start so the caller can retry once
+            // the writer finishes the append.
+            let _ = cursor.reader.seek(SeekFrom::Start(record_start));
+            CodeLogError::Truncated {
+                offset: record_start,
+            }
+        };
         let mut prefix = [0u8; 4 + 8];
         match self.fill(&mut prefix)? {
             Filled::Empty => return Ok(None),
-            Filled::Partial => {
-                return Err(CodeLogError::Truncated {
-                    offset: record_start,
-                })
-            }
+            Filled::Partial => return Err(truncated(self)),
             Filled::Full => {}
         }
         let len = u32::from_le_bytes(prefix[..4].try_into().unwrap());
-        if len >= MAX_RECORD_BYTES {
-            return Err(CodeLogError::Corrupt {
-                offset: record_start,
-                detail: format!(
-                    "length prefix {len} exceeds the {MAX_RECORD_BYTES}-byte record cap"
-                ),
-            });
+        if len == 0 || len >= MAX_RECORD_BYTES {
+            return Err(self.corrupt(
+                record_start,
+                format!("length prefix {len} outside the 1..{MAX_RECORD_BYTES}-byte record bounds"),
+            ));
         }
         let expected = u64::from_le_bytes(prefix[4..12].try_into().unwrap());
-        let mut payload = vec![0u8; len as usize];
-        match self.fill(&mut payload)? {
+        let mut body = vec![0u8; len as usize];
+        match self.fill(&mut body)? {
             Filled::Full => {}
-            Filled::Empty | Filled::Partial => {
-                return Err(CodeLogError::Truncated {
-                    offset: record_start,
-                })
-            }
+            Filled::Empty | Filled::Partial => return Err(truncated(self)),
         }
-        let actual = fnv1a(&payload);
+        let actual = fnv1a(&body);
         if actual != expected {
-            return Err(CodeLogError::Corrupt {
-                offset: record_start,
-                detail: format!("checksum {actual:#018x}, record claims {expected:#018x}"),
-            });
+            return Err(self.corrupt(
+                record_start,
+                format!("checksum {actual:#018x}, record claims {expected:#018x}"),
+            ));
         }
+        let entry = match body[0] {
+            TAG_RAW => CodeLogEntry {
+                code: Bytecode::new(body[1..].to_vec()),
+                meta: None,
+            },
+            TAG_LABELED => {
+                if body.len() < 4 {
+                    return Err(self.corrupt(
+                        record_start,
+                        format!("labeled record body of {} bytes is too short", body.len()),
+                    ));
+                }
+                CodeLogEntry {
+                    code: Bytecode::new(body[4..].to_vec()),
+                    meta: Some(RecordMeta {
+                        label: body[1],
+                        month: u16::from_le_bytes(body[2..4].try_into().unwrap()),
+                    }),
+                }
+            }
+            tag => {
+                return Err(self.corrupt(record_start, format!("unknown record tag {tag}")));
+            }
+        };
         self.offset = record_start + 12 + len as u64;
-        Ok(Some(Bytecode::new(payload)))
+        Ok(Some(entry))
     }
 }
 
@@ -316,8 +576,8 @@ impl Iterator for CodeLogCursor {
         if self.done {
             return None;
         }
-        match self.read_record() {
-            Ok(Some(code)) => Some(Ok(code)),
+        match self.next_entry() {
+            Ok(Some(entry)) => Some(Ok(entry.code)),
             Ok(None) => {
                 self.done = true;
                 None
@@ -330,9 +590,227 @@ impl Iterator for CodeLogCursor {
     }
 }
 
+/// Tuning for a [`CodeLogTailer`]'s polling loop.
+#[derive(Debug, Clone)]
+pub struct TailConfig {
+    /// Initial delay when the tail catches up with the writer.
+    pub poll: Duration,
+    /// Cap on the backed-off delay.
+    pub max_poll: Duration,
+    /// Jitter fraction on each delay (decorrelates a fleet of tails).
+    pub jitter: f64,
+    /// Give up (with [`CodeLogError::Stalled`]) after this long without
+    /// the writer making progress. `None` waits forever.
+    pub idle_timeout: Option<Duration>,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for TailConfig {
+    fn default() -> Self {
+        TailConfig {
+            poll: Duration::from_millis(25),
+            max_poll: Duration::from_secs(1),
+            jitter: 0.2,
+            idle_timeout: None,
+            seed: 0x7a11,
+        }
+    }
+}
+
+fn env_ms(name: &str) -> Option<Duration> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+impl TailConfig {
+    /// Reads overrides from the environment: `PHISHINGHOOK_TAIL_POLL_MS`,
+    /// `PHISHINGHOOK_TAIL_MAX_POLL_MS`, `PHISHINGHOOK_TAIL_IDLE_MS` (0
+    /// disables the idle timeout).
+    pub fn from_env() -> Self {
+        let mut cfg = TailConfig::default();
+        if let Some(poll) = env_ms("PHISHINGHOOK_TAIL_POLL_MS") {
+            cfg.poll = poll.max(Duration::from_millis(1));
+        }
+        if let Some(max_poll) = env_ms("PHISHINGHOOK_TAIL_MAX_POLL_MS") {
+            cfg.max_poll = max_poll.max(cfg.poll);
+        }
+        if let Some(idle) = env_ms("PHISHINGHOOK_TAIL_IDLE_MS") {
+            cfg.idle_timeout = (!idle.is_zero()).then_some(idle);
+        }
+        cfg
+    }
+
+    fn policy(&self) -> RetryPolicy {
+        RetryPolicy::new(self.poll, self.max_poll).with_jitter(self.jitter)
+    }
+}
+
+/// What a [`CodeLogTailer`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailEvent {
+    /// The next record in the log.
+    Record(CodeLogEntry),
+    /// The file at the tailed path was replaced by a new log (different
+    /// header identity); the tail has re-opened at its first record.
+    Rotated {
+        /// The new log's identity.
+        log_id: u64,
+    },
+}
+
+/// Follows a live code log written by another process: yields records as
+/// they land, treats a torn tail as "wait for the writer" (resume from
+/// the last good offset under jittered backoff), detects rotation through
+/// the header identity, and reports [`CodeLogError::Stalled`] when the
+/// writer goes quiet past the configured idle deadline. Corruption stays
+/// fatal.
+#[derive(Debug)]
+pub struct CodeLogTailer<C: Clock = SystemClock> {
+    path: PathBuf,
+    config: TailConfig,
+    cursor: Option<CodeLogCursor>,
+    backoff: Backoff,
+    clock: C,
+}
+
+impl CodeLogTailer<SystemClock> {
+    /// Tails the log at `path` under `config` with the real clock. The
+    /// file does not need to exist yet — the tail waits for the writer to
+    /// create it.
+    pub fn new(path: impl AsRef<Path>, config: TailConfig) -> Self {
+        Self::with_clock(path, config, SystemClock)
+    }
+}
+
+impl<C: Clock> CodeLogTailer<C> {
+    /// [`CodeLogTailer::new`] with an injected clock, so tests drive the
+    /// backoff schedule deterministically and without real sleeps.
+    pub fn with_clock(path: impl AsRef<Path>, config: TailConfig, clock: C) -> Self {
+        let backoff = Backoff::new(config.policy(), config.seed);
+        CodeLogTailer {
+            path: path.as_ref().to_path_buf(),
+            config,
+            cursor: None,
+            backoff,
+            clock,
+        }
+    }
+
+    /// The tailed path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The identity of the log currently being followed (once opened).
+    pub fn log_id(&self) -> Option<u64> {
+        self.cursor.as_ref().map(CodeLogCursor::log_id)
+    }
+
+    /// The resume offset within the current log (once opened).
+    pub fn offset(&self) -> u64 {
+        self.cursor.as_ref().map_or(0, CodeLogCursor::resume_offset)
+    }
+
+    /// Reads the identity of the log currently on disk, if its header is
+    /// complete and valid.
+    fn on_disk_log_id(&self) -> Option<u64> {
+        let mut header = [0u8; CODELOG_HEADER_BYTES as usize];
+        let mut file = File::open(&self.path).ok()?;
+        file.read_exact(&mut header).ok()?;
+        if header[..4] != CODELOG_MAGIC {
+            return None;
+        }
+        if u32::from_le_bytes(header[4..8].try_into().unwrap()) != CODELOG_VERSION {
+            return None;
+        }
+        Some(u64::from_le_bytes(header[8..16].try_into().unwrap()))
+    }
+
+    /// Blocks (on the injected clock) until the next tail event.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeLogError::Stalled`] when the writer makes no progress past
+    /// the idle deadline (the tail stays usable — call again to keep
+    /// waiting); [`CodeLogError::Corrupt`] / [`CodeLogError::Format`] on
+    /// real damage (fatal); plus non-`NotFound` I/O failures.
+    pub fn next_event(&mut self) -> Result<TailEvent, CodeLogError> {
+        let mut waited = Duration::ZERO;
+        loop {
+            // Phase 1: make sure a cursor is open.
+            if self.cursor.is_none() {
+                match CodeLogCursor::open(&self.path) {
+                    Ok(cursor) => {
+                        self.cursor = Some(cursor);
+                        self.backoff.reset();
+                    }
+                    // Not created yet, or the header is still being
+                    // flushed: wait for the writer.
+                    Err(CodeLogError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {
+                        self.wait(&mut waited, 0)?;
+                        continue;
+                    }
+                    Err(CodeLogError::Truncated { offset }) => {
+                        self.wait(&mut waited, offset)?;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // Phase 2: try to read a record.
+            let cursor = self.cursor.as_mut().expect("cursor opened above");
+            match cursor.next_entry() {
+                Ok(Some(entry)) => {
+                    self.backoff.reset();
+                    return Ok(TailEvent::Record(entry));
+                }
+                Ok(None) | Err(CodeLogError::Truncated { .. }) => {
+                    // Caught up (or the writer is mid-append): check for
+                    // rotation, then wait and retry from the last good
+                    // offset.
+                    let current = cursor.log_id();
+                    let offset = cursor.resume_offset();
+                    if let Some(on_disk) = self.on_disk_log_id() {
+                        if on_disk != current {
+                            self.cursor = Some(CodeLogCursor::open(&self.path)?);
+                            self.backoff.reset();
+                            return Ok(TailEvent::Rotated { log_id: on_disk });
+                        }
+                    }
+                    self.wait(&mut waited, offset)?;
+                    let cursor = self.cursor.as_mut().expect("cursor still open");
+                    cursor.resume()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sleeps the next backed-off delay, surfacing `Stalled` once the
+    /// accumulated wait crosses the idle deadline.
+    fn wait(&mut self, waited: &mut Duration, offset: u64) -> Result<(), CodeLogError> {
+        if let Some(deadline) = self.config.idle_timeout {
+            if *waited >= deadline {
+                return Err(CodeLogError::Stalled {
+                    offset,
+                    waited: *waited,
+                });
+            }
+        }
+        let delay = self.backoff.next_delay();
+        self.clock.sleep(delay);
+        *waited += delay;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phishinghook_retry::policy::FakeClock;
 
     fn temp_log(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("phk_codelog_{tag}_{}.phklog", std::process::id()))
@@ -370,6 +848,34 @@ mod tests {
     }
 
     #[test]
+    fn labeled_records_round_trip_meta() {
+        let path = temp_log("labeled");
+        let mut w = CodeLogWriter::create_with_id(&path, 42).unwrap();
+        w.append(&Bytecode::new(vec![0x5f])).unwrap();
+        w.append_labeled(&Bytecode::new(vec![0x33, 0x31]), 1, 7)
+            .unwrap();
+        w.append_labeled(&Bytecode::new(vec![]), 0, 11).unwrap();
+        w.sync().unwrap();
+        let mut cursor = CodeLogCursor::open(&path).unwrap();
+        assert_eq!(cursor.log_id(), 42);
+        let first = cursor.next_entry().unwrap().unwrap();
+        assert_eq!(first.meta, None);
+        let second = cursor.next_entry().unwrap().unwrap();
+        assert_eq!(second.code, Bytecode::new(vec![0x33, 0x31]));
+        assert_eq!(second.meta, Some(RecordMeta { label: 1, month: 7 }));
+        let third = cursor.next_entry().unwrap().unwrap();
+        assert_eq!(
+            third.meta,
+            Some(RecordMeta {
+                label: 0,
+                month: 11
+            })
+        );
+        assert!(cursor.next_entry().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn truncated_tail_is_a_typed_error_and_fuses() {
         let path = temp_log("truncated");
         let codes = write_log(&path);
@@ -395,6 +901,77 @@ mod tests {
             tail.last(),
             Some(Err(CodeLogError::Truncated { .. }))
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_cursor_resumes_once_the_writer_catches_up() {
+        let path = temp_log("resume");
+        let codes = write_log(&path);
+        let full = std::fs::read(&path).unwrap();
+        // Tear the final record mid-payload, as a killed writer would.
+        let torn_len = full.len() - 2;
+        std::fs::write(&path, &full[..torn_len]).unwrap();
+        let mut cursor = CodeLogCursor::open(&path).unwrap();
+        for expected in &codes[..codes.len() - 1] {
+            assert_eq!(cursor.next_entry().unwrap().unwrap().code, *expected);
+        }
+        let good = cursor.resume_offset();
+        assert!(matches!(
+            cursor.next_entry(),
+            Err(CodeLogError::Truncated { offset }) if offset == good
+        ));
+        // The cursor is parked, not poisoned: once the writer finishes the
+        // append, the same record reads cleanly.
+        std::fs::write(&path, &full).unwrap();
+        cursor.resume().unwrap();
+        assert_eq!(
+            cursor.next_entry().unwrap().unwrap().code,
+            codes[codes.len() - 1]
+        );
+        assert!(cursor.next_entry().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_cursor_refuses_to_resume() {
+        let path = temp_log("poisoned");
+        write_log(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut cursor = CodeLogCursor::open(&path).unwrap();
+        loop {
+            match cursor.next_entry() {
+                Ok(Some(_)) => continue,
+                Err(CodeLogError::Corrupt { .. }) => break,
+                other => panic!("expected corruption, got {other:?}"),
+            }
+        }
+        assert!(matches!(cursor.resume(), Err(CodeLogError::Corrupt { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_resume_truncates_torn_tail_and_appends() {
+        let path = temp_log("writer_resume");
+        let codes = write_log(&path);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 2]).unwrap();
+        let mut w = CodeLogWriter::resume(&path).unwrap();
+        // The torn final record was dropped; the two intact ones survive.
+        assert_eq!(w.records(), (codes.len() - 1) as u64);
+        let extra = Bytecode::new(vec![0xde, 0xad, 0xbe, 0xef]);
+        w.append(&extra).unwrap();
+        w.sync().unwrap();
+        let back: Vec<Bytecode> = CodeLogCursor::open(&path)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(back.len(), codes.len());
+        assert_eq!(back[..2], codes[..2]);
+        assert_eq!(back[2], extra);
         std::fs::remove_file(&path).ok();
     }
 
@@ -460,6 +1037,136 @@ mod tests {
         let path = temp_log("empty");
         CodeLogWriter::create(&path).unwrap().sync().unwrap();
         assert_eq!(CodeLogCursor::open(&path).unwrap().count(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn fast_tail_config(idle: Option<Duration>) -> TailConfig {
+        TailConfig {
+            poll: Duration::from_millis(5),
+            max_poll: Duration::from_millis(40),
+            jitter: 0.0,
+            idle_timeout: idle,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn tailer_follows_appends_then_stalls_then_resumes() {
+        let path = temp_log("tailer");
+        let mut w = CodeLogWriter::create_with_id(&path, 5).unwrap();
+        w.append_labeled(&Bytecode::new(vec![0x60, 0x01]), 1, 0)
+            .unwrap();
+        w.sync().unwrap();
+        let clock = FakeClock::new();
+        let mut tail = CodeLogTailer::with_clock(
+            &path,
+            fast_tail_config(Some(Duration::from_millis(100))),
+            clock.clone(),
+        );
+        // First record comes straight through.
+        match tail.next_event().unwrap() {
+            TailEvent::Record(entry) => {
+                assert_eq!(entry.meta, Some(RecordMeta { label: 1, month: 0 }))
+            }
+            other => panic!("expected a record, got {other:?}"),
+        }
+        // Nothing more to read: the tail backs off on the fake clock until
+        // the idle deadline, then reports a typed stall.
+        let err = tail.next_event().unwrap_err();
+        assert!(matches!(err, CodeLogError::Stalled { .. }));
+        assert!(clock.total_slept() >= Duration::from_millis(100));
+        // The writer catches up (including completing a previously torn
+        // append): the same tailer keeps going.
+        w.append(&Bytecode::new(vec![0x33])).unwrap();
+        w.sync().unwrap();
+        match tail.next_event().unwrap() {
+            TailEvent::Record(entry) => {
+                assert_eq!(entry.code, Bytecode::new(vec![0x33]));
+                assert_eq!(entry.meta, None);
+            }
+            other => panic!("expected a record, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tailer_waits_through_a_torn_tail_without_fusing() {
+        let path = temp_log("tailer_torn");
+        let codes = write_log(&path);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 2]).unwrap();
+        let clock = FakeClock::new();
+        let mut tail = CodeLogTailer::with_clock(
+            &path,
+            fast_tail_config(Some(Duration::from_millis(50))),
+            clock.clone(),
+        );
+        for expected in &codes[..codes.len() - 1] {
+            match tail.next_event().unwrap() {
+                TailEvent::Record(entry) => assert_eq!(&entry.code, expected),
+                other => panic!("expected a record, got {other:?}"),
+            }
+        }
+        // The torn final record is a wait, not a failure...
+        assert!(matches!(
+            tail.next_event(),
+            Err(CodeLogError::Stalled { .. })
+        ));
+        // ...and completing it lets the tail read it.
+        std::fs::write(&path, &full).unwrap();
+        match tail.next_event().unwrap() {
+            TailEvent::Record(entry) => assert_eq!(entry.code, codes[codes.len() - 1]),
+            other => panic!("expected a record, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tailer_detects_rotation_by_header_identity() {
+        let path = temp_log("tailer_rotate");
+        let mut w = CodeLogWriter::create_with_id(&path, 100).unwrap();
+        w.append(&Bytecode::new(vec![0x01])).unwrap();
+        w.sync().unwrap();
+        let clock = FakeClock::new();
+        let mut tail = CodeLogTailer::with_clock(
+            &path,
+            fast_tail_config(Some(Duration::from_secs(10))),
+            clock,
+        );
+        assert!(matches!(tail.next_event().unwrap(), TailEvent::Record(_)));
+        // Replace the file wholesale: a new log with a new identity.
+        let mut w2 = CodeLogWriter::create_with_id(&path, 200).unwrap();
+        w2.append(&Bytecode::new(vec![0x02])).unwrap();
+        w2.sync().unwrap();
+        assert_eq!(
+            tail.next_event().unwrap(),
+            TailEvent::Rotated { log_id: 200 }
+        );
+        match tail.next_event().unwrap() {
+            TailEvent::Record(entry) => assert_eq!(entry.code, Bytecode::new(vec![0x02])),
+            other => panic!("expected a record, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tailer_waits_for_a_log_that_does_not_exist_yet() {
+        let path = temp_log("tailer_absent");
+        std::fs::remove_file(&path).ok();
+        let clock = FakeClock::new();
+        let mut tail = CodeLogTailer::with_clock(
+            &path,
+            fast_tail_config(Some(Duration::from_millis(30))),
+            clock,
+        );
+        assert!(matches!(
+            tail.next_event(),
+            Err(CodeLogError::Stalled { .. })
+        ));
+        let mut w = CodeLogWriter::create_with_id(&path, 1).unwrap();
+        w.append(&Bytecode::new(vec![0x5f])).unwrap();
+        w.sync().unwrap();
+        assert!(matches!(tail.next_event().unwrap(), TailEvent::Record(_)));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,7 +1,21 @@
-//! `phishinghook-ingestd <work-dir> [seed]`
+//! The ingestion daemon, in one of two modes:
 //!
-//! Demonstration daemon for the streaming ingestion & online-adaptation
-//! pipeline, end to end on a simulated chain with an injected drift:
+//! ```text
+//! phishinghook-ingestd <work-dir> [seed]                    # one-process demo
+//! phishinghook-ingestd tail <codelog> <publish-dir> [seed]  # fleet role
+//! ```
+//!
+//! **Tail mode** is the fleet's trainer: it follows a live CodeLog
+//! journal written by a separate `phishinghook-scannerd` process
+//! (riding out torn tails and rotations), bootstraps a baseline from the
+//! first labeled records, adapts online on drift, and publishes every
+//! model generation atomically into `<publish-dir>` — where watching
+//! `phishinghook-served --watch` replicas pick them up. It exits cleanly
+//! when the journal goes idle past `PHISHINGHOOK_TAIL_IDLE_MS`
+//! (default 10000 in this mode; the scanner finished).
+//!
+//! **Demo mode** runs the whole loop in one process on a simulated
+//! chain with an injected drift:
 //!
 //! 1. builds a drifted chain ([`DriftScenario`]) and trains the pre-drift
 //!    baseline model on the early months;
@@ -17,8 +31,11 @@ use phishinghook::drift::DriftConfig;
 use phishinghook::{EvalProfile, PHISHING_THRESHOLD};
 use phishinghook::{ExtractionStream, ModelKind};
 use phishinghook_artifact::publish::ArtifactPublisher;
-use phishinghook_evm::CodeLogWriter;
-use phishinghook_ingest::{baseline_detector, DriftScenario, IngestConfig, OnlinePipeline};
+use phishinghook_evm::{CodeLogTailer, CodeLogWriter, TailConfig};
+use phishinghook_ingest::{
+    baseline_detector, run_tail_pipeline, DriftScenario, IngestConfig, OnlinePipeline,
+    TailIngestConfig, TailNote,
+};
 use phishinghook_serve::{Server, ServerConfig};
 use phishinghook_synth::Month;
 use std::io::{BufRead, BufReader, Write};
@@ -53,12 +70,76 @@ fn healthz(addr: SocketAddr) -> std::io::Result<String> {
     Ok(String::from_utf8_lossy(&body).into_owned())
 }
 
+const USAGE: &str = "usage: phishinghook-ingestd <work-dir> [seed]\n       phishinghook-ingestd tail <codelog> <publish-dir> [seed]";
+
+/// The fleet trainer: tail a live journal, adapt, publish generations.
+fn run_tail(mut args: impl Iterator<Item = String>) -> Result<(), Box<dyn std::error::Error>> {
+    let (Some(log), Some(publish_dir)) = (args.next(), args.next()) else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    // A tail-mode daemon must terminate when the scanner is done: give
+    // the idle timeout a default, keeping the env override.
+    let mut tail_config = TailConfig::from_env();
+    if std::env::var("PHISHINGHOOK_TAIL_IDLE_MS").is_err() {
+        tail_config.idle_timeout = Some(Duration::from_secs(10));
+    }
+    let mut tailer = CodeLogTailer::new(&log, tail_config);
+    let mut publisher = ArtifactPublisher::open(&publish_dir)?;
+    let mut config = TailIngestConfig::from_env();
+    config.ingest.drift = DriftConfig {
+        window: 64,
+        brier_margin: 0.15,
+    };
+    config.ingest.seed = seed;
+    println!(
+        "phishinghook-ingestd: tailing {log}, publishing into {publish_dir} (bootstrap {} labeled)",
+        config.bootstrap_min
+    );
+
+    let report = run_tail_pipeline(&mut tailer, &mut publisher, &config, |note| {
+        match note {
+        TailNote::Bootstrapped { published, samples } => println!(
+            "  baseline trained on {samples} samples → generation {} live",
+            published.generation
+        ),
+        TailNote::Retrained(event) => println!(
+            "  drift @ sample {} (month {}): Brier {:.3} vs baseline {:.3} → retrained on {} samples, generation {}",
+            event.signal.position,
+            event.signal.month.0,
+            event.signal.window_brier,
+            event.signal.baseline_brier,
+            event.window_len,
+            event.published.generation,
+        ),
+        TailNote::Rotated { log_id } => {
+            println!("  journal rotated (new log id {log_id:#x}), following the replacement")
+        }
+    }
+    })?;
+
+    println!(
+        "  journal idle: {} bootstrap + {} streamed samples ({} unlabeled skipped, {} rotations), generations {:?}",
+        report.bootstrapped,
+        report.pipeline.streamed,
+        report.unlabeled,
+        report.rotations,
+        report.generations,
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let Some(work_dir) = args.next() else {
-        eprintln!("usage: phishinghook-ingestd <work-dir> [seed]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
+    if work_dir == "tail" {
+        return run_tail(args);
+    }
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
     let work_dir = std::path::PathBuf::from(work_dir);
     std::fs::create_dir_all(&work_dir)?;

@@ -1,0 +1,103 @@
+//! `phishinghook-scannerd <codelog> [seed] [--resume]`
+//!
+//! The scanner role of the multi-process fleet: replays a deterministic
+//! drifted chain ([`DriftScenario`]) in time order and appends every
+//! labeled deployment to the append-only CodeLog journal that a separate
+//! `phishinghook-ingestd tail` process follows. The two processes share
+//! nothing but the journal file.
+//!
+//! `--resume` reopens an existing journal the way a restarted (or
+//! crashed) scanner would: [`CodeLogWriter::resume`] truncates any torn
+//! tail a `kill -9` left behind, and the scan skips the records that
+//! already survived — the journal ends up with the exact same content a
+//! never-killed scanner would have written.
+//!
+//! Environment knobs:
+//!
+//! * `PHISHINGHOOK_SCAN_SYNC_EVERY` — fsync cadence in records (default 32)
+//! * `PHISHINGHOOK_SCAN_THROTTLE_US` — per-record pause, so a tailer
+//!   visibly follows a *live* journal (default 0)
+//! * `PHISHINGHOOK_FAULT_CODELOG_TORN_APPEND` — abort mid-append on the
+//!   N-th record, leaving a torn tail (the fault-injection harness)
+
+use phishinghook::ExtractionStream;
+use phishinghook_evm::CodeLogWriter;
+use phishinghook_ingest::DriftScenario;
+use phishinghook_synth::Month;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut seed = 42u64;
+    let mut resume = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--resume" {
+            resume = true;
+        } else if path.is_none() {
+            path = Some(arg);
+        } else {
+            seed = arg.parse()?;
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: phishinghook-scannerd <codelog> [seed] [--resume]");
+        std::process::exit(2);
+    };
+
+    let sync_every = env_u64("PHISHINGHOOK_SCAN_SYNC_EVERY", 32).max(1);
+    let throttle = Duration::from_micros(env_u64("PHISHINGHOOK_SCAN_THROTTLE_US", 0));
+
+    let mut writer = if resume {
+        CodeLogWriter::resume(&path)?
+    } else {
+        CodeLogWriter::create(&path)?
+    };
+    let skip = writer.records();
+    if resume {
+        println!("phishinghook-scannerd: resumed {path} past {skip} surviving records");
+    }
+
+    // The same seed always replays the same chain, so a resumed scan
+    // deterministically re-generates — and skips — what already landed.
+    let scenario = DriftScenario::small(seed);
+    let chain = scenario.build();
+    let stream = ExtractionStream::new(&chain, Month::FIRST, Month::LAST);
+    let mut written = 0u64;
+    for (i, sample) in stream.enumerate() {
+        if (i as u64) < skip {
+            continue;
+        }
+        writer.append_labeled(&sample.bytecode, sample.label, sample.month.0 as u16)?;
+        written += 1;
+        if writer.records() % sync_every == 0 {
+            writer.sync()?;
+        }
+        if !throttle.is_zero() {
+            std::thread::sleep(throttle);
+        }
+    }
+    writer.sync()?;
+    println!(
+        "phishinghook-scannerd: {} records in {path} ({written} new)",
+        writer.records()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("phishinghook-scannerd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -39,9 +39,14 @@
 
 pub mod pipeline;
 pub mod scenario;
+pub mod tail;
 
 pub use pipeline::{IngestConfig, IngestReport, OnlinePipeline, RetrainEvent};
 pub use scenario::{baseline_detector, DriftScenario};
+pub use tail::{
+    run_tail_pipeline, TailError, TailExit, TailIngestConfig, TailNote, TailReport,
+    DEFAULT_BOOTSTRAP_MIN,
+};
 
 #[cfg(test)]
 mod tests {

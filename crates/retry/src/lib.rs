@@ -1,0 +1,34 @@
+//! The shared fault-tolerance substrate: one retry/backoff policy every
+//! layer of the fleet speaks, plus the deterministic fault-injection
+//! hooks the multi-process tests drive.
+//!
+//! Three pieces:
+//!
+//! * [`policy`] — [`RetryPolicy`] (jittered exponential backoff with a
+//!   cap, an optional attempt budget and an optional deadline), the
+//!   [`Backoff`] schedule iterator, the typed [`RetryError`], and the
+//!   [`retry`] driver. Every delay is derived deterministically from a
+//!   seed, so two runs of the same plan back off identically.
+//! * [`policy::Clock`] — the injectable time source ([`SystemClock`] in
+//!   production, [`FakeClock`] in tests) that makes every retry loop in
+//!   the workspace testable without real sleeps.
+//! * [`fault`] — [`FaultPlan`] (seeded torn-tail / bit-flip / truncation
+//!   corruption for byte buffers) and environment-armed [`crash_point`]s:
+//!   a process under test aborts — the moral equivalent of `kill -9` — at
+//!   a named point on its Nth visit, which is how the e2e kills a
+//!   publisher *between* the temp write and the renames.
+//!
+//! This crate is leaf-level (no workspace dependencies) so the substrate
+//! crates (`evm`, `artifact`) and the service crates (`serve`, `ingest`)
+//! can all share one policy; the core crate re-exports it as
+//! `phishinghook::retry`.
+
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod policy;
+
+pub use fault::{crash_point, fault_env_name, fault_hit, FaultPlan};
+pub use policy::{
+    retry, Backoff, Clock, FakeClock, RetryError, RetryPolicy, SystemClock, Transient,
+};

@@ -1,0 +1,402 @@
+//! Jittered exponential backoff with a deadline, behind an injectable
+//! clock so every retry loop in the workspace runs deterministically (and
+//! instantly) under test.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The injectable time source every retry loop sleeps and measures
+/// against. Production code uses [`SystemClock`]; tests use [`FakeClock`]
+/// so backoff schedules run in microseconds of wall time.
+pub trait Clock: Send + Sync {
+    /// The current instant.
+    fn now(&self) -> Instant;
+    /// Blocks (or pretends to block) for `duration`.
+    fn sleep(&self, duration: Duration);
+}
+
+/// The real clock: `Instant::now` + `thread::sleep`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+/// A deterministic clock for tests: time advances only when something
+/// sleeps (or the test calls [`FakeClock::advance`]), and every sleep is
+/// recorded so a test can assert the exact backoff schedule.
+#[derive(Debug, Clone)]
+pub struct FakeClock {
+    base: Instant,
+    state: Arc<Mutex<FakeClockState>>,
+}
+
+#[derive(Debug, Default)]
+struct FakeClockState {
+    offset: Duration,
+    sleeps: Vec<Duration>,
+}
+
+impl FakeClock {
+    /// A clock starting at an arbitrary base instant with no sleeps yet.
+    pub fn new() -> Self {
+        FakeClock {
+            base: Instant::now(),
+            state: Arc::new(Mutex::new(FakeClockState::default())),
+        }
+    }
+
+    /// Every sleep requested so far, in order.
+    pub fn sleeps(&self) -> Vec<Duration> {
+        self.state.lock().unwrap().sleeps.clone()
+    }
+
+    /// Total time slept (= how far the fake clock has advanced through
+    /// sleeps).
+    pub fn total_slept(&self) -> Duration {
+        self.state.lock().unwrap().sleeps.iter().sum()
+    }
+
+    /// Advances the clock without recording a sleep.
+    pub fn advance(&self, by: Duration) {
+        self.state.lock().unwrap().offset += by;
+    }
+}
+
+impl Default for FakeClock {
+    fn default() -> Self {
+        FakeClock::new()
+    }
+}
+
+impl Clock for FakeClock {
+    fn now(&self) -> Instant {
+        self.base + self.state.lock().unwrap().offset
+    }
+
+    fn sleep(&self, duration: Duration) {
+        let mut st = self.state.lock().unwrap();
+        st.offset += duration;
+        st.sleeps.push(duration);
+    }
+}
+
+/// SplitMix64 — the tiny deterministic generator behind backoff jitter.
+/// Not cryptographic; it only needs to decorrelate retry storms.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A jittered exponential backoff policy: attempt `k` waits
+/// `initial * multiplier^k`, capped at `max_delay`, then spread by
+/// `± jitter` (a fraction of the delay) using a seed-deterministic draw.
+/// Optional budgets — a max attempt count and a wall-clock deadline —
+/// bound how long [`retry`] keeps going.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub initial: Duration,
+    /// Per-attempt growth factor (≥ 1).
+    pub multiplier: f64,
+    /// Hard cap on any single delay.
+    pub max_delay: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a
+    /// deterministic factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Give up after this many failed attempts (`None` = unbounded).
+    pub max_attempts: Option<u32>,
+    /// Give up once this much time has elapsed since the first attempt
+    /// (`None` = unbounded).
+    pub deadline: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// A policy growing from `initial` to `max_delay` by doubling, with
+    /// 20 % jitter and no attempt/deadline budget.
+    pub fn new(initial: Duration, max_delay: Duration) -> Self {
+        RetryPolicy {
+            initial,
+            multiplier: 2.0,
+            max_delay,
+            jitter: 0.2,
+            max_attempts: None,
+            deadline: None,
+        }
+    }
+
+    /// Sets the jitter fraction (clamped into `[0, 1]`).
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the attempt budget.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = Some(attempts);
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The delay before retry number `attempt` (0-based), jittered
+    /// deterministically from `seed`. Identical `(policy, seed, attempt)`
+    /// triples always produce identical delays.
+    pub fn delay(&self, attempt: u32, seed: u64) -> Duration {
+        let base = self.initial.as_secs_f64() * self.multiplier.powi(attempt.min(63) as i32);
+        let capped = base.min(self.max_delay.as_secs_f64());
+        let unit = splitmix64(seed ^ (u64::from(attempt) << 17)) as f64 / u64::MAX as f64;
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * unit;
+        Duration::from_secs_f64((capped * factor).min(self.max_delay.as_secs_f64()))
+    }
+}
+
+/// A stateful backoff schedule over one [`RetryPolicy`]: each
+/// [`Backoff::next_delay`] advances the attempt counter; [`Backoff::reset`]
+/// re-arms after progress (the "the writer caught up" case in a tail
+/// loop).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    seed: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A schedule at attempt 0.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        Backoff {
+            policy,
+            seed,
+            attempt: 0,
+        }
+    }
+
+    /// The next delay in the schedule (and advances it).
+    pub fn next_delay(&mut self) -> Duration {
+        let d = self.policy.delay(self.attempt, self.seed);
+        self.attempt = self.attempt.saturating_add(1);
+        d
+    }
+
+    /// Failed attempts taken so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Re-arms the schedule after progress.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The policy this schedule follows.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+}
+
+/// What one attempt of a retried operation produced, when it failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transient<E> {
+    /// Worth retrying (the "wait for the writer" class of failure).
+    Retry(E),
+    /// Not worth retrying (corruption, logic errors): [`retry`] stops
+    /// immediately and surfaces [`RetryError::Fatal`].
+    Fatal(E),
+}
+
+/// Why a retried operation ultimately failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryError<E> {
+    /// An attempt failed with a non-retryable error.
+    Fatal(E),
+    /// Every allowed attempt failed (attempt budget or deadline hit).
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// Time spent across attempts and sleeps.
+        elapsed: Duration,
+        /// The last transient error observed.
+        last: E,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for RetryError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetryError::Fatal(e) => write!(f, "fatal: {e}"),
+            RetryError::Exhausted {
+                attempts,
+                elapsed,
+                last,
+            } => write!(
+                f,
+                "retries exhausted after {attempts} attempts over {elapsed:?}: {last}"
+            ),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for RetryError<E> {}
+
+/// Drives `op` under `policy`: run, and on a [`Transient::Retry`] failure
+/// sleep the next jittered delay and try again until the attempt budget
+/// or deadline runs out. `op` receives the 0-based attempt number.
+///
+/// # Errors
+///
+/// [`RetryError::Fatal`] the moment `op` reports a fatal failure;
+/// [`RetryError::Exhausted`] when the budget or the deadline runs out.
+pub fn retry<T, E>(
+    policy: &RetryPolicy,
+    clock: &impl Clock,
+    seed: u64,
+    mut op: impl FnMut(u32) -> Result<T, Transient<E>>,
+) -> Result<T, RetryError<E>> {
+    let started = clock.now();
+    let mut attempt = 0u32;
+    loop {
+        match op(attempt) {
+            Ok(value) => return Ok(value),
+            Err(Transient::Fatal(e)) => return Err(RetryError::Fatal(e)),
+            Err(Transient::Retry(e)) => {
+                let attempts = attempt + 1;
+                let elapsed = clock.now().duration_since(started);
+                let out_of_attempts = policy.max_attempts.is_some_and(|max| attempts >= max);
+                let out_of_time = policy.deadline.is_some_and(|d| elapsed >= d);
+                if out_of_attempts || out_of_time {
+                    return Err(RetryError::Exhausted {
+                        attempts,
+                        elapsed,
+                        last: e,
+                    });
+                }
+                clock.sleep(policy.delay(attempt, seed));
+                attempt = attempts;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::new(Duration::from_millis(10), Duration::from_millis(80))
+    }
+
+    #[test]
+    fn delays_grow_cap_and_jitter_deterministically() {
+        let p = policy().with_jitter(0.0);
+        assert_eq!(p.delay(0, 1), Duration::from_millis(10));
+        assert_eq!(p.delay(1, 1), Duration::from_millis(20));
+        assert_eq!(p.delay(2, 1), Duration::from_millis(40));
+        assert_eq!(p.delay(3, 1), Duration::from_millis(80));
+        // The cap holds forever after.
+        assert_eq!(p.delay(30, 1), Duration::from_millis(80));
+
+        let j = policy().with_jitter(0.5);
+        let d = j.delay(2, 42);
+        assert!(d >= Duration::from_millis(20) && d <= Duration::from_millis(60));
+        // Deterministic: same (attempt, seed) → same delay; different
+        // seeds decorrelate.
+        assert_eq!(d, j.delay(2, 42));
+        assert_ne!(j.delay(2, 42), j.delay(2, 43));
+    }
+
+    #[test]
+    fn retry_returns_first_success_and_sleeps_between_attempts() {
+        let clock = FakeClock::new();
+        let mut calls = 0;
+        let out = retry(&policy().with_jitter(0.0), &clock, 7, |attempt| {
+            calls += 1;
+            if attempt < 3 {
+                Err(Transient::Retry("not yet"))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out, Ok(3));
+        assert_eq!(calls, 4);
+        assert_eq!(
+            clock.sleeps(),
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(40)
+            ]
+        );
+    }
+
+    #[test]
+    fn fatal_short_circuits_without_sleeping() {
+        let clock = FakeClock::new();
+        let out: Result<(), _> = retry(&policy(), &clock, 7, |_| Err(Transient::Fatal("corrupt")));
+        assert_eq!(out, Err(RetryError::Fatal("corrupt")));
+        assert!(clock.sleeps().is_empty());
+    }
+
+    #[test]
+    fn attempt_budget_exhausts() {
+        let clock = FakeClock::new();
+        let out: Result<(), _> = retry(
+            &policy().with_max_attempts(3).with_jitter(0.0),
+            &clock,
+            7,
+            |_| Err(Transient::Retry("still down")),
+        );
+        match out {
+            Err(RetryError::Exhausted { attempts, last, .. }) => {
+                assert_eq!(attempts, 3);
+                assert_eq!(last, "still down");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        // Two sleeps for three attempts: no pointless sleep after the last.
+        assert_eq!(clock.sleeps().len(), 2);
+    }
+
+    #[test]
+    fn deadline_exhausts_via_the_fake_clock() {
+        let clock = FakeClock::new();
+        let out: Result<(), _> = retry(
+            &policy()
+                .with_deadline(Duration::from_millis(25))
+                .with_jitter(0.0),
+            &clock,
+            7,
+            |_| Err(Transient::Retry("slow")),
+        );
+        let Err(RetryError::Exhausted { elapsed, .. }) = out else {
+            panic!("expected exhaustion, got {out:?}");
+        };
+        assert!(elapsed >= Duration::from_millis(25));
+        // 10 + 20 ms of sleeping crosses the 25 ms deadline.
+        assert_eq!(clock.sleeps().len(), 2);
+    }
+
+    #[test]
+    fn backoff_schedule_resets() {
+        let mut b = Backoff::new(policy().with_jitter(0.0), 1);
+        assert_eq!(b.next_delay(), Duration::from_millis(10));
+        assert_eq!(b.next_delay(), Duration::from_millis(20));
+        assert_eq!(b.attempt(), 2);
+        b.reset();
+        assert_eq!(b.next_delay(), Duration::from_millis(10));
+    }
+}

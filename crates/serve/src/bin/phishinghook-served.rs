@@ -1,40 +1,94 @@
-//! `phishinghook-served <artifact.phk> [bind-addr]`
+//! The serving daemon, in one of two modes:
 //!
-//! Loads a saved artifact once (single read, zero-copy section slices)
-//! and serves it over HTTP with the micro-batching queue. The artifact
-//! type is sniffed from its sections: a container with a `cascade`
-//! section starts the two-stage cascade engine (cheap calibrated screen
-//! → uncertainty-band escalation → deep confirmer), anything else the
-//! flat single-detector engine. The queue knobs come from the
-//! environment:
+//! ```text
+//! phishinghook-served <artifact.phk> [bind-addr]          # static artifact
+//! phishinghook-served --watch <publish-dir> [bind-addr]   # fleet replica
+//! ```
+//!
+//! Static mode loads a saved artifact once (single read, zero-copy
+//! section slices) and serves it over HTTP with the micro-batching
+//! queue. Watch mode makes the process a *fleet replica*: it blocks
+//! until the publish directory offers a first fully-validated artifact,
+//! serves that generation, and keeps a background
+//! [`ArtifactWatchLoop`] following the directory's `CURRENT` pointer —
+//! hot-swapping each newer valid generation, riding out corrupt or torn
+//! publishes on the last good model (visible as `"degraded"` on
+//! `GET /healthz`), and never rolling back.
+//!
+//! In both modes the artifact type is sniffed from its sections: a
+//! container with a `cascade` section starts the two-stage cascade
+//! engine (cheap calibrated screen → uncertainty-band escalation → deep
+//! confirmer), anything else the flat single-detector engine.
+//!
+//! Environment knobs:
 //!
 //! * `PHISHINGHOOK_MAX_BATCH` — jobs coalesced per model call (default 64)
 //! * `PHISHINGHOOK_BATCH_WAIT_US` — max coalescing wait (default 200)
 //! * `PHISHINGHOOK_QUEUE_CAP` — queue bound; overflow answers 429 (default 1024)
 //! * `PHISHINGHOOK_SERVE_WORKERS` — warm worker pool size (default: available cores)
+//! * `PHISHINGHOOK_WATCH_POLL_MS` — publish-dir poll cadence (default 200)
+//! * `PHISHINGHOOK_RELOAD_BACKOFF_MS` — base backoff after a bad publish (default 50)
+//! * `PHISHINGHOOK_RELOAD_RETRIES` — breaker-counted retries per bad generation (default 5)
+//! * `PHISHINGHOOK_BREAKER_THRESHOLD` — consecutive failures before `"degraded"` (default 3)
+//! * `PHISHINGHOOK_BOOT_TIMEOUT_MS` — watch-mode wait for a first valid artifact (default 120000)
 
+use phishinghook::retry::SystemClock;
 use phishinghook::{CascadeDetector, Detector};
+use phishinghook_artifact::watch::ArtifactWatcher;
 use phishinghook_artifact::OwnedArtifact;
-use phishinghook_serve::{Server, ServerConfig};
+use phishinghook_serve::{ArtifactWatchLoop, ReloadConfig, Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str =
+    "usage: phishinghook-served <artifact.phk> [bind-addr]\n       phishinghook-served --watch <publish-dir> [bind-addr]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: phishinghook-served <artifact.phk> [bind-addr]");
+    let Some(first) = args.next() else {
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let bind = args.next().unwrap_or_else(|| "127.0.0.1:7877".to_string());
 
-    let artifact = match OwnedArtifact::open(&path) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("phishinghook-served: cannot open {path}: {e}");
-            return ExitCode::FAILURE;
+    let (watch_dir, source) = if first == "--watch" {
+        let Some(dir) = args.next() else {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        };
+        (Some(dir.clone()), dir)
+    } else {
+        (None, first)
+    };
+    let bind = args.next().unwrap_or_else(|| "127.0.0.1:7877".to_string());
+    let cfg = ServerConfig::from_env();
+
+    // Resolve the boot artifact: in watch mode, block until the publish
+    // directory offers a first fully-validated generation.
+    let (artifact, generation) = if let Some(dir) = &watch_dir {
+        let reload = ReloadConfig::from_env();
+        let boot_timeout = std::env::var("PHISHINGHOOK_BOOT_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_secs(120));
+        let mut watcher = ArtifactWatcher::new(dir, reload.watch.clone());
+        match watcher.wait_for_update(&SystemClock, boot_timeout) {
+            Ok(valid) => (valid.artifact, valid.generation),
+            Err(e) => {
+                eprintln!("phishinghook-served: no valid artifact in {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match OwnedArtifact::open(&source) {
+            Ok(a) => (a, 0),
+            Err(e) => {
+                eprintln!("phishinghook-served: cannot open {source}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    let cfg = ServerConfig::from_env();
 
     // Sniff the artifact type: a cascade container carries a "cascade"
     // section; a flat detector does not.
@@ -42,7 +96,7 @@ fn main() -> ExitCode {
         let cascade = match CascadeDetector::from_artifact(&artifact) {
             Ok(c) => c,
             Err(e) => {
-                eprintln!("phishinghook-served: cannot decode {path}: {e}");
+                eprintln!("phishinghook-served: cannot decode {source}: {e}");
                 return ExitCode::FAILURE;
             }
         };
@@ -54,7 +108,12 @@ fn main() -> ExitCode {
             cascade.band().1,
             cascade.escalate_budget() * 100.0
         );
-        match Server::start_cascade(Arc::new(cascade), bind.as_str(), cfg) {
+        match Server::start_cascade_with_generation(
+            Arc::new(cascade),
+            generation,
+            bind.as_str(),
+            cfg,
+        ) {
             Ok(s) => (s, banner),
             Err(e) => {
                 eprintln!("phishinghook-served: cannot bind {bind}: {e}");
@@ -65,13 +124,13 @@ fn main() -> ExitCode {
         let detector = match Detector::from_artifact(&artifact) {
             Ok(d) => d,
             Err(e) => {
-                eprintln!("phishinghook-served: cannot decode {path}: {e}");
+                eprintln!("phishinghook-served: cannot decode {source}: {e}");
                 return ExitCode::FAILURE;
             }
         };
         let kind = detector.kind();
         let banner = format!("{} ({})", kind.name(), kind.id());
-        match Server::start(Arc::new(detector), bind.as_str(), cfg) {
+        match Server::start_with_generation(Arc::new(detector), generation, bind.as_str(), cfg) {
             Ok(s) => (s, banner),
             Err(e) => {
                 eprintln!("phishinghook-served: cannot bind {bind}: {e}");
@@ -80,8 +139,22 @@ fn main() -> ExitCode {
         }
     };
 
+    // In watch mode, keep following the publish directory for the life
+    // of the process. The handle must stay alive: dropping it joins the
+    // watch thread.
+    let _watch_loop = match &watch_dir {
+        Some(dir) => match ArtifactWatchLoop::spawn(&server, dir, ReloadConfig::from_env()) {
+            Ok(l) => Some(l),
+            Err(e) => {
+                eprintln!("phishinghook-served: cannot start watch loop on {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     println!(
-        "phishinghook-served: {banner} listening on http://{}",
+        "phishinghook-served: {banner} (generation {generation}) listening on http://{}",
         server.local_addr()
     );
     println!(

@@ -45,12 +45,16 @@
 //! [`server::Server::start`] is the embeddable form used by the tests,
 //! benches, and the `serve_and_query` example.
 
+pub mod health;
 pub mod http;
 pub mod queue;
+pub mod reload;
 pub mod server;
 pub mod swap;
 
+pub use health::{HealthSnapshot, HealthState, DEFAULT_BREAKER_THRESHOLD};
 pub use http::{Limits, Request};
-pub use queue::{MicroBatcher, QueueConfig, QueueStats, SubmitError};
+pub use queue::{MicroBatcher, QueueConfig, QueueHooks, QueueStats, SubmitError};
+pub use reload::{ArtifactWatchLoop, ReloadConfig, DEFAULT_RELOAD_RETRIES};
 pub use server::{Server, ServerConfig};
 pub use swap::ModelSlot;

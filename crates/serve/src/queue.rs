@@ -149,6 +149,41 @@ pub struct QueueStats {
     pub max_batch_seen: usize,
 }
 
+/// A shared observer callback taking the absorbed panic message.
+pub type PanicHook = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// Optional observers the health layer hangs off the worker loop:
+/// `on_panic` fires with the payload message each time a scorer panic is
+/// absorbed, `on_batch` after each cleanly scored batch. Both run on the
+/// worker thread and must be cheap.
+#[derive(Clone, Default)]
+pub struct QueueHooks {
+    /// Called with the panic message when a scoring call panics.
+    pub on_panic: Option<PanicHook>,
+    /// Called after each batch scores cleanly.
+    pub on_batch: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl std::fmt::Debug for QueueHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueHooks")
+            .field("on_panic", &self.on_panic.is_some())
+            .field("on_batch", &self.on_batch.is_some())
+            .finish()
+    }
+}
+
+/// Best-effort panic payload → message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "scorer panicked (non-string payload)"
+    }
+}
+
 /// One queued unit of work: the contract to score and the slot its
 /// submitter blocks on.
 struct Job<O> {
@@ -167,6 +202,7 @@ struct Shared<S: CodeScorer> {
     /// Signals producers→workers (new job) and shutdown.
     wake: Condvar,
     cfg: QueueConfig,
+    hooks: QueueHooks,
     batches: AtomicU64,
     scored: AtomicU64,
     max_batch_seen: AtomicUsize,
@@ -192,6 +228,16 @@ impl<S: CodeScorer + 'static> MicroBatcher<S> {
     /// Panics on a zero `max_batch`, `capacity`, or `workers` count — a
     /// queue that can hold or score nothing is a configuration bug.
     pub fn start(scorer: S, cfg: QueueConfig) -> MicroBatcher<S> {
+        Self::start_with_hooks(scorer, cfg, QueueHooks::default())
+    }
+
+    /// [`MicroBatcher::start`] with health observers attached to the
+    /// worker loop (see [`QueueHooks`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`MicroBatcher::start`].
+    pub fn start_with_hooks(scorer: S, cfg: QueueConfig, hooks: QueueHooks) -> MicroBatcher<S> {
         assert!(cfg.max_batch > 0, "max_batch must be at least 1");
         assert!(cfg.capacity > 0, "queue capacity must be at least 1");
         assert!(cfg.workers > 0, "worker pool must hold at least 1 worker");
@@ -203,6 +249,7 @@ impl<S: CodeScorer + 'static> MicroBatcher<S> {
             }),
             wake: Condvar::new(),
             cfg,
+            hooks,
             batches: AtomicU64::new(0),
             scored: AtomicU64::new(0),
             max_batch_seen: AtomicUsize::new(0),
@@ -395,8 +442,16 @@ fn worker_loop<S: CodeScorer>(shared: &Shared<S>) {
                     // nobody else cares about this score.
                     let _ = reply.send(score);
                 }
+                if let Some(on_batch) = &shared.hooks.on_batch {
+                    on_batch();
+                }
             }
-            Err(_) => drop(replies),
+            Err(payload) => {
+                if let Some(on_panic) = &shared.hooks.on_panic {
+                    on_panic(panic_message(payload.as_ref()));
+                }
+                drop(replies);
+            }
         }
     }
 }

@@ -17,8 +17,9 @@
 //! parser, and [`Server::shutdown`] stops accepting, finishes in-flight
 //! exchanges, and drains every queued job before returning.
 
+use crate::health::HealthState;
 use crate::http::{read_request, write_response, Limits};
-use crate::queue::{MicroBatcher, QueueConfig, SubmitError};
+use crate::queue::{MicroBatcher, QueueConfig, QueueHooks, SubmitError};
 use crate::swap::ModelSlot;
 use phishinghook::json::Value;
 use phishinghook::{CascadeDetector, CascadeVerdict, Detector};
@@ -125,10 +126,29 @@ impl Engine {
 
 struct Inner {
     engine: Engine,
+    health: Arc<HealthState>,
     limits: Limits,
     read_timeout: Duration,
     max_request_contracts: usize,
     stop: AtomicBool,
+}
+
+/// The queue observers that feed the crash-loop breaker: absorbed scorer
+/// panics extend the panic streak, cleanly scored batches re-arm it.
+fn health_hooks(health: &Arc<HealthState>) -> QueueHooks {
+    let on_panic = {
+        let health = Arc::clone(health);
+        Arc::new(move |msg: &str| health.record_worker_panic(msg))
+            as Arc<dyn Fn(&str) + Send + Sync>
+    };
+    let on_batch = {
+        let health = Arc::clone(health);
+        Arc::new(move || health.record_batch_success()) as Arc<dyn Fn() + Send + Sync>
+    };
+    QueueHooks {
+        on_panic: Some(on_panic),
+        on_batch: Some(on_batch),
+    }
 }
 
 /// A running serving tier: acceptor thread, connection handlers, and the
@@ -171,12 +191,17 @@ impl Server {
         addr: impl ToSocketAddrs,
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
+        let health = Arc::new(HealthState::from_env());
         let slot = Arc::new(ModelSlot::new(detector, generation));
         let engine = Engine::Single {
-            queue: MicroBatcher::start(Arc::clone(&slot), cfg.queue),
+            queue: MicroBatcher::start_with_hooks(
+                Arc::clone(&slot),
+                cfg.queue,
+                health_hooks(&health),
+            ),
             slot,
         };
-        Server::start_engine(engine, addr, cfg)
+        Server::start_engine(engine, health, addr, cfg)
     }
 
     /// Starts a server fronting a two-stage [`CascadeDetector`] instead
@@ -209,20 +234,26 @@ impl Server {
         addr: impl ToSocketAddrs,
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
+        let health = Arc::new(HealthState::from_env());
         let slot = Arc::new(ModelSlot::new(cascade, generation));
         let engine = Engine::Cascade {
-            queue: MicroBatcher::start(Arc::clone(&slot), cfg.queue),
+            queue: MicroBatcher::start_with_hooks(
+                Arc::clone(&slot),
+                cfg.queue,
+                health_hooks(&health),
+            ),
             slot,
             screened: AtomicU64::new(0),
             escalated: AtomicU64::new(0),
         };
-        Server::start_engine(engine, addr, cfg)
+        Server::start_engine(engine, health, addr, cfg)
     }
 
     /// The shared tail of both start paths: bind, wrap the engine, spawn
     /// the acceptor.
     fn start_engine(
         engine: Engine,
+        health: Arc<HealthState>,
         addr: impl ToSocketAddrs,
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
@@ -230,6 +261,7 @@ impl Server {
         let local = listener.local_addr()?;
         let inner = Arc::new(Inner {
             engine,
+            health,
             limits: cfg.limits,
             read_timeout: cfg.read_timeout,
             max_request_contracts: cfg.max_request_contracts,
@@ -319,6 +351,28 @@ impl Server {
     /// The live artifact generation (also reported by `GET /healthz`).
     pub fn generation(&self) -> u64 {
         self.inner.engine.generation()
+    }
+
+    /// The crash-loop breaker and health counters this server reports on
+    /// `/healthz`. Shared: a co-located reload or ingest loop records its
+    /// attempts/failures/drift/retrains here.
+    pub fn health(&self) -> Arc<HealthState> {
+        Arc::clone(&self.inner.health)
+    }
+
+    /// Whether this server fronts a cascade (vs. a flat detector) — the
+    /// engine type an artifact reload must match.
+    pub fn is_cascade(&self) -> bool {
+        matches!(self.inner.engine, Engine::Cascade { .. })
+    }
+
+    /// The slot handle a background reload loop installs into (engine
+    /// type included, so the loop decodes the matching artifact kind).
+    pub(crate) fn slot_target(&self) -> crate::reload::SlotTarget {
+        match &self.inner.engine {
+            Engine::Single { slot, .. } => crate::reload::SlotTarget::Single(Arc::clone(slot)),
+            Engine::Cascade { slot, .. } => crate::reload::SlotTarget::Cascade(Arc::clone(slot)),
+        }
     }
 
     /// A snapshot of the live detector.
@@ -503,8 +557,12 @@ fn route(inner: &Inner, method: &str, target: &str, body: &[u8]) -> Reply {
     match (method, target) {
         ("GET", "/healthz") => {
             let cfg = inner.engine.queue_config();
+            let health = inner.health.snapshot();
             let mut fields = vec![
-                ("status".into(), Value::Str("ok".into())),
+                (
+                    "status".into(),
+                    Value::Str(if health.degraded { "degraded" } else { "ok" }.into()),
+                ),
                 (
                     "generation".into(),
                     Value::Num(inner.engine.generation() as f64),
@@ -519,6 +577,31 @@ fn route(inner: &Inner, method: &str, target: &str, body: &[u8]) -> Reply {
                 ),
                 ("max_batch".into(), Value::Num(cfg.max_batch as f64)),
                 ("workers".into(), Value::Num(cfg.workers as f64)),
+                (
+                    "last_error".into(),
+                    health
+                        .last_error
+                        .as_deref()
+                        .map_or(Value::Null, |e| Value::Str(e.into())),
+                ),
+                (
+                    "reload_attempts".into(),
+                    Value::Num(health.reload_attempts as f64),
+                ),
+                (
+                    "reload_failures".into(),
+                    Value::Num(health.reload_failures as f64),
+                ),
+                (
+                    "worker_panics".into(),
+                    Value::Num(health.worker_panics as f64),
+                ),
+                ("recoveries".into(), Value::Num(health.recoveries as f64)),
+                (
+                    "drift_signals".into(),
+                    Value::Num(health.drift_signals as f64),
+                ),
+                ("retrains".into(), Value::Num(health.retrains as f64)),
             ];
             match &inner.engine {
                 Engine::Single { slot, .. } => {
